@@ -1,0 +1,48 @@
+//! Benchmarks for the polynomial special cases (experiment E8):
+//! the Proposition 8 / 16 greedy chains and the Algorithm 1 tree latency,
+//! compared with exhaustive permutation search on small sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw_core::CommModel;
+use fsw_sched::chain::{
+    chain_exhaustive, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
+};
+use fsw_workloads::query_optimization;
+
+fn bench_chain_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_tree");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [8usize, 64, 256] {
+        let app = query_optimization(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("prop8_greedy_overlap", n), &n, |b, _| {
+            b.iter(|| {
+                let order = chain_minperiod_order(&app, CommModel::Overlap).unwrap();
+                chain_period(&app, &order, CommModel::Overlap)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prop16_greedy", n), &n, |b, _| {
+            b.iter(|| {
+                let order = chain_minlatency_order(&app).unwrap();
+                chain_latency(&app, &order)
+            })
+        });
+    }
+    // Exhaustive permutation search for reference (factorial, small n only).
+    for n in [6usize, 7, 8] {
+        let app = query_optimization(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("chain_exhaustive_period", n), &n, |b, _| {
+            b.iter(|| chain_exhaustive(app.n(), |o| chain_period(&app, o, CommModel::InOrder)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_tree);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks for the timed-event-graph substrate: maximum cycle ratio and
+//! self-timed execution on synthetic pipelines of growing size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fsw_eventgraph::TimedEventGraph;
+
+/// A ring of `n` stages, each with a self-loop token, plus a long feedback
+/// cycle: a structure comparable to the event graphs produced by the INORDER
+/// analysis.
+fn ring(n: usize) -> TimedEventGraph {
+    let durations: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut g = TimedEventGraph::with_durations(durations);
+    for i in 0..n {
+        g.add_arc(i, (i + 1) % n, u32::from((i + 1) % n == 0)).unwrap();
+        g.add_arc(i, i, 1).unwrap();
+    }
+    g
+}
+
+fn bench_cycle_mean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_mean");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 256, 1024] {
+        let g = ring(n);
+        group.bench_with_input(BenchmarkId::new("max_cycle_ratio", n), &n, |b, _| {
+            b.iter(|| g.max_cycle_ratio().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("earliest_schedule", n), &n, |b, _| {
+            let p = g.min_period().unwrap().max(1.0);
+            b.iter(|| g.earliest_schedule(p * 1.0000001).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("self_timed_64_iters", n), &n, |b, _| {
+            b.iter(|| g.self_timed(64).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_mean);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks for latency orchestration (experiments E1 and E3):
+//! one-port ordering search, multi-port proportional schedule, and the tree
+//! algorithm (Algorithm 1) on growing forests.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
+use fsw_sched::tree::tree_latency;
+use fsw_workloads::{
+    counterexample_b2, random_application, random_forest_graph, section23, RandomAppConfig,
+};
+
+fn bench_latency_orchestration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_orchestration");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let s23 = section23();
+    group.bench_function("oneport_exhaustive/section23", |b| {
+        b.iter(|| oneport_latency_search(&s23.app, s23.graph(), 1_000).unwrap())
+    });
+
+    let b2 = counterexample_b2();
+    group.bench_function("multiport_proportional/b2", |b| {
+        b.iter(|| multiport_proportional_latency(&b2.app, b2.graph()).unwrap())
+    });
+    group.bench_function("oneport_heuristic/b2", |b| {
+        b.iter(|| oneport_latency_search(&b2.app, b2.graph(), 1).unwrap())
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [8usize, 16, 32, 64] {
+        let app = random_application(&RandomAppConfig::independent(n), &mut rng);
+        let forest = random_forest_graph(n, 0.8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("tree_latency", n), &n, |b, _| {
+            b.iter(|| tree_latency(&app, &forest).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("oneport_heuristic/forest", n), &n, |b, _| {
+            b.iter(|| oneport_latency_search(&app, &forest, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_orchestration);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks for the discrete-event simulator: throughput of the INORDER
+//! rendezvous simulation and of the operation-list replay as the stream length
+//! and the application size grow.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw_core::CommModel;
+use fsw_sched::overlap::overlap_period_oplist;
+use fsw_sched::CommOrderings;
+use fsw_sim::{replay_oplist, simulate_inorder};
+use fsw_workloads::{random_application, random_forest_graph, RandomAppConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut rng = StdRng::seed_from_u64(6);
+    for n in [8usize, 16, 32] {
+        let app = random_application(&RandomAppConfig::independent(n), &mut rng);
+        let graph = random_forest_graph(n, 0.8, &mut rng);
+        let ords = CommOrderings::natural(&graph);
+        group.bench_with_input(BenchmarkId::new("inorder_des_200_datasets", n), &n, |b, _| {
+            b.iter(|| simulate_inorder(&app, &graph, &ords, 200).unwrap())
+        });
+        let oplist = overlap_period_oplist(&app, &graph).unwrap();
+        group.bench_with_input(BenchmarkId::new("overlap_replay_200_datasets", n), &n, |b, _| {
+            b.iter(|| replay_oplist(&app, &graph, &oplist, CommModel::Overlap, 200).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

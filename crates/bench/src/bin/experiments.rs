@@ -1,0 +1,36 @@
+//! Prints the experiment tables recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run --release -p fsw-bench --bin experiments            # all experiments
+//!   cargo run --release -p fsw-bench --bin experiments -- e1 e3   # a subset
+
+use fsw_bench::{run_all, run_experiment, ExperimentRow};
+
+fn print_table(title: &str, rows: &[ExperimentRow]) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.chars().count()));
+    println!("{:<72} {:>12} {:>12}", "measurement", "paper", "measured");
+    for row in rows {
+        let paper = row
+            .paper
+            .map(|p| format!("{p:.4}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<72} {:>12} {:>12.4}", row.label, paper, row.measured);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for (title, rows) in run_all() {
+            print_table(title, &rows);
+        }
+    } else {
+        for id in &args {
+            match run_experiment(id) {
+                Some((title, rows)) => print_table(title, &rows),
+                None => eprintln!("unknown experiment id: {id} (expected e1..e10)"),
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Experiment drivers: one function per experiment of EXPERIMENTS.md.
+//!
+//! Every driver returns plain rows (label, paper reference value, measured
+//! value) so the `experiments` binary can print them and the integration tests
+//! can assert on them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw_core::{CommModel, ExecutionGraph, PlanMetrics};
+use fsw_rn3dm::{no_instance, prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, yes_instance};
+use fsw_sched::baseline::{nocomm_minperiod_plan, nocomm_period};
+use fsw_sched::chain::{chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
+use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
+use fsw_sched::minlatency::{minimize_latency, MinLatencyOptions};
+use fsw_sched::minperiod::{
+    exhaustive_dag_best, exhaustive_forest_best, minimize_period, minperiod_local_search,
+    MinPeriodOptions, PeriodEvaluation,
+};
+use fsw_sched::oneport::{oneport_period_search, OnePortStyle};
+use fsw_sched::outorder::{outorder_period_search, OutOrderOptions};
+use fsw_sched::overlap::{overlap_period_lower_bound, overlap_period_oplist};
+use fsw_sched::tree::tree_latency;
+use fsw_sched::CommOrderings;
+use fsw_sim::{replay_oplist, simulate_inorder};
+use fsw_workloads::{
+    counterexample_b1, counterexample_b2, counterexample_b3, query_optimization,
+    random_application, section23, RandomAppConfig,
+};
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct ExperimentRow {
+    /// What the row measures.
+    pub label: String,
+    /// The value the paper reports (or implies), if any.
+    pub paper: Option<f64>,
+    /// The value measured by this library.
+    pub measured: f64,
+}
+
+impl ExperimentRow {
+    fn new(label: impl Into<String>, paper: Option<f64>, measured: f64) -> Self {
+        ExperimentRow {
+            label: label.into(),
+            paper,
+            measured,
+        }
+    }
+}
+
+/// E1 — the worked example of Section 2.3.
+pub fn e1_section23() -> Vec<ExperimentRow> {
+    let inst = section23();
+    let app = &inst.app;
+    let g = inst.graph();
+    let overlap = overlap_period_oplist(app, g).expect("valid instance");
+    let outorder = outorder_period_search(app, g, &OutOrderOptions::default()).expect("search");
+    let inorder = oneport_period_search(app, g, OnePortStyle::InOrder, 10_000).expect("search");
+    let latency = oneport_latency_search(app, g, 10_000).expect("search");
+    let sim = simulate_inorder(app, g, &inorder.orderings, 400).expect("simulation");
+    let replay = replay_oplist(app, g, &overlap, CommModel::Overlap, 64).expect("replay");
+    vec![
+        ExperimentRow::new("period OVERLAP (Prop 1)", Some(4.0), overlap.period()),
+        ExperimentRow::new("period OVERLAP (replayed)", Some(4.0), replay.period),
+        ExperimentRow::new("period OUTORDER (cyclic sched.)", Some(7.0), outorder.period),
+        ExperimentRow::new("period INORDER (ordering search)", Some(23.0 / 3.0), inorder.period),
+        ExperimentRow::new("period INORDER (simulated)", Some(23.0 / 3.0), sim.period),
+        ExperimentRow::new("latency (all models)", Some(21.0), latency.latency),
+    ]
+}
+
+/// E2 — counter-example B.1: communication costs change the optimal structure.
+pub fn e2_counterexample_b1() -> Vec<ExperimentRow> {
+    let inst = counterexample_b1();
+    let fig4 = inst.graph_named("figure-4").expect("registered");
+    let chain = inst.graph_named("no-comm-chain").expect("registered");
+    let nocomm = |g: &ExecutionGraph| {
+        let m = PlanMetrics::compute(&inst.app, g).expect("consistent");
+        (0..inst.app.n()).map(|k| m.c_comp(k)).fold(0.0f64, f64::max)
+    };
+    vec![
+        ExperimentRow::new("chain plan, no communication", Some(100.0), nocomm(chain)),
+        ExperimentRow::new(
+            "chain plan, OVERLAP",
+            Some(200.0),
+            overlap_period_lower_bound(&inst.app, chain).expect("consistent"),
+        ),
+        ExperimentRow::new("Figure 4 plan, no communication", Some(100.0), nocomm(fig4)),
+        ExperimentRow::new(
+            "Figure 4 plan, OVERLAP",
+            Some(100.0),
+            overlap_period_lower_bound(&inst.app, fig4).expect("consistent"),
+        ),
+    ]
+}
+
+/// E3 — counter-example B.2: one-port vs multi-port latency.
+pub fn e3_counterexample_b2() -> Vec<ExperimentRow> {
+    let inst = counterexample_b2();
+    let (multi, _) = multiport_proportional_latency(&inst.app, inst.graph()).expect("consistent");
+    let oneport = oneport_latency_search(&inst.app, inst.graph(), 10_000).expect("search");
+    vec![
+        ExperimentRow::new("multi-port latency", Some(20.0), multi),
+        ExperimentRow::new("best one-port latency found", Some(21.0), oneport.latency),
+    ]
+}
+
+/// E4 — counter-example B.3: one-port vs multi-port period.
+pub fn e4_counterexample_b3() -> Vec<ExperimentRow> {
+    let inst = counterexample_b3();
+    let multi = overlap_period_lower_bound(&inst.app, inst.graph()).expect("consistent");
+    let oneport = oneport_period_search(&inst.app, inst.graph(), OnePortStyle::OverlapPorts, 2_000)
+        .expect("search");
+    vec![
+        ExperimentRow::new("multi-port period", Some(12.0), multi),
+        ExperimentRow::new("best one-port period found", None, oneport.period),
+    ]
+}
+
+/// E5 — Proposition 2 gadget (RN3DM ↦ OUTORDER orchestration).
+pub fn e5_prop2_gadget() -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in 2..=4 {
+        let (inst, _) = yes_instance(n, &mut rng);
+        let gadget = prop2_period_outorder(&inst);
+        let opts = OutOrderOptions {
+            node_budget: 2_000_000,
+            ..OutOrderOptions::default()
+        };
+        let found = fsw_sched::outorder::outorder_schedule_at(
+            &gadget.app,
+            &gadget.graph,
+            gadget.bound,
+            &opts,
+        )
+        .expect("consistent")
+        .is_some();
+        rows.push(ExperimentRow::new(
+            format!("YES instance n={n}: schedule at 2n+3 found (1 = yes)"),
+            Some(1.0),
+            if found { 1.0 } else { 0.0 },
+        ));
+    }
+    if let Some(inst) = no_instance(4, 2_000, &mut rng) {
+        let gadget = prop2_period_outorder(&inst);
+        let opts = OutOrderOptions {
+            node_budget: 2_000_000,
+            ..OutOrderOptions::default()
+        };
+        let found = fsw_sched::outorder::outorder_schedule_at(
+            &gadget.app,
+            &gadget.graph,
+            gadget.bound,
+            &opts,
+        )
+        .expect("consistent");
+        rows.push(ExperimentRow::new(
+            "NO instance n=4: schedule at 2n+3 found (paper argues none; see E5 note)",
+            Some(0.0),
+            if found.is_some() { 1.0 } else { 0.0 },
+        ));
+        if let Some(oplist) = found {
+            rows.push(ExperimentRow::new(
+                "NO instance n=4: span of one data set in that schedule (in periods)",
+                None,
+                (oplist.makespan() - oplist.start()) / gadget.bound,
+            ));
+        }
+    }
+    rows
+}
+
+/// E6 — Proposition 9 gadget (RN3DM ↦ latency orchestration on a fork-join).
+pub fn e6_prop9_gadget() -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in 2..=4 {
+        let (inst, _) = yes_instance(n, &mut rng);
+        let gadget = prop9_latency_forkjoin(&inst);
+        let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
+        rows.push(ExperimentRow::new(
+            format!("YES instance n={n}: optimal latency (bound {})", gadget.bound),
+            Some(gadget.bound),
+            result.latency,
+        ));
+    }
+    if let Some(inst) = no_instance(4, 2_000, &mut rng) {
+        let gadget = prop9_latency_forkjoin(&inst);
+        let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
+        rows.push(ExperimentRow::new(
+            format!("NO instance n=4: optimal latency (> bound {})", gadget.bound),
+            None,
+            result.latency,
+        ));
+    }
+    rows
+}
+
+/// E7 — Proposition 13 gadget (RN3DM ↦ MINLATENCY, fork-join plan).
+pub fn e7_prop13_gadget() -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    let yes = fsw_rn3dm::Rn3dmInstance::new(vec![2, 4, 6]);
+    let gadget = prop13_minlatency(&yes);
+    let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
+    rows.push(ExperimentRow::new(
+        format!("YES instance n=3: fork-join latency (bound {:.4})", gadget.bound),
+        Some(gadget.bound),
+        result.latency,
+    ));
+    let no = fsw_rn3dm::Rn3dmInstance::new(vec![2, 2, 8, 8]);
+    let gadget_no = prop13_minlatency(&no);
+    let result_no =
+        oneport_latency_search(&gadget_no.app, &gadget_no.graph, 1_000_000).expect("search");
+    rows.push(ExperimentRow::new(
+        format!("NO instance n=4: fork-join latency (> bound {:.4})", gadget_no.bound),
+        None,
+        result_no.latency,
+    ));
+    rows
+}
+
+/// E8 — the polynomial special cases: greedy chains and tree latency vs
+/// exhaustive search on a seeded workload.
+pub fn e8_polynomial_cases() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(8);
+    let app = query_optimization(6, &mut rng);
+    let mut rows = Vec::new();
+    for model in CommModel::ALL {
+        let greedy = chain_minperiod_order(&app, model).expect("no constraints");
+        let greedy_period = chain_period(&app, &greedy, model);
+        let (best, _) = fsw_sched::chain::chain_exhaustive(app.n(), |o| chain_period(&app, o, model))
+            .expect("non-empty");
+        rows.push(ExperimentRow::new(
+            format!("chain MINPERIOD {model}: greedy (paper column = exhaustive)"),
+            Some(best),
+            greedy_period,
+        ));
+    }
+    let greedy_lat = chain_minlatency_order(&app).expect("no constraints");
+    let greedy_latency = chain_latency(&app, &greedy_lat);
+    let (best_lat, _) =
+        fsw_sched::chain::chain_exhaustive(app.n(), |o| chain_latency(&app, o)).expect("non-empty");
+    rows.push(ExperimentRow::new(
+        "chain MINLATENCY: greedy (paper column = exhaustive)",
+        Some(best_lat),
+        greedy_latency,
+    ));
+    // Tree latency (Algorithm 1) vs exhaustive ordering search on the greedy chain
+    // converted into a star-ish forest seed.
+    let chain = chain_graph(app.n(), &greedy_lat).expect("permutation");
+    let algo = tree_latency(&app, &chain).expect("chain is a tree");
+    let search = oneport_latency_search(&app, &chain, 10_000).expect("search");
+    rows.push(ExperimentRow::new(
+        "Algorithm 1 on the chain (paper column = ordering search)",
+        Some(search.latency),
+        algo,
+    ));
+    rows
+}
+
+/// E9 — Proposition 4: forest optima match DAG optima for MINPERIOD without
+/// precedence constraints (tiny instances, exhaustive both ways).
+pub fn e9_forest_structure() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut rows = Vec::new();
+    for trial in 0..3 {
+        let app = random_application(&RandomAppConfig::independent(4), &mut rng);
+        for model in CommModel::ALL {
+            let eval = |g: &ExecutionGraph| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            };
+            let forest = exhaustive_forest_best(&app, eval).expect("small instance").0;
+            let dag = exhaustive_dag_best(&app, 5, eval).expect("small instance").0;
+            rows.push(ExperimentRow::new(
+                format!("trial {trial} {model}: forest optimum (paper column = DAG optimum)"),
+                Some(dag),
+                forest,
+            ));
+        }
+    }
+    rows
+}
+
+/// E10 — scaling / heuristic quality study on the query-optimisation workload.
+pub fn e10_scaling() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut rows = Vec::new();
+    for n in [5, 6, 7] {
+        let app = query_optimization(n, &mut rng);
+        let exhaustive = minimize_period(&app, &MinPeriodOptions::default()).expect("solver");
+        let local = minperiod_local_search(&app, &MinPeriodOptions::default()).expect("solver");
+        rows.push(ExperimentRow::new(
+            format!("MINPERIOD OVERLAP n={n}: local search (paper column = exhaustive forests)"),
+            Some(exhaustive.period),
+            local.period,
+        ));
+        let baseline_plan = nocomm_minperiod_plan(&app).expect("no constraints");
+        let baseline_with_comm = PlanMetrics::compute(&app, &baseline_plan)
+            .expect("consistent")
+            .period_lower_bound(CommModel::Overlap);
+        rows.push(ExperimentRow::new(
+            format!("MINPERIOD OVERLAP n={n}: no-comm-optimal plan re-evaluated with comm"),
+            Some(nocomm_period(&app, &baseline_plan).expect("consistent")),
+            baseline_with_comm,
+        ));
+        let lat = minimize_latency(&app, &MinLatencyOptions::default()).expect("solver");
+        let chain_lat = chain_latency(&app, &chain_minlatency_order(&app).expect("no constraints"));
+        rows.push(ExperimentRow::new(
+            format!("MINLATENCY n={n}: unrestricted optimum (paper column = Prop 16 chain)"),
+            Some(chain_lat),
+            lat.latency,
+        ));
+    }
+    // INORDER orchestration quality: natural vs searched orderings on a fork-join.
+    let inst = fsw_workloads::fork_join(4, 2.0, 1.0);
+    let natural = fsw_sched::oneport::inorder_period_for_orderings(
+        &inst.app,
+        inst.graph(),
+        &CommOrderings::natural(inst.graph()),
+    )
+    .expect("consistent");
+    let searched = oneport_period_search(&inst.app, inst.graph(), OnePortStyle::InOrder, 10_000)
+        .expect("search");
+    rows.push(ExperimentRow::new(
+        "INORDER fork-join(4): searched ordering (paper column = natural ordering)",
+        Some(natural),
+        searched.period,
+    ));
+    let _ = PeriodEvaluation::LowerBound;
+    rows
+}
+
+/// Runs one experiment by id (`"e1"` … `"e10"`).
+pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
+    match id {
+        "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
+        "e2" => Some(("E2 — B.1: communication changes the optimal structure", e2_counterexample_b1())),
+        "e3" => Some(("E3 — B.2: one-port vs multi-port latency", e3_counterexample_b2())),
+        "e4" => Some(("E4 — B.3: one-port vs multi-port period", e4_counterexample_b3())),
+        "e5" => Some(("E5 — Proposition 2 gadget (OUTORDER period)", e5_prop2_gadget())),
+        "e6" => Some(("E6 — Proposition 9 gadget (fork-join latency)", e6_prop9_gadget())),
+        "e7" => Some(("E7 — Proposition 13 gadget (MINLATENCY)", e7_prop13_gadget())),
+        "e8" => Some(("E8 — polynomial special cases (chains, trees)", e8_polynomial_cases())),
+        "e9" => Some(("E9 — Proposition 4: forests suffice for MINPERIOD", e9_forest_structure())),
+        "e10" => Some(("E10 — scaling and heuristic quality", e10_scaling())),
+        _ => None,
+    }
+}
+
+/// Runs every experiment in order.
+pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+        .iter()
+        .filter_map(|id| run_experiment(id))
+        .collect()
+}

@@ -1,0 +1,13 @@
+//! # fsw-bench — benchmark harness and experiment tables
+//!
+//! The library part holds the shared experiment drivers; the `experiments`
+//! binary prints the tables recorded in EXPERIMENTS.md, and the Criterion
+//! benches (`benches/*.rs`) measure the run time of every algorithm family on
+//! parameterised instances.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{run_all, run_experiment, ExperimentRow};

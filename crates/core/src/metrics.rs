@@ -1,0 +1,330 @@
+//! Communication and computation volumes of a plan.
+//!
+//! Given an application and an execution graph, this module computes the
+//! quantities of Section 2.1 of the paper (after normalising `δ0 = b = s = 1`):
+//!
+//! * `input_factor(k)` — the size of the data set *entering* service `C_k`,
+//!   i.e. `Π_{C_j ∈ Ancest_k(EG)} σ_j`;
+//! * `Ccomp(k) = input_factor(k) · c_k` — computation time of `C_k`;
+//! * `Cin(k)` — total volume received by `C_k` from its direct predecessors
+//!   (entry nodes receive one data set of size `δ0 = 1` from the input node);
+//! * `Cout(k)` — total volume sent by `C_k` to its direct successors
+//!   (exit nodes send one message of size `input_factor(k) · σ_k` to the
+//!   output node).
+//!
+//! ### Edge volumes
+//!
+//! The paper's Section 2.1 formula for `Cin` omits the factor `σ_i` on the
+//! data received from a direct predecessor `C_i`, while `Cout` includes it.
+//! The worked counter-examples of Appendix B are only consistent with the
+//! *physical* reading — the data travelling on an edge `(i, j)` is the output
+//! of `C_i`, of size `σ_i · Π_{C_a ∈ Ancest_i} σ_a` — so this crate uses that
+//! reading throughout (see DESIGN.md, "A note on the paper's Cin formula").
+
+use crate::error::{CoreError, CoreResult};
+use crate::graph::ExecutionGraph;
+use crate::model::CommModel;
+use crate::oplist::EdgeRef;
+use crate::service::{Application, ServiceId};
+
+/// Pre-computed per-service volumes for a `(Application, ExecutionGraph)` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanMetrics {
+    input_factor: Vec<f64>,
+    c_in: Vec<f64>,
+    c_comp: Vec<f64>,
+    c_out: Vec<f64>,
+}
+
+impl PlanMetrics {
+    /// Computes all volumes for the given application and execution graph.
+    pub fn compute(app: &Application, graph: &ExecutionGraph) -> CoreResult<Self> {
+        if app.n() != graph.n() {
+            return Err(CoreError::SizeMismatch {
+                expected: app.n(),
+                found: graph.n(),
+            });
+        }
+        let n = app.n();
+        let order = graph.topological_order()?;
+
+        // input_factor[k] = product of selectivities of all strict ancestors of k.
+        // Computed per-node from the ancestor sets so that "diamond" ancestors
+        // are counted exactly once (selectivities are independent, join cost
+        // negligible — Section 2.1).
+        let anc = graph.ancestor_sets();
+        let mut input_factor = vec![1.0f64; n];
+        for k in 0..n {
+            let mut prod = 1.0;
+            for (a, &is_anc) in anc[k].iter().enumerate() {
+                if is_anc {
+                    prod *= app.selectivity(a);
+                }
+            }
+            input_factor[k] = prod;
+        }
+        let _ = order; // the topological order guarantees acyclicity was checked
+
+        let mut c_in = vec![0.0f64; n];
+        let mut c_comp = vec![0.0f64; n];
+        let mut c_out = vec![0.0f64; n];
+        for k in 0..n {
+            c_comp[k] = input_factor[k] * app.cost(k);
+            let preds = graph.preds(k);
+            if preds.is_empty() {
+                // one incoming message of size δ0 = 1 from the input node
+                c_in[k] = 1.0;
+            } else {
+                c_in[k] = preds
+                    .iter()
+                    .map(|&p| input_factor[p] * app.selectivity(p))
+                    .sum();
+            }
+            let out_size = input_factor[k] * app.selectivity(k);
+            let succs = graph.succs(k);
+            let fanout = if succs.is_empty() { 1 } else { succs.len() };
+            c_out[k] = fanout as f64 * out_size;
+        }
+        Ok(PlanMetrics {
+            input_factor,
+            c_in,
+            c_comp,
+            c_out,
+        })
+    }
+
+    /// Number of services.
+    pub fn n(&self) -> usize {
+        self.input_factor.len()
+    }
+
+    /// `Π_{C_j ∈ Ancest_k} σ_j`: relative size of the data entering `C_k`.
+    pub fn input_factor(&self, k: ServiceId) -> f64 {
+        self.input_factor[k]
+    }
+
+    /// Lower bound on the time `C_k` spends receiving data for one data set.
+    pub fn c_in(&self, k: ServiceId) -> f64 {
+        self.c_in[k]
+    }
+
+    /// Computation time of `C_k` for one data set.
+    pub fn c_comp(&self, k: ServiceId) -> f64 {
+        self.c_comp[k]
+    }
+
+    /// Lower bound on the time `C_k` spends sending data for one data set.
+    pub fn c_out(&self, k: ServiceId) -> f64 {
+        self.c_out[k]
+    }
+
+    /// Per-service execution bound `Cexec(k)` (Section 2.2):
+    /// `max(Cin, Ccomp, Cout)` under [`CommModel::Overlap`],
+    /// `Cin + Ccomp + Cout` under the one-port models.
+    pub fn c_exec(&self, k: ServiceId, model: CommModel) -> f64 {
+        match model {
+            CommModel::Overlap => self.c_in[k].max(self.c_comp[k]).max(self.c_out[k]),
+            CommModel::OutOrder | CommModel::InOrder => {
+                self.c_in[k] + self.c_comp[k] + self.c_out[k]
+            }
+        }
+    }
+
+    /// Lower bound on the period of any operation list for this execution
+    /// graph under the given model: `max_k Cexec(k)`.
+    ///
+    /// Under [`CommModel::Overlap`] the bound is achievable (Theorem 1); under
+    /// the one-port models it may not be (Section 2.3's example).
+    pub fn period_lower_bound(&self, model: CommModel) -> f64 {
+        (0..self.n())
+            .map(|k| self.c_exec(k, model))
+            .fold(0.0, f64::max)
+    }
+
+    /// The largest `max(Cin, Cout)` over all services: the time within which
+    /// all communications can be executed in the multi-port model (used by the
+    /// Theorem 1 construction).
+    pub fn max_comm_bound(&self) -> f64 {
+        (0..self.n())
+            .map(|k| self.c_in[k].max(self.c_out[k]))
+            .fold(0.0, f64::max)
+    }
+
+    /// Size of the data set travelling on a plan edge (input, service-to-service
+    /// or output edge), given the application used to build these metrics.
+    pub fn edge_volume(&self, app: &Application, edge: EdgeRef) -> f64 {
+        match edge {
+            EdgeRef::Input(_) => 1.0,
+            EdgeRef::Link(i, _) => self.input_factor[i] * app.selectivity(i),
+            EdgeRef::Output(k) => self.input_factor[k] * app.selectivity(k),
+        }
+    }
+}
+
+/// All plan edges of an execution graph, in a deterministic order:
+/// input edges (by entry node id), then service-to-service edges (by source,
+/// then target), then output edges (by exit node id).
+pub fn plan_edges(graph: &ExecutionGraph) -> Vec<EdgeRef> {
+    let mut edges = Vec::new();
+    for k in graph.entry_nodes() {
+        edges.push(EdgeRef::Input(k));
+    }
+    for (i, j) in graph.edges() {
+        edges.push(EdgeRef::Link(i, j));
+    }
+    for k in graph.exit_nodes() {
+        edges.push(EdgeRef::Output(k));
+    }
+    edges
+}
+
+/// Incoming plan edges of service `k` (including the input edge for entry nodes).
+pub fn in_edges(graph: &ExecutionGraph, k: ServiceId) -> Vec<EdgeRef> {
+    let preds = graph.preds(k);
+    if preds.is_empty() {
+        vec![EdgeRef::Input(k)]
+    } else {
+        preds.iter().map(|&p| EdgeRef::Link(p, k)).collect()
+    }
+}
+
+/// Outgoing plan edges of service `k` (including the output edge for exit nodes).
+pub fn out_edges(graph: &ExecutionGraph, k: ServiceId) -> Vec<EdgeRef> {
+    let succs = graph.succs(k);
+    if succs.is_empty() {
+        vec![EdgeRef::Output(k)]
+    } else {
+        succs.iter().map(|&s| EdgeRef::Link(k, s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Section 2.3: five services of cost 4 and
+    /// selectivity 1; execution graph of Figure 1.
+    fn section23() -> (Application, ExecutionGraph) {
+        let app = Application::independent(&[(4.0, 1.0); 5]);
+        // C1=0, C2=1, C3=2, C4=3, C5=4
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+        (app, g)
+    }
+
+    #[test]
+    fn section23_bounds() {
+        let (app, g) = section23();
+        let m = PlanMetrics::compute(&app, &g).unwrap();
+        // C1: receives 1 from input, computes 4, sends to C2 and C4 (2 messages of size 1)
+        assert_eq!(m.c_in(0), 1.0);
+        assert_eq!(m.c_comp(0), 4.0);
+        assert_eq!(m.c_out(0), 2.0);
+        // C5: receives from C3 and C4 (2 messages), computes 4, sends 1 to output
+        assert_eq!(m.c_in(4), 2.0);
+        assert_eq!(m.c_comp(4), 4.0);
+        assert_eq!(m.c_out(4), 1.0);
+        // Period lower bounds quoted in the paper: 4 for OVERLAP, 7 for the one-port models.
+        assert_eq!(m.period_lower_bound(CommModel::Overlap), 4.0);
+        assert_eq!(m.period_lower_bound(CommModel::OutOrder), 7.0);
+        assert_eq!(m.period_lower_bound(CommModel::InOrder), 7.0);
+    }
+
+    #[test]
+    fn selectivity_propagates_to_descendants() {
+        // 0 (sigma=0.5) -> 1 (sigma=2.0) -> 2
+        let app = Application::independent(&[(1.0, 0.5), (2.0, 2.0), (4.0, 1.0)]);
+        let g = ExecutionGraph::chain_of(3, &[0, 1, 2]).unwrap();
+        let m = PlanMetrics::compute(&app, &g).unwrap();
+        assert_eq!(m.input_factor(0), 1.0);
+        assert_eq!(m.input_factor(1), 0.5);
+        assert_eq!(m.input_factor(2), 1.0);
+        assert_eq!(m.c_comp(1), 1.0);
+        assert_eq!(m.c_comp(2), 4.0);
+        // Edge volumes: in->0 is 1, 0->1 is 0.5, 1->2 is 1.0, 2->out is 1.0
+        assert_eq!(m.edge_volume(&app, EdgeRef::Input(0)), 1.0);
+        assert_eq!(m.edge_volume(&app, EdgeRef::Link(0, 1)), 0.5);
+        assert_eq!(m.edge_volume(&app, EdgeRef::Link(1, 2)), 1.0);
+        assert_eq!(m.edge_volume(&app, EdgeRef::Output(2)), 1.0);
+        // Cin of 1 is the volume of edge 0->1.
+        assert_eq!(m.c_in(1), 0.5);
+        assert_eq!(m.c_out(0), 0.5);
+    }
+
+    #[test]
+    fn diamond_counts_shared_ancestor_once() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, all selectivities 0.5
+        let app = Application::independent(&[(1.0, 0.5); 4]);
+        let g = ExecutionGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let m = PlanMetrics::compute(&app, &g).unwrap();
+        // Ancestors of 3 are {0,1,2}; product = 0.125 (0 counted once).
+        assert!((m.input_factor(3) - 0.125).abs() < 1e-12);
+        // Cin(3) = vol(1->3) + vol(2->3) = 0.25 + 0.25
+        assert!((m.c_in(3) - 0.5).abs() < 1e-12);
+        // 0 has two successors: Cout(0) = 2 * 0.5
+        assert!((m.c_out(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counterexample_b2_volumes() {
+        // Appendix B.2: 12 unit-cost services; σ2=σ3=2, σ4=σ5=σ6=3, others 1.
+        // C1 (id 0) feeds all of C7..C12 (ids 6..11); C2,C3 feed 3 each; C4,C5,C6 feed 2 each,
+        // such that every receiver gets volumes {1, 2, 3}.
+        let mut specs = vec![(1.0, 1.0); 12];
+        specs[1].1 = 2.0;
+        specs[2].1 = 2.0;
+        specs[3].1 = 3.0;
+        specs[4].1 = 3.0;
+        specs[5].1 = 3.0;
+        let app = Application::independent(&specs);
+        let mut edges = Vec::new();
+        for j in 6..12 {
+            edges.push((0usize, j)); // C1 -> all
+        }
+        for (idx, j) in (6..9).enumerate() {
+            let _ = idx;
+            edges.push((1, j));
+        }
+        for j in 9..12 {
+            edges.push((2, j));
+        }
+        for j in [6, 7] {
+            edges.push((3, j));
+        }
+        for j in [8, 9] {
+            edges.push((4, j));
+        }
+        for j in [10, 11] {
+            edges.push((5, j));
+        }
+        let g = ExecutionGraph::from_edges(12, &edges).unwrap();
+        let m = PlanMetrics::compute(&app, &g).unwrap();
+        for i in 0..6 {
+            assert!((m.c_out(i) - 6.0).abs() < 1e-12, "Cout({i}) = {}", m.c_out(i));
+        }
+        for j in 6..12 {
+            assert!((m.c_in(j) - 6.0).abs() < 1e-12, "Cin({j}) = {}", m.c_in(j));
+            assert!((m.c_comp(j) - 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let app = Application::independent(&[(1.0, 1.0); 3]);
+        let g = ExecutionGraph::new(4);
+        assert!(matches!(
+            PlanMetrics::compute(&app, &g),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_helpers() {
+        let g = ExecutionGraph::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        let edges = plan_edges(&g);
+        assert_eq!(edges.len(), 1 + 2 + 2);
+        assert_eq!(in_edges(&g, 0), vec![EdgeRef::Input(0)]);
+        assert_eq!(in_edges(&g, 1), vec![EdgeRef::Link(0, 1)]);
+        assert_eq!(out_edges(&g, 0), vec![EdgeRef::Link(0, 1), EdgeRef::Link(0, 2)]);
+        assert_eq!(out_edges(&g, 2), vec![EdgeRef::Output(2)]);
+    }
+}

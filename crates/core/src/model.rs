@@ -1,0 +1,79 @@
+//! The three communication models of the paper.
+
+use std::fmt;
+
+/// Communication / execution model of a server.
+///
+/// The paper (Section 2.2) identifies three realistic combinations:
+///
+/// * [`CommModel::Overlap`] — multi-threaded servers with bounded multi-port
+///   communications: a server can receive, compute and send simultaneously
+///   (for different data sets), and several communications can share the
+///   incoming (resp. outgoing) bandwidth as long as the total capacity `b = 1`
+///   is never exceeded.
+/// * [`CommModel::OutOrder`] — single-threaded servers with one-port
+///   communications: everything on a server is serialised, but operations of
+///   *different* data sets may interleave (out-of-order execution).
+/// * [`CommModel::InOrder`] — like `OutOrder`, but a server completely
+///   processes data set `n` (receive → compute → send) before starting any
+///   operation of data set `n + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommModel {
+    /// Multi-port communications with communication/computation overlap.
+    Overlap,
+    /// One-port communications without overlap, out-of-order across data sets.
+    OutOrder,
+    /// One-port communications without overlap, strict in-order processing.
+    InOrder,
+}
+
+impl CommModel {
+    /// All three models, in the order used throughout the paper.
+    pub const ALL: [CommModel; 3] = [CommModel::Overlap, CommModel::OutOrder, CommModel::InOrder];
+
+    /// The two one-port models (no communication/computation overlap).
+    pub const ONE_PORT: [CommModel; 2] = [CommModel::OutOrder, CommModel::InOrder];
+
+    /// Returns `true` if the model allows computation/communication overlap
+    /// (i.e. the multi-port `OVERLAP` model).
+    pub fn overlaps(self) -> bool {
+        matches!(self, CommModel::Overlap)
+    }
+
+    /// Returns `true` for the serialised one-port models.
+    pub fn is_one_port(self) -> bool {
+        !self.overlaps()
+    }
+
+    /// Short upper-case name used in tables (matches the paper's wording).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommModel::Overlap => "OVERLAP",
+            CommModel::OutOrder => "OUTORDER",
+            CommModel::InOrder => "INORDER",
+        }
+    }
+}
+
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_predicates() {
+        assert_eq!(CommModel::Overlap.name(), "OVERLAP");
+        assert_eq!(CommModel::OutOrder.to_string(), "OUTORDER");
+        assert_eq!(CommModel::InOrder.to_string(), "INORDER");
+        assert!(CommModel::Overlap.overlaps());
+        assert!(!CommModel::InOrder.overlaps());
+        assert!(CommModel::OutOrder.is_one_port());
+        assert_eq!(CommModel::ALL.len(), 3);
+        assert_eq!(CommModel::ONE_PORT.len(), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! Operation lists: the cyclic timetable of a plan.
+//!
+//! An operation list fixes, for data set number 0, the begin/end time of every
+//! computation and of every communication of the plan; the whole pattern
+//! repeats every `λ` time units for the following data sets
+//! (`BeginCalc_n = BeginCalc_0 + n·λ`, etc.).  The period of the plan is `λ`
+//! and its latency is the largest communication completion time of data set 0
+//! (every exit node emits a final message to the output node, so the longest
+//! path always ends with a communication).
+
+use std::collections::BTreeMap;
+
+use crate::error::{CoreError, CoreResult};
+use crate::graph::ExecutionGraph;
+use crate::service::ServiceId;
+
+/// Identifier of a communication of the plan.
+///
+/// Besides service-to-service transfers ([`EdgeRef::Link`]), the plan contains
+/// one incoming communication from the outside world per entry node
+/// ([`EdgeRef::Input`]) and one outgoing communication to the outside world per
+/// exit node ([`EdgeRef::Output`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeRef {
+    /// Communication from the input node to entry service `k`.
+    Input(ServiceId),
+    /// Communication from service `i` to service `j`.
+    Link(ServiceId, ServiceId),
+    /// Communication from exit service `k` to the output node.
+    Output(ServiceId),
+}
+
+impl EdgeRef {
+    /// The service on the sending side, if any (`None` for input edges).
+    pub fn sender(&self) -> Option<ServiceId> {
+        match *self {
+            EdgeRef::Input(_) => None,
+            EdgeRef::Link(i, _) => Some(i),
+            EdgeRef::Output(k) => Some(k),
+        }
+    }
+
+    /// The service on the receiving side, if any (`None` for output edges).
+    pub fn receiver(&self) -> Option<ServiceId> {
+        match *self {
+            EdgeRef::Input(k) => Some(k),
+            EdgeRef::Link(_, j) => Some(j),
+            EdgeRef::Output(_) => None,
+        }
+    }
+
+    /// Returns `true` if the communication occupies server `k` (as sender or receiver).
+    pub fn touches(&self, k: ServiceId) -> bool {
+        self.sender() == Some(k) || self.receiver() == Some(k)
+    }
+}
+
+impl std::fmt::Display for EdgeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EdgeRef::Input(k) => write!(f, "in->C{}", k + 1),
+            EdgeRef::Link(i, j) => write!(f, "C{}->C{}", i + 1, j + 1),
+            EdgeRef::Output(k) => write!(f, "C{}->out", k + 1),
+        }
+    }
+}
+
+/// A half-open time interval `[begin, end)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Start time.
+    pub begin: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+impl Interval {
+    /// Creates a new interval.
+    pub fn new(begin: f64, end: f64) -> Self {
+        Interval { begin, end }
+    }
+
+    /// Creates an interval from a start time and a duration.
+    pub fn with_duration(begin: f64, duration: f64) -> Self {
+        Interval {
+            begin,
+            end: begin + duration,
+        }
+    }
+
+    /// Duration of the interval.
+    pub fn duration(&self) -> f64 {
+        self.end - self.begin
+    }
+
+    /// Returns `true` if the two (non-cyclic) intervals overlap with positive measure.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.begin < other.end && other.begin < self.end
+    }
+
+    /// Shifts the interval by `dt`.
+    pub fn shifted(&self, dt: f64) -> Interval {
+        Interval::new(self.begin + dt, self.end + dt)
+    }
+}
+
+/// The operation list `OL` of a plan.
+///
+/// `calc[k]` is the computation interval of service `k` for data set 0 and
+/// `comm[e]` the communication interval of plan edge `e` for data set 0; the
+/// schedule repeats with period [`OperationList::lambda`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperationList {
+    /// The cyclic period `λ` of the schedule.
+    pub lambda: f64,
+    /// Computation interval of every service (data set 0).
+    pub calc: Vec<Interval>,
+    /// Communication interval of every plan edge (data set 0).
+    pub comm: BTreeMap<EdgeRef, Interval>,
+}
+
+impl OperationList {
+    /// Creates an operation list with `n` zero-length computations at time 0.
+    pub fn new(n: usize, lambda: f64) -> Self {
+        OperationList {
+            lambda,
+            calc: vec![Interval::new(0.0, 0.0); n],
+            comm: BTreeMap::new(),
+        }
+    }
+
+    /// Number of services covered.
+    pub fn n(&self) -> usize {
+        self.calc.len()
+    }
+
+    /// The period `P = λ` of the schedule.
+    pub fn period(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The latency `L = max EndComm⁰` of the schedule (paper, Section 2.2).
+    pub fn latency(&self) -> f64 {
+        self.comm
+            .values()
+            .map(|iv| iv.end)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The completion time of the last operation (computation or
+    /// communication) of data set 0.
+    pub fn makespan(&self) -> f64 {
+        let calc_end = self.calc.iter().map(|iv| iv.end).fold(0.0, f64::max);
+        calc_end.max(self.latency().max(0.0))
+    }
+
+    /// Earliest start of any operation of data set 0.
+    pub fn start(&self) -> f64 {
+        let calc_begin = self
+            .calc
+            .iter()
+            .map(|iv| iv.begin)
+            .fold(f64::INFINITY, f64::min);
+        let comm_begin = self
+            .comm
+            .values()
+            .map(|iv| iv.begin)
+            .fold(f64::INFINITY, f64::min);
+        calc_begin.min(comm_begin)
+    }
+
+    /// Sets the computation interval of service `k`.
+    pub fn set_calc(&mut self, k: ServiceId, interval: Interval) {
+        self.calc[k] = interval;
+    }
+
+    /// Sets the communication interval of plan edge `e`.
+    pub fn set_comm(&mut self, e: EdgeRef, interval: Interval) {
+        self.comm.insert(e, interval);
+    }
+
+    /// The communication interval of a plan edge, if scheduled.
+    pub fn comm(&self, e: EdgeRef) -> Option<Interval> {
+        self.comm.get(&e).copied()
+    }
+
+    /// The computation interval of a service.
+    pub fn calc(&self, k: ServiceId) -> Interval {
+        self.calc[k]
+    }
+
+    /// Changes the period, leaving all data-set-0 times untouched.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Shifts every operation by `dt` (useful to normalise schedules to start at 0).
+    pub fn shift(&mut self, dt: f64) {
+        for iv in &mut self.calc {
+            *iv = iv.shifted(dt);
+        }
+        for iv in self.comm.values_mut() {
+            *iv = iv.shifted(dt);
+        }
+    }
+
+    /// Checks that the operation list covers exactly the plan edges of `graph`
+    /// (one communication per input, link and output edge) and one computation
+    /// per service.
+    pub fn covers(&self, graph: &ExecutionGraph) -> CoreResult<()> {
+        if self.calc.len() != graph.n() {
+            return Err(CoreError::SizeMismatch {
+                expected: graph.n(),
+                found: self.calc.len(),
+            });
+        }
+        let expected: std::collections::BTreeSet<EdgeRef> =
+            crate::metrics::plan_edges(graph).into_iter().collect();
+        let actual: std::collections::BTreeSet<EdgeRef> = self.comm.keys().copied().collect();
+        if expected != actual {
+            // Report the first discrepancy in a structured way.
+            if let Some(&missing) = expected.difference(&actual).next() {
+                return Err(match missing {
+                    EdgeRef::Input(k) => CoreError::MissingPrecedence { from: k, to: k },
+                    EdgeRef::Link(i, j) => CoreError::MissingPrecedence { from: i, to: j },
+                    EdgeRef::Output(k) => CoreError::MissingPrecedence { from: k, to: k },
+                });
+            }
+            if let Some(&extra) = actual.difference(&expected).next() {
+                return Err(match extra {
+                    EdgeRef::Input(k) | EdgeRef::Output(k) => {
+                        CoreError::InvalidService { id: k, n: graph.n() }
+                    }
+                    EdgeRef::Link(i, _) => CoreError::InvalidService {
+                        id: i,
+                        n: graph.n(),
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete plan: an execution graph together with an operation list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// The execution graph `EG`.
+    pub graph: ExecutionGraph,
+    /// The operation list `OL`.
+    pub oplist: OperationList,
+}
+
+impl Plan {
+    /// Bundles an execution graph and an operation list.
+    pub fn new(graph: ExecutionGraph, oplist: OperationList) -> Self {
+        Plan { graph, oplist }
+    }
+
+    /// Period of the plan.
+    pub fn period(&self) -> f64 {
+        self.oplist.period()
+    }
+
+    /// Latency of the plan.
+    pub fn latency(&self) -> f64 {
+        self.oplist.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_ref_accessors() {
+        let e = EdgeRef::Link(2, 5);
+        assert_eq!(e.sender(), Some(2));
+        assert_eq!(e.receiver(), Some(5));
+        assert!(e.touches(2) && e.touches(5) && !e.touches(3));
+        assert_eq!(EdgeRef::Input(1).sender(), None);
+        assert_eq!(EdgeRef::Output(1).receiver(), None);
+        assert_eq!(EdgeRef::Link(0, 1).to_string(), "C1->C2");
+        assert_eq!(EdgeRef::Input(0).to_string(), "in->C1");
+        assert_eq!(EdgeRef::Output(4).to_string(), "C5->out");
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::with_duration(1.0, 2.0);
+        assert_eq!(a.end, 3.0);
+        assert_eq!(a.duration(), 2.0);
+        let b = Interval::new(2.5, 4.0);
+        assert!(a.overlaps(&b));
+        let c = Interval::new(3.0, 4.0);
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.shifted(1.0), Interval::new(2.0, 4.0));
+    }
+
+    /// The operation list spelled out in Section 2.3 for the Figure 1 graph.
+    fn section23_oplist() -> OperationList {
+        let mut ol = OperationList::new(5, 21.0);
+        // Services are C1..C5 = ids 0..4.
+        ol.set_calc(0, Interval::new(1.0, 5.0));
+        ol.set_calc(1, Interval::new(6.0, 10.0));
+        ol.set_calc(2, Interval::new(11.0, 15.0));
+        ol.set_calc(3, Interval::new(7.0, 11.0));
+        ol.set_calc(4, Interval::new(16.0, 20.0));
+        ol.set_comm(EdgeRef::Input(0), Interval::new(0.0, 1.0));
+        ol.set_comm(EdgeRef::Link(0, 1), Interval::new(5.0, 6.0));
+        ol.set_comm(EdgeRef::Link(0, 3), Interval::new(6.0, 7.0));
+        ol.set_comm(EdgeRef::Link(1, 2), Interval::new(10.0, 11.0));
+        ol.set_comm(EdgeRef::Link(2, 4), Interval::new(15.0, 16.0));
+        ol.set_comm(EdgeRef::Link(3, 4), Interval::new(11.0, 12.0));
+        ol.set_comm(EdgeRef::Output(4), Interval::new(20.0, 21.0));
+        ol
+    }
+
+    #[test]
+    fn section23_period_and_latency() {
+        let ol = section23_oplist();
+        assert_eq!(ol.period(), 21.0);
+        assert_eq!(ol.latency(), 21.0);
+        assert_eq!(ol.makespan(), 21.0);
+        assert_eq!(ol.start(), 0.0);
+    }
+
+    #[test]
+    fn covers_detects_missing_and_extra_edges() {
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+        let ol = section23_oplist();
+        ol.covers(&g).unwrap();
+
+        let mut missing = ol.clone();
+        missing.comm.remove(&EdgeRef::Link(0, 3));
+        assert!(missing.covers(&g).is_err());
+
+        let mut extra = ol.clone();
+        extra.set_comm(EdgeRef::Link(1, 4), Interval::new(0.0, 1.0));
+        assert!(extra.covers(&g).is_err());
+
+        let short = OperationList::new(4, 1.0);
+        assert!(short.covers(&g).is_err());
+    }
+
+    #[test]
+    fn shift_moves_everything() {
+        let mut ol = section23_oplist();
+        ol.shift(2.0);
+        assert_eq!(ol.calc(0), Interval::new(3.0, 7.0));
+        assert_eq!(ol.comm(EdgeRef::Input(0)).unwrap(), Interval::new(2.0, 3.0));
+        assert_eq!(ol.latency(), 23.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Maximum cycle ratio and periodic schedules of timed event graphs.
+//!
+//! The minimum feasible period of a cyclic schedule described by a timed event
+//! graph equals its **maximum cycle ratio**
+//! `max_C  Σ_{t ∈ C} duration(t) / Σ_{a ∈ C} tokens(a)`.
+//! This module computes it by Lawler's parametric search (binary search on the
+//! candidate period `λ`, positive-cycle detection by Bellman–Ford on the arc
+//! weights `duration(from) − λ·tokens`), then reads the exact ratio off an
+//! explicit critical cycle so the returned value is accurate to the float
+//! arithmetic of the cycle sums rather than to the binary-search tolerance.
+
+use crate::error::EventGraphError;
+use crate::graph::TimedEventGraph;
+
+/// Result of a maximum cycle ratio computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CycleRatio {
+    /// The maximum ratio (the minimum feasible period of the schedule).
+    pub ratio: f64,
+    /// The transitions of one critical cycle, in order.
+    pub cycle: Vec<usize>,
+}
+
+/// Tolerance used to stop the parametric binary search.
+const SEARCH_TOLERANCE: f64 = 1e-12;
+/// Tolerance used when comparing float weights during cycle detection.
+const WEIGHT_EPSILON: f64 = 1e-12;
+
+impl TimedEventGraph {
+    /// Computes the maximum cycle ratio of the graph.
+    ///
+    /// Returns `Ok(None)` if the graph has no cycle constraining the period
+    /// (every positive period is then feasible), and an error if a token-free
+    /// cycle with positive duration exists (no finite period is feasible).
+    pub fn max_cycle_ratio(&self) -> Result<Option<CycleRatio>, EventGraphError> {
+        self.validate()?;
+        if let Some(cycle) = self.find_zero_token_cycle() {
+            return Err(EventGraphError::ZeroTokenCycle { cycle });
+        }
+        if self.n() == 0 || self.arc_count() == 0 {
+            return Ok(None);
+        }
+        // Feasible at λ = 0 means every cycle has zero total duration: nothing
+        // constrains the period.
+        if self.positive_cycle(0.0).is_none() {
+            return Ok(None);
+        }
+        let mut lo = 0.0f64;
+        let mut hi = self.total_duration().max(1.0);
+        // Make sure `hi` really is feasible (it is by construction: any cycle
+        // has duration ≤ total_duration and at least one token), then shrink.
+        debug_assert!(self.positive_cycle(hi + 1.0).is_none());
+        let mut hi_feasible = hi;
+        while hi_feasible - lo > SEARCH_TOLERANCE * hi_feasible.max(1.0) {
+            let mid = 0.5 * (lo + hi_feasible);
+            if self.positive_cycle(mid).is_some() {
+                lo = mid;
+            } else {
+                hi_feasible = mid;
+            }
+        }
+        hi = hi_feasible;
+        // Extract a critical cycle on the infeasible side and refine: the
+        // extracted cycle's exact ratio is a lower bound on the optimum that
+        // keeps improving until no strictly better cycle exists.
+        let mut best: Option<CycleRatio> = None;
+        let mut probe = lo;
+        for _ in 0..16 {
+            match self.positive_cycle(probe) {
+                Some(cycle) => {
+                    let ratio = self.cycle_ratio_of(&cycle);
+                    let improved = best.as_ref().map_or(true, |b| ratio > b.ratio);
+                    if improved {
+                        best = Some(CycleRatio { ratio, cycle });
+                    }
+                    // Probe just above the best ratio found so far.
+                    probe = ratio * (1.0 + 1e-12) + 1e-15;
+                    if probe > hi {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        match best {
+            Some(b) => Ok(Some(b)),
+            None => {
+                // The binary search said infeasible below `hi` but no cycle was
+                // extracted at `lo`; fall back to the search bound.
+                Ok(Some(CycleRatio {
+                    ratio: hi,
+                    cycle: Vec::new(),
+                }))
+            }
+        }
+    }
+
+    /// Minimum feasible period of the schedule (0 when nothing constrains it).
+    pub fn min_period(&self) -> Result<f64, EventGraphError> {
+        Ok(self.max_cycle_ratio()?.map_or(0.0, |c| c.ratio))
+    }
+
+    /// Exact ratio of an explicit cycle (transition list).
+    pub fn cycle_ratio_of(&self, cycle: &[usize]) -> f64 {
+        if cycle.is_empty() {
+            return 0.0;
+        }
+        let duration: f64 = cycle.iter().map(|&t| self.duration(t)).sum();
+        // Sum the tokens along consecutive arcs of the cycle, choosing for
+        // every hop the arc with the fewest tokens (parallel arcs are allowed).
+        let mut tokens = 0u64;
+        for w in 0..cycle.len() {
+            let from = cycle[w];
+            let to = cycle[(w + 1) % cycle.len()];
+            let min_tokens = self
+                .out_arcs(from)
+                .filter(|a| a.to == to)
+                .map(|a| a.tokens)
+                .min()
+                .unwrap_or(0);
+            tokens += u64::from(min_tokens);
+        }
+        if tokens == 0 {
+            f64::INFINITY
+        } else {
+            duration / tokens as f64
+        }
+    }
+
+    /// Searches for a cycle with strictly positive weight under the parametric
+    /// weights `duration(from) − λ·tokens`; returns its transitions if found.
+    ///
+    /// A positive cycle exists iff the period `λ` is *infeasible*.
+    pub fn positive_cycle(&self, lambda: f64) -> Option<Vec<usize>> {
+        let n = self.n();
+        if n == 0 {
+            return None;
+        }
+        let mut dist = vec![0.0f64; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut updated_node = None;
+        for _pass in 0..n {
+            updated_node = None;
+            for arc in self.arcs() {
+                let w = self.duration(arc.from) - lambda * f64::from(arc.tokens);
+                if dist[arc.from] + w > dist[arc.to] + WEIGHT_EPSILON {
+                    dist[arc.to] = dist[arc.from] + w;
+                    pred[arc.to] = Some(arc.from);
+                    updated_node = Some(arc.to);
+                }
+            }
+            if updated_node.is_none() {
+                return None;
+            }
+        }
+        // A relaxation happened on the n-th pass: walk the predecessor chain n
+        // steps to land inside a positive cycle, then collect it.
+        let mut v = updated_node.expect("checked above");
+        for _ in 0..n {
+            v = pred[v].expect("predecessor chain broken");
+        }
+        let start = v;
+        let mut cycle = vec![start];
+        let mut cur = pred[start].expect("cycle node has a predecessor");
+        while cur != start {
+            cycle.push(cur);
+            cur = pred[cur].expect("cycle node has a predecessor");
+        }
+        cycle.reverse();
+        Some(cycle)
+    }
+
+    /// Earliest-start schedule of one iteration for a given period `λ`:
+    /// start times `s` such that `s[to] ≥ s[from] + duration(from) − λ·tokens`
+    /// for every arc, normalised so the earliest start is 0.
+    ///
+    /// Returns `None` if `λ` is infeasible (smaller than the maximum cycle ratio).
+    pub fn earliest_schedule(&self, lambda: f64) -> Option<Vec<f64>> {
+        let n = self.n();
+        let mut dist = vec![0.0f64; n];
+        let mut changed = true;
+        for _pass in 0..n {
+            changed = false;
+            for arc in self.arcs() {
+                let w = self.duration(arc.from) - lambda * f64::from(arc.tokens);
+                if dist[arc.from] + w > dist[arc.to] + WEIGHT_EPSILON {
+                    dist[arc.to] = dist[arc.from] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if changed {
+            // Still relaxing after n passes: positive cycle, λ infeasible.
+            return None;
+        }
+        let min = dist.iter().copied().fold(f64::INFINITY, f64::min);
+        if min.is_finite() && min != 0.0 {
+            for d in &mut dist {
+                *d -= min;
+            }
+        }
+        Some(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single cycle a -> b -> a with 2 tokens total: ratio = (1+2)/2.
+    #[test]
+    fn single_cycle_ratio() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 2.0]);
+        g.add_arc(0, 1, 1).unwrap();
+        g.add_arc(1, 0, 1).unwrap();
+        let r = g.max_cycle_ratio().unwrap().unwrap();
+        assert!((r.ratio - 1.5).abs() < 1e-9);
+        assert_eq!(r.cycle.len(), 2);
+        assert!((g.min_period().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    /// Two cycles with different ratios: the larger one wins.
+    #[test]
+    fn two_cycles_max_wins() {
+        let mut g = TimedEventGraph::with_durations(vec![3.0, 1.0, 2.0, 2.0]);
+        // cycle A: 0 -> 1 -> 0, 2 tokens, duration 4, ratio 2
+        g.add_arc(0, 1, 1).unwrap();
+        g.add_arc(1, 0, 1).unwrap();
+        // cycle B: 2 -> 3 -> 2, 1 token, duration 4, ratio 4
+        g.add_arc(2, 3, 0).unwrap();
+        g.add_arc(3, 2, 1).unwrap();
+        let r = g.max_cycle_ratio().unwrap().unwrap();
+        assert!((r.ratio - 4.0).abs() < 1e-9);
+        assert_eq!(r.cycle.len(), 2);
+        assert!(r.cycle.contains(&2) && r.cycle.contains(&3));
+    }
+
+    /// A fractional critical ratio is recovered exactly from the cycle sums.
+    #[test]
+    fn fractional_ratio_exact() {
+        let mut g = TimedEventGraph::with_durations(vec![7.0, 6.0, 7.0]);
+        // one cycle over the three transitions, 3 tokens: ratio 20/3
+        g.add_arc(0, 1, 1).unwrap();
+        g.add_arc(1, 2, 1).unwrap();
+        g.add_arc(2, 0, 1).unwrap();
+        let r = g.max_cycle_ratio().unwrap().unwrap();
+        assert_eq!(r.ratio, 20.0 / 3.0);
+    }
+
+    #[test]
+    fn acyclic_graph_unconstrained() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 1.0, 1.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 2, 0).unwrap();
+        assert_eq!(g.max_cycle_ratio().unwrap(), None);
+        assert_eq!(g.min_period().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_token_cycle_is_an_error() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 1.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 0, 0).unwrap();
+        assert!(matches!(
+            g.max_cycle_ratio(),
+            Err(EventGraphError::ZeroTokenCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_cycle() {
+        let mut g = TimedEventGraph::with_durations(vec![5.0]);
+        g.add_arc(0, 0, 2).unwrap();
+        let r = g.max_cycle_ratio().unwrap().unwrap();
+        assert!((r.ratio - 2.5).abs() < 1e-9);
+        assert_eq!(r.cycle, vec![0]);
+    }
+
+    #[test]
+    fn earliest_schedule_respects_constraints() {
+        let mut g = TimedEventGraph::with_durations(vec![2.0, 3.0, 1.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 2, 0).unwrap();
+        g.add_arc(2, 0, 1).unwrap();
+        // ratio = 6 / 1 = 6
+        let r = g.min_period().unwrap();
+        assert!((r - 6.0).abs() < 1e-9);
+        let s = g.earliest_schedule(6.0).unwrap();
+        assert!(s[1] >= s[0] + 2.0 - 1e-9);
+        assert!(s[2] >= s[1] + 3.0 - 1e-9);
+        assert!(s[0] >= s[2] + 1.0 - 6.0 - 1e-9);
+        assert!(g.earliest_schedule(5.9).is_none());
+        // A larger period is also feasible.
+        assert!(g.earliest_schedule(10.0).is_some());
+    }
+
+    #[test]
+    fn parallel_arcs_use_fewest_tokens() {
+        let mut g = TimedEventGraph::with_durations(vec![4.0, 4.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(0, 1, 3).unwrap();
+        g.add_arc(1, 0, 1).unwrap();
+        // Tightest cycle uses the 0-token arc: ratio 8 / 1 = 8.
+        let r = g.max_cycle_ratio().unwrap().unwrap();
+        assert!((r.ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TimedEventGraph::new();
+        assert_eq!(g.max_cycle_ratio().unwrap(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for timed event graphs.
+
+use std::fmt;
+
+/// Errors raised by timed event graph analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventGraphError {
+    /// An arc endpoint is out of range.
+    InvalidTransition {
+        /// The offending transition index.
+        id: usize,
+        /// Number of transitions in the graph.
+        n: usize,
+    },
+    /// A transition duration is negative or not finite.
+    InvalidDuration {
+        /// The offending transition index.
+        id: usize,
+        /// The rejected duration.
+        duration: f64,
+    },
+    /// The graph contains a cycle whose arcs carry no token but whose
+    /// transitions have positive total duration: no finite period exists.
+    ZeroTokenCycle {
+        /// The transitions of one such cycle.
+        cycle: Vec<usize>,
+    },
+}
+
+impl fmt::Display for EventGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventGraphError::InvalidTransition { id, n } => {
+                write!(f, "transition index {id} out of range (n = {n})")
+            }
+            EventGraphError::InvalidDuration { id, duration } => {
+                write!(f, "transition {id} has invalid duration {duration}")
+            }
+            EventGraphError::ZeroTokenCycle { cycle } => {
+                write!(f, "token-free cycle with positive duration: {cycle:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventGraphError {}

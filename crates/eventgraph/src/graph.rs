@@ -1,0 +1,252 @@
+//! Timed event graphs (timed marked graphs).
+//!
+//! A timed event graph is a Petri net in which every place has exactly one
+//! input and one output transition; it is represented here directly as a
+//! multigraph whose nodes are **transitions** (each with a firing duration)
+//! and whose arcs carry an initial **token count**.
+//!
+//! Cyclic schedules map naturally onto this structure: transition `t` models a
+//! recurring operation (a computation or a communication), an arc `s → t`
+//! with `h` tokens models the *uniform precedence constraint*
+//! `start_t(n) ≥ start_s(n − h) + duration_s` for all iterations `n`.
+//! The minimum feasible period of such a system is its **maximum cycle
+//! ratio**: the maximum over all directed cycles of (total duration of the
+//! transitions on the cycle) / (total token count of the cycle).
+
+use crate::error::EventGraphError;
+
+/// An arc of a timed event graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Source transition.
+    pub from: usize,
+    /// Target transition.
+    pub to: usize,
+    /// Initial marking of the place between `from` and `to` (in scheduling
+    /// terms: how many iterations earlier the source occurrence is).
+    pub tokens: u32,
+}
+
+/// A timed event graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimedEventGraph {
+    durations: Vec<f64>,
+    arcs: Vec<Arc>,
+    out_adj: Vec<Vec<usize>>, // indices into `arcs`
+    in_adj: Vec<Vec<usize>>,
+}
+
+impl TimedEventGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TimedEventGraph::default()
+    }
+
+    /// Creates a graph with the given transition durations and no arcs.
+    pub fn with_durations(durations: Vec<f64>) -> Self {
+        let n = durations.len();
+        TimedEventGraph {
+            durations,
+            arcs: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a transition with the given firing duration and returns its index.
+    pub fn add_transition(&mut self, duration: f64) -> usize {
+        self.durations.push(duration);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.durations.len() - 1
+    }
+
+    /// Adds an arc `from → to` carrying `tokens` initial tokens.
+    pub fn add_arc(&mut self, from: usize, to: usize, tokens: u32) -> Result<(), EventGraphError> {
+        let n = self.durations.len();
+        if from >= n {
+            return Err(EventGraphError::InvalidTransition { id: from, n });
+        }
+        if to >= n {
+            return Err(EventGraphError::InvalidTransition { id: to, n });
+        }
+        let idx = self.arcs.len();
+        self.arcs.push(Arc { from, to, tokens });
+        self.out_adj[from].push(idx);
+        self.in_adj[to].push(idx);
+        Ok(())
+    }
+
+    /// Number of transitions.
+    pub fn n(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Firing duration of a transition.
+    pub fn duration(&self, t: usize) -> f64 {
+        self.durations[t]
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Arcs leaving a transition.
+    pub fn out_arcs(&self, t: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.out_adj[t].iter().map(move |&i| &self.arcs[i])
+    }
+
+    /// Arcs entering a transition.
+    pub fn in_arcs(&self, t: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.in_adj[t].iter().map(move |&i| &self.arcs[i])
+    }
+
+    /// Checks that every duration is finite and non-negative.
+    pub fn validate(&self) -> Result<(), EventGraphError> {
+        for (id, &d) in self.durations.iter().enumerate() {
+            if !(d >= 0.0) || !d.is_finite() {
+                return Err(EventGraphError::InvalidDuration { id, duration: d });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total duration of all transitions (a trivial upper bound on any cycle's duration).
+    pub fn total_duration(&self) -> f64 {
+        self.durations.iter().sum()
+    }
+
+    /// Searches for a cycle made only of zero-token arcs whose total transition
+    /// duration is strictly positive; returns it if one exists.
+    ///
+    /// Such a cycle makes the period infinite (the operations of one single
+    /// iteration depend circularly on each other).
+    pub fn find_zero_token_cycle(&self) -> Option<Vec<usize>> {
+        // DFS over the subgraph of zero-token arcs looking for any cycle, then
+        // check whether its duration is positive.  Zero-duration cycles are
+        // harmless (degenerate simultaneous events) and are ignored.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.n();
+        let mut mark = vec![Mark::White; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        for root in 0..n {
+            if mark[root] != Mark::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, next arc index).
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            mark[root] = Mark::Grey;
+            while let Some(&(v, next)) = stack.last() {
+                let arcs = &self.out_adj[v];
+                if next >= arcs.len() {
+                    mark[v] = Mark::Black;
+                    stack.pop();
+                    continue;
+                }
+                stack.last_mut().expect("non-empty stack").1 += 1;
+                let arc = &self.arcs[arcs[next]];
+                if arc.tokens > 0 {
+                    continue;
+                }
+                let w = arc.to;
+                match mark[w] {
+                    Mark::White => {
+                        mark[w] = Mark::Grey;
+                        parent[w] = Some(v);
+                        stack.push((w, 0));
+                    }
+                    Mark::Grey => {
+                        // Found a cycle w -> ... -> v -> w.
+                        let mut cycle = vec![v];
+                        let mut cur = v;
+                        while cur != w {
+                            cur = parent[cur].expect("grey chain broken");
+                            cycle.push(cur);
+                        }
+                        cycle.reverse();
+                        let dur: f64 = cycle.iter().map(|&t| self.durations[t]).sum();
+                        if dur > 0.0 {
+                            return Some(cycle);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = TimedEventGraph::new();
+        let a = g.add_transition(1.0);
+        let b = g.add_transition(2.0);
+        g.add_arc(a, b, 0).unwrap();
+        g.add_arc(b, a, 1).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.duration(b), 2.0);
+        assert_eq!(g.out_arcs(a).count(), 1);
+        assert_eq!(g.in_arcs(a).count(), 1);
+        assert_eq!(g.total_duration(), 3.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_arc_rejected() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0]);
+        assert_eq!(
+            g.add_arc(0, 3, 0),
+            Err(EventGraphError::InvalidTransition { id: 3, n: 1 })
+        );
+    }
+
+    #[test]
+    fn invalid_duration_detected() {
+        let g = TimedEventGraph::with_durations(vec![1.0, -2.0]);
+        assert_eq!(
+            g.validate(),
+            Err(EventGraphError::InvalidDuration {
+                id: 1,
+                duration: -2.0
+            })
+        );
+    }
+
+    #[test]
+    fn zero_token_cycle_detection() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 1.0, 1.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 2, 0).unwrap();
+        g.add_arc(2, 0, 1).unwrap();
+        assert!(g.find_zero_token_cycle().is_none());
+        // Close the token-free cycle.
+        g.add_arc(2, 0, 0).unwrap();
+        let cycle = g.find_zero_token_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn zero_duration_token_free_cycle_is_harmless() {
+        let mut g = TimedEventGraph::with_durations(vec![0.0, 0.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 0, 0).unwrap();
+        assert!(g.find_zero_token_cycle().is_none());
+    }
+}

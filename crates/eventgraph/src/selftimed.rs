@@ -1,0 +1,185 @@
+//! Self-timed (as-soon-as-possible) execution of a timed event graph.
+//!
+//! Under self-timed execution every transition fires as soon as all of its
+//! input places hold a token.  A classical result states that the firing times
+//! then become periodic (after a transient) with period equal to the maximum
+//! cycle ratio of the graph; this module provides the explicit execution so
+//! the analytic ratio computed by
+//! [`TimedEventGraph::max_cycle_ratio`](crate::TimedEventGraph::max_cycle_ratio)
+//! can be cross-validated experimentally.
+
+use crate::error::EventGraphError;
+use crate::graph::TimedEventGraph;
+
+/// The firing times produced by a self-timed execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelfTimedRun {
+    /// `starts[t][k]` is the start time of the `k`-th firing of transition `t`.
+    pub starts: Vec<Vec<f64>>,
+}
+
+impl SelfTimedRun {
+    /// Number of iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.starts.first().map_or(0, Vec::len)
+    }
+
+    /// Estimates the asymptotic period from the tail of the execution:
+    /// the largest per-transition average inter-firing distance over the last
+    /// half of the run.
+    pub fn asymptotic_period(&self) -> f64 {
+        let iters = self.iterations();
+        if iters < 2 {
+            return 0.0;
+        }
+        let window = (iters / 2).max(1);
+        let last = iters - 1;
+        let first = last - window;
+        self.starts
+            .iter()
+            .map(|s| (s[last] - s[first]) / window as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl TimedEventGraph {
+    /// Executes the graph self-timed for `iterations` firings of every transition.
+    ///
+    /// Fails if a token-free cycle with positive duration exists (the firing
+    /// times would not be defined).
+    pub fn self_timed(&self, iterations: usize) -> Result<SelfTimedRun, EventGraphError> {
+        self.validate()?;
+        if let Some(cycle) = self.find_zero_token_cycle() {
+            return Err(EventGraphError::ZeroTokenCycle { cycle });
+        }
+        let n = self.n();
+        let mut starts = vec![vec![0.0f64; iterations]; n];
+        for k in 0..iterations {
+            // Within one iteration the zero-token arcs form an acyclic
+            // dependency structure (positive-duration token-free cycles were
+            // rejected above); a bounded relaxation reaches the fixpoint.
+            // Initialise from cross-iteration arcs first.
+            for t in 0..n {
+                let mut start = 0.0f64;
+                for arc in self.in_arcs(t) {
+                    let h = arc.tokens as usize;
+                    if h > 0 && k >= h {
+                        start = start.max(starts[arc.from][k - h] + self.duration(arc.from));
+                    }
+                }
+                starts[t][k] = start;
+            }
+            let mut changed = true;
+            let mut passes = 0usize;
+            while changed && passes <= n {
+                changed = false;
+                passes += 1;
+                for t in 0..n {
+                    let mut start = starts[t][k];
+                    for arc in self.in_arcs(t) {
+                        if arc.tokens == 0 {
+                            let candidate = starts[arc.from][k] + self.duration(arc.from);
+                            if candidate > start + 1e-15 {
+                                start = candidate;
+                            }
+                        }
+                    }
+                    if start > starts[t][k] {
+                        starts[t][k] = start;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Ok(SelfTimedRun { starts })
+    }
+
+    /// Convenience wrapper: runs a self-timed execution and returns the
+    /// asymptotic period estimate.
+    pub fn self_timed_period(&self, iterations: usize) -> Result<f64, EventGraphError> {
+        Ok(self.self_timed(iterations)?.asymptotic_period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_period_matches_ratio() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 2.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 0, 1).unwrap();
+        // ratio = 3 / 1 = 3
+        let analytic = g.min_period().unwrap();
+        let measured = g.self_timed_period(64).unwrap();
+        assert!((analytic - 3.0).abs() < 1e-9);
+        assert!((measured - analytic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipeline_with_tokens_reaches_bottleneck_rate() {
+        // Three-stage pipeline where every stage has a self-loop token
+        // (it cannot overlap with itself); the slowest stage dictates the period.
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 4.0, 2.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 2, 0).unwrap();
+        for t in 0..3 {
+            g.add_arc(t, t, 1).unwrap();
+        }
+        let analytic = g.min_period().unwrap();
+        assert!((analytic - 4.0).abs() < 1e-9);
+        let measured = g.self_timed_period(128).unwrap();
+        assert!((measured - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_coupled_cycles_period_is_max() {
+        let mut g = TimedEventGraph::with_durations(vec![2.0, 3.0, 5.0]);
+        // cycle 1: 0 <-> 1, 2 tokens, ratio (2+3)/2 = 2.5
+        g.add_arc(0, 1, 1).unwrap();
+        g.add_arc(1, 0, 1).unwrap();
+        // cycle 2: 1 <-> 2, 2 tokens, ratio (3+5)/2 = 4
+        g.add_arc(1, 2, 1).unwrap();
+        g.add_arc(2, 1, 1).unwrap();
+        let analytic = g.min_period().unwrap();
+        assert!((analytic - 4.0).abs() < 1e-9);
+        let measured = g.self_timed_period(256).unwrap();
+        assert!((measured - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_iterations_and_short_runs() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0]);
+        g.add_arc(0, 0, 1).unwrap();
+        let run = g.self_timed(0).unwrap();
+        assert_eq!(run.iterations(), 0);
+        assert_eq!(run.asymptotic_period(), 0.0);
+        let run = g.self_timed(1).unwrap();
+        assert_eq!(run.iterations(), 1);
+        assert_eq!(run.asymptotic_period(), 0.0);
+    }
+
+    #[test]
+    fn token_free_cycle_rejected() {
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 1.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 0, 0).unwrap();
+        assert!(g.self_timed(4).is_err());
+    }
+
+    #[test]
+    fn earliest_schedule_consistency_with_selftimed() {
+        // In steady state the self-timed start times of consecutive iterations
+        // differ by the period; the earliest schedule at that period must exist.
+        let mut g = TimedEventGraph::with_durations(vec![1.0, 2.0, 3.0]);
+        g.add_arc(0, 1, 0).unwrap();
+        g.add_arc(1, 2, 0).unwrap();
+        g.add_arc(2, 0, 2).unwrap();
+        let p = g.min_period().unwrap();
+        assert!((p - 3.0).abs() < 1e-9);
+        assert!(g.earliest_schedule(p).is_some());
+        let measured = g.self_timed_period(128).unwrap();
+        assert!(measured <= p + 1e-6);
+    }
+}

@@ -1,0 +1,237 @@
+//! RN3DM (permutation sums) instances.
+//!
+//! RN3DM is the restricted form of Numerical 3-Dimensional Matching used by
+//! every NP-hardness reduction of the paper: given an integer vector
+//! `A[1..n]`, do two permutations `λ1, λ2` of `{1..n}` exist such that
+//! `λ1(i) + λ2(i) = A[i]` for every `i`?  The problem is NP-complete
+//! (Yu, Hoogeveen, Lenstra 2004), yet small instances are easily solved by
+//! backtracking, which is exactly what the reduction experiments need.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An RN3DM instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rn3dmInstance {
+    /// The target sums `A[1..n]` (0-indexed here).
+    pub a: Vec<usize>,
+}
+
+/// A certificate for a YES instance: the two permutations (1-indexed values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rn3dmSolution {
+    /// `λ1(i)` for every position `i`.
+    pub lambda1: Vec<usize>,
+    /// `λ2(i)` for every position `i`.
+    pub lambda2: Vec<usize>,
+}
+
+impl Rn3dmInstance {
+    /// Creates an instance from the target sums.
+    pub fn new(a: Vec<usize>) -> Self {
+        Rn3dmInstance { a }
+    }
+
+    /// Number of positions.
+    pub fn n(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Checks the necessary conditions `Σ A[i] = n(n+1)` and `2 ≤ A[i] ≤ 2n`.
+    /// Instances violating them are trivially NO instances.
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return false;
+        }
+        let sum: usize = self.a.iter().sum();
+        sum == n * (n + 1) && self.a.iter().all(|&x| (2..=2 * n).contains(&x))
+    }
+
+    /// Verifies a candidate certificate.
+    pub fn check(&self, solution: &Rn3dmSolution) -> bool {
+        let n = self.n();
+        let is_perm = |p: &[usize]| {
+            let mut seen = vec![false; n + 1];
+            p.len() == n
+                && p.iter().all(|&v| {
+                    if v >= 1 && v <= n && !seen[v] {
+                        seen[v] = true;
+                        true
+                    } else {
+                        false
+                    }
+                })
+        };
+        is_perm(&solution.lambda1)
+            && is_perm(&solution.lambda2)
+            && (0..n).all(|i| solution.lambda1[i] + solution.lambda2[i] == self.a[i])
+    }
+
+    /// Solves the instance by backtracking; returns a certificate if one exists.
+    ///
+    /// Exponential in the worst case (the problem is NP-complete) but fast for
+    /// the small instances used by the reduction experiments.
+    pub fn solve(&self) -> Option<Rn3dmSolution> {
+        let n = self.n();
+        if !self.is_well_formed() {
+            return None;
+        }
+        let mut lambda1 = vec![0usize; n];
+        let mut used1 = vec![false; n + 1];
+        let mut used2 = vec![false; n + 1];
+        if self.backtrack(0, &mut lambda1, &mut used1, &mut used2) {
+            let lambda2: Vec<usize> = (0..n).map(|i| self.a[i] - lambda1[i]).collect();
+            let solution = Rn3dmSolution { lambda1, lambda2 };
+            debug_assert!(self.check(&solution));
+            Some(solution)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(
+        &self,
+        i: usize,
+        lambda1: &mut Vec<usize>,
+        used1: &mut Vec<bool>,
+        used2: &mut Vec<bool>,
+    ) -> bool {
+        let n = self.n();
+        if i == n {
+            return true;
+        }
+        for v in 1..=n {
+            if used1[v] {
+                continue;
+            }
+            let Some(w) = self.a[i].checked_sub(v) else {
+                continue;
+            };
+            if w < 1 || w > n || used2[w] {
+                continue;
+            }
+            used1[v] = true;
+            used2[w] = true;
+            lambda1[i] = v;
+            if self.backtrack(i + 1, lambda1, used1, used2) {
+                return true;
+            }
+            used1[v] = false;
+            used2[w] = false;
+        }
+        false
+    }
+
+    /// `true` iff the instance admits a solution.
+    pub fn is_yes(&self) -> bool {
+        self.solve().is_some()
+    }
+}
+
+/// Generates a YES instance of size `n` (by drawing two random permutations
+/// and summing them).
+pub fn yes_instance<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Rn3dmInstance, Rn3dmSolution) {
+    let mut lambda1: Vec<usize> = (1..=n).collect();
+    let mut lambda2: Vec<usize> = (1..=n).collect();
+    lambda1.shuffle(rng);
+    lambda2.shuffle(rng);
+    let a: Vec<usize> = (0..n).map(|i| lambda1[i] + lambda2[i]).collect();
+    (Rn3dmInstance::new(a), Rn3dmSolution { lambda1, lambda2 })
+}
+
+/// Tries to generate a well-formed NO instance of size `n`; returns `None` if
+/// none was found within `attempts` random draws (small sizes have few or no
+/// NO instances — for `n ≤ 2` every well-formed instance is a YES instance).
+pub fn no_instance<R: Rng + ?Sized>(n: usize, attempts: usize, rng: &mut R) -> Option<Rn3dmInstance> {
+    for _ in 0..attempts {
+        // Start from a YES instance and redistribute mass between two positions
+        // while keeping the sum and the range constraints.
+        let (mut inst, _) = yes_instance(n, rng);
+        for _ in 0..4 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            if inst.a[i] < 2 * n && inst.a[j] > 2 {
+                inst.a[i] += 1;
+                inst.a[j] -= 1;
+            }
+        }
+        if inst.is_well_formed() && !inst.is_yes() {
+            return Some(inst);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_instances() {
+        // n = 1: A = [2] is the only well-formed instance and it is YES.
+        let inst = Rn3dmInstance::new(vec![2]);
+        assert!(inst.is_well_formed());
+        assert!(inst.is_yes());
+        // Ill-formed instances are rejected.
+        assert!(!Rn3dmInstance::new(vec![3]).is_well_formed());
+        assert!(!Rn3dmInstance::new(vec![]).is_well_formed());
+        assert!(Rn3dmInstance::new(vec![3]).solve().is_none());
+    }
+
+    #[test]
+    fn known_yes_and_no() {
+        // n = 3, A = [2, 4, 6]: λ1 = (1,2,3), λ2 = (1,2,3).
+        let yes = Rn3dmInstance::new(vec![2, 4, 6]);
+        assert!(yes.is_yes());
+        let sol = yes.solve().unwrap();
+        assert!(yes.check(&sol));
+        // n = 4, A = [2, 2, 8, 8] is well-formed but infeasible: two positions
+        // would both need λ1(i) = λ2(i) = 1.
+        let no = Rn3dmInstance::new(vec![2, 2, 8, 8]);
+        assert!(no.is_well_formed());
+        assert!(!no.is_yes());
+    }
+
+    #[test]
+    fn generated_yes_instances_are_yes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 2..=7 {
+            let (inst, sol) = yes_instance(n, &mut rng);
+            assert!(inst.is_well_formed());
+            assert!(inst.check(&sol));
+            assert!(inst.is_yes());
+        }
+    }
+
+    #[test]
+    fn generated_no_instances_are_no() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in 3..=6 {
+            if let Some(inst) = no_instance(n, 200, &mut rng) {
+                assert!(inst.is_well_formed());
+                assert!(!inst.is_yes());
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_checker_rejects_wrong_answers() {
+        let inst = Rn3dmInstance::new(vec![2, 4, 6]);
+        let wrong = Rn3dmSolution {
+            lambda1: vec![1, 2, 3],
+            lambda2: vec![2, 1, 3],
+        };
+        assert!(!inst.check(&wrong));
+        let not_a_permutation = Rn3dmSolution {
+            lambda1: vec![1, 1, 3],
+            lambda2: vec![1, 3, 3],
+        };
+        assert!(!inst.check(&not_a_permutation));
+    }
+}

@@ -1,0 +1,25 @@
+//! # fsw-rn3dm — RN3DM instances and the paper's hardness gadgets
+//!
+//! RN3DM (permutation sums) is the NP-complete problem every reduction of the
+//! paper starts from.  This crate provides instances, a small exact solver,
+//! YES/NO generators, and the explicit reduction gadgets (Propositions 2, 9
+//! and 13) so that the scheduling experiments can exercise the hardness
+//! constructions end to end.
+//!
+//! ```
+//! use fsw_rn3dm::Rn3dmInstance;
+//!
+//! let yes = Rn3dmInstance::new(vec![2, 4, 6]);
+//! assert!(yes.is_yes());
+//! let no = Rn3dmInstance::new(vec![2, 2, 8, 8]);
+//! assert!(!no.is_yes());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod instance;
+pub mod reductions;
+
+pub use instance::{no_instance, yes_instance, Rn3dmInstance, Rn3dmSolution};
+pub use reductions::{prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, Gadget};

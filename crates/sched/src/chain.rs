@@ -1,0 +1,240 @@
+//! Plans restricted to linear chains (Propositions 8 and 16).
+//!
+//! When the execution graph is forced to be a single linear chain (and the
+//! application has no precedence constraints), both MINPERIOD and MINLATENCY
+//! become polynomial: a greedy exchange-argument ordering is optimal.
+//!
+//! * **Period** (Proposition 8): on a chain every server reaches its execution
+//!   bound, so the period of the chain `π` is
+//!   `max_k Π_{j<k} σ_{π_j} · w(π_k)` with
+//!   `w(i) = 1 + c_i + σ_i` for the one-port models and
+//!   `w(i) = max(1, c_i, σ_i)` for `OVERLAP`.  The optimal order places the
+//!   filters (σ ≤ 1) first by non-decreasing `w`, then the expanders (σ > 1)
+//!   by non-decreasing `σ / w`.
+//! * **Latency** (Proposition 16): the latency of a chain is
+//!   `1 + Σ_k Π_{j<k} σ_{π_j} (c_{π_k} + σ_{π_k})`; ordering by non-increasing
+//!   `(1 − σ) / (1 + c)` is optimal, for every model.
+
+use fsw_core::{Application, CommModel, CoreError, CoreResult, ExecutionGraph, ServiceId};
+
+/// Per-service weight used by the chain period formula.
+fn chain_weight(app: &Application, k: ServiceId, model: CommModel) -> f64 {
+    let c = app.cost(k);
+    let s = app.selectivity(k);
+    match model {
+        CommModel::Overlap => 1.0f64.max(c).max(s),
+        CommModel::OutOrder | CommModel::InOrder => 1.0 + c + s,
+    }
+}
+
+/// Period of the chain `order` under `model`.
+///
+/// On a chain the one-port lower bound `max_k (Cin + Ccomp + Cout)` is always
+/// achievable (there is no ordering freedom), so this value is exact for the
+/// three models.
+pub fn chain_period(app: &Application, order: &[ServiceId], model: CommModel) -> f64 {
+    let mut prefix = 1.0f64;
+    let mut best = 0.0f64;
+    for &k in order {
+        best = best.max(prefix * chain_weight(app, k, model));
+        prefix *= app.selectivity(k);
+    }
+    best
+}
+
+/// Latency of the chain `order` (identical for the three models).
+pub fn chain_latency(app: &Application, order: &[ServiceId]) -> f64 {
+    let mut prefix = 1.0f64;
+    let mut total = 1.0f64; // the input transfer of size δ0 = 1
+    for &k in order {
+        total += prefix * app.cost(k);
+        prefix *= app.selectivity(k);
+        total += prefix; // transfer towards the next service (or the output node)
+    }
+    if order.is_empty() {
+        0.0
+    } else {
+        total
+    }
+}
+
+/// Greedy optimal chain for MINPERIOD restricted to chains (Proposition 8).
+///
+/// Only meaningful for applications without precedence constraints (an error
+/// is returned otherwise, because an arbitrary chain may not respect them).
+pub fn chain_minperiod_order(app: &Application, model: CommModel) -> CoreResult<Vec<ServiceId>> {
+    if app.has_constraints() {
+        return Err(CoreError::NotAChain);
+    }
+    let mut filters: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) <= 1.0).collect();
+    let mut expanders: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) > 1.0).collect();
+    filters.sort_by(|&a, &b| {
+        chain_weight(app, a, model)
+            .partial_cmp(&chain_weight(app, b, model))
+            .expect("finite weights")
+    });
+    expanders.sort_by(|&a, &b| {
+        let ra = app.selectivity(a) / chain_weight(app, a, model);
+        let rb = app.selectivity(b) / chain_weight(app, b, model);
+        ra.partial_cmp(&rb).expect("finite ratios")
+    });
+    filters.extend(expanders);
+    Ok(filters)
+}
+
+/// Greedy optimal chain for MINLATENCY restricted to chains (Proposition 16):
+/// non-increasing `(1 − σ_i) / (1 + c_i)`.
+pub fn chain_minlatency_order(app: &Application) -> CoreResult<Vec<ServiceId>> {
+    if app.has_constraints() {
+        return Err(CoreError::NotAChain);
+    }
+    let mut order: Vec<ServiceId> = (0..app.n()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (1.0 - app.selectivity(a)) / (1.0 + app.cost(a));
+        let kb = (1.0 - app.selectivity(b)) / (1.0 + app.cost(b));
+        kb.partial_cmp(&ka).expect("finite keys")
+    });
+    Ok(order)
+}
+
+/// The execution graph corresponding to a chain order.
+pub fn chain_graph(n: usize, order: &[ServiceId]) -> CoreResult<ExecutionGraph> {
+    ExecutionGraph::chain_of(n, order)
+}
+
+/// Exhaustive optimum over all chain orders (for cross-checking the greedy
+/// algorithms on small instances).  Returns `(best value, best order)`.
+pub fn chain_exhaustive<F: Fn(&[ServiceId]) -> f64>(
+    n: usize,
+    objective: F,
+) -> Option<(f64, Vec<ServiceId>)> {
+    if n == 0 {
+        return None;
+    }
+    let mut best: Option<(f64, Vec<ServiceId>)> = None;
+    let mut order: Vec<ServiceId> = (0..n).collect();
+    permute(&mut order, 0, &mut |perm| {
+        let value = objective(perm);
+        if best.as_ref().map_or(true, |(b, _)| value < *b) {
+            best = Some((value, perm.to_vec()));
+        }
+    });
+    best
+}
+
+fn permute<F: FnMut(&[ServiceId])>(items: &mut Vec<ServiceId>, start: usize, visit: &mut F) {
+    if start == items.len() {
+        visit(items);
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute(items, start + 1, visit);
+        items.swap(start, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_apps(count: usize, n: usize) -> Vec<Application> {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move |m: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 33) as usize % m
+        };
+        (0..count)
+            .map(|_| {
+                let specs: Vec<(f64, f64)> = (0..n)
+                    .map(|_| {
+                        let cost = 0.5 + next(8) as f64 * 0.5;
+                        let sel = [0.25, 0.5, 0.8, 1.0, 1.5, 2.0][next(6)];
+                        (cost, sel)
+                    })
+                    .collect();
+                Application::independent(&specs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_period_formula() {
+        let app = Application::independent(&[(2.0, 0.5), (3.0, 2.0)]);
+        // order [0, 1]: weights one-port: 1+2+0.5=3.5 ; prefix 0.5 * (1+3+2)=3.0 -> max 3.5
+        assert_eq!(chain_period(&app, &[0, 1], CommModel::InOrder), 3.5);
+        // order [1, 0]: 6.0 ; 2*(3.5)=7 -> 7
+        assert_eq!(chain_period(&app, &[1, 0], CommModel::InOrder), 7.0);
+        // overlap: [0,1]: max(1,2,0.5)=2 ; 0.5*max(1,3,2)=1.5 -> 2
+        assert_eq!(chain_period(&app, &[0, 1], CommModel::Overlap), 2.0);
+    }
+
+    #[test]
+    fn chain_latency_formula() {
+        let app = Application::independent(&[(2.0, 0.5), (3.0, 1.0)]);
+        assert_eq!(chain_latency(&app, &[0, 1]), 5.5);
+        assert_eq!(chain_latency(&app, &[1, 0]), 1.0 + 3.0 + 1.0 + 2.0 + 0.5);
+        assert_eq!(chain_latency(&app, &[]), 0.0);
+    }
+
+    #[test]
+    fn greedy_period_matches_exhaustive() {
+        for model in CommModel::ALL {
+            for app in pseudo_random_apps(25, 6) {
+                let greedy = chain_minperiod_order(&app, model).unwrap();
+                let greedy_period = chain_period(&app, &greedy, model);
+                let (best, best_order) =
+                    chain_exhaustive(app.n(), |o| chain_period(&app, o, model)).unwrap();
+                assert!(
+                    greedy_period <= best + 1e-9,
+                    "{model}: greedy {greedy_period} vs exhaustive {best} (order {best_order:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_latency_matches_exhaustive() {
+        for app in pseudo_random_apps(25, 6) {
+            let greedy = chain_minlatency_order(&app).unwrap();
+            let greedy_latency = chain_latency(&app, &greedy);
+            let (best, best_order) = chain_exhaustive(app.n(), |o| chain_latency(&app, o)).unwrap();
+            assert!(
+                greedy_latency <= best + 1e-9,
+                "greedy {greedy_latency} vs exhaustive {best} (order {best_order:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_latency_agrees_with_the_latency_module() {
+        use crate::latency::oneport_latency_search;
+        let app = Application::independent(&[(2.0, 0.5), (3.0, 2.0), (1.0, 0.8)]);
+        let order = vec![2, 0, 1];
+        let g = chain_graph(3, &order).unwrap();
+        let closed_form = chain_latency(&app, &order);
+        let searched = oneport_latency_search(&app, &g, 10).unwrap();
+        assert!((closed_form - searched.latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_period_agrees_with_the_oneport_module() {
+        use crate::oneport::{oneport_period_search, OnePortStyle};
+        let app = Application::independent(&[(2.0, 0.5), (3.0, 2.0), (1.0, 0.8)]);
+        let order = vec![0, 2, 1];
+        let g = chain_graph(3, &order).unwrap();
+        let closed_form = chain_period(&app, &order, CommModel::InOrder);
+        let searched = oneport_period_search(&app, &g, OnePortStyle::InOrder, 10).unwrap();
+        assert!((closed_form - searched.period).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constrained_applications_are_rejected() {
+        let mut app = Application::independent(&[(1.0, 1.0), (1.0, 1.0)]);
+        app.add_constraint(0, 1).unwrap();
+        assert!(chain_minperiod_order(&app, CommModel::Overlap).is_err());
+        assert!(chain_minlatency_order(&app).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! MINLATENCY: choosing the execution graph that minimises the latency.
+//!
+//! All three variants are NP-hard (Theorem 4), and the restriction to forests
+//! is NP-hard too (Proposition 17, by reduction from 2-Partition), while the
+//! restriction to chains is polynomial (Proposition 16).  The solvers mirror
+//! the MINPERIOD module:
+//!
+//! * exhaustive enumeration of forests (exact latency by Algorithm 1 /
+//!   Proposition 12) and of all DAGs for tiny instances (the optimal graph
+//!   need not be a forest for the latency — the Proposition 13 gadget is a
+//!   fork-join);
+//! * the Proposition 16 chain and the independent plan as constructive seeds,
+//!   followed by hill-climbing local search over parent reassignments;
+//! * latency of a candidate graph measured exactly for forests, and by the
+//!   one-port / multi-port orchestration searches for general DAGs.
+
+use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, ServiceId};
+
+use crate::chain::{chain_graph, chain_minlatency_order};
+use crate::latency::{multiport_proportional_latency, oneport_latency_search};
+use crate::tree::tree_latency;
+
+/// Options for the MINLATENCY solvers.
+#[derive(Clone, Copy, Debug)]
+pub struct MinLatencyOptions {
+    /// Target communication model (`Overlap` allows bounded multi-port
+    /// schedules; the one-port models share the same latency machinery).
+    pub model: CommModel,
+    /// Ordering-space bound for exhaustive orchestration of non-forest graphs.
+    pub ordering_exhaustive_limit: usize,
+    /// Upper bound on the number of parent functions enumerated by the
+    /// exhaustive forest solver.
+    pub forest_enumeration_cap: usize,
+    /// Number of hill-climbing passes of the local search.
+    pub local_search_passes: usize,
+    /// Instances up to this size are also searched over all DAGs.
+    pub dag_enumeration_max_n: usize,
+}
+
+impl Default for MinLatencyOptions {
+    fn default() -> Self {
+        MinLatencyOptions {
+            model: CommModel::Overlap,
+            ordering_exhaustive_limit: 5_000,
+            forest_enumeration_cap: 2_000_000,
+            local_search_passes: 32,
+            dag_enumeration_max_n: 5,
+        }
+    }
+}
+
+impl MinLatencyOptions {
+    /// Convenience constructor for a given model with default effort.
+    pub fn for_model(model: CommModel) -> Self {
+        MinLatencyOptions {
+            model,
+            ..MinLatencyOptions::default()
+        }
+    }
+}
+
+/// Result of a MINLATENCY solve.
+#[derive(Clone, Debug)]
+pub struct MinLatencyResult {
+    /// The best latency found.
+    pub latency: f64,
+    /// The execution graph achieving it.
+    pub graph: ExecutionGraph,
+    /// `true` when the result comes from an exhaustive enumeration.
+    pub exhaustive: bool,
+}
+
+/// Evaluates the latency of a candidate execution graph under the requested model.
+///
+/// Forests are evaluated exactly (Proposition 12); general DAGs use the
+/// ordering search (exhaustive within `ordering_exhaustive_limit`, hill
+/// climbing beyond), and the `Overlap` model additionally considers the
+/// proportional multi-port schedule.
+pub fn evaluate_latency(
+    app: &Application,
+    graph: &ExecutionGraph,
+    options: &MinLatencyOptions,
+) -> CoreResult<f64> {
+    if graph.is_forest() {
+        return tree_latency(app, graph);
+    }
+    let oneport = oneport_latency_search(app, graph, options.ordering_exhaustive_limit)?;
+    let mut best = oneport.latency;
+    if options.model == CommModel::Overlap {
+        let (fluid, _) = multiport_proportional_latency(app, graph)?;
+        best = best.min(fluid);
+    }
+    Ok(best)
+}
+
+/// Enumerates every forest execution graph compatible with the precedence
+/// constraints and returns the latency-optimal one (exact evaluation by
+/// Algorithm 1).
+pub fn exhaustive_forest_minlatency(
+    app: &Application,
+    cap: usize,
+) -> Option<(f64, ExecutionGraph)> {
+    crate::minperiod::exhaustive_forest_best_capped(app, cap, &mut |g| {
+        tree_latency(app, g).unwrap_or(f64::INFINITY)
+    })
+}
+
+/// Constructive seeds for the heuristic search.
+fn seed_graphs(app: &Application) -> Vec<ExecutionGraph> {
+    let n = app.n();
+    let mut seeds = Vec::new();
+    if app.has_constraints() {
+        if let Ok(g) = ExecutionGraph::from_edges(n, app.constraints()) {
+            seeds.push(g);
+        }
+        return seeds;
+    }
+    seeds.push(ExecutionGraph::new(n));
+    if let Ok(order) = chain_minlatency_order(app) {
+        if let Ok(g) = chain_graph(n, &order) {
+            seeds.push(g);
+        }
+    }
+    seeds
+}
+
+/// Heuristic MINLATENCY: best seed followed by hill climbing over
+/// single-parent reassignments.
+pub fn minlatency_local_search(
+    app: &Application,
+    options: &MinLatencyOptions,
+) -> CoreResult<MinLatencyResult> {
+    let eval =
+        |g: &ExecutionGraph| -> f64 { evaluate_latency(app, g, options).unwrap_or(f64::INFINITY) };
+    let mut best_graph = ExecutionGraph::new(app.n());
+    let mut best_value = f64::INFINITY;
+    for seed in seed_graphs(app) {
+        let value = eval(&seed);
+        if value < best_value {
+            best_value = value;
+            best_graph = seed;
+        }
+    }
+    let n = app.n();
+    for _pass in 0..options.local_search_passes {
+        let mut improved = false;
+        for k in 0..n {
+            let current_preds: Vec<ServiceId> = best_graph.preds(k).to_vec();
+            let mut candidates: Vec<Option<ServiceId>> = vec![None];
+            for p in 0..n {
+                if p != k {
+                    candidates.push(Some(p));
+                }
+            }
+            for cand in candidates {
+                let mut graph = best_graph.clone();
+                for &p in &current_preds {
+                    graph.remove_edge(p, k);
+                }
+                if let Some(p) = cand {
+                    if graph.add_edge(p, k).is_err() {
+                        continue;
+                    }
+                }
+                if graph.respects(app).is_err() {
+                    continue;
+                }
+                let value = eval(&graph);
+                if value + 1e-12 < best_value {
+                    best_value = value;
+                    best_graph = graph;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(MinLatencyResult {
+        latency: best_value,
+        graph: best_graph,
+        exhaustive: false,
+    })
+}
+
+/// Full MINLATENCY solver.
+///
+/// For unconstrained instances the forest space is enumerated exhaustively
+/// when small enough; tiny instances are additionally searched over all DAGs
+/// (the latency optimum may require a join, unlike the period).  Larger
+/// instances fall back to the local-search heuristic.
+pub fn minimize_latency(
+    app: &Application,
+    options: &MinLatencyOptions,
+) -> CoreResult<MinLatencyResult> {
+    let mut best: Option<MinLatencyResult> = None;
+    if !app.has_constraints() {
+        if let Some((latency, graph)) =
+            exhaustive_forest_minlatency(app, options.forest_enumeration_cap)
+        {
+            best = Some(MinLatencyResult {
+                latency,
+                graph,
+                exhaustive: true,
+            });
+        }
+    }
+    if app.n() <= options.dag_enumeration_max_n {
+        let dag = crate::minperiod::exhaustive_dag_best(app, options.dag_enumeration_max_n, |g| {
+            evaluate_latency(app, g, options).unwrap_or(f64::INFINITY)
+        });
+        if let Some((latency, graph)) = dag {
+            if best.as_ref().map_or(true, |b| latency < b.latency - 1e-12) {
+                best = Some(MinLatencyResult {
+                    latency,
+                    graph,
+                    exhaustive: true,
+                });
+            }
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => minlatency_local_search(app, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_filter_is_chained_in_front() {
+        let app = Application::independent(&[(1.0, 0.1), (10.0, 1.0)]);
+        let result = minimize_latency(&app, &MinLatencyOptions::default()).unwrap();
+        assert!(result.exhaustive);
+        assert!(result.graph.has_edge(0, 1));
+        // in(1) + c0(1) + comm(0.1) + c1(0.1*10=1) + out(0.1)
+        assert!((result.latency - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expanders_are_not_chained_for_latency() {
+        // Chaining an expander in front of anything only increases the latency.
+        let app = Application::independent(&[(1.0, 3.0), (1.0, 3.0)]);
+        let result = minimize_latency(&app, &MinLatencyOptions::default()).unwrap();
+        assert!(result.exhaustive);
+        assert_eq!(result.graph.edge_count(), 0);
+        // Each runs independently: 1 + 1 + 3 = 5.
+        assert!((result.latency - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_restriction_matches_greedy() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 0.8), (3.0, 0.2)]);
+        let order = chain_minlatency_order(&app).unwrap();
+        let chain_value = crate::chain::chain_latency(&app, &order);
+        // The unrestricted optimum can only be better or equal.
+        let result = minimize_latency(&app, &MinLatencyOptions::default()).unwrap();
+        assert!(result.latency <= chain_value + 1e-9);
+    }
+
+    #[test]
+    fn local_search_close_to_exhaustive() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let options = MinLatencyOptions::default();
+        let exhaustive = minimize_latency(&app, &options).unwrap();
+        assert!(exhaustive.exhaustive);
+        let local = minlatency_local_search(&app, &options).unwrap();
+        assert!(local.latency >= exhaustive.latency - 1e-9);
+        assert!(local.latency <= exhaustive.latency * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        let mut app = Application::independent(&[(1.0, 0.5), (2.0, 0.5), (3.0, 1.0)]);
+        app.add_constraint(1, 2).unwrap();
+        let result = minimize_latency(&app, &MinLatencyOptions::default()).unwrap();
+        result.graph.respects(&app).unwrap();
+    }
+
+    #[test]
+    fn forest_evaluation_matches_orchestration_for_trees() {
+        // For a tree the exact Algorithm-1 value and the ordering search agree.
+        let app = Application::independent(&[(1.0, 1.0), (2.0, 0.5), (3.0, 2.0), (1.0, 1.0)]);
+        let g = ExecutionGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        let opts = MinLatencyOptions::default();
+        let by_tree = tree_latency(&app, &g).unwrap();
+        let by_search = oneport_latency_search(&app, &g, 10_000).unwrap();
+        assert!(by_search.exhaustive);
+        assert!((by_tree - by_search.latency).abs() < 1e-9);
+        assert!((evaluate_latency(&app, &g, &opts).unwrap() - by_tree).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,473 @@
+//! MINPERIOD: choosing the execution graph that minimises the period.
+//!
+//! All three variants (OVERLAP, OUTORDER, INORDER) are NP-hard (Theorem 2),
+//! so this module offers a ladder of solvers:
+//!
+//! * exhaustive enumeration of forest execution graphs — justified by
+//!   Proposition 4: without precedence constraints there is always an optimal
+//!   plan whose execution graph is a forest;
+//! * exhaustive enumeration of *all* DAGs for very small instances (used to
+//!   validate Proposition 4 experimentally, experiment E9);
+//! * constructive seeds (independent services, the Proposition 8 chain, the
+//!   no-communication structure) followed by hill-climbing local search over
+//!   parent reassignments;
+//! * the period of a candidate graph is measured by a pluggable
+//!   [`PeriodEvaluation`] — the exact polynomial value for OVERLAP, and either
+//!   the one-port lower bound or an actual ordering search for the one-port
+//!   models.
+
+use fsw_core::{
+    Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId,
+};
+
+use crate::chain::{chain_graph, chain_minperiod_order};
+use crate::oneport::{oneport_period_search, OnePortStyle};
+use crate::outorder::{outorder_period_search, OutOrderOptions};
+
+/// How the period of a candidate execution graph is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeriodEvaluation {
+    /// `max_k Cexec(k)` — exact for OVERLAP (Theorem 1), a lower bound for the
+    /// one-port models.  Cheap; used inside search loops.
+    LowerBound,
+    /// Run the orchestration machinery for the chosen model: exact for
+    /// OVERLAP, ordering search for INORDER, cyclic-scheduling search for
+    /// OUTORDER.  More faithful, considerably more expensive.
+    Orchestrated {
+        /// Bound on the ordering space enumerated exhaustively.
+        exhaustive_limit: usize,
+    },
+}
+
+/// Options for the MINPERIOD solvers.
+#[derive(Clone, Copy, Debug)]
+pub struct MinPeriodOptions {
+    /// Target communication model.
+    pub model: CommModel,
+    /// Evaluation used while searching.
+    pub evaluation: PeriodEvaluation,
+    /// Upper bound on the number of parent functions enumerated by the
+    /// exhaustive forest solver.
+    pub forest_enumeration_cap: usize,
+    /// Number of hill-climbing passes of the local search.
+    pub local_search_passes: usize,
+}
+
+impl Default for MinPeriodOptions {
+    fn default() -> Self {
+        MinPeriodOptions {
+            model: CommModel::Overlap,
+            evaluation: PeriodEvaluation::LowerBound,
+            forest_enumeration_cap: 2_000_000,
+            local_search_passes: 32,
+        }
+    }
+}
+
+impl MinPeriodOptions {
+    /// Convenience constructor for a given model with default effort.
+    pub fn for_model(model: CommModel) -> Self {
+        MinPeriodOptions {
+            model,
+            ..MinPeriodOptions::default()
+        }
+    }
+}
+
+/// Result of a MINPERIOD solve.
+#[derive(Clone, Debug)]
+pub struct MinPeriodResult {
+    /// The best period found (as measured by the requested evaluation).
+    pub period: f64,
+    /// The execution graph achieving it.
+    pub graph: ExecutionGraph,
+    /// `true` when the result comes from an exhaustive enumeration (optimal
+    /// for the requested evaluation), `false` for heuristics.
+    pub exhaustive: bool,
+}
+
+/// Evaluates the period of a candidate execution graph under the requested model.
+pub fn evaluate_period(
+    app: &Application,
+    graph: &ExecutionGraph,
+    model: CommModel,
+    evaluation: PeriodEvaluation,
+) -> CoreResult<f64> {
+    let metrics = PlanMetrics::compute(app, graph)?;
+    let lower = metrics.period_lower_bound(model);
+    match evaluation {
+        PeriodEvaluation::LowerBound => Ok(lower),
+        PeriodEvaluation::Orchestrated { exhaustive_limit } => match model {
+            CommModel::Overlap => Ok(lower),
+            CommModel::InOrder => Ok(oneport_period_search(
+                app,
+                graph,
+                OnePortStyle::InOrder,
+                exhaustive_limit,
+            )?
+            .period),
+            CommModel::OutOrder => {
+                let opts = OutOrderOptions {
+                    inorder_exhaustive_limit: exhaustive_limit,
+                    ..OutOrderOptions::default()
+                };
+                Ok(outorder_period_search(app, graph, &opts)?.period)
+            }
+        },
+    }
+}
+
+/// Enumerates every forest execution graph (as a parent function) compatible
+/// with the application's precedence constraints and returns the one
+/// minimising `eval`.  Returns `None` when the search space exceeds the
+/// default cap or when no feasible forest exists.
+pub fn exhaustive_forest_best<F: FnMut(&ExecutionGraph) -> f64>(
+    app: &Application,
+    mut eval: F,
+) -> Option<(f64, ExecutionGraph)> {
+    exhaustive_forest_best_capped(app, 2_000_000, &mut eval)
+}
+
+/// [`exhaustive_forest_best`] with an explicit cap on the number of parent
+/// functions examined.
+pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
+    app: &Application,
+    cap: usize,
+    eval: &mut F,
+) -> Option<(f64, ExecutionGraph)> {
+    let n = app.n();
+    if n == 0 {
+        return None;
+    }
+    // Search space size: every service picks a parent among `None` or the n-1 others.
+    let mut size = 1usize;
+    for _ in 0..n {
+        size = size.saturating_mul(n);
+    }
+    if size > cap {
+        return None;
+    }
+    let mut parents: Vec<Option<ServiceId>> = vec![None; n];
+    let mut best: Option<(f64, ExecutionGraph)> = None;
+    enumerate_parents(app, &mut parents, 0, &mut best, eval);
+    best
+}
+
+fn enumerate_parents<F: FnMut(&ExecutionGraph) -> f64>(
+    app: &Application,
+    parents: &mut Vec<Option<ServiceId>>,
+    k: usize,
+    best: &mut Option<(f64, ExecutionGraph)>,
+    eval: &mut F,
+) {
+    let n = app.n();
+    if k == n {
+        let Ok(graph) = ExecutionGraph::from_parents(parents) else {
+            return; // the parent function contains a cycle
+        };
+        if graph.respects(app).is_err() {
+            return;
+        }
+        let value = eval(&graph);
+        if best.as_ref().map_or(true, |(b, _)| value < *b) {
+            *best = Some((value, graph));
+        }
+        return;
+    }
+    parents[k] = None;
+    enumerate_parents(app, parents, k + 1, best, eval);
+    for p in 0..n {
+        if p == k {
+            continue;
+        }
+        parents[k] = Some(p);
+        enumerate_parents(app, parents, k + 1, best, eval);
+    }
+    parents[k] = None;
+}
+
+/// Enumerates every DAG execution graph on at most `max_n` services (tiny
+/// instances only) and returns the one minimising `eval`.
+///
+/// DAGs are generated as (topological permutation, subset of forward edges),
+/// which enumerates every DAG at least once.
+pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
+    app: &Application,
+    max_n: usize,
+    mut eval: F,
+) -> Option<(f64, ExecutionGraph)> {
+    let n = app.n();
+    if n == 0 || n > max_n {
+        return None;
+    }
+    let mut order: Vec<ServiceId> = (0..n).collect();
+    let mut best: Option<(f64, ExecutionGraph)> = None;
+    permute_orders(&mut order, 0, &mut |perm| {
+        let pairs: Vec<(ServiceId, ServiceId)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        let m = pairs.len();
+        for mask in 0u64..(1u64 << m) {
+            let mut graph = ExecutionGraph::new(n);
+            for (bit, &(a, b)) in pairs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    graph
+                        .add_edge(perm[a], perm[b])
+                        .expect("forward edges of a permutation are acyclic");
+                }
+            }
+            if graph.respects(app).is_err() {
+                continue;
+            }
+            let value = eval(&graph);
+            if best.as_ref().map_or(true, |(b, _)| value < *b) {
+                best = Some((value, graph));
+            }
+        }
+    });
+    best
+}
+
+fn permute_orders<F: FnMut(&[ServiceId])>(items: &mut Vec<ServiceId>, start: usize, visit: &mut F) {
+    if start == items.len() {
+        visit(items);
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute_orders(items, start + 1, visit);
+        items.swap(start, i);
+    }
+}
+
+/// Constructive seeds for the heuristic search.
+fn seed_graphs(app: &Application, model: CommModel) -> Vec<ExecutionGraph> {
+    let n = app.n();
+    let mut seeds = Vec::new();
+    if app.has_constraints() {
+        // The minimal graph containing exactly the precedence constraints.
+        if let Ok(g) = ExecutionGraph::from_edges(n, app.constraints()) {
+            seeds.push(g);
+        }
+        return seeds;
+    }
+    // All services independent.
+    seeds.push(ExecutionGraph::new(n));
+    // The Proposition 8 chain.
+    if let Ok(order) = chain_minperiod_order(app, model) {
+        if let Ok(g) = chain_graph(n, &order) {
+            seeds.push(g);
+        }
+    }
+    // The no-communication optimal structure (filters chained, expanders attached).
+    if let Ok(g) = crate::baseline::nocomm_minperiod_plan(app) {
+        seeds.push(g);
+    }
+    seeds
+}
+
+/// Heuristic MINPERIOD: best seed followed by hill climbing over single-parent
+/// reassignments (`set parent of k to None / to p`), keeping the application's
+/// precedence constraints satisfied.
+pub fn minperiod_local_search(
+    app: &Application,
+    options: &MinPeriodOptions,
+) -> CoreResult<MinPeriodResult> {
+    let eval = |g: &ExecutionGraph| -> f64 {
+        evaluate_period(app, g, options.model, options.evaluation).unwrap_or(f64::INFINITY)
+    };
+    let mut best_graph = ExecutionGraph::new(app.n());
+    let mut best_value = f64::INFINITY;
+    for seed in seed_graphs(app, options.model) {
+        let value = eval(&seed);
+        if value < best_value {
+            best_value = value;
+            best_graph = seed;
+        }
+    }
+    let n = app.n();
+    for _pass in 0..options.local_search_passes {
+        let mut improved = false;
+        for k in 0..n {
+            // Candidate moves: make k an entry node, or give it any other parent.
+            let current_preds: Vec<ServiceId> = best_graph.preds(k).to_vec();
+            let mut candidates: Vec<Option<ServiceId>> = vec![None];
+            for p in 0..n {
+                if p != k {
+                    candidates.push(Some(p));
+                }
+            }
+            for cand in candidates {
+                let mut graph = best_graph.clone();
+                for &p in &current_preds {
+                    graph.remove_edge(p, k);
+                }
+                if let Some(p) = cand {
+                    if graph.add_edge(p, k).is_err() {
+                        continue;
+                    }
+                }
+                if graph.respects(app).is_err() {
+                    continue;
+                }
+                let value = eval(&graph);
+                if value + 1e-12 < best_value {
+                    best_value = value;
+                    best_graph = graph;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(MinPeriodResult {
+        period: best_value,
+        graph: best_graph,
+        exhaustive: false,
+    })
+}
+
+/// Full MINPERIOD solver: exhaustive forest enumeration when the instance is
+/// small enough (optimal for the requested evaluation, by Proposition 4),
+/// falling back to the local-search heuristic otherwise.
+pub fn minimize_period(
+    app: &Application,
+    options: &MinPeriodOptions,
+) -> CoreResult<MinPeriodResult> {
+    let mut eval = |g: &ExecutionGraph| -> f64 {
+        evaluate_period(app, g, options.model, options.evaluation).unwrap_or(f64::INFINITY)
+    };
+    if !app.has_constraints() {
+        if let Some((period, graph)) =
+            exhaustive_forest_best_capped(app, options.forest_enumeration_cap, &mut eval)
+        {
+            return Ok(MinPeriodResult {
+                period,
+                graph,
+                exhaustive: true,
+            });
+        }
+    } else {
+        // With precedence constraints the optimal plan need not be a forest;
+        // use the DAG enumeration for tiny instances.
+        if app.n() <= 5 {
+            if let Some((period, graph)) = exhaustive_dag_best(app, 5, &mut eval) {
+                return Ok(MinPeriodResult {
+                    period,
+                    graph,
+                    exhaustive: true,
+                });
+            }
+        }
+    }
+    minperiod_local_search(app, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_filter_chain_beats_independence() {
+        // One strong filter in front of an expensive service: the optimal plan
+        // chains them (OVERLAP model).
+        let app = Application::independent(&[(1.0, 0.1), (10.0, 1.0)]);
+        let result = minimize_period(&app, &MinPeriodOptions::default()).unwrap();
+        assert!(result.exhaustive);
+        assert!(result.graph.has_edge(0, 1));
+        assert!((result.period - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expensive_communication_prevents_chaining() {
+        // A filter whose selectivity is close to 1 brings almost nothing, but
+        // its outgoing communication would become the bottleneck if it fed
+        // many successors (miniature counter-example B.1, OVERLAP model).
+        // Parameters are tuned so that the only period-2 plans split the four
+        // expensive services evenly between the two filters.
+        let mut specs = vec![(2.0, 0.9), (2.0, 0.9)];
+        for _ in 0..4 {
+            specs.push((2.0 / 0.9, 2.2));
+        }
+        let app = Application::independent(&specs);
+        let result = minimize_period(&app, &MinPeriodOptions::default()).unwrap();
+        assert!(result.exhaustive);
+        assert!((result.period - 2.0).abs() < 1e-9);
+        // The two filters must not be chained one behind the other: each keeps
+        // exactly half of the expensive services.
+        assert!(!result.graph.has_edge(0, 1) && !result.graph.has_edge(1, 0));
+        let out0 = result.graph.succs(0).len();
+        let out1 = result.graph.succs(1).len();
+        assert_eq!(out0 + out1, 4);
+        assert!(out0 >= 2 && out1 >= 2);
+    }
+
+    #[test]
+    fn forest_optimum_matches_dag_optimum_without_constraints() {
+        // Proposition 4: forests suffice for MINPERIOD without constraints.
+        let apps = [
+            Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8)]),
+            Application::independent(&[(1.0, 1.0), (2.0, 0.4), (1.5, 1.6), (0.5, 0.9)]),
+        ];
+        for app in apps {
+            for model in CommModel::ALL {
+                let options = MinPeriodOptions::for_model(model);
+                let eval = |g: &ExecutionGraph| {
+                    evaluate_period(&app, g, model, PeriodEvaluation::LowerBound)
+                        .unwrap_or(f64::INFINITY)
+                };
+                let forest = exhaustive_forest_best(&app, eval).unwrap();
+                let dag = exhaustive_dag_best(&app, 5, eval).unwrap();
+                assert!(
+                    forest.0 <= dag.0 + 1e-9,
+                    "{model}: forest {} vs dag {}",
+                    forest.0,
+                    dag.0
+                );
+                let _ = options;
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_matches_exhaustive_on_small_instances() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let options = MinPeriodOptions::default();
+        let exhaustive = minimize_period(&app, &options).unwrap();
+        assert!(exhaustive.exhaustive);
+        let local = minperiod_local_search(&app, &options).unwrap();
+        assert!(local.period <= exhaustive.period * 1.2 + 1e-9);
+        assert!(local.period >= exhaustive.period - 1e-9);
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        let mut app = Application::independent(&[(1.0, 0.5), (2.0, 0.5), (3.0, 1.0)]);
+        app.add_constraint(2, 0).unwrap();
+        let result = minimize_period(&app, &MinPeriodOptions::default()).unwrap();
+        result.graph.respects(&app).unwrap();
+        // Service 0 must be (transitively) after service 2.
+        assert!(result.graph.ancestors(0).contains(&2));
+    }
+
+    #[test]
+    fn orchestrated_evaluation_is_at_least_the_lower_bound() {
+        let app = Application::independent(&[(1.0, 1.0); 4]);
+        let g = ExecutionGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        for model in CommModel::ALL {
+            let lb = evaluate_period(&app, &g, model, PeriodEvaluation::LowerBound).unwrap();
+            let orch = evaluate_period(
+                &app,
+                &g,
+                model,
+                PeriodEvaluation::Orchestrated {
+                    exhaustive_limit: 1000,
+                },
+            )
+            .unwrap();
+            assert!(orch >= lb - 1e-9, "{model}: {orch} < {lb}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Communication orderings.
+//!
+//! Under the one-port models a server must serialise its communications; the
+//! *order* in which it performs its receptions and its emissions is the
+//! combinatorial heart of the orchestration problems (Theorems 1 and 3 of the
+//! paper show that choosing these orders optimally is NP-hard for the
+//! non-overlap models).  A [`CommOrderings`] value fixes one such choice for
+//! every server.
+
+use fsw_core::{in_edges, out_edges, EdgeRef, ExecutionGraph, ServiceId};
+
+/// A fixed ordering of the incoming and outgoing communications of every server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommOrderings {
+    /// `incoming[k]` lists the plan edges received by server `k`, in reception order.
+    pub incoming: Vec<Vec<EdgeRef>>,
+    /// `outgoing[k]` lists the plan edges sent by server `k`, in emission order.
+    pub outgoing: Vec<Vec<EdgeRef>>,
+}
+
+impl CommOrderings {
+    /// The natural ordering: edges sorted by the identifier of the peer service.
+    pub fn natural(graph: &ExecutionGraph) -> Self {
+        let n = graph.n();
+        CommOrderings {
+            incoming: (0..n).map(|k| in_edges(graph, k)).collect(),
+            outgoing: (0..n).map(|k| out_edges(graph, k)).collect(),
+        }
+    }
+
+    /// A deadlock-free ordering: every server sorts its communications by the
+    /// topological position of the peer service.  Because every sequence
+    /// constraint then strictly increases the global (sender position,
+    /// receiver position) key, no token-free cycle can appear, whatever the
+    /// execution graph.
+    pub fn topological(graph: &ExecutionGraph) -> Self {
+        let order = graph
+            .topological_order()
+            .expect("execution graphs are acyclic");
+        let mut position = vec![0usize; graph.n()];
+        for (pos, &k) in order.iter().enumerate() {
+            position[k] = pos;
+        }
+        let key = |e: &EdgeRef| -> (usize, usize) {
+            let sender = e.sender().map_or(0, |s| position[s] + 1);
+            let receiver = e.receiver().map_or(usize::MAX, |r| position[r] + 1);
+            (sender, receiver)
+        };
+        let mut ords = CommOrderings::natural(graph);
+        for lists in [&mut ords.incoming, &mut ords.outgoing] {
+            for list in lists.iter_mut() {
+                list.sort_by_key(key);
+            }
+        }
+        ords
+    }
+
+    /// Number of servers covered.
+    pub fn n(&self) -> usize {
+        self.incoming.len()
+    }
+
+    /// Checks that the orderings are permutations of the plan edges of `graph`.
+    pub fn is_consistent_with(&self, graph: &ExecutionGraph) -> bool {
+        if self.incoming.len() != graph.n() || self.outgoing.len() != graph.n() {
+            return false;
+        }
+        for k in 0..graph.n() {
+            let mut expected = in_edges(graph, k);
+            let mut got = self.incoming[k].clone();
+            expected.sort();
+            got.sort();
+            if expected != got {
+                return false;
+            }
+            let mut expected = out_edges(graph, k);
+            let mut got = self.outgoing[k].clone();
+            expected.sort();
+            got.sort();
+            if expected != got {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total number of distinct orderings for `graph`
+    /// (`Π_k |in(k)|! · |out(k)|!`), saturating at `usize::MAX`.
+    pub fn search_space_size(graph: &ExecutionGraph) -> usize {
+        let mut total = 1usize;
+        for k in 0..graph.n() {
+            for degree in [in_edges(graph, k).len(), out_edges(graph, k).len()] {
+                for f in 2..=degree {
+                    total = total.saturating_mul(f);
+                }
+            }
+        }
+        total
+    }
+
+    /// Enumerates every distinct ordering of `graph`, up to `limit` of them.
+    ///
+    /// Returns `None` if the search space exceeds `limit` (use a heuristic
+    /// instead in that case).
+    pub fn enumerate_all(graph: &ExecutionGraph, limit: usize) -> Option<Vec<CommOrderings>> {
+        if Self::search_space_size(graph) > limit {
+            return None;
+        }
+        let n = graph.n();
+        // Collect, per server, all permutations of its incoming and outgoing edges.
+        let mut per_slot: Vec<Vec<Vec<EdgeRef>>> = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            per_slot.push(permutations(&in_edges(graph, k)));
+        }
+        for k in 0..n {
+            per_slot.push(permutations(&out_edges(graph, k)));
+        }
+        let mut result = Vec::new();
+        let mut indices = vec![0usize; per_slot.len()];
+        loop {
+            let incoming: Vec<Vec<EdgeRef>> =
+                (0..n).map(|k| per_slot[k][indices[k]].clone()).collect();
+            let outgoing: Vec<Vec<EdgeRef>> = (0..n)
+                .map(|k| per_slot[n + k][indices[n + k]].clone())
+                .collect();
+            result.push(CommOrderings { incoming, outgoing });
+            if result.len() > limit {
+                return None;
+            }
+            // Odometer increment.
+            let mut slot = 0;
+            loop {
+                if slot == per_slot.len() {
+                    return Some(result);
+                }
+                indices[slot] += 1;
+                if indices[slot] < per_slot[slot].len() {
+                    break;
+                }
+                indices[slot] = 0;
+                slot += 1;
+            }
+        }
+    }
+
+    /// A uniformly random ordering.
+    pub fn random<R: FnMut(usize) -> usize>(graph: &ExecutionGraph, mut pick: R) -> Self {
+        let mut ords = CommOrderings::natural(graph);
+        for lists in [&mut ords.incoming, &mut ords.outgoing] {
+            for list in lists.iter_mut() {
+                // Fisher-Yates with the caller-provided index picker.
+                for i in (1..list.len()).rev() {
+                    let j = pick(i + 1);
+                    list.swap(i, j);
+                }
+            }
+        }
+        ords
+    }
+
+    /// Swaps two adjacent entries of one server's incoming or outgoing list
+    /// (used by local search).  Returns `false` if the position is out of range.
+    pub fn swap_adjacent(&mut self, server: ServiceId, outgoing: bool, pos: usize) -> bool {
+        let list = if outgoing {
+            &mut self.outgoing[server]
+        } else {
+            &mut self.incoming[server]
+        };
+        if pos + 1 >= list.len() {
+            return false;
+        }
+        list.swap(pos, pos + 1);
+        true
+    }
+}
+
+/// All permutations of a slice (in lexicographic-ish order).
+pub(crate) fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut result = Vec::new();
+    let mut current = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    fn rec<T: Clone>(
+        items: &[T],
+        used: &mut [bool],
+        current: &mut Vec<T>,
+        result: &mut Vec<Vec<T>>,
+    ) {
+        if current.len() == items.len() {
+            result.push(current.clone());
+            return;
+        }
+        for i in 0..items.len() {
+            if !used[i] {
+                used[i] = true;
+                current.push(items[i].clone());
+                rec(items, used, current, result);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(items, &mut used, &mut current, &mut result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fork_join() -> ExecutionGraph {
+        // 0 -> {1,2,3} -> 4
+        ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn natural_orderings_are_consistent() {
+        let g = fork_join();
+        let ords = CommOrderings::natural(&g);
+        assert!(ords.is_consistent_with(&g));
+        assert_eq!(ords.outgoing[0].len(), 3);
+        assert_eq!(ords.incoming[4].len(), 3);
+        assert_eq!(ords.incoming[0], vec![EdgeRef::Input(0)]);
+        assert_eq!(ords.outgoing[4], vec![EdgeRef::Output(4)]);
+    }
+
+    #[test]
+    fn search_space_size_counts_permutations() {
+        let g = fork_join();
+        // 3! at the fork's output, 3! at the join's input, everything else degree 1.
+        assert_eq!(CommOrderings::search_space_size(&g), 36);
+        let chain = ExecutionGraph::chain_of(4, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(CommOrderings::search_space_size(&chain), 1);
+    }
+
+    #[test]
+    fn enumerate_all_respects_limit() {
+        let g = fork_join();
+        let all = CommOrderings::enumerate_all(&g, 100).unwrap();
+        assert_eq!(all.len(), 36);
+        assert!(all.iter().all(|o| o.is_consistent_with(&g)));
+        // All enumerated orderings are distinct.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert!(CommOrderings::enumerate_all(&g, 10).is_none());
+    }
+
+    #[test]
+    fn random_orderings_are_consistent() {
+        let g = fork_join();
+        let mut state = 12345u64;
+        let ords = CommOrderings::random(&g, |m| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % m
+        });
+        assert!(ords.is_consistent_with(&g));
+    }
+
+    #[test]
+    fn swap_adjacent_keeps_consistency() {
+        let g = fork_join();
+        let mut ords = CommOrderings::natural(&g);
+        assert!(ords.swap_adjacent(0, true, 0));
+        assert!(ords.is_consistent_with(&g));
+        assert!(!ords.swap_adjacent(0, true, 5));
+        assert!(!ords.swap_adjacent(1, false, 0));
+    }
+
+    #[test]
+    fn permutation_helper() {
+        assert_eq!(permutations::<u32>(&[]).len(), 1);
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+    }
+}

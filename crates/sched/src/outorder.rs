@@ -1,0 +1,428 @@
+//! Period orchestration for the `OUTORDER` model.
+//!
+//! `OUTORDER` keeps the one-port, no-overlap server discipline of `INORDER`
+//! but allows a server to interleave operations belonging to *different* data
+//! sets; finding the optimal operation list for a given execution graph is
+//! NP-hard (Proposition 2).  This module provides:
+//!
+//! * the period lower bound `max_k (Cin + Ccomp + Cout)`;
+//! * a backtracking *cyclic (modulo) scheduler* that, for a candidate period
+//!   `λ`, searches for start times such that every server's operations are
+//!   pairwise disjoint modulo `λ` while respecting the per-data-set precedence
+//!   constraints (receive → compute → send) and the rendezvous rule (a
+//!   transfer occupies the sender and the receiver simultaneously);
+//! * a search driver that tries the lower bound first and falls back to an
+//!   `INORDER` schedule (always `OUTORDER`-feasible) when the bound cannot be
+//!   reached within the search budget.
+//!
+//! The backtracking scheduler explores start times that are either the
+//! operation's data-ready time or abut (modulo `λ`) the end of an operation
+//! already placed on one of the involved servers; this "active schedule"
+//! dominance rule is standard for machine scheduling and makes the search
+//! finite, at the cost of completeness only within that class (documented in
+//! DESIGN.md).
+
+use fsw_core::{
+    in_edges, Application, CommModel, CoreResult, EdgeRef, ExecutionGraph, Interval,
+    OperationList, PlanMetrics, ServiceId,
+};
+
+use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search, OnePortStyle};
+
+/// Options controlling the `OUTORDER` search.
+#[derive(Clone, Copy, Debug)]
+pub struct OutOrderOptions {
+    /// Maximum number of backtracking nodes explored per feasibility call.
+    pub node_budget: usize,
+    /// Number of intermediate candidate periods tried between the lower bound
+    /// and the `INORDER` fallback when the lower bound is infeasible.
+    pub refinement_steps: usize,
+    /// Ordering-search budget used for the `INORDER` fallback.
+    pub inorder_exhaustive_limit: usize,
+}
+
+impl Default for OutOrderOptions {
+    fn default() -> Self {
+        OutOrderOptions {
+            node_budget: 200_000,
+            refinement_steps: 8,
+            inorder_exhaustive_limit: 20_000,
+        }
+    }
+}
+
+/// Result of an `OUTORDER` period search.
+#[derive(Clone, Debug)]
+pub struct OutOrderResult {
+    /// The best period achieved.
+    pub period: f64,
+    /// A valid operation list realising [`OutOrderResult::period`].
+    pub oplist: OperationList,
+    /// The `max_k (Cin + Ccomp + Cout)` lower bound.
+    pub lower_bound: f64,
+    /// `true` when the returned period equals the lower bound (hence optimal).
+    pub optimal: bool,
+}
+
+/// Period lower bound for the `OUTORDER` (and `INORDER`) models.
+pub fn outorder_period_lower_bound(app: &Application, graph: &ExecutionGraph) -> CoreResult<f64> {
+    Ok(PlanMetrics::compute(app, graph)?.period_lower_bound(CommModel::OutOrder))
+}
+
+/// One operation of the cyclic scheduling problem.
+#[derive(Clone, Debug)]
+struct Op {
+    /// `None` for a computation, `Some(edge)` for a communication.
+    edge: Option<EdgeRef>,
+    service: ServiceId,
+    duration: f64,
+    /// Servers whose (single) port/CPU this operation occupies.
+    resources: Vec<ServiceId>,
+}
+
+/// Attempts to build a valid `OUTORDER` operation list with period exactly `lambda`.
+///
+/// Returns `Ok(None)` when the backtracking search (limited to
+/// `opts.node_budget` nodes) finds no schedule.
+pub fn outorder_schedule_at(
+    app: &Application,
+    graph: &ExecutionGraph,
+    lambda: f64,
+    opts: &OutOrderOptions,
+) -> CoreResult<Option<OperationList>> {
+    let metrics = PlanMetrics::compute(app, graph)?;
+    let order = graph.topological_order()?;
+    // Build the operation sequence in data-flow order: for every service, its
+    // incoming transfers, then its computation, then (if it is an exit node)
+    // its output transfer.  Service-to-service transfers are emitted when the
+    // receiver is visited so that the sender's computation is already placed.
+    let mut ops: Vec<Op> = Vec::new();
+    for &k in &order {
+        for e in in_edges(graph, k) {
+            let mut resources = vec![k];
+            if let Some(s) = e.sender() {
+                resources.push(s);
+            }
+            ops.push(Op {
+                edge: Some(e),
+                service: k,
+                duration: metrics.edge_volume(app, e),
+                resources,
+            });
+        }
+        ops.push(Op {
+            edge: None,
+            service: k,
+            duration: metrics.c_comp(k),
+            resources: vec![k],
+        });
+        if graph.succs(k).is_empty() {
+            ops.push(Op {
+                edge: Some(EdgeRef::Output(k)),
+                service: k,
+                duration: metrics.edge_volume(app, EdgeRef::Output(k)),
+                resources: vec![k],
+            });
+        }
+    }
+    // Any single operation longer than the period is an immediate contradiction.
+    if ops.iter().any(|op| op.duration > lambda + 1e-9) {
+        return Ok(None);
+    }
+
+    let n = graph.n();
+    // When every duration and the period are integral (the case of all the
+    // paper's constructions and reductions), start times can be restricted to
+    // the integer grid without loss of generality, which makes the
+    // backtracking search much more thorough than the "abutting starts"
+    // dominance rule alone.
+    let integral = lambda <= 256.0
+        && (lambda - lambda.round()).abs() < 1e-9
+        && ops
+            .iter()
+            .all(|op| (op.duration - op.duration.round()).abs() < 1e-9);
+    let mut state = SearchState {
+        lambda,
+        eps: 1e-9,
+        grid: if integral { Some(1.0) } else { None },
+        occupancy: vec![Vec::new(); n],
+        calc_end: vec![0.0; n],
+        comm_end: std::collections::BTreeMap::new(),
+        placements: Vec::new(),
+        nodes: 0,
+        budget: opts.node_budget,
+    };
+    if !schedule_ops(&ops, 0, &mut state) {
+        return Ok(None);
+    }
+    let mut oplist = OperationList::new(n, lambda);
+    for (op_idx, start) in &state.placements {
+        let op = &ops[*op_idx];
+        let iv = Interval::with_duration(*start, op.duration);
+        match op.edge {
+            Some(e) => oplist.set_comm(e, iv),
+            None => oplist.set_calc(op.service, iv),
+        }
+    }
+    Ok(Some(oplist))
+}
+
+struct SearchState {
+    lambda: f64,
+    eps: f64,
+    /// Candidate-start granularity when the instance is integral.
+    grid: Option<f64>,
+    /// Per server: occupied intervals as (start, duration) of data set 0.
+    occupancy: Vec<Vec<(f64, f64)>>,
+    calc_end: Vec<f64>,
+    comm_end: std::collections::BTreeMap<EdgeRef, f64>,
+    placements: Vec<(usize, f64)>,
+    nodes: usize,
+    budget: usize,
+}
+
+impl SearchState {
+    fn ready_time(&self, op: &Op, graph_has_preds: bool) -> f64 {
+        let _ = graph_has_preds;
+        match op.edge {
+            Some(EdgeRef::Input(_)) => 0.0,
+            Some(EdgeRef::Link(i, _)) => self.calc_end[i],
+            Some(EdgeRef::Output(k)) => self.calc_end[k],
+            None => 0.0, // refined below using comm_end
+        }
+    }
+
+    fn fits(&self, op: &Op, start: f64) -> bool {
+        for &r in &op.resources {
+            for &(b, d) in &self.occupancy[r] {
+                if !cyclically_disjoint(b, d, start, op.duration, self.lambda, self.eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn place(&mut self, op_idx: usize, op: &Op, start: f64) {
+        for &r in &op.resources {
+            self.occupancy[r].push((start, op.duration));
+        }
+        match op.edge {
+            Some(e) => {
+                self.comm_end.insert(e, start + op.duration);
+            }
+            None => {
+                self.calc_end[op.service] = start + op.duration;
+            }
+        }
+        self.placements.push((op_idx, start));
+    }
+
+    fn unplace(&mut self, op: &Op) {
+        for &r in &op.resources {
+            self.occupancy[r].pop();
+        }
+        match op.edge {
+            Some(e) => {
+                self.comm_end.remove(&e);
+            }
+            None => {
+                self.calc_end[op.service] = 0.0;
+            }
+        }
+        self.placements.pop();
+    }
+}
+
+fn cyclically_disjoint(b1: f64, d1: f64, b2: f64, d2: f64, lambda: f64, eps: f64) -> bool {
+    if d1 <= eps || d2 <= eps {
+        return true;
+    }
+    if d1 + d2 > lambda + eps {
+        return false;
+    }
+    let delta = (b2 - b1).rem_euclid(lambda);
+    delta >= d1 - eps && lambda - delta >= d2 - eps
+}
+
+fn schedule_ops(ops: &[Op], idx: usize, state: &mut SearchState) -> bool {
+    if idx == ops.len() {
+        return true;
+    }
+    if state.nodes >= state.budget {
+        return false;
+    }
+    state.nodes += 1;
+    let op = &ops[idx];
+    // Data-ready time: communications wait for the sender's computation;
+    // computations wait for all incoming communications of their service.
+    let ready = match op.edge {
+        Some(_) => state.ready_time(op, true),
+        None => state
+            .comm_end
+            .iter()
+            .filter(|(e, _)| e.receiver() == Some(op.service))
+            .map(|(_, &t)| t)
+            .fold(0.0f64, f64::max),
+    };
+    // Candidate starts: the ready time itself, plus every start that abuts
+    // (modulo λ) the end of an already-placed operation on an involved server,
+    // plus — for integral instances — every grid point of one period window.
+    let mut candidates = vec![ready];
+    for &r in &op.resources {
+        for &(b, d) in &state.occupancy[r] {
+            let end = b + d;
+            // Smallest t >= ready with t ≡ end (mod λ).
+            let delta = (end - ready).rem_euclid(state.lambda);
+            candidates.push(ready + delta);
+        }
+    }
+    if let Some(grid) = state.grid {
+        let mut t = ready.ceil();
+        while t < ready + state.lambda - state.eps {
+            candidates.push(t);
+            t += grid;
+        }
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.dedup_by(|a, b| (*a - *b).abs() <= state.eps);
+    for start in candidates {
+        if !state.fits(op, start) {
+            continue;
+        }
+        state.place(idx, op, start);
+        if schedule_ops(ops, idx + 1, state) {
+            return true;
+        }
+        state.unplace(op);
+        if state.nodes >= state.budget {
+            return false;
+        }
+    }
+    false
+}
+
+/// Searches for the smallest `OUTORDER` period for the given execution graph.
+///
+/// Tries the lower bound first (optimal when it succeeds); otherwise bisects
+/// between the lower bound and an `INORDER` fallback schedule, keeping the
+/// best feasible operation list found.
+pub fn outorder_period_search(
+    app: &Application,
+    graph: &ExecutionGraph,
+    opts: &OutOrderOptions,
+) -> CoreResult<OutOrderResult> {
+    let lower_bound = outorder_period_lower_bound(app, graph)?;
+    let lb = if lower_bound > 0.0 { lower_bound } else { 1.0 };
+    if let Some(oplist) = outorder_schedule_at(app, graph, lb, opts)? {
+        return Ok(OutOrderResult {
+            period: lb,
+            oplist,
+            lower_bound: lb,
+            optimal: true,
+        });
+    }
+    // Fallback: the best INORDER schedule found is always OUTORDER-feasible.
+    let inorder = oneport_period_search(
+        app,
+        graph,
+        OnePortStyle::InOrder,
+        opts.inorder_exhaustive_limit,
+    )?;
+    let mut best_period = inorder.period;
+    let mut best_oplist = inorder_oplist_for_orderings(app, graph, &inorder.orderings)?;
+    // Bisection between the lower bound and the fallback.
+    let mut lo = lb;
+    let mut hi = best_period;
+    for _ in 0..opts.refinement_steps {
+        if hi - lo <= 1e-9 * hi.max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        match outorder_schedule_at(app, graph, mid, opts)? {
+            Some(oplist) => {
+                best_period = mid;
+                best_oplist = oplist;
+                hi = mid;
+            }
+            None => {
+                lo = mid;
+            }
+        }
+    }
+    Ok(OutOrderResult {
+        period: best_period,
+        oplist: best_oplist,
+        lower_bound: lb,
+        optimal: (best_period - lb).abs() <= 1e-9 * lb.max(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsw_core::validate_oplist;
+
+    fn section23() -> (Application, ExecutionGraph) {
+        let app = Application::independent(&[(4.0, 1.0); 5]);
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+        (app, g)
+    }
+
+    #[test]
+    fn section23_outorder_reaches_the_lower_bound_of_7() {
+        let (app, g) = section23();
+        let result = outorder_period_search(&app, &g, &OutOrderOptions::default()).unwrap();
+        assert_eq!(result.lower_bound, 7.0);
+        assert!(result.optimal, "expected the bound 7 to be reached");
+        assert!((result.period - 7.0).abs() < 1e-9);
+        validate_oplist(&app, &g, &result.oplist, CommModel::OutOrder)
+            .unwrap_or_else(|v| panic!("{v:?}"));
+    }
+
+    #[test]
+    fn chain_outorder_equals_lower_bound() {
+        let app = Application::independent(&[(2.0, 0.5), (3.0, 2.0), (1.0, 1.0)]);
+        let g = ExecutionGraph::chain_of(3, &[0, 1, 2]).unwrap();
+        let result = outorder_period_search(&app, &g, &OutOrderOptions::default()).unwrap();
+        assert!(result.optimal);
+        validate_oplist(&app, &g, &result.oplist, CommModel::OutOrder).unwrap();
+    }
+
+    #[test]
+    fn infeasible_period_rejected() {
+        let (app, g) = section23();
+        // Below the largest single operation (a computation of 4) nothing fits.
+        assert!(outorder_schedule_at(&app, &g, 3.5, &OutOrderOptions::default())
+            .unwrap()
+            .is_none());
+        // At the lower bound a schedule exists.
+        let ol = outorder_schedule_at(&app, &g, 7.0, &OutOrderOptions::default())
+            .unwrap()
+            .unwrap();
+        validate_oplist(&app, &g, &ol, CommModel::OutOrder).unwrap();
+    }
+
+    #[test]
+    fn schedules_at_larger_periods_also_exist() {
+        let (app, g) = section23();
+        for lambda in [8.0, 10.0, 21.0] {
+            let ol = outorder_schedule_at(&app, &g, lambda, &OutOrderOptions::default())
+                .unwrap()
+                .unwrap_or_else(|| panic!("no schedule at {lambda}"));
+            validate_oplist(&app, &g, &ol, CommModel::OutOrder)
+                .unwrap_or_else(|v| panic!("lambda {lambda}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn fork_join_outorder_between_bound_and_inorder() {
+        let app = Application::independent(&[(1.0, 1.0); 5]);
+        let g =
+            ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+                .unwrap();
+        let result = outorder_period_search(&app, &g, &OutOrderOptions::default()).unwrap();
+        validate_oplist(&app, &g, &result.oplist, CommModel::OutOrder).unwrap();
+        assert!(result.period >= result.lower_bound - 1e-9);
+    }
+}

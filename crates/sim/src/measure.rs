@@ -1,0 +1,65 @@
+//! Measurements extracted from a simulation run.
+
+/// Steady-state measurements of a stream execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Completion time of every data set (in arrival order).
+    pub completions: Vec<f64>,
+    /// Estimated steady-state period (inter-completion time over the second
+    /// half of the run).
+    pub period: f64,
+    /// Completion time of the very first data set (its latency, since all data
+    /// sets are available at time 0).
+    pub first_latency: f64,
+}
+
+impl SimReport {
+    /// Builds a report from per-data-set completion times.
+    pub fn from_completions(completions: Vec<f64>) -> Self {
+        let n = completions.len();
+        let first_latency = completions.first().copied().unwrap_or(0.0);
+        let period = if n >= 2 {
+            let lo = n / 2;
+            let hi = n - 1;
+            if hi > lo {
+                (completions[hi] - completions[lo]) / (hi - lo) as f64
+            } else {
+                completions[hi] - completions[hi - 1]
+            }
+        } else {
+            0.0
+        };
+        SimReport {
+            completions,
+            period,
+            first_latency,
+        }
+    }
+
+    /// Number of data sets processed.
+    pub fn data_sets(&self) -> usize {
+        self.completions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_regular_completions() {
+        let completions: Vec<f64> = (0..10).map(|i| 5.0 + 3.0 * i as f64).collect();
+        let r = SimReport::from_completions(completions);
+        assert_eq!(r.first_latency, 5.0);
+        assert!((r.period - 3.0).abs() < 1e-12);
+        assert_eq!(r.data_sets(), 10);
+    }
+
+    #[test]
+    fn report_from_degenerate_runs() {
+        assert_eq!(SimReport::from_completions(vec![]).period, 0.0);
+        assert_eq!(SimReport::from_completions(vec![2.0]).first_latency, 2.0);
+        let two = SimReport::from_completions(vec![2.0, 6.0]);
+        assert!((two.period - 4.0).abs() < 1e-12);
+    }
+}

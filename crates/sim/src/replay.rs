@@ -1,0 +1,204 @@
+//! Replay of an operation list over a finite stream of data sets.
+//!
+//! The cyclic validator of `fsw-core` checks schedules "modulo λ"; the replay
+//! simulator unrolls the schedule explicitly over `data_sets` consecutive data
+//! sets (operation of data set `d` = operation of data set 0 shifted by
+//! `d · λ`), re-checks every resource constraint on the absolute timeline, and
+//! reports the achieved completion times.  This is the independent
+//! cross-validation path for the `OVERLAP` schedules (bandwidth sharing), and
+//! a sanity check that a "valid modulo λ" schedule really does run conflict
+//! free when executed.
+
+use fsw_core::{
+    in_edges, out_edges, plan_edges, Application, CommModel, CoreError, CoreResult, ExecutionGraph,
+    OperationList, PlanMetrics,
+};
+
+use crate::measure::SimReport;
+
+/// An operation instance on the absolute timeline.
+#[derive(Clone, Debug)]
+struct Occurrence {
+    start: f64,
+    end: f64,
+    /// Bandwidth consumed on the port (communications only).
+    rate: f64,
+}
+
+/// Replays `oplist` for `data_sets` data sets under `model`.
+///
+/// Returns the per-data-set completion times, or the list of conflicts found
+/// (as a [`CoreError::CyclicGraph`] with the details lost — use the modular
+/// validator of `fsw-core` for diagnosis; the replay is a yes/no cross-check).
+pub fn replay_oplist(
+    app: &Application,
+    graph: &ExecutionGraph,
+    oplist: &OperationList,
+    model: CommModel,
+    data_sets: usize,
+) -> CoreResult<SimReport> {
+    oplist.covers(graph)?;
+    let metrics = PlanMetrics::compute(app, graph)?;
+    let lambda = oplist.lambda;
+    if !(lambda > 0.0) {
+        return Err(CoreError::InvalidNumber {
+            what: "period",
+            value: lambda,
+        });
+    }
+    let n = graph.n();
+    let eps = 1e-7;
+
+    // Completion time of each data set: the last communication of that data set.
+    let mut completions = vec![0.0f64; data_sets];
+    for d in 0..data_sets {
+        let shift = d as f64 * lambda;
+        let end = plan_edges(graph)
+            .into_iter()
+            .map(|e| oplist.comm(e).expect("coverage checked").end + shift)
+            .fold(0.0f64, f64::max);
+        completions[d] = end;
+    }
+
+    // Resource checks on the unrolled timeline.
+    match model {
+        CommModel::OutOrder | CommModel::InOrder => {
+            for k in 0..n {
+                let mut occ: Vec<Occurrence> = Vec::new();
+                for d in 0..data_sets {
+                    let shift = d as f64 * lambda;
+                    let calc = oplist.calc(k);
+                    occ.push(Occurrence {
+                        start: calc.begin + shift,
+                        end: calc.end + shift,
+                        rate: 0.0,
+                    });
+                    for e in in_edges(graph, k).into_iter().chain(out_edges(graph, k)) {
+                        let iv = oplist.comm(e).expect("coverage checked");
+                        occ.push(Occurrence {
+                            start: iv.begin + shift,
+                            end: iv.end + shift,
+                            rate: 0.0,
+                        });
+                    }
+                }
+                occ.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+                for w in occ.windows(2) {
+                    if w[1].start < w[0].end - eps {
+                        return Err(CoreError::CyclicGraph);
+                    }
+                }
+            }
+        }
+        CommModel::Overlap => {
+            for k in 0..n {
+                for edges in [in_edges(graph, k), out_edges(graph, k)] {
+                    let mut occ: Vec<Occurrence> = Vec::new();
+                    for d in 0..data_sets {
+                        let shift = d as f64 * lambda;
+                        for e in &edges {
+                            let iv = oplist.comm(*e).expect("coverage checked");
+                            let volume = metrics.edge_volume(app, *e);
+                            if volume <= eps || iv.duration() <= eps {
+                                continue;
+                            }
+                            occ.push(Occurrence {
+                                start: iv.begin + shift,
+                                end: iv.end + shift,
+                                rate: volume / iv.duration(),
+                            });
+                        }
+                    }
+                    // Sweep the event points and check the aggregate rate.
+                    let mut points: Vec<f64> =
+                        occ.iter().flat_map(|o| [o.start, o.end]).collect();
+                    points.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                    points.dedup_by(|a, b| (*a - *b).abs() <= eps);
+                    for w in points.windows(2) {
+                        let mid = 0.5 * (w[0] + w[1]);
+                        let rate: f64 = occ
+                            .iter()
+                            .filter(|o| o.start <= mid && mid < o.end)
+                            .map(|o| o.rate)
+                            .sum();
+                        if rate > 1.0 + 1e-6 {
+                            return Err(CoreError::CyclicGraph);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Check that data-set precedence holds on the absolute timeline too (it is
+    // shift-invariant, so checking data set 0 is enough).
+    for k in 0..n {
+        let calc = oplist.calc(k);
+        for e in in_edges(graph, k) {
+            if oplist.comm(e).expect("coverage checked").end > calc.begin + eps {
+                return Err(CoreError::CyclicGraph);
+            }
+        }
+        for e in out_edges(graph, k) {
+            if calc.end > oplist.comm(e).expect("coverage checked").begin + eps {
+                return Err(CoreError::CyclicGraph);
+            }
+        }
+        // Computations of consecutive data sets must not overlap either.
+        if calc.end - calc.begin > lambda + eps {
+            return Err(CoreError::CyclicGraph);
+        }
+    }
+    Ok(SimReport::from_completions(completions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsw_core::Interval;
+    use fsw_sched::overlap::overlap_period_oplist;
+    use fsw_sched::oneport::{inorder_oplist_for_orderings, oneport_period_search, OnePortStyle};
+
+    fn section23() -> (Application, ExecutionGraph) {
+        let app = Application::independent(&[(4.0, 1.0); 5]);
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+        (app, g)
+    }
+
+    #[test]
+    fn overlap_schedule_replays_cleanly() {
+        let (app, g) = section23();
+        let ol = overlap_period_oplist(&app, &g).unwrap();
+        let report = replay_oplist(&app, &g, &ol, CommModel::Overlap, 32).unwrap();
+        assert_eq!(report.data_sets(), 32);
+        assert!((report.period - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inorder_schedule_replays_cleanly() {
+        let (app, g) = section23();
+        let search = oneport_period_search(&app, &g, OnePortStyle::InOrder, 1000).unwrap();
+        let ol = inorder_oplist_for_orderings(&app, &g, &search.orderings).unwrap();
+        let report = replay_oplist(&app, &g, &ol, CommModel::InOrder, 16).unwrap();
+        assert!((report.period - 23.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conflicting_replay_is_detected() {
+        let (app, g) = section23();
+        let search = oneport_period_search(&app, &g, OnePortStyle::InOrder, 1000).unwrap();
+        let mut ol = inorder_oplist_for_orderings(&app, &g, &search.orderings).unwrap();
+        // Shrinking the period below the optimum necessarily creates conflicts.
+        ol.lambda = 6.0;
+        assert!(replay_oplist(&app, &g, &ol, CommModel::InOrder, 16).is_err());
+    }
+
+    #[test]
+    fn precedence_violation_detected_in_replay() {
+        let (app, g) = section23();
+        let mut ol = overlap_period_oplist(&app, &g).unwrap();
+        let calc = ol.calc(1);
+        ol.set_calc(1, Interval::new(calc.begin - 2.0, calc.end - 2.0));
+        assert!(replay_oplist(&app, &g, &ol, CommModel::Overlap, 4).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # fsw-workloads — instances for the filtering-workflow reproduction
+//!
+//! Three families of instances:
+//!
+//! * [`paper`] — the worked example (Section 2.3) and the three
+//!   counter-examples (Appendix B) of the paper, with their exact parameters
+//!   and execution graphs;
+//! * [`random`] — seeded random applications and execution graphs for scaling
+//!   studies, benches and property tests;
+//! * [`scenarios`] — realistic workloads from the two application domains the
+//!   paper motivates (query optimisation over web services, media pipelines).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod random;
+pub mod scenarios;
+
+pub use paper::{
+    counterexample_b1, counterexample_b2, counterexample_b3, fork_join, section23, PaperInstance,
+};
+pub use random::{
+    random_application, random_compatible_graph, random_dag_graph, random_forest_graph,
+    RandomAppConfig,
+};
+pub use scenarios::{media_pipeline, query_optimization, sensor_fusion, skewed_query_optimization};

@@ -1,0 +1,183 @@
+//! Random instance generators.
+//!
+//! Used by the scaling experiments (E10), the benches and the property tests.
+//! All generators are deterministic given the RNG, so experiments are
+//! reproducible from a seed.
+
+use rand::Rng;
+
+use fsw_core::{Application, ExecutionGraph, ServiceId};
+
+/// Configuration of the random application generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomAppConfig {
+    /// Number of services.
+    pub n: usize,
+    /// Costs are drawn uniformly from this interval.
+    pub cost_range: (f64, f64),
+    /// Selectivities of *filters* are drawn uniformly from this interval (≤ 1).
+    pub filter_selectivity_range: (f64, f64),
+    /// Selectivities of *expanders* are drawn uniformly from this interval (≥ 1).
+    pub expander_selectivity_range: (f64, f64),
+    /// Probability that a service is an expander.
+    pub expander_fraction: f64,
+    /// Probability of each forward precedence constraint `(i, j)`, `i < j`.
+    pub constraint_probability: f64,
+}
+
+impl Default for RandomAppConfig {
+    fn default() -> Self {
+        RandomAppConfig {
+            n: 8,
+            cost_range: (0.5, 5.0),
+            filter_selectivity_range: (0.1, 1.0),
+            expander_selectivity_range: (1.0, 3.0),
+            expander_fraction: 0.25,
+            constraint_probability: 0.0,
+        }
+    }
+}
+
+impl RandomAppConfig {
+    /// Convenience constructor for `n` independent services.
+    pub fn independent(n: usize) -> Self {
+        RandomAppConfig {
+            n,
+            ..RandomAppConfig::default()
+        }
+    }
+
+    /// Convenience constructor for `n` services with random precedence constraints.
+    pub fn constrained(n: usize, constraint_probability: f64) -> Self {
+        RandomAppConfig {
+            n,
+            constraint_probability,
+            ..RandomAppConfig::default()
+        }
+    }
+}
+
+/// Draws a random application.
+pub fn random_application<R: Rng + ?Sized>(config: &RandomAppConfig, rng: &mut R) -> Application {
+    let mut app = Application::new();
+    for _ in 0..config.n {
+        let cost = rng.gen_range(config.cost_range.0..=config.cost_range.1);
+        let selectivity = if rng.gen_bool(config.expander_fraction) {
+            rng.gen_range(
+                config.expander_selectivity_range.0..=config.expander_selectivity_range.1,
+            )
+        } else {
+            rng.gen_range(config.filter_selectivity_range.0..=config.filter_selectivity_range.1)
+        };
+        app.add_service(cost, selectivity);
+    }
+    if config.constraint_probability > 0.0 {
+        for i in 0..config.n {
+            for j in (i + 1)..config.n {
+                if rng.gen_bool(config.constraint_probability) {
+                    app.add_constraint(i, j).expect("forward edges are acyclic");
+                }
+            }
+        }
+    }
+    app
+}
+
+/// Draws a random forest execution graph over `n` services (every service
+/// picks its parent among the lower-numbered services, or none).
+pub fn random_forest_graph<R: Rng + ?Sized>(n: usize, edge_bias: f64, rng: &mut R) -> ExecutionGraph {
+    let mut parents: Vec<Option<ServiceId>> = vec![None; n];
+    for (k, parent) in parents.iter_mut().enumerate().skip(1) {
+        if rng.gen_bool(edge_bias) {
+            *parent = Some(rng.gen_range(0..k));
+        }
+    }
+    ExecutionGraph::from_parents(&parents).expect("parents of lower index are acyclic")
+}
+
+/// Draws a random DAG execution graph over `n` services with the given forward
+/// edge probability.
+pub fn random_dag_graph<R: Rng + ?Sized>(n: usize, edge_prob: f64, rng: &mut R) -> ExecutionGraph {
+    let mut graph = ExecutionGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(edge_prob) {
+                graph.add_edge(i, j).expect("forward edges are acyclic");
+            }
+        }
+    }
+    graph
+}
+
+/// Draws a random execution graph *compatible with* an application's
+/// precedence constraints: the constraints themselves plus random extra
+/// forward edges.
+pub fn random_compatible_graph<R: Rng + ?Sized>(
+    app: &Application,
+    extra_edge_prob: f64,
+    rng: &mut R,
+) -> ExecutionGraph {
+    let n = app.n();
+    let mut graph = ExecutionGraph::new(n);
+    for &(i, j) in app.constraints() {
+        graph.add_edge(i, j).expect("constraints are acyclic");
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(extra_edge_prob) {
+                // Ignore edges that would create a cycle.
+                let _ = graph.add_edge(i, j);
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_application_is_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1, 4, 12] {
+            let app = random_application(&RandomAppConfig::independent(n), &mut rng);
+            assert_eq!(app.n(), n);
+            app.validate().unwrap();
+        }
+        let app = random_application(&RandomAppConfig::constrained(10, 0.3), &mut rng);
+        app.validate().unwrap();
+        assert!(app.has_constraints());
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_the_seed() {
+        let config = RandomAppConfig::independent(6);
+        let a = random_application(&config, &mut StdRng::seed_from_u64(42));
+        let b = random_application(&config, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_graphs_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let forest = random_forest_graph(10, 0.7, &mut rng);
+            assert!(forest.is_forest());
+            let dag = random_dag_graph(10, 0.3, &mut rng);
+            dag.topological_order().unwrap();
+        }
+    }
+
+    #[test]
+    fn compatible_graphs_respect_constraints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let app = random_application(&RandomAppConfig::constrained(9, 0.25), &mut rng);
+        for _ in 0..10 {
+            let g = random_compatible_graph(&app, 0.2, &mut rng);
+            g.respects(&app).unwrap();
+        }
+    }
+}

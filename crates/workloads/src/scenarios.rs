@@ -1,0 +1,134 @@
+//! Realistic application scenarios.
+//!
+//! The paper's introduction motivates filtering workflows with query
+//! optimisation over web services and with classical streaming applications
+//! (video/audio pipelines, DSP).  These constructors provide concrete
+//! instances in both families; they back the domain-specific examples of the
+//! workspace (`examples/query_optimization.rs`, `examples/media_pipeline.rs`).
+
+use rand::Rng;
+
+use fsw_core::Application;
+
+/// A query-optimisation workload: `n` independent predicates (web-service
+/// calls) with selectivities below 1 and heterogeneous per-tuple costs, in the
+/// style of Srivastava et al.
+///
+/// Costs are drawn log-uniformly in `[0.2, 20)` and selectivities uniformly in
+/// `[0.05, 0.95)`; no precedence constraints (predicates commute).
+pub fn query_optimization<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Application {
+    let mut app = Application::new();
+    for _ in 0..n {
+        let cost = 0.2 * (100.0f64).powf(rng.gen::<f64>());
+        let selectivity = rng.gen_range(0.05..0.95);
+        app.add_service(cost, selectivity);
+    }
+    app
+}
+
+/// A query-optimisation workload with *correlated* expensive predicates: a few
+/// cheap, highly selective predicates and a tail of expensive ones, which is
+/// the regime where ordering matters most.
+pub fn skewed_query_optimization<R: Rng + ?Sized>(
+    cheap: usize,
+    expensive: usize,
+    rng: &mut R,
+) -> Application {
+    let mut app = Application::new();
+    for _ in 0..cheap {
+        app.add_service(rng.gen_range(0.1..0.5), rng.gen_range(0.05..0.3));
+    }
+    for _ in 0..expensive {
+        app.add_service(rng.gen_range(5.0..30.0), rng.gen_range(0.6..0.99));
+    }
+    app
+}
+
+/// A media-analytics pipeline: a demultiplexer, a decoder that *expands* the
+/// data, several per-frame analysis filters, and a re-encoder, with the
+/// natural precedence constraints of the pipeline.
+///
+/// Returns the application; the decoder (service 1) has selectivity > 1,
+/// analysis stages shrink their stream, and the encoder compresses it back.
+pub fn media_pipeline() -> Application {
+    Application::builder()
+        // 0: demux — cheap, keeps the data size
+        .service(0.2, 1.0)
+        // 1: decoder — expands compressed input ~8x
+        .service(1.5, 8.0)
+        // 2: scene-change detector — drops ~70% of frames
+        .service(0.8, 0.3)
+        // 3: object detector — expensive, annotates (slight growth)
+        .service(6.0, 1.1)
+        // 4: tracker — moderate cost, keeps size
+        .service(2.0, 1.0)
+        // 5: encoder — compresses back
+        .service(3.0, 0.15)
+        .constraint(0, 1)
+        .constraint(1, 2)
+        .constraint(2, 3)
+        .constraint(3, 4)
+        .constraint(4, 5)
+        .build()
+        .expect("static pipeline is valid")
+}
+
+/// A sensor-fusion DAG: several independent sensor pre-filters feeding a fusion
+/// stage, followed by two analysis branches.  Contains both filters and an
+/// expander and a non-chain precedence structure.
+pub fn sensor_fusion(sensors: usize) -> Application {
+    let mut builder = Application::builder();
+    for _ in 0..sensors {
+        builder = builder.service(0.5, 0.4); // per-sensor denoising filters
+    }
+    // fusion (expands: feature vectors), anomaly detection, archival compaction
+    builder = builder.service(2.0, 1.5).service(4.0, 0.2).service(1.0, 0.1);
+    let fusion = sensors;
+    for s in 0..sensors {
+        builder = builder.constraint(s, fusion);
+    }
+    builder = builder
+        .constraint(fusion, sensors + 1)
+        .constraint(fusion, sensors + 2);
+    builder.build().expect("static DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query_workloads_are_filters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let app = query_optimization(12, &mut rng);
+        assert_eq!(app.n(), 12);
+        app.validate().unwrap();
+        assert!(app.services().iter().all(|s| s.selectivity < 1.0));
+        let skewed = skewed_query_optimization(3, 5, &mut rng);
+        assert_eq!(skewed.n(), 8);
+        skewed.validate().unwrap();
+    }
+
+    #[test]
+    fn media_pipeline_is_a_chain_with_an_expander() {
+        let app = media_pipeline();
+        assert_eq!(app.n(), 6);
+        app.validate().unwrap();
+        assert!(app.service(1).is_expander());
+        assert_eq!(app.constraints().len(), 5);
+    }
+
+    #[test]
+    fn sensor_fusion_has_a_join() {
+        let app = sensor_fusion(4);
+        assert_eq!(app.n(), 7);
+        app.validate().unwrap();
+        // The fusion stage has `sensors` incoming constraints.
+        assert_eq!(
+            app.constraints().iter().filter(|&&(_, to)| to == 4).count(),
+            4
+        );
+    }
+}

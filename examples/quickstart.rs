@@ -1,0 +1,64 @@
+//! Quickstart: the worked example of Section 2.3 of the paper.
+//!
+//! Builds the five-service application and the Figure 1 execution graph, then
+//! computes the optimal period under the three communication models and the
+//! optimal latency, cross-checking everything with the validator and the
+//! replay simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fsw::core::{validate_oplist, CommModel};
+use fsw::sched::oneport::{oneport_period_search, OnePortStyle};
+use fsw::sched::outorder::{outorder_period_search, OutOrderOptions};
+use fsw::sched::overlap::overlap_period_oplist;
+use fsw::sched::oneport_latency_search;
+use fsw::sim::replay_oplist;
+use fsw::workloads::section23;
+
+fn main() {
+    let instance = section23();
+    let app = &instance.app;
+    let graph = instance.graph();
+    println!("== {} ==", instance.name);
+    println!(
+        "{} services, {} execution-graph edges\n",
+        app.n(),
+        graph.edge_count()
+    );
+
+    // Period, OVERLAP model (Theorem 1: polynomial).
+    let overlap = overlap_period_oplist(app, graph).expect("well-formed instance");
+    validate_oplist(app, graph, &overlap, CommModel::Overlap).expect("valid schedule");
+    println!("OVERLAP  period  : {:.4}  (paper: 4)", overlap.period());
+
+    // Period, OUTORDER model (cyclic-scheduling search).
+    let outorder = outorder_period_search(app, graph, &OutOrderOptions::default())
+        .expect("well-formed instance");
+    validate_oplist(app, graph, &outorder.oplist, CommModel::OutOrder).expect("valid schedule");
+    println!(
+        "OUTORDER period  : {:.4}  (paper: 7, optimal = {})",
+        outorder.period, outorder.optimal
+    );
+
+    // Period, INORDER model (ordering search over the event graph).
+    let inorder = oneport_period_search(app, graph, OnePortStyle::InOrder, 10_000)
+        .expect("well-formed instance");
+    println!(
+        "INORDER  period  : {:.4}  (paper: 23/3 = {:.4})",
+        inorder.period,
+        23.0 / 3.0
+    );
+
+    // Latency (identical for the three models on this example).
+    let latency = oneport_latency_search(app, graph, 10_000).expect("well-formed instance");
+    println!("latency          : {:.4}  (paper: 21)", latency.latency);
+
+    // Replay the OVERLAP schedule over a stream of data sets.
+    let report = replay_oplist(app, graph, &overlap, CommModel::Overlap, 64).expect("replay");
+    println!(
+        "\nreplayed {} data sets: steady-state period {:.4}, first completion {:.4}",
+        report.data_sets(),
+        report.period,
+        report.first_latency
+    );
+}

@@ -1,0 +1,37 @@
+//! # fsw — mapping filtering streaming applications with communication costs
+//!
+//! Façade crate of the workspace reproducing *"Mapping Filtering Streaming
+//! Applications With Communication Costs"* (Agrawal, Benoit, Dufossé, Robert,
+//! SPAA 2009).  It re-exports the member crates under stable module names so
+//! downstream users (and the examples / integration tests of this repository)
+//! need a single dependency:
+//!
+//! * [`core`] — services, applications, execution graphs, operation lists,
+//!   communication models and the Appendix-A validator (`fsw-core`);
+//! * [`eventgraph`] — timed event graphs and maximum cycle ratios
+//!   (`fsw-eventgraph`);
+//! * [`sched`] — the paper's algorithms: orchestration and plan optimisation
+//!   for the period and the latency under the three models (`fsw-sched`);
+//! * [`sim`] — discrete-event simulation and schedule replay (`fsw-sim`);
+//! * [`rn3dm`] — the RN3DM problem and the NP-hardness gadgets (`fsw-rn3dm`);
+//! * [`workloads`] — paper instances, random generators and realistic
+//!   scenarios (`fsw-workloads`).
+//!
+//! ```
+//! use fsw::core::{Application, ExecutionGraph};
+//! use fsw::sched::overlap::overlap_period_oplist;
+//!
+//! let app = Application::independent(&[(4.0, 1.0); 5]);
+//! let graph = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+//! assert_eq!(overlap_period_oplist(&app, &graph).unwrap().period(), 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fsw_core as core;
+pub use fsw_eventgraph as eventgraph;
+pub use fsw_rn3dm as rn3dm;
+pub use fsw_sched as sched;
+pub use fsw_sim as sim;
+pub use fsw_workloads as workloads;
