@@ -16,7 +16,9 @@ use fsw_workloads::query_optimization;
 
 fn bench_chain_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_tree");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut rng = StdRng::seed_from_u64(4);
     for n in [8usize, 64, 256] {
@@ -37,9 +39,16 @@ fn bench_chain_tree(c: &mut Criterion) {
     // Exhaustive permutation search for reference (factorial, small n only).
     for n in [6usize, 7, 8] {
         let app = query_optimization(n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("chain_exhaustive_period", n), &n, |b, _| {
-            b.iter(|| chain_exhaustive(app.n(), |o| chain_period(&app, o, CommModel::InOrder)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_exhaustive_period", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    chain_exhaustive(app.n(), |o| chain_period(&app, o, CommModel::InOrder))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

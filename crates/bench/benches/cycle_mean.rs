@@ -14,7 +14,8 @@ fn ring(n: usize) -> TimedEventGraph {
     let durations: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
     let mut g = TimedEventGraph::with_durations(durations);
     for i in 0..n {
-        g.add_arc(i, (i + 1) % n, u32::from((i + 1) % n == 0)).unwrap();
+        g.add_arc(i, (i + 1) % n, u32::from((i + 1) % n == 0))
+            .unwrap();
         g.add_arc(i, i, 1).unwrap();
     }
     g
@@ -22,7 +23,9 @@ fn ring(n: usize) -> TimedEventGraph {
 
 fn bench_cycle_mean(c: &mut Criterion) {
     let mut group = c.benchmark_group("cycle_mean");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 64, 256, 1024] {
         let g = ring(n);
         group.bench_with_input(BenchmarkId::new("max_cycle_ratio", n), &n, |b, _| {

@@ -16,7 +16,9 @@ use fsw_workloads::{
 
 fn bench_latency_orchestration(c: &mut Criterion) {
     let mut group = c.benchmark_group("latency_orchestration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let s23 = section23();
     group.bench_function("oneport_exhaustive/section23", |b| {
@@ -38,9 +40,11 @@ fn bench_latency_orchestration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tree_latency", n), &n, |b, _| {
             b.iter(|| tree_latency(&app, &forest).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("oneport_heuristic/forest", n), &n, |b, _| {
-            b.iter(|| oneport_latency_search(&app, &forest, 1).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oneport_heuristic/forest", n),
+            &n,
+            |b, _| b.iter(|| oneport_latency_search(&app, &forest, 1).unwrap()),
+        );
     }
     group.finish();
 }

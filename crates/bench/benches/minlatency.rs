@@ -13,7 +13,9 @@ use fsw_workloads::query_optimization;
 
 fn bench_minlatency(c: &mut Criterion) {
     let mut group = c.benchmark_group("minlatency");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let mut rng = StdRng::seed_from_u64(2);
     for n in [4usize, 5, 6] {

@@ -14,7 +14,9 @@ use fsw_workloads::query_optimization;
 
 fn bench_minperiod(c: &mut Criterion) {
     let mut group = c.benchmark_group("minperiod");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let mut rng = StdRng::seed_from_u64(1);
     for n in [4usize, 5, 6] {

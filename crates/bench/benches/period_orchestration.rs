@@ -14,17 +14,23 @@ use fsw_workloads::{counterexample_b3, fork_join, section23};
 
 fn bench_period_orchestration(c: &mut Criterion) {
     let mut group = c.benchmark_group("period_orchestration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let s23 = section23();
     group.bench_function("overlap_prop1/section23", |b| {
         b.iter(|| overlap_period_oplist(&s23.app, s23.graph()).unwrap())
     });
     group.bench_function("inorder_search/section23", |b| {
-        b.iter(|| oneport_period_search(&s23.app, s23.graph(), OnePortStyle::InOrder, 1_000).unwrap())
+        b.iter(|| {
+            oneport_period_search(&s23.app, s23.graph(), OnePortStyle::InOrder, 1_000).unwrap()
+        })
     });
     group.bench_function("outorder_search/section23", |b| {
-        b.iter(|| outorder_period_search(&s23.app, s23.graph(), &OutOrderOptions::default()).unwrap())
+        b.iter(|| {
+            outorder_period_search(&s23.app, s23.graph(), &OutOrderOptions::default()).unwrap()
+        })
     });
 
     let b3 = counterexample_b3();
@@ -49,7 +55,8 @@ fn bench_period_orchestration(c: &mut Criterion) {
             &width,
             |b, _| {
                 b.iter(|| {
-                    oneport_period_search(&inst.app, inst.graph(), OnePortStyle::InOrder, 1).unwrap()
+                    oneport_period_search(&inst.app, inst.graph(), OnePortStyle::InOrder, 1)
+                        .unwrap()
                 })
             },
         );

@@ -14,27 +14,35 @@ use fsw_sched::outorder::{outorder_schedule_at, OutOrderOptions};
 
 fn bench_reductions(c: &mut Criterion) {
     let mut group = c.benchmark_group("reductions");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [2usize, 3, 4] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let (inst, _) = yes_instance(n, &mut rng);
         let prop2 = prop2_period_outorder(&inst);
-        group.bench_with_input(BenchmarkId::new("prop2_outorder_at_bound", n), &n, |b, _| {
-            b.iter(|| {
-                outorder_schedule_at(
-                    &prop2.app,
-                    &prop2.graph,
-                    prop2.bound,
-                    &OutOrderOptions::default(),
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prop2_outorder_at_bound", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    outorder_schedule_at(
+                        &prop2.app,
+                        &prop2.graph,
+                        prop2.bound,
+                        &OutOrderOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
         let prop9 = prop9_latency_forkjoin(&inst);
-        group.bench_with_input(BenchmarkId::new("prop9_latency_exhaustive", n), &n, |b, _| {
-            b.iter(|| oneport_latency_search(&prop9.app, &prop9.graph, 1_000_000).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prop9_latency_exhaustive", n),
+            &n,
+            |b, _| b.iter(|| oneport_latency_search(&prop9.app, &prop9.graph, 1_000_000).unwrap()),
+        );
     }
     group.finish();
 }

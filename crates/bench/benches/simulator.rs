@@ -16,20 +16,28 @@ use fsw_workloads::{random_application, random_forest_graph, RandomAppConfig};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut rng = StdRng::seed_from_u64(6);
     for n in [8usize, 16, 32] {
         let app = random_application(&RandomAppConfig::independent(n), &mut rng);
         let graph = random_forest_graph(n, 0.8, &mut rng);
         let ords = CommOrderings::natural(&graph);
-        group.bench_with_input(BenchmarkId::new("inorder_des_200_datasets", n), &n, |b, _| {
-            b.iter(|| simulate_inorder(&app, &graph, &ords, 200).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("inorder_des_200_datasets", n),
+            &n,
+            |b, _| b.iter(|| simulate_inorder(&app, &graph, &ords, 200).unwrap()),
+        );
         let oplist = overlap_period_oplist(&app, &graph).unwrap();
-        group.bench_with_input(BenchmarkId::new("overlap_replay_200_datasets", n), &n, |b, _| {
-            b.iter(|| replay_oplist(&app, &graph, &oplist, CommModel::Overlap, 200).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("overlap_replay_200_datasets", n),
+            &n,
+            |b, _| {
+                b.iter(|| replay_oplist(&app, &graph, &oplist, CommModel::Overlap, 200).unwrap())
+            },
+        );
     }
     group.finish();
 }

@@ -25,12 +25,19 @@ fn main() {
         for (title, rows) in run_all() {
             print_table(title, &rows);
         }
-    } else {
-        for id in &args {
-            match run_experiment(id) {
-                Some((title, rows)) => print_table(title, &rows),
-                None => eprintln!("unknown experiment id: {id} (expected e1..e10)"),
+        return;
+    }
+    let mut unknown = false;
+    for id in &args {
+        match run_experiment(id) {
+            Some((title, rows)) => print_table(title, &rows),
+            None => {
+                unknown = true;
+                eprintln!("unknown experiment id: {id} (expected e1..e11)");
             }
         }
+    }
+    if unknown {
+        std::process::exit(2);
     }
 }

@@ -8,24 +8,28 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fsw_core::{CommModel, ExecutionGraph, PlanMetrics};
-use fsw_rn3dm::{no_instance, prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, yes_instance};
+use fsw_rn3dm::{
+    no_instance, prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, yes_instance,
+};
 use fsw_sched::baseline::{nocomm_minperiod_plan, nocomm_period};
-use fsw_sched::chain::{chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
+use fsw_sched::chain::{
+    chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
+};
 use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
-use fsw_sched::minlatency::{minimize_latency, MinLatencyOptions};
 use fsw_sched::minperiod::{
-    exhaustive_dag_best, exhaustive_forest_best, minimize_period, minperiod_local_search,
-    MinPeriodOptions, PeriodEvaluation,
+    exhaustive_dag_best, exhaustive_forest_best, minperiod_local_search, MinPeriodOptions,
+    PeriodEvaluation,
 };
 use fsw_sched::oneport::{oneport_period_search, OnePortStyle};
-use fsw_sched::outorder::{outorder_period_search, OutOrderOptions};
-use fsw_sched::overlap::{overlap_period_lower_bound, overlap_period_oplist};
+use fsw_sched::orchestrator::{solve, Objective, Problem, SearchBudget};
+use fsw_sched::outorder::OutOrderOptions;
+use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
 use fsw_sched::CommOrderings;
 use fsw_sim::{replay_oplist, simulate_inorder};
 use fsw_workloads::{
-    counterexample_b1, counterexample_b2, counterexample_b3, query_optimization,
-    random_application, section23, RandomAppConfig,
+    counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
+    random_application, section23, sensor_fusion, skewed_query_optimization, RandomAppConfig,
 };
 
 /// One row of an experiment table.
@@ -49,24 +53,44 @@ impl ExperimentRow {
     }
 }
 
-/// E1 — the worked example of Section 2.3.
+/// E1 — the worked example of Section 2.3, driven through the unified
+/// orchestrator (`fsw_sched::orchestrator::solve`) and cross-checked with the
+/// event-driven simulator.
 pub fn e1_section23() -> Vec<ExperimentRow> {
     let inst = section23();
     let app = &inst.app;
     let g = inst.graph();
-    let overlap = overlap_period_oplist(app, g).expect("valid instance");
-    let outorder = outorder_period_search(app, g, &OutOrderOptions::default()).expect("search");
-    let inorder = oneport_period_search(app, g, OnePortStyle::InOrder, 10_000).expect("search");
-    let latency = oneport_latency_search(app, g, 10_000).expect("search");
-    let sim = simulate_inorder(app, g, &inorder.orderings, 400).expect("simulation");
-    let replay = replay_oplist(app, g, &overlap, CommModel::Overlap, 64).expect("replay");
+    let budget = SearchBudget::exhaustive_up_to(10_000, 2_000_000);
+    let period_of = |model: CommModel| {
+        solve(
+            &Problem::on_graph(app, model, Objective::MinPeriod, g),
+            &budget,
+        )
+        .expect("solve")
+    };
+    let overlap = period_of(CommModel::Overlap);
+    let outorder = period_of(CommModel::OutOrder);
+    let inorder = period_of(CommModel::InOrder);
+    let latency = solve(
+        &Problem::on_graph(app, CommModel::InOrder, Objective::MinLatency, g),
+        &budget,
+    )
+    .expect("solve");
+    let inorder_orderings = inorder.orderings.as_ref().expect("one-port solution");
+    let sim = simulate_inorder(app, g, inorder_orderings, 400).expect("simulation");
+    let overlap_oplist = overlap.oplist.as_ref().expect("overlap schedule");
+    let replay = replay_oplist(app, g, overlap_oplist, CommModel::Overlap, 64).expect("replay");
     vec![
-        ExperimentRow::new("period OVERLAP (Prop 1)", Some(4.0), overlap.period()),
+        ExperimentRow::new("period OVERLAP (Prop 1)", Some(4.0), overlap.value),
         ExperimentRow::new("period OVERLAP (replayed)", Some(4.0), replay.period),
-        ExperimentRow::new("period OUTORDER (cyclic sched.)", Some(7.0), outorder.period),
-        ExperimentRow::new("period INORDER (ordering search)", Some(23.0 / 3.0), inorder.period),
+        ExperimentRow::new("period OUTORDER (cyclic sched.)", Some(7.0), outorder.value),
+        ExperimentRow::new(
+            "period INORDER (ordering search)",
+            Some(23.0 / 3.0),
+            inorder.value,
+        ),
         ExperimentRow::new("period INORDER (simulated)", Some(23.0 / 3.0), sim.period),
-        ExperimentRow::new("latency (all models)", Some(21.0), latency.latency),
+        ExperimentRow::new("latency (all models)", Some(21.0), latency.value),
     ]
 }
 
@@ -77,7 +101,9 @@ pub fn e2_counterexample_b1() -> Vec<ExperimentRow> {
     let chain = inst.graph_named("no-comm-chain").expect("registered");
     let nocomm = |g: &ExecutionGraph| {
         let m = PlanMetrics::compute(&inst.app, g).expect("consistent");
-        (0..inst.app.n()).map(|k| m.c_comp(k)).fold(0.0f64, f64::max)
+        (0..inst.app.n())
+            .map(|k| m.c_comp(k))
+            .fold(0.0f64, f64::max)
     };
     vec![
         ExperimentRow::new("chain plan, no communication", Some(100.0), nocomm(chain)),
@@ -181,7 +207,10 @@ pub fn e6_prop9_gadget() -> Vec<ExperimentRow> {
         let gadget = prop9_latency_forkjoin(&inst);
         let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
         rows.push(ExperimentRow::new(
-            format!("YES instance n={n}: optimal latency (bound {})", gadget.bound),
+            format!(
+                "YES instance n={n}: optimal latency (bound {})",
+                gadget.bound
+            ),
             Some(gadget.bound),
             result.latency,
         ));
@@ -190,7 +219,10 @@ pub fn e6_prop9_gadget() -> Vec<ExperimentRow> {
         let gadget = prop9_latency_forkjoin(&inst);
         let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
         rows.push(ExperimentRow::new(
-            format!("NO instance n=4: optimal latency (> bound {})", gadget.bound),
+            format!(
+                "NO instance n=4: optimal latency (> bound {})",
+                gadget.bound
+            ),
             None,
             result.latency,
         ));
@@ -205,7 +237,10 @@ pub fn e7_prop13_gadget() -> Vec<ExperimentRow> {
     let gadget = prop13_minlatency(&yes);
     let result = oneport_latency_search(&gadget.app, &gadget.graph, 1_000_000).expect("search");
     rows.push(ExperimentRow::new(
-        format!("YES instance n=3: fork-join latency (bound {:.4})", gadget.bound),
+        format!(
+            "YES instance n=3: fork-join latency (bound {:.4})",
+            gadget.bound
+        ),
         Some(gadget.bound),
         result.latency,
     ));
@@ -214,7 +249,10 @@ pub fn e7_prop13_gadget() -> Vec<ExperimentRow> {
     let result_no =
         oneport_latency_search(&gadget_no.app, &gadget_no.graph, 1_000_000).expect("search");
     rows.push(ExperimentRow::new(
-        format!("NO instance n=4: fork-join latency (> bound {:.4})", gadget_no.bound),
+        format!(
+            "NO instance n=4: fork-join latency (> bound {:.4})",
+            gadget_no.bound
+        ),
         None,
         result_no.latency,
     ));
@@ -230,8 +268,9 @@ pub fn e8_polynomial_cases() -> Vec<ExperimentRow> {
     for model in CommModel::ALL {
         let greedy = chain_minperiod_order(&app, model).expect("no constraints");
         let greedy_period = chain_period(&app, &greedy, model);
-        let (best, _) = fsw_sched::chain::chain_exhaustive(app.n(), |o| chain_period(&app, o, model))
-            .expect("non-empty");
+        let (best, _) =
+            fsw_sched::chain::chain_exhaustive(app.n(), |o| chain_period(&app, o, model))
+                .expect("non-empty");
         rows.push(ExperimentRow::new(
             format!("chain MINPERIOD {model}: greedy (paper column = exhaustive)"),
             Some(best),
@@ -273,8 +312,12 @@ pub fn e9_forest_structure() -> Vec<ExperimentRow> {
                     .map(|m| m.period_lower_bound(model))
                     .unwrap_or(f64::INFINITY)
             };
-            let forest = exhaustive_forest_best(&app, eval).expect("small instance").0;
-            let dag = exhaustive_dag_best(&app, 5, eval).expect("small instance").0;
+            let forest = exhaustive_forest_best(&app, eval)
+                .expect("small instance")
+                .0;
+            let dag = exhaustive_dag_best(&app, 5, eval)
+                .expect("small instance")
+                .0;
             rows.push(ExperimentRow::new(
                 format!("trial {trial} {model}: forest optimum (paper column = DAG optimum)"),
                 Some(dag),
@@ -285,17 +328,25 @@ pub fn e9_forest_structure() -> Vec<ExperimentRow> {
     rows
 }
 
-/// E10 — scaling / heuristic quality study on the query-optimisation workload.
+/// E10 — scaling / heuristic quality study on the query-optimisation
+/// workload.  The exhaustive side now runs through the unified orchestrator;
+/// the local-search heuristics remain the legacy entry points so the two
+/// columns stay an apples-to-apples comparison.
 pub fn e10_scaling() -> Vec<ExperimentRow> {
     let mut rng = StdRng::seed_from_u64(10);
     let mut rows = Vec::new();
+    let budget = SearchBudget::default();
     for n in [5, 6, 7] {
         let app = query_optimization(n, &mut rng);
-        let exhaustive = minimize_period(&app, &MinPeriodOptions::default()).expect("solver");
+        let exhaustive = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+            &budget,
+        )
+        .expect("solver");
         let local = minperiod_local_search(&app, &MinPeriodOptions::default()).expect("solver");
         rows.push(ExperimentRow::new(
             format!("MINPERIOD OVERLAP n={n}: local search (paper column = exhaustive forests)"),
-            Some(exhaustive.period),
+            Some(exhaustive.value),
             local.period,
         ));
         let baseline_plan = nocomm_minperiod_plan(&app).expect("no constraints");
@@ -307,12 +358,16 @@ pub fn e10_scaling() -> Vec<ExperimentRow> {
             Some(nocomm_period(&app, &baseline_plan).expect("consistent")),
             baseline_with_comm,
         ));
-        let lat = minimize_latency(&app, &MinLatencyOptions::default()).expect("solver");
+        let lat = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinLatency),
+            &budget,
+        )
+        .expect("solver");
         let chain_lat = chain_latency(&app, &chain_minlatency_order(&app).expect("no constraints"));
         rows.push(ExperimentRow::new(
             format!("MINLATENCY n={n}: unrestricted optimum (paper column = Prop 16 chain)"),
             Some(chain_lat),
-            lat.latency,
+            lat.value,
         ));
     }
     // INORDER orchestration quality: natural vs searched orderings on a fork-join.
@@ -334,27 +389,102 @@ pub fn e10_scaling() -> Vec<ExperimentRow> {
     rows
 }
 
-/// Runs one experiment by id (`"e1"` … `"e10"`).
+/// E11 — the unified orchestrator across realistic workload scenarios: every
+/// communication model × objective on the media pipeline, a sensor-fusion
+/// DAG and a skewed query-optimisation workload, under one shared budget.
+pub fn e11_orchestrator_scenarios() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let scenarios: Vec<(&str, fsw_core::Application)> = vec![
+        ("media-pipeline", media_pipeline()),
+        ("sensor-fusion(3)", sensor_fusion(3)),
+        (
+            "skewed-query(2+3)",
+            skewed_query_optimization(2, 3, &mut rng),
+        ),
+    ];
+    // One shared budget for the whole sweep.  The full-DAG MINLATENCY
+    // enumeration is capped at 4 services here: at 5 it multiplies ~120k
+    // candidate DAGs by an ordering search each, which dominates the binary's
+    // runtime without changing any scenario's reported optimum structure.
+    let budget = SearchBudget {
+        dag_enumeration_max_n: 4,
+        ..SearchBudget::default()
+    };
+    let mut rows = Vec::new();
+    for (name, app) in &scenarios {
+        for model in CommModel::ALL {
+            for objective in [Objective::MinPeriod, Objective::MinLatency] {
+                let solution = solve(&Problem::new(app, model, objective), &budget)
+                    .expect("orchestrator solve");
+                rows.push(ExperimentRow::new(
+                    format!(
+                        "{name} {model} {objective}{}",
+                        if solution.exhaustive {
+                            ""
+                        } else {
+                            " (heuristic)"
+                        }
+                    ),
+                    None,
+                    solution.value,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Runs one experiment by id (`"e1"` … `"e11"`).
 pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
     match id {
         "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
-        "e2" => Some(("E2 — B.1: communication changes the optimal structure", e2_counterexample_b1())),
-        "e3" => Some(("E3 — B.2: one-port vs multi-port latency", e3_counterexample_b2())),
-        "e4" => Some(("E4 — B.3: one-port vs multi-port period", e4_counterexample_b3())),
-        "e5" => Some(("E5 — Proposition 2 gadget (OUTORDER period)", e5_prop2_gadget())),
-        "e6" => Some(("E6 — Proposition 9 gadget (fork-join latency)", e6_prop9_gadget())),
-        "e7" => Some(("E7 — Proposition 13 gadget (MINLATENCY)", e7_prop13_gadget())),
-        "e8" => Some(("E8 — polynomial special cases (chains, trees)", e8_polynomial_cases())),
-        "e9" => Some(("E9 — Proposition 4: forests suffice for MINPERIOD", e9_forest_structure())),
+        "e2" => Some((
+            "E2 — B.1: communication changes the optimal structure",
+            e2_counterexample_b1(),
+        )),
+        "e3" => Some((
+            "E3 — B.2: one-port vs multi-port latency",
+            e3_counterexample_b2(),
+        )),
+        "e4" => Some((
+            "E4 — B.3: one-port vs multi-port period",
+            e4_counterexample_b3(),
+        )),
+        "e5" => Some((
+            "E5 — Proposition 2 gadget (OUTORDER period)",
+            e5_prop2_gadget(),
+        )),
+        "e6" => Some((
+            "E6 — Proposition 9 gadget (fork-join latency)",
+            e6_prop9_gadget(),
+        )),
+        "e7" => Some((
+            "E7 — Proposition 13 gadget (MINLATENCY)",
+            e7_prop13_gadget(),
+        )),
+        "e8" => Some((
+            "E8 — polynomial special cases (chains, trees)",
+            e8_polynomial_cases(),
+        )),
+        "e9" => Some((
+            "E9 — Proposition 4: forests suffice for MINPERIOD",
+            e9_forest_structure(),
+        )),
         "e10" => Some(("E10 — scaling and heuristic quality", e10_scaling())),
+        "e11" => Some((
+            "E11 — unified orchestrator across workload scenarios",
+            e11_orchestrator_scenarios(),
+        )),
         _ => None,
     }
 }
 
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
-        .iter()
-        .filter_map(|id| run_experiment(id))
-        .collect()
+    [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ]
+    .iter()
+    .filter_map(|id| run_experiment(id))
+    .collect()
 }

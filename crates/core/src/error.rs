@@ -100,7 +100,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid value for {what}: {value}")
             }
             CoreError::SizeMismatch { expected, found } => {
-                write!(f, "size mismatch: expected {expected} services, found {found}")
+                write!(
+                    f,
+                    "size mismatch: expected {expected} services, found {found}"
+                )
             }
         }
     }

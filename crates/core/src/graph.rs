@@ -116,7 +116,9 @@ impl ExecutionGraph {
         match self.succs[i].binary_search(&j) {
             Ok(pos) => {
                 self.succs[i].remove(pos);
-                let p = self.preds[j].binary_search(&i).expect("adjacency out of sync");
+                let p = self.preds[j]
+                    .binary_search(&i)
+                    .expect("adjacency out of sync");
                 self.preds[j].remove(p);
                 true
             }
@@ -251,8 +253,8 @@ impl ExecutionGraph {
     pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
         let anc = self.ancestor_sets();
         let mut clo = vec![vec![false; self.n]; self.n];
-        for i in 0..self.n {
-            clo[i][i] = true;
+        for (i, row) in clo.iter_mut().enumerate() {
+            row[i] = true;
         }
         for (j, mask) in anc.iter().enumerate() {
             for (i, &is_anc) in mask.iter().enumerate() {

@@ -299,7 +299,11 @@ mod tests {
         let g = ExecutionGraph::from_edges(12, &edges).unwrap();
         let m = PlanMetrics::compute(&app, &g).unwrap();
         for i in 0..6 {
-            assert!((m.c_out(i) - 6.0).abs() < 1e-12, "Cout({i}) = {}", m.c_out(i));
+            assert!(
+                (m.c_out(i) - 6.0).abs() < 1e-12,
+                "Cout({i}) = {}",
+                m.c_out(i)
+            );
         }
         for j in 6..12 {
             assert!((m.c_in(j) - 6.0).abs() < 1e-12, "Cin({j}) = {}", m.c_in(j));
@@ -324,7 +328,10 @@ mod tests {
         assert_eq!(edges.len(), 1 + 2 + 2);
         assert_eq!(in_edges(&g, 0), vec![EdgeRef::Input(0)]);
         assert_eq!(in_edges(&g, 1), vec![EdgeRef::Link(0, 1)]);
-        assert_eq!(out_edges(&g, 0), vec![EdgeRef::Link(0, 1), EdgeRef::Link(0, 2)]);
+        assert_eq!(
+            out_edges(&g, 0),
+            vec![EdgeRef::Link(0, 1), EdgeRef::Link(0, 2)]
+        );
         assert_eq!(out_edges(&g, 2), vec![EdgeRef::Output(2)]);
     }
 }

@@ -229,9 +229,10 @@ impl OperationList {
             }
             if let Some(&extra) = actual.difference(&expected).next() {
                 return Err(match extra {
-                    EdgeRef::Input(k) | EdgeRef::Output(k) => {
-                        CoreError::InvalidService { id: k, n: graph.n() }
-                    }
+                    EdgeRef::Input(k) | EdgeRef::Output(k) => CoreError::InvalidService {
+                        id: k,
+                        n: graph.n(),
+                    },
                     EdgeRef::Link(i, _) => CoreError::InvalidService {
                         id: i,
                         n: graph.n(),

@@ -144,10 +144,12 @@ impl Application {
     pub fn validate(&self) -> CoreResult<()> {
         let n = self.services.len();
         for (id, s) in self.services.iter().enumerate() {
-            if !(s.cost > 0.0) || !s.cost.is_finite() {
+            let cost_ok = s.cost.is_finite() && s.cost > 0.0;
+            if !cost_ok {
                 return Err(CoreError::NonPositiveCost { id, cost: s.cost });
             }
-            if !(s.selectivity >= 0.0) || !s.selectivity.is_finite() {
+            let selectivity_ok = s.selectivity.is_finite() && s.selectivity >= 0.0;
+            if !selectivity_ok {
                 return Err(CoreError::NegativeSelectivity {
                     id,
                     selectivity: s.selectivity,

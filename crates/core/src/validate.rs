@@ -173,7 +173,8 @@ pub fn validate_oplist_with(
     let eps = opts.epsilon;
     let mut violations = Vec::new();
     let lambda = oplist.lambda;
-    if !(lambda > 0.0) || !lambda.is_finite() {
+    let lambda_ok = lambda.is_finite() && lambda > 0.0;
+    if !lambda_ok {
         violations.push(Violation::InvalidPeriod { lambda });
         return Err(violations);
     }
@@ -418,10 +419,7 @@ fn check_bandwidth(
                     arcs.push((0.0, s + d - lambda, rate));
                 }
             }
-            let mut points: Vec<f64> = arcs
-                .iter()
-                .flat_map(|&(s, e, _)| [s, e])
-                .collect();
+            let mut points: Vec<f64> = arcs.iter().flat_map(|&(s, e, _)| [s, e]).collect();
             points.push(0.0);
             points.push(lambda);
             points.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -479,8 +477,7 @@ mod tests {
     fn section23_latency_schedule_valid_for_all_models() {
         let (app, g, ol) = section23();
         for model in CommModel::ALL {
-            validate_oplist(&app, &g, &ol, model)
-                .unwrap_or_else(|v| panic!("{model}: {:?}", v));
+            validate_oplist(&app, &g, &ol, model).unwrap_or_else(|v| panic!("{model}: {:?}", v));
         }
     }
 
@@ -525,7 +522,10 @@ mod tests {
         // INORDER at the paper's optimal 23/3 with the idle time spread over
         // C1, C4 and C5 (Section 2.3).
         let mut ol_opt = ol.clone().with_lambda(23.0 / 3.0);
-        ol_opt.set_comm(EdgeRef::Link(0, 3), Interval::new(6.0 + 2.0 / 3.0, 7.0 + 2.0 / 3.0));
+        ol_opt.set_comm(
+            EdgeRef::Link(0, 3),
+            Interval::new(6.0 + 2.0 / 3.0, 7.0 + 2.0 / 3.0),
+        );
         ol_opt.set_calc(3, Interval::new(7.0 + 2.0 / 3.0, 11.0 + 2.0 / 3.0));
         ol_opt.set_comm(
             EdgeRef::Link(3, 4),
@@ -575,7 +575,9 @@ mod tests {
         let (app, g, mut ol) = section23();
         ol.set_calc(1, Interval::new(5.5, 9.5));
         let err = validate_oplist(&app, &g, &ol, CommModel::Overlap).unwrap_err();
-        assert!(err.iter().any(|v| matches!(v, Violation::Precedence { .. })));
+        assert!(err
+            .iter()
+            .any(|v| matches!(v, Violation::Precedence { .. })));
     }
 
     #[test]
@@ -592,9 +594,14 @@ mod tests {
         // (each of the two transfers would need full bandwidth here, so it is
         // still rejected, but as a bandwidth violation).
         let err = validate_oplist(&app, &g, &ol, CommModel::Overlap).unwrap_err();
-        assert!(err
-            .iter()
-            .any(|v| matches!(v, Violation::Bandwidth { service: 0, incoming: false, .. })));
+        assert!(err.iter().any(|v| matches!(
+            v,
+            Violation::Bandwidth {
+                service: 0,
+                incoming: false,
+                ..
+            }
+        )));
     }
 
     #[test]

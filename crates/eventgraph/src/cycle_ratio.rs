@@ -69,7 +69,7 @@ impl TimedEventGraph {
             match self.positive_cycle(probe) {
                 Some(cycle) => {
                     let ratio = self.cycle_ratio_of(&cycle);
-                    let improved = best.as_ref().map_or(true, |b| ratio > b.ratio);
+                    let improved = best.as_ref().is_none_or(|b| ratio > b.ratio);
                     if improved {
                         best = Some(CycleRatio { ratio, cycle });
                     }
@@ -149,9 +149,7 @@ impl TimedEventGraph {
                     updated_node = Some(arc.to);
                 }
             }
-            if updated_node.is_none() {
-                return None;
-            }
+            updated_node?;
         }
         // A relaxation happened on the n-th pass: walk the predecessor chain n
         // steps to land inside a positive cycle, then collect it.

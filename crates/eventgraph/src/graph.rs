@@ -110,7 +110,8 @@ impl TimedEventGraph {
     /// Checks that every duration is finite and non-negative.
     pub fn validate(&self) -> Result<(), EventGraphError> {
         for (id, &d) in self.durations.iter().enumerate() {
-            if !(d >= 0.0) || !d.is_finite() {
+            let duration_ok = d.is_finite() && d >= 0.0;
+            if !duration_ok {
                 return Err(EventGraphError::InvalidDuration { id, duration: d });
             }
         }

@@ -143,7 +143,11 @@ pub fn yes_instance<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Rn3dmInstance, R
 /// Tries to generate a well-formed NO instance of size `n`; returns `None` if
 /// none was found within `attempts` random draws (small sizes have few or no
 /// NO instances — for `n ≤ 2` every well-formed instance is a YES instance).
-pub fn no_instance<R: Rng + ?Sized>(n: usize, attempts: usize, rng: &mut R) -> Option<Rn3dmInstance> {
+pub fn no_instance<R: Rng + ?Sized>(
+    n: usize,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<Rn3dmInstance> {
     for _ in 0..attempts {
         // Start from a YES instance and redistribute mass between two positions
         // while keeping the sum and the range constraints.

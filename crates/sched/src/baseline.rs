@@ -16,7 +16,9 @@ use fsw_core::{Application, CoreError, CoreResult, ExecutionGraph, PlanMetrics, 
 /// (`max_k Ccomp(k)`).
 pub fn nocomm_period(app: &Application, graph: &ExecutionGraph) -> CoreResult<f64> {
     let metrics = PlanMetrics::compute(app, graph)?;
-    Ok((0..graph.n()).map(|k| metrics.c_comp(k)).fold(0.0, f64::max))
+    Ok((0..graph.n())
+        .map(|k| metrics.c_comp(k))
+        .fold(0.0, f64::max))
 }
 
 /// Latency of an execution graph when communications are free: the longest
@@ -48,7 +50,9 @@ pub fn nocomm_minperiod_plan(app: &Application) -> CoreResult<ExecutionGraph> {
     if app.has_constraints() {
         return Err(CoreError::NotAChain);
     }
-    let mut filters: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) <= 1.0).collect();
+    let mut filters: Vec<ServiceId> = (0..app.n())
+        .filter(|&k| app.selectivity(k) <= 1.0)
+        .collect();
     let expanders: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) > 1.0).collect();
     // Exchange rule specialised to the no-communication case (weight = c_k):
     // filters by non-decreasing cost "normalised" by how much they filter.

@@ -66,8 +66,11 @@ pub fn chain_minperiod_order(app: &Application, model: CommModel) -> CoreResult<
     if app.has_constraints() {
         return Err(CoreError::NotAChain);
     }
-    let mut filters: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) <= 1.0).collect();
-    let mut expanders: Vec<ServiceId> = (0..app.n()).filter(|&k| app.selectivity(k) > 1.0).collect();
+    let mut filters: Vec<ServiceId> = (0..app.n())
+        .filter(|&k| app.selectivity(k) <= 1.0)
+        .collect();
+    let mut expanders: Vec<ServiceId> =
+        (0..app.n()).filter(|&k| app.selectivity(k) > 1.0).collect();
     filters.sort_by(|&a, &b| {
         chain_weight(app, a, model)
             .partial_cmp(&chain_weight(app, b, model))
@@ -115,7 +118,7 @@ pub fn chain_exhaustive<F: Fn(&[ServiceId]) -> f64>(
     let mut order: Vec<ServiceId> = (0..n).collect();
     permute(&mut order, 0, &mut |perm| {
         let value = objective(perm);
-        if best.as_ref().map_or(true, |(b, _)| value < *b) {
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
             best = Some((value, perm.to_vec()));
         }
     });

@@ -32,6 +32,7 @@ use fsw_core::{
 };
 
 use crate::orderings::CommOrderings;
+use crate::par::{fold_min, par_chunks, Exec};
 
 /// Critical-path lower bound on the latency, valid for every communication model.
 ///
@@ -189,29 +190,64 @@ pub fn oneport_latency_search(
     graph: &ExecutionGraph,
     exhaustive_limit: usize,
 ) -> CoreResult<LatencySearchResult> {
+    oneport_latency_search_exec(app, graph, exhaustive_limit, Exec::serial())
+}
+
+/// [`oneport_latency_search`] under an explicit execution strategy: the
+/// exhaustive enumeration is split over `exec` worker threads (chunks in
+/// enumeration order, reduced with the serial tie-breaking rule, so the
+/// result is bit-identical to the serial run) and honours its deadline.
+pub fn oneport_latency_search_exec(
+    app: &Application,
+    graph: &ExecutionGraph,
+    exhaustive_limit: usize,
+    exec: Exec,
+) -> CoreResult<LatencySearchResult> {
     if let Some(all) = CommOrderings::enumerate_all(graph, exhaustive_limit) {
-        let mut best: Option<LatencySearchResult> = None;
-        for ords in all {
-            let Ok((latency, oplist)) = oneport_latency_for_orderings(app, graph, &ords) else {
-                continue; // dead-locked ordering
-            };
-            if best.as_ref().map_or(true, |b| latency < b.latency) {
-                best = Some(LatencySearchResult {
+        let parts = par_chunks(exec.effective_threads(), &all, |base, chunk| {
+            let mut best: Option<(f64, usize)> = None;
+            let mut complete = true;
+            for (i, ords) in chunk.iter().enumerate() {
+                if exec.expired() {
+                    complete = false;
+                    break;
+                }
+                let Ok((latency, _)) = oneport_latency_for_orderings(app, graph, ords) else {
+                    continue; // dead-locked ordering
+                };
+                if best.as_ref().is_none_or(|(b, _)| latency < *b) {
+                    best = Some((latency, base + i));
+                }
+            }
+            (best, complete)
+        });
+        let complete = parts.iter().all(|(_, c)| *c);
+        let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+        match best {
+            Some((latency, winner)) => {
+                // Rebuild the winning operation list (deterministic for a
+                // fixed ordering, so this matches the serial run exactly).
+                let orderings = all[winner].clone();
+                let (_, oplist) = oneport_latency_for_orderings(app, graph, &orderings)?;
+                return Ok(LatencySearchResult {
                     latency,
                     oplist,
-                    orderings: ords,
-                    exhaustive: true,
+                    orderings,
+                    exhaustive: complete,
                 });
             }
+            None if complete => return Err(CoreError::CyclicGraph),
+            // Deadline expired before anything was evaluated: fall through to
+            // the (cheap) topological-ordering fallback below.
+            None => {}
         }
-        return best.ok_or(CoreError::CyclicGraph);
     }
     // Start the hill climbing from the (always feasible) topological ordering.
     let mut current = CommOrderings::topological(graph);
     let (mut current_latency, mut current_oplist) =
         oneport_latency_for_orderings(app, graph, &current)?;
     let mut improved = true;
-    while improved {
+    while improved && !exec.expired() {
         improved = false;
         for server in 0..graph.n() {
             for outgoing in [false, true] {
@@ -331,7 +367,11 @@ mod tests {
         let (app, g) = section23();
         let result = oneport_latency_search(&app, &g, 1000).unwrap();
         assert!(result.exhaustive);
-        assert!((result.latency - 21.0).abs() < 1e-9, "got {}", result.latency);
+        assert!(
+            (result.latency - 21.0).abs() < 1e-9,
+            "got {}",
+            result.latency
+        );
         // The schedule is valid for every model (one data set at a time).
         for model in CommModel::ALL {
             validate_oplist(&app, &g, &result.oplist, model)
@@ -376,10 +416,18 @@ mod tests {
         let result = oneport_latency_search(&app, &g, 1000).unwrap();
         assert!(result.exhaustive);
         // in->C0: 1, C0: 1, send to C1 at 2..3, C1 computes 3..12, C1->out 12..13.
-        assert!((result.latency - 13.0).abs() < 1e-9, "got {}", result.latency);
+        assert!(
+            (result.latency - 13.0).abs() < 1e-9,
+            "got {}",
+            result.latency
+        );
         // A bad ordering (expensive child last) costs 2 more.
         let mut bad = CommOrderings::natural(&g);
-        bad.outgoing[0] = vec![EdgeRef::Link(0, 2), EdgeRef::Link(0, 3), EdgeRef::Link(0, 1)];
+        bad.outgoing[0] = vec![
+            EdgeRef::Link(0, 2),
+            EdgeRef::Link(0, 3),
+            EdgeRef::Link(0, 1),
+        ];
         let (bad_latency, _) = oneport_latency_for_orderings(&app, &g, &bad).unwrap();
         assert!((bad_latency - 15.0).abs() < 1e-9, "got {bad_latency}");
     }

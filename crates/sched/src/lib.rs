@@ -41,26 +41,37 @@ pub mod latency;
 pub mod minlatency;
 pub mod minperiod;
 pub mod oneport;
+pub mod orchestrator;
 pub mod orderings;
 pub mod outorder;
 pub mod overlap;
+pub mod par;
 pub mod tree;
 
 pub use chain::{chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
 pub use latency::{
     latency_lower_bound, multiport_latency, multiport_proportional_latency,
-    oneport_latency_for_orderings, oneport_latency_search, LatencySearchResult,
+    oneport_latency_for_orderings, oneport_latency_search, oneport_latency_search_exec,
+    LatencySearchResult,
 };
-pub use minlatency::{minimize_latency, MinLatencyOptions, MinLatencyResult};
-pub use minperiod::{minimize_period, MinPeriodOptions, MinPeriodResult, PeriodEvaluation};
+pub use minlatency::{
+    minimize_latency, minimize_latency_exec, MinLatencyOptions, MinLatencyResult,
+};
+pub use minperiod::{
+    minimize_period, minimize_period_exec, MinPeriodOptions, MinPeriodResult, PeriodEvaluation,
+    SearchOutcome,
+};
 pub use oneport::{
-    inorder_oplist_for_orderings, inorder_period_for_orderings, oneport_overlap_period_for_orderings,
-    oneport_period_lower_bound, oneport_period_search, OnePortStyle, OrderingSearchResult,
+    inorder_oplist_for_orderings, inorder_period_for_orderings,
+    oneport_overlap_period_for_orderings, oneport_period_lower_bound, oneport_period_search,
+    oneport_period_search_exec, OnePortStyle, OrderingSearchResult,
 };
+pub use orchestrator::{solve, Objective, Problem, SearchBudget, Solution};
 pub use orderings::CommOrderings;
 pub use outorder::{
     outorder_period_lower_bound, outorder_period_search, outorder_schedule_at, OutOrderOptions,
     OutOrderResult,
 };
 pub use overlap::{overlap_period_lower_bound, overlap_period_oplist};
+pub use par::Exec;
 pub use tree::{tree_latency, tree_latency_orderings};

@@ -18,6 +18,8 @@ use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, ServiceId};
 
 use crate::chain::{chain_graph, chain_minlatency_order};
 use crate::latency::{multiport_proportional_latency, oneport_latency_search};
+use crate::minperiod::{exhaustive_dag_search, exhaustive_forest_search};
+use crate::par::Exec;
 use crate::tree::tree_latency;
 
 /// Options for the MINLATENCY solvers.
@@ -93,6 +95,12 @@ pub fn evaluate_latency(
     Ok(best)
 }
 
+/// Exact latency of a forest candidate (Algorithm 1), `∞` when infeasible —
+/// the single evaluation shared by every forest-space MINLATENCY search.
+fn forest_latency_eval(app: &Application, graph: &ExecutionGraph) -> f64 {
+    tree_latency(app, graph).unwrap_or(f64::INFINITY)
+}
+
 /// Enumerates every forest execution graph compatible with the precedence
 /// constraints and returns the latency-optimal one (exact evaluation by
 /// Algorithm 1).
@@ -100,9 +108,8 @@ pub fn exhaustive_forest_minlatency(
     app: &Application,
     cap: usize,
 ) -> Option<(f64, ExecutionGraph)> {
-    crate::minperiod::exhaustive_forest_best_capped(app, cap, &mut |g| {
-        tree_latency(app, g).unwrap_or(f64::INFINITY)
-    })
+    exhaustive_forest_search(app, cap, Exec::serial(), &|g| forest_latency_eval(app, g))
+        .map(|out| (out.value, out.graph))
 }
 
 /// Constructive seeds for the heuristic search.
@@ -194,28 +201,40 @@ pub fn minimize_latency(
     app: &Application,
     options: &MinLatencyOptions,
 ) -> CoreResult<MinLatencyResult> {
+    minimize_latency_exec(app, options, Exec::serial())
+}
+
+/// [`minimize_latency`] under an explicit execution strategy: the exhaustive
+/// phases fan out over `exec` worker threads (bit-identical to the serial
+/// run) and honour its deadline, returning the best graph found so far with
+/// `exhaustive == false` when the deadline interrupts the enumeration.
+pub fn minimize_latency_exec(
+    app: &Application,
+    options: &MinLatencyOptions,
+    exec: Exec,
+) -> CoreResult<MinLatencyResult> {
     let mut best: Option<MinLatencyResult> = None;
     if !app.has_constraints() {
-        if let Some((latency, graph)) =
-            exhaustive_forest_minlatency(app, options.forest_enumeration_cap)
+        let eval = |g: &ExecutionGraph| forest_latency_eval(app, g);
+        if let Some(out) =
+            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, &eval)
         {
             best = Some(MinLatencyResult {
-                latency,
-                graph,
-                exhaustive: true,
+                latency: out.value,
+                graph: out.graph,
+                exhaustive: out.complete,
             });
         }
     }
     if app.n() <= options.dag_enumeration_max_n {
-        let dag = crate::minperiod::exhaustive_dag_best(app, options.dag_enumeration_max_n, |g| {
-            evaluate_latency(app, g, options).unwrap_or(f64::INFINITY)
-        });
-        if let Some((latency, graph)) = dag {
-            if best.as_ref().map_or(true, |b| latency < b.latency - 1e-12) {
+        let eval = |g: &ExecutionGraph| evaluate_latency(app, g, options).unwrap_or(f64::INFINITY);
+        let dag = exhaustive_dag_search(app, options.dag_enumeration_max_n, exec, &eval);
+        if let Some(out) = dag {
+            if best.as_ref().is_none_or(|b| out.value < b.latency - 1e-12) {
                 best = Some(MinLatencyResult {
-                    latency,
-                    graph,
-                    exhaustive: true,
+                    latency: out.value,
+                    graph: out.graph,
+                    exhaustive: out.complete,
                 });
             }
         }

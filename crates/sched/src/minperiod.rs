@@ -16,13 +16,14 @@
 //!   the one-port lower bound or an actual ordering search for the one-port
 //!   models.
 
-use fsw_core::{
-    Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId,
-};
+use std::time::Instant;
+
+use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
 
 use crate::chain::{chain_graph, chain_minperiod_order};
 use crate::oneport::{oneport_period_search, OnePortStyle};
 use crate::outorder::{outorder_period_search, OutOrderOptions};
+use crate::par::{fold_min, par_chunks, Exec};
 
 /// How the period of a candidate execution graph is evaluated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,13 +100,12 @@ pub fn evaluate_period(
         PeriodEvaluation::LowerBound => Ok(lower),
         PeriodEvaluation::Orchestrated { exhaustive_limit } => match model {
             CommModel::Overlap => Ok(lower),
-            CommModel::InOrder => Ok(oneport_period_search(
-                app,
-                graph,
-                OnePortStyle::InOrder,
-                exhaustive_limit,
-            )?
-            .period),
+            CommModel::InOrder => {
+                Ok(
+                    oneport_period_search(app, graph, OnePortStyle::InOrder, exhaustive_limit)?
+                        .period,
+                )
+            }
             CommModel::OutOrder => {
                 let opts = OutOrderOptions {
                     inorder_exhaustive_limit: exhaustive_limit,
@@ -115,6 +115,20 @@ pub fn evaluate_period(
             }
         },
     }
+}
+
+/// Outcome of a budgeted exhaustive search: the best candidate found and
+/// whether the enumeration ran to completion (`complete == false` means a
+/// deadline interrupted it, so the value is only an upper bound on the
+/// optimum of the enumerated space).
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Best objective value found.
+    pub value: f64,
+    /// The execution graph achieving it.
+    pub graph: ExecutionGraph,
+    /// `true` when every candidate of the space was examined.
+    pub complete: bool,
 }
 
 /// Enumerates every forest execution graph (as a parent function) compatible
@@ -135,109 +149,257 @@ pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
     cap: usize,
     eval: &mut F,
 ) -> Option<(f64, ExecutionGraph)> {
+    if forest_space_size(app.n())? > cap {
+        return None;
+    }
+    let mut parents: Vec<Option<ServiceId>> = vec![None; app.n()];
+    let mut best: Option<(f64, ExecutionGraph)> = None;
+    enumerate_parents(app, &mut parents, 0, &mut best, eval, None);
+    best
+}
+
+/// The budgeted, parallel variant of [`exhaustive_forest_best_capped`]: the
+/// first-level branches of the enumeration tree are split over
+/// `exec.effective_threads()` workers and reduced in enumeration order, so the
+/// result is bit-identical to the serial run; an optional deadline interrupts
+/// the enumeration (flagged via [`SearchOutcome::complete`]).
+pub fn exhaustive_forest_search<F>(
+    app: &Application,
+    cap: usize,
+    exec: Exec,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph) -> f64 + Sync,
+{
     let n = app.n();
+    if forest_space_size(n)? > cap {
+        return None;
+    }
+    // First-level branches, in the order the serial enumeration visits them:
+    // service 0 is an entry node, or has parent 1, 2, …, n-1.
+    let mut branches: Vec<Option<ServiceId>> = vec![None];
+    branches.extend((1..n).map(Some));
+    let parts = par_chunks(exec.effective_threads(), &branches, |_base, chunk| {
+        let mut best: Option<(f64, ExecutionGraph)> = None;
+        let mut complete = true;
+        let mut local_eval = |g: &ExecutionGraph| eval(g);
+        for &first in chunk {
+            let mut parents: Vec<Option<ServiceId>> = vec![None; n];
+            parents[0] = first;
+            if !enumerate_parents(
+                app,
+                &mut parents,
+                1,
+                &mut best,
+                &mut local_eval,
+                exec.deadline,
+            ) {
+                complete = false;
+                break;
+            }
+        }
+        (best, complete)
+    });
+    let complete = parts.iter().all(|(_, c)| *c);
+    let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+    best.map(|(value, graph)| SearchOutcome {
+        value,
+        graph,
+        complete,
+    })
+}
+
+/// Size of the parent-function space (`n^n`, saturating); `None` for `n == 0`.
+fn forest_space_size(n: usize) -> Option<usize> {
     if n == 0 {
         return None;
     }
-    // Search space size: every service picks a parent among `None` or the n-1 others.
     let mut size = 1usize;
     for _ in 0..n {
         size = size.saturating_mul(n);
     }
-    if size > cap {
-        return None;
-    }
-    let mut parents: Vec<Option<ServiceId>> = vec![None; n];
-    let mut best: Option<(f64, ExecutionGraph)> = None;
-    enumerate_parents(app, &mut parents, 0, &mut best, eval);
-    best
+    Some(size)
 }
 
+/// Recursive enumeration of parent functions from level `k`.  Returns `false`
+/// when the deadline interrupted the enumeration of this subtree.
 fn enumerate_parents<F: FnMut(&ExecutionGraph) -> f64>(
     app: &Application,
     parents: &mut Vec<Option<ServiceId>>,
     k: usize,
     best: &mut Option<(f64, ExecutionGraph)>,
     eval: &mut F,
-) {
+    deadline: Option<Instant>,
+) -> bool {
     let n = app.n();
-    if k == n {
+    if k >= n {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
         let Ok(graph) = ExecutionGraph::from_parents(parents) else {
-            return; // the parent function contains a cycle
+            return true; // the parent function contains a cycle
         };
         if graph.respects(app).is_err() {
-            return;
+            return true;
         }
         let value = eval(&graph);
-        if best.as_ref().map_or(true, |(b, _)| value < *b) {
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
             *best = Some((value, graph));
         }
-        return;
+        return true;
     }
     parents[k] = None;
-    enumerate_parents(app, parents, k + 1, best, eval);
+    if !enumerate_parents(app, parents, k + 1, best, eval, deadline) {
+        return false;
+    }
     for p in 0..n {
         if p == k {
             continue;
         }
         parents[k] = Some(p);
-        enumerate_parents(app, parents, k + 1, best, eval);
+        if !enumerate_parents(app, parents, k + 1, best, eval, deadline) {
+            return false;
+        }
     }
     parents[k] = None;
+    true
 }
+
+/// Largest instance size the DAG enumeration supports: the forward-edge
+/// subsets of a permutation are encoded as a `u64` mask, so `n(n-1)/2` must
+/// stay below 64 (and the space is astronomically large well before that).
+pub const DAG_ENUMERATION_HARD_MAX_N: usize = 11;
 
 /// Enumerates every DAG execution graph on at most `max_n` services (tiny
 /// instances only) and returns the one minimising `eval`.
 ///
 /// DAGs are generated as (topological permutation, subset of forward edges),
-/// which enumerates every DAG at least once.
+/// which enumerates every DAG at least once.  Instances larger than
+/// [`DAG_ENUMERATION_HARD_MAX_N`] return `None` regardless of `max_n` (the
+/// edge-subset mask would overflow its 64-bit encoding).
 pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
     app: &Application,
     max_n: usize,
     mut eval: F,
 ) -> Option<(f64, ExecutionGraph)> {
     let n = app.n();
-    if n == 0 || n > max_n {
+    if n == 0 || n > max_n.min(DAG_ENUMERATION_HARD_MAX_N) {
         return None;
     }
     let mut order: Vec<ServiceId> = (0..n).collect();
     let mut best: Option<(f64, ExecutionGraph)> = None;
     permute_orders(&mut order, 0, &mut |perm| {
-        let pairs: Vec<(ServiceId, ServiceId)> = (0..n)
-            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
-            .collect();
-        let m = pairs.len();
-        for mask in 0u64..(1u64 << m) {
-            let mut graph = ExecutionGraph::new(n);
-            for (bit, &(a, b)) in pairs.iter().enumerate() {
-                if mask & (1 << bit) != 0 {
-                    graph
-                        .add_edge(perm[a], perm[b])
-                        .expect("forward edges of a permutation are acyclic");
-                }
-            }
-            if graph.respects(app).is_err() {
-                continue;
-            }
-            let value = eval(&graph);
-            if best.as_ref().map_or(true, |(b, _)| value < *b) {
-                best = Some((value, graph));
-            }
-        }
+        visit_dags_of_permutation(app, perm, &mut best, &mut eval, None)
     });
     best
 }
 
-fn permute_orders<F: FnMut(&[ServiceId])>(items: &mut Vec<ServiceId>, start: usize, visit: &mut F) {
-    if start == items.len() {
-        visit(items);
-        return;
+/// The budgeted, parallel variant of [`exhaustive_dag_best`]: permutations
+/// are split by their first element over `exec.effective_threads()` workers
+/// and reduced in enumeration order, so the result is bit-identical to the
+/// serial run; an optional deadline interrupts the enumeration.  Instances
+/// larger than [`DAG_ENUMERATION_HARD_MAX_N`] return `None` regardless of
+/// `max_n`.
+pub fn exhaustive_dag_search<F>(
+    app: &Application,
+    max_n: usize,
+    exec: Exec,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph) -> f64 + Sync,
+{
+    let n = app.n();
+    if n == 0 || n > max_n.min(DAG_ENUMERATION_HARD_MAX_N) {
+        return None;
+    }
+    // First elements of the permutation, in the order the serial recursion
+    // (`items.swap(0, i)` for i = 0..n) visits them.
+    let firsts: Vec<ServiceId> = (0..n).collect();
+    let parts = par_chunks(exec.effective_threads(), &firsts, |_base, chunk| {
+        let mut best: Option<(f64, ExecutionGraph)> = None;
+        let mut complete = true;
+        let mut local_eval = |g: &ExecutionGraph| eval(g);
+        for &first in chunk {
+            let mut order: Vec<ServiceId> = (0..n).collect();
+            order.swap(0, first);
+            let ok = permute_orders(&mut order, 1, &mut |perm| {
+                visit_dags_of_permutation(app, perm, &mut best, &mut local_eval, exec.deadline)
+            });
+            if !ok {
+                complete = false;
+                break;
+            }
+        }
+        (best, complete)
+    });
+    let complete = parts.iter().all(|(_, c)| *c);
+    let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+    best.map(|(value, graph)| SearchOutcome {
+        value,
+        graph,
+        complete,
+    })
+}
+
+/// Evaluates every DAG whose edges are forward edges of `perm`.  Returns
+/// `false` when the deadline interrupted the mask enumeration.
+fn visit_dags_of_permutation<F: FnMut(&ExecutionGraph) -> f64>(
+    app: &Application,
+    perm: &[ServiceId],
+    best: &mut Option<(f64, ExecutionGraph)>,
+    eval: &mut F,
+    deadline: Option<Instant>,
+) -> bool {
+    let n = perm.len();
+    let pairs: Vec<(ServiceId, ServiceId)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect();
+    let m = pairs.len();
+    debug_assert!(m < 64, "callers bound n by DAG_ENUMERATION_HARD_MAX_N");
+    for mask in 0u64..(1u64 << m) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        let mut graph = ExecutionGraph::new(n);
+        for (bit, &(a, b)) in pairs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                graph
+                    .add_edge(perm[a], perm[b])
+                    .expect("forward edges of a permutation are acyclic");
+            }
+        }
+        if graph.respects(app).is_err() {
+            continue;
+        }
+        let value = eval(&graph);
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
+            *best = Some((value, graph));
+        }
+    }
+    true
+}
+
+/// Visits every permutation of `items[start..]`; `visit` returns `false` to
+/// abort the whole enumeration (deadline), which is propagated to the caller.
+fn permute_orders<F: FnMut(&[ServiceId]) -> bool>(
+    items: &mut Vec<ServiceId>,
+    start: usize,
+    visit: &mut F,
+) -> bool {
+    if start >= items.len() {
+        return visit(items);
     }
     for i in start..items.len() {
         items.swap(start, i);
-        permute_orders(items, start + 1, visit);
+        let ok = permute_orders(items, start + 1, visit);
         items.swap(start, i);
+        if !ok {
+            return false;
+        }
     }
+    true
 }
 
 /// Constructive seeds for the heuristic search.
@@ -336,28 +498,40 @@ pub fn minimize_period(
     app: &Application,
     options: &MinPeriodOptions,
 ) -> CoreResult<MinPeriodResult> {
-    let mut eval = |g: &ExecutionGraph| -> f64 {
+    minimize_period_exec(app, options, Exec::serial())
+}
+
+/// [`minimize_period`] under an explicit execution strategy: the exhaustive
+/// phases fan out over `exec` worker threads (bit-identical to the serial
+/// run) and honour its deadline, returning the best graph found so far with
+/// `exhaustive == false` when the deadline interrupts the enumeration.
+pub fn minimize_period_exec(
+    app: &Application,
+    options: &MinPeriodOptions,
+    exec: Exec,
+) -> CoreResult<MinPeriodResult> {
+    let eval = |g: &ExecutionGraph| -> f64 {
         evaluate_period(app, g, options.model, options.evaluation).unwrap_or(f64::INFINITY)
     };
     if !app.has_constraints() {
-        if let Some((period, graph)) =
-            exhaustive_forest_best_capped(app, options.forest_enumeration_cap, &mut eval)
+        if let Some(out) =
+            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, &eval)
         {
             return Ok(MinPeriodResult {
-                period,
-                graph,
-                exhaustive: true,
+                period: out.value,
+                graph: out.graph,
+                exhaustive: out.complete,
             });
         }
     } else {
         // With precedence constraints the optimal plan need not be a forest;
         // use the DAG enumeration for tiny instances.
         if app.n() <= 5 {
-            if let Some((period, graph)) = exhaustive_dag_best(app, 5, &mut eval) {
+            if let Some(out) = exhaustive_dag_search(app, 5, exec, &eval) {
                 return Ok(MinPeriodResult {
-                    period,
-                    graph,
-                    exhaustive: true,
+                    period: out.value,
+                    graph: out.graph,
+                    exhaustive: out.complete,
                 });
             }
         }

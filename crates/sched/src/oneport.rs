@@ -26,6 +26,7 @@ use fsw_core::{
 use fsw_eventgraph::TimedEventGraph;
 
 use crate::orderings::CommOrderings;
+use crate::par::{fold_min, par_chunks, Exec};
 
 /// Which serialisation discipline the event graph should encode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -183,7 +184,10 @@ fn oplist_for_orderings(
     let mut oplist = OperationList::new(graph.n(), period);
     for (edge, &t) in &map.comm {
         let begin = starts[t];
-        oplist.set_comm(*edge, Interval::with_duration(begin, metrics.edge_volume(app, *edge)));
+        oplist.set_comm(
+            *edge,
+            Interval::with_duration(begin, metrics.edge_volume(app, *edge)),
+        );
     }
     for k in 0..graph.n() {
         let begin = starts[map.calc[k]];
@@ -215,31 +219,62 @@ pub fn oneport_period_search(
     style: OnePortStyle,
     exhaustive_limit: usize,
 ) -> CoreResult<OrderingSearchResult> {
+    oneport_period_search_exec(app, graph, style, exhaustive_limit, Exec::serial())
+}
+
+/// [`oneport_period_search`] under an explicit execution strategy: the
+/// exhaustive enumeration is split over `exec` worker threads (chunks in
+/// enumeration order, reduced with the serial tie-breaking rule, so the
+/// result is bit-identical to the serial run) and honours its deadline.
+pub fn oneport_period_search_exec(
+    app: &Application,
+    graph: &ExecutionGraph,
+    style: OnePortStyle,
+    exhaustive_limit: usize,
+    exec: Exec,
+) -> CoreResult<OrderingSearchResult> {
     if let Some(all) = CommOrderings::enumerate_all(graph, exhaustive_limit) {
-        let mut best: Option<(f64, CommOrderings)> = None;
-        for ords in all {
-            // Orderings whose rendezvous constraints dead-lock are infeasible
-            // (token-free cycle): skip them.
-            let Ok(p) = period_for_orderings(app, graph, &ords, style) else {
-                continue;
-            };
-            if best.as_ref().map_or(true, |(bp, _)| p < *bp) {
-                best = Some((p, ords));
+        let parts = par_chunks(exec.effective_threads(), &all, |base, chunk| {
+            let mut best: Option<(f64, usize)> = None;
+            let mut complete = true;
+            for (i, ords) in chunk.iter().enumerate() {
+                if exec.expired() {
+                    complete = false;
+                    break;
+                }
+                // Orderings whose rendezvous constraints dead-lock are
+                // infeasible (token-free cycle): skip them.
+                let Ok(p) = period_for_orderings(app, graph, ords, style) else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|(bp, _)| p < *bp) {
+                    best = Some((p, base + i));
+                }
             }
-        }
-        let (period, orderings) = best.expect("the topological ordering is always feasible");
-        return Ok(OrderingSearchResult {
-            period,
-            orderings,
-            exhaustive: true,
+            (best, complete)
         });
+        let complete = parts.iter().all(|(_, c)| *c);
+        let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+        if let Some((period, winner)) = best {
+            return Ok(OrderingSearchResult {
+                period,
+                orderings: all[winner].clone(),
+                exhaustive: complete,
+            });
+        }
+        debug_assert!(
+            !complete,
+            "the topological ordering is always feasible, so a completed \
+             enumeration finds at least one period"
+        );
     }
     // Hill climbing over adjacent swaps, starting from the (always feasible)
-    // topological ordering.
+    // topological ordering.  Also the fallback when a deadline expired before
+    // the exhaustive enumeration evaluated a single ordering.
     let mut current = CommOrderings::topological(graph);
     let mut current_period = period_for_orderings(app, graph, &current, style)?;
     let mut improved = true;
-    while improved {
+    while improved && !exec.expired() {
         improved = false;
         for server in 0..graph.n() {
             for outgoing in [false, true] {
@@ -300,8 +335,7 @@ mod tests {
         // The operation list realising it is a valid INORDER schedule.
         let ol = inorder_oplist_for_orderings(&app, &g, &result.orderings).unwrap();
         assert!((ol.period() - 23.0 / 3.0).abs() < 1e-9);
-        validate_oplist(&app, &g, &ol, CommModel::InOrder)
-            .unwrap_or_else(|v| panic!("{v:?}"));
+        validate_oplist(&app, &g, &ol, CommModel::InOrder).unwrap_or_else(|v| panic!("{v:?}"));
         // The INORDER schedule is also a valid OUTORDER schedule.
         validate_oplist(&app, &g, &ol, CommModel::OutOrder).unwrap();
     }
@@ -348,16 +382,10 @@ mod tests {
     fn fork_join_orderings_change_the_period() {
         // A fork-join where the middle branches have very different costs: the
         // ordering of the fork's emissions and of the join's receptions matters.
-        let app = Application::independent(&[
-            (1.0, 1.0),
-            (6.0, 1.0),
-            (1.0, 1.0),
-            (1.0, 1.0),
-            (1.0, 1.0),
-        ]);
-        let g =
-            ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
-                .unwrap();
+        let app =
+            Application::independent(&[(1.0, 1.0), (6.0, 1.0), (1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+            .unwrap();
         let mut periods = Vec::new();
         for ords in CommOrderings::enumerate_all(&g, 1000).unwrap() {
             periods.push(inorder_period_for_orderings(&app, &g, &ords).unwrap());

@@ -1,0 +1,556 @@
+//! The unified solver entry point: one [`solve`] for every communication
+//! model and objective.
+//!
+//! Historically each (model × objective) pair had its own entry point with
+//! its own option struct and its own ad-hoc enumeration caps
+//! (`MinPeriodOptions`, `MinLatencyOptions`, `OutOrderOptions`, bare
+//! `exhaustive_limit` arguments, …).  This module replaces that surface with
+//! three small types:
+//!
+//! * [`Problem`] — *what* to solve: an application, a communication model
+//!   ([`CommModel`]), an [`Objective`] (MINPERIOD or MINLATENCY) and
+//!   optionally a fixed execution graph (orchestration only) — when no graph
+//!   is given the solver also searches the plan space;
+//! * [`SearchBudget`] — *how hard* to try: one shared budget bounding every
+//!   enumeration (ordering space, graph space, backtracking nodes), an
+//!   optional wall-clock time limit, and the worker-thread fan-out.  This
+//!   follows the bounded-search-space idea of Van Bemten et al. (Bounded
+//!   Dijkstra, arXiv:1903.00436): algorithms take an explicit budget instead
+//!   of scattering magic caps through the call tree;
+//! * [`Solution`] — *what came back*: the objective value, the execution
+//!   graph, a concrete schedule when the model's machinery produces one, and
+//!   an `exhaustive` flag telling whether the value is optimal for the
+//!   searched space or a heuristic upper bound.
+//!
+//! All exhaustive searches parallelise over [`SearchBudget::threads`] worker
+//! threads and are **bit-identical to their serial runs** (see [`crate::par`]
+//! for the reduction rule), so `threads` is purely a throughput knob.
+//!
+//! ```
+//! use fsw_core::{Application, CommModel};
+//! use fsw_sched::orchestrator::{solve, Objective, Problem, SearchBudget};
+//!
+//! // The Section 2.3 example: five identical services, free plan choice.
+//! let app = Application::independent(&[(4.0, 1.0); 5]);
+//! let solution = solve(
+//!     &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+//!     &SearchBudget::default(),
+//! )
+//! .unwrap();
+//! assert!(solution.exhaustive);
+//! assert!((solution.value - 4.0).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, OperationList, PlanMetrics};
+
+use crate::latency::{
+    latency_lower_bound, multiport_proportional_latency, oneport_latency_search_exec,
+};
+use crate::minlatency::{minimize_latency_exec, MinLatencyOptions};
+use crate::minperiod::{minimize_period_exec, MinPeriodOptions, PeriodEvaluation};
+use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search_exec, OnePortStyle};
+use crate::orderings::CommOrderings;
+use crate::outorder::{outorder_period_search, OutOrderOptions};
+use crate::overlap::overlap_period_oplist;
+use crate::par::Exec;
+
+/// The objective a [`Problem`] optimises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimise the period (inverse throughput) of the steady-state schedule.
+    MinPeriod,
+    /// Minimise the latency (response time) of one data set.
+    MinLatency,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinPeriod => write!(f, "MINPERIOD"),
+            Objective::MinLatency => write!(f, "MINLATENCY"),
+        }
+    }
+}
+
+/// A solver instance: what to optimise, for which application, under which
+/// communication model — and optionally on which fixed execution graph.
+#[derive(Clone, Copy, Debug)]
+pub struct Problem<'a> {
+    /// The application (services, selectivities, precedence constraints).
+    pub app: &'a Application,
+    /// The communication model the schedule must respect.
+    pub model: CommModel,
+    /// The quantity to minimise.
+    pub objective: Objective,
+    /// `Some(graph)` restricts the solve to *orchestration*: find the best
+    /// schedule for this execution graph.  `None` also searches the plan
+    /// space (forests, plus all DAGs on tiny instances).
+    pub graph: Option<&'a ExecutionGraph>,
+}
+
+impl<'a> Problem<'a> {
+    /// A plan-optimisation problem: the solver chooses the execution graph.
+    pub fn new(app: &'a Application, model: CommModel, objective: Objective) -> Self {
+        Problem {
+            app,
+            model,
+            objective,
+            graph: None,
+        }
+    }
+
+    /// An orchestration problem on a fixed execution graph.
+    pub fn on_graph(
+        app: &'a Application,
+        model: CommModel,
+        objective: Objective,
+        graph: &'a ExecutionGraph,
+    ) -> Self {
+        Problem {
+            app,
+            model,
+            objective,
+            graph: Some(graph),
+        }
+    }
+}
+
+/// One shared budget for every enumeration a solve may perform.
+///
+/// The default reproduces the effort of the legacy per-model entry points
+/// (`MinPeriodOptions::default()`, `MinLatencyOptions::default()`,
+/// `OutOrderOptions::default()`), so `solve(&problem, &SearchBudget::default())`
+/// returns bit-identical values to the code it replaces.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Bound on the communication-ordering space enumerated exhaustively;
+    /// beyond it the ordering searches fall back to hill climbing.
+    pub max_orderings: usize,
+    /// Bound on the execution-graph space (parent functions) enumerated
+    /// exhaustively; beyond it the plan search falls back to seeded local
+    /// search.
+    pub max_graphs: usize,
+    /// Optional wall-clock limit.  When it expires, the graph and ordering
+    /// enumerations stop and the best candidate found so far is returned with
+    /// `exhaustive == false`.  Caveat: the OUTORDER cyclic backtracker is
+    /// bounded by [`SearchBudget::outorder_node_budget`] only and may overrun
+    /// the deadline (see ROADMAP — wiring it through is an open item).
+    pub time_limit: Option<Duration>,
+    /// Worker threads for the exhaustive searches; `0` = available
+    /// parallelism, `1` = serial.  Results are identical for every value.
+    pub threads: usize,
+    /// Passes of the hill-climbing local search used beyond `max_graphs`.
+    pub local_search_passes: usize,
+    /// How candidate graphs are valued during a MINPERIOD plan search
+    /// (cheap lower bound vs full orchestration of every candidate).
+    pub period_evaluation: PeriodEvaluation,
+    /// Backtracking-node budget of the OUTORDER cyclic scheduler.
+    pub outorder_node_budget: usize,
+    /// Bisection steps of the OUTORDER period refinement.
+    pub outorder_refinement_steps: usize,
+    /// Instances up to this size also search all DAGs for MINLATENCY (the
+    /// latency optimum may require a join, unlike the period).  Hard-capped
+    /// at [`crate::minperiod::DAG_ENUMERATION_HARD_MAX_N`] by the engine.
+    pub dag_enumeration_max_n: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_orderings: 5_000,
+            max_graphs: 2_000_000,
+            time_limit: None,
+            threads: 1,
+            local_search_passes: 32,
+            period_evaluation: PeriodEvaluation::LowerBound,
+            outorder_node_budget: 200_000,
+            outorder_refinement_steps: 8,
+            dag_enumeration_max_n: 5,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A small budget for interactive use: tighter enumeration caps.
+    pub fn quick() -> Self {
+        SearchBudget {
+            max_orderings: 500,
+            max_graphs: 50_000,
+            ..SearchBudget::default()
+        }
+    }
+
+    /// Caps both enumerations explicitly.
+    pub fn exhaustive_up_to(max_orderings: usize, max_graphs: usize) -> Self {
+        SearchBudget {
+            max_orderings,
+            max_graphs,
+            ..SearchBudget::default()
+        }
+    }
+
+    /// Returns the budget with a wall-clock time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Returns the budget with an explicit worker-thread fan-out
+    /// (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the budget with the given MINPERIOD candidate evaluation.
+    pub fn with_period_evaluation(mut self, evaluation: PeriodEvaluation) -> Self {
+        self.period_evaluation = evaluation;
+        self
+    }
+
+    /// Materialises the execution strategy (resolves the deadline now).
+    fn exec(&self) -> Exec {
+        Exec {
+            threads: self.threads,
+            deadline: self.time_limit.map(|d| Instant::now() + d),
+        }
+    }
+
+    fn minperiod_options(&self, model: CommModel) -> MinPeriodOptions {
+        MinPeriodOptions {
+            model,
+            evaluation: self.period_evaluation,
+            forest_enumeration_cap: self.max_graphs,
+            local_search_passes: self.local_search_passes,
+        }
+    }
+
+    fn minlatency_options(&self, model: CommModel) -> MinLatencyOptions {
+        MinLatencyOptions {
+            model,
+            ordering_exhaustive_limit: self.max_orderings,
+            forest_enumeration_cap: self.max_graphs,
+            local_search_passes: self.local_search_passes,
+            dag_enumeration_max_n: self.dag_enumeration_max_n,
+        }
+    }
+
+    fn outorder_options(&self) -> OutOrderOptions {
+        OutOrderOptions {
+            node_budget: self.outorder_node_budget,
+            refinement_steps: self.outorder_refinement_steps,
+            inorder_exhaustive_limit: self.max_orderings,
+        }
+    }
+}
+
+/// Result of a [`solve`] call.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The objective that was optimised.
+    pub objective: Objective,
+    /// The communication model the solution respects.
+    pub model: CommModel,
+    /// The objective value (period or latency).  For a plan search this is
+    /// the value of the search's evaluation (see
+    /// [`SearchBudget::period_evaluation`]); for orchestration on a fixed
+    /// graph it is the achieved schedule value.
+    pub value: f64,
+    /// The model's structural lower bound for the returned graph
+    /// (`max_k Cexec(k)` / `max_k (Cin+Ccomp+Cout)` for periods, the critical
+    /// path for latencies).
+    pub lower_bound: f64,
+    /// The execution graph of the solution (the fixed one, or the best found).
+    pub graph: ExecutionGraph,
+    /// A concrete cyclic schedule realising the solve, when the model's
+    /// orchestration machinery produces one.  Its `period()` / `latency()`
+    /// may sit above [`Solution::value`] when the plan search valued
+    /// candidates by a lower bound.
+    pub oplist: Option<OperationList>,
+    /// The communication orderings behind [`Solution::oplist`], for the
+    /// one-port models.
+    pub orderings: Option<CommOrderings>,
+    /// `true` when the value is optimal for the searched space (every
+    /// enumeration ran to completion within the budget).  For OUTORDER this
+    /// reflects the node-budgeted backtracker reaching the structural lower
+    /// bound, independent of [`SearchBudget::time_limit`].
+    pub exhaustive: bool,
+}
+
+/// Solves `problem` within `budget` — the single entry point covering all
+/// three communication models for both MINPERIOD and MINLATENCY, with or
+/// without a fixed execution graph.
+pub fn solve(problem: &Problem<'_>, budget: &SearchBudget) -> CoreResult<Solution> {
+    let exec = budget.exec();
+    match (problem.graph, problem.objective) {
+        (Some(graph), Objective::MinPeriod) => {
+            orchestrate_period(problem.app, problem.model, graph, budget, exec)
+        }
+        (Some(graph), Objective::MinLatency) => {
+            orchestrate_latency(problem.app, problem.model, graph, budget, exec)
+        }
+        (None, Objective::MinPeriod) => {
+            let options = budget.minperiod_options(problem.model);
+            let result = minimize_period_exec(problem.app, &options, exec)?;
+            let mut solution =
+                orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)?;
+            // Report the search's own value (bit-identical to the legacy
+            // `minimize_period`); the orchestrated schedule stays available
+            // through `oplist`.
+            solution.value = result.period;
+            solution.exhaustive = result.exhaustive && solution.exhaustive;
+            Ok(solution)
+        }
+        (None, Objective::MinLatency) => {
+            let options = budget.minlatency_options(problem.model);
+            let result = minimize_latency_exec(problem.app, &options, exec)?;
+            let mut solution =
+                orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)?;
+            solution.value = result.latency;
+            solution.exhaustive = result.exhaustive && solution.exhaustive;
+            Ok(solution)
+        }
+    }
+}
+
+/// Best schedule for a fixed graph, period objective.
+fn orchestrate_period(
+    app: &Application,
+    model: CommModel,
+    graph: &ExecutionGraph,
+    budget: &SearchBudget,
+    exec: Exec,
+) -> CoreResult<Solution> {
+    let lower_bound = PlanMetrics::compute(app, graph)?.period_lower_bound(model);
+    let (value, oplist, orderings, exhaustive) = match model {
+        CommModel::Overlap => {
+            // Theorem 1: the lower bound is achieved by an explicit schedule.
+            let oplist = overlap_period_oplist(app, graph)?;
+            (oplist.period(), Some(oplist), None, true)
+        }
+        CommModel::InOrder => {
+            let search = oneport_period_search_exec(
+                app,
+                graph,
+                OnePortStyle::InOrder,
+                budget.max_orderings,
+                exec,
+            )?;
+            let oplist = inorder_oplist_for_orderings(app, graph, &search.orderings)?;
+            (
+                search.period,
+                Some(oplist),
+                Some(search.orderings),
+                search.exhaustive,
+            )
+        }
+        CommModel::OutOrder => {
+            let search = outorder_period_search(app, graph, &budget.outorder_options())?;
+            (search.period, Some(search.oplist), None, search.optimal)
+        }
+    };
+    Ok(Solution {
+        objective: Objective::MinPeriod,
+        model,
+        value,
+        lower_bound,
+        graph: graph.clone(),
+        oplist,
+        orderings,
+        exhaustive,
+    })
+}
+
+/// Best schedule for a fixed graph, latency objective.
+fn orchestrate_latency(
+    app: &Application,
+    model: CommModel,
+    graph: &ExecutionGraph,
+    budget: &SearchBudget,
+    exec: Exec,
+) -> CoreResult<Solution> {
+    let lower_bound = latency_lower_bound(app, graph)?;
+    let oneport = oneport_latency_search_exec(app, graph, budget.max_orderings, exec)?;
+    let (value, oplist, orderings, exhaustive) = if model == CommModel::Overlap {
+        // Bounded multi-port bandwidth sharing can strictly beat every
+        // one-port schedule (counter-example B.2).
+        let (fluid, fluid_oplist) = multiport_proportional_latency(app, graph)?;
+        if fluid <= oneport.latency {
+            (fluid, Some(fluid_oplist), None, oneport.exhaustive)
+        } else {
+            (
+                oneport.latency,
+                Some(oneport.oplist),
+                Some(oneport.orderings),
+                oneport.exhaustive,
+            )
+        }
+    } else {
+        (
+            oneport.latency,
+            Some(oneport.oplist),
+            Some(oneport.orderings),
+            oneport.exhaustive,
+        )
+    };
+    Ok(Solution {
+        objective: Objective::MinLatency,
+        model,
+        value,
+        lower_bound,
+        graph: graph.clone(),
+        oplist,
+        orderings,
+        exhaustive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::oneport_latency_search;
+    use crate::minlatency::minimize_latency;
+    use crate::minperiod::minimize_period;
+    use crate::oneport::oneport_period_search;
+    use crate::outorder::outorder_period_search;
+    use fsw_core::validate_oplist;
+
+    fn section23() -> (Application, ExecutionGraph) {
+        let app = Application::independent(&[(4.0, 1.0); 5]);
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+        (app, g)
+    }
+
+    #[test]
+    fn fixed_graph_covers_all_models_and_objectives() {
+        let (app, g) = section23();
+        let budget = SearchBudget::default();
+        let expectations = [
+            (CommModel::Overlap, Objective::MinPeriod, 4.0),
+            (CommModel::InOrder, Objective::MinPeriod, 23.0 / 3.0),
+            (CommModel::OutOrder, Objective::MinPeriod, 7.0),
+            (CommModel::Overlap, Objective::MinLatency, 21.0),
+            (CommModel::InOrder, Objective::MinLatency, 21.0),
+            (CommModel::OutOrder, Objective::MinLatency, 21.0),
+        ];
+        for (model, objective, expected) in expectations {
+            let solution = solve(&Problem::on_graph(&app, model, objective, &g), &budget).unwrap();
+            assert!(
+                (solution.value - expected).abs() < 1e-9,
+                "{model} {objective}: expected {expected}, got {}",
+                solution.value
+            );
+            assert!(solution.exhaustive, "{model} {objective}");
+            assert!(solution.value >= solution.lower_bound - 1e-9);
+            let oplist = solution.oplist.expect("orchestration produces a schedule");
+            validate_oplist(&app, &g, &oplist, model).unwrap_or_else(|v| panic!("{model}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn fixed_graph_matches_legacy_entry_points() {
+        let (app, g) = section23();
+        let budget = SearchBudget::default();
+        let inorder = solve(
+            &Problem::on_graph(&app, CommModel::InOrder, Objective::MinPeriod, &g),
+            &budget,
+        )
+        .unwrap();
+        let legacy = oneport_period_search(&app, &g, OnePortStyle::InOrder, 5_000).unwrap();
+        assert_eq!(inorder.value, legacy.period);
+        assert_eq!(inorder.orderings.as_ref(), Some(&legacy.orderings));
+
+        let outorder = solve(
+            &Problem::on_graph(&app, CommModel::OutOrder, Objective::MinPeriod, &g),
+            &budget,
+        )
+        .unwrap();
+        let legacy = outorder_period_search(&app, &g, &OutOrderOptions::default()).unwrap();
+        assert_eq!(outorder.value, legacy.period);
+
+        let latency = solve(
+            &Problem::on_graph(&app, CommModel::InOrder, Objective::MinLatency, &g),
+            &budget,
+        )
+        .unwrap();
+        let legacy = oneport_latency_search(&app, &g, 5_000).unwrap();
+        assert_eq!(latency.value, legacy.latency);
+    }
+
+    #[test]
+    fn plan_search_matches_legacy_solvers() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let budget = SearchBudget::default();
+        for model in CommModel::ALL {
+            let solution =
+                solve(&Problem::new(&app, model, Objective::MinPeriod), &budget).unwrap();
+            let legacy = minimize_period(&app, &MinPeriodOptions::for_model(model)).unwrap();
+            assert_eq!(solution.value, legacy.period, "{model}");
+            assert_eq!(solution.graph.edge_count(), legacy.graph.edge_count());
+
+            let solution =
+                solve(&Problem::new(&app, model, Objective::MinLatency), &budget).unwrap();
+            let legacy = minimize_latency(&app, &MinLatencyOptions::for_model(model)).unwrap();
+            assert_eq!(solution.value, legacy.latency, "{model}");
+        }
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_serial() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        for model in CommModel::ALL {
+            for objective in [Objective::MinPeriod, Objective::MinLatency] {
+                let serial = solve(
+                    &Problem::new(&app, model, objective),
+                    &SearchBudget::default().with_threads(1),
+                )
+                .unwrap();
+                let parallel = solve(
+                    &Problem::new(&app, model, objective),
+                    &SearchBudget::default().with_threads(4),
+                )
+                .unwrap();
+                assert_eq!(serial.value, parallel.value, "{model} {objective}");
+                assert_eq!(
+                    serial.graph.edge_count(),
+                    parallel.graph.edge_count(),
+                    "{model} {objective}"
+                );
+                assert_eq!(serial.exhaustive, parallel.exhaustive);
+            }
+        }
+    }
+
+    #[test]
+    fn time_limit_degrades_gracefully() {
+        let (app, g) = section23();
+        let budget = SearchBudget::default().with_time_limit(Duration::ZERO);
+        let solution = solve(
+            &Problem::on_graph(&app, CommModel::InOrder, Objective::MinPeriod, &g),
+            &budget,
+        )
+        .unwrap();
+        // With an expired deadline the search still returns a feasible value…
+        assert!(solution.value.is_finite());
+        assert!(solution.value >= 23.0 / 3.0 - 1e-9);
+        // …but cannot claim optimality.
+        assert!(!solution.exhaustive);
+    }
+
+    #[test]
+    fn constrained_apps_route_through_dag_search() {
+        let mut app = Application::independent(&[(1.0, 0.5), (2.0, 0.5), (3.0, 1.0)]);
+        app.add_constraint(2, 0).unwrap();
+        let budget = SearchBudget::default();
+        let solution = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+            &budget,
+        )
+        .unwrap();
+        solution.graph.respects(&app).unwrap();
+        assert!(solution.graph.ancestors(0).contains(&2));
+    }
+}

@@ -255,7 +255,9 @@ mod tests {
         let g = fork_join();
         let mut state = 12345u64;
         let ords = CommOrderings::random(&g, |m| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize % m
         });
         assert!(ords.is_consistent_with(&g));

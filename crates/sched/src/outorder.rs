@@ -23,8 +23,8 @@
 //! DESIGN.md).
 
 use fsw_core::{
-    in_edges, Application, CommModel, CoreResult, EdgeRef, ExecutionGraph, Interval,
-    OperationList, PlanMetrics, ServiceId,
+    in_edges, Application, CommModel, CoreResult, EdgeRef, ExecutionGraph, Interval, OperationList,
+    PlanMetrics, ServiceId,
 };
 
 use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search, OnePortStyle};
@@ -393,9 +393,11 @@ mod tests {
     fn infeasible_period_rejected() {
         let (app, g) = section23();
         // Below the largest single operation (a computation of 4) nothing fits.
-        assert!(outorder_schedule_at(&app, &g, 3.5, &OutOrderOptions::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            outorder_schedule_at(&app, &g, 3.5, &OutOrderOptions::default())
+                .unwrap()
+                .is_none()
+        );
         // At the lower bound a schedule exists.
         let ol = outorder_schedule_at(&app, &g, 7.0, &OutOrderOptions::default())
             .unwrap()
@@ -418,9 +420,8 @@ mod tests {
     #[test]
     fn fork_join_outorder_between_bound_and_inorder() {
         let app = Application::independent(&[(1.0, 1.0); 5]);
-        let g =
-            ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
-                .unwrap();
+        let g = ExecutionGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+            .unwrap();
         let result = outorder_period_search(&app, &g, &OutOrderOptions::default()).unwrap();
         validate_oplist(&app, &g, &result.oplist, CommModel::OutOrder).unwrap();
         assert!(result.period >= result.lower_bound - 1e-9);

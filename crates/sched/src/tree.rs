@@ -77,7 +77,10 @@ pub fn tree_latency_orderings(
                 .map(|&c| (subtree_latency(app, graph, c), c))
                 .collect();
             order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite latencies"));
-            ords.outgoing[k] = order.into_iter().map(|(_, c)| EdgeRef::Link(k, c)).collect();
+            ords.outgoing[k] = order
+                .into_iter()
+                .map(|(_, c)| EdgeRef::Link(k, c))
+                .collect();
         }
     }
     Ok(ords)

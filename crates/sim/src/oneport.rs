@@ -89,7 +89,9 @@ pub fn simulate_inorder(
             all_done = false;
             let op = seqs[k][pos[k]];
             let executed = match op {
-                ServerOp::Calc | ServerOp::Recv(EdgeRef::Input(_)) | ServerOp::Send(EdgeRef::Output(_)) => {
+                ServerOp::Calc
+                | ServerOp::Recv(EdgeRef::Input(_))
+                | ServerOp::Send(EdgeRef::Output(_)) => {
                     // Local operation: the server alone decides.
                     let start = avail[k];
                     let end = start + duration(k, &op);
@@ -122,7 +124,13 @@ pub fn simulate_inorder(
                         avail[peer] = end;
                         completions[ds[k]] = completions[ds[k]].max(end);
                         // Advance the peer past this transfer too.
-                        advance(&mut ds[peer], &mut pos[peer], &mut done[peer], seqs[peer].len(), data_sets);
+                        advance(
+                            &mut ds[peer],
+                            &mut pos[peer],
+                            &mut done[peer],
+                            seqs[peer].len(),
+                            data_sets,
+                        );
                         true
                     } else {
                         false
@@ -133,7 +141,13 @@ pub fn simulate_inorder(
                 }
             };
             if executed {
-                advance(&mut ds[k], &mut pos[k], &mut done[k], seqs[k].len(), data_sets);
+                advance(
+                    &mut ds[k],
+                    &mut pos[k],
+                    &mut done[k],
+                    seqs[k].len(),
+                    data_sets,
+                );
                 progressed = true;
             }
         }
@@ -177,7 +191,10 @@ mod tests {
         let ords = CommOrderings::natural(&g);
         let report = simulate_inorder(&app, &g, &ords, 64).unwrap();
         let analytic = inorder_period_for_orderings(&app, &g, &ords).unwrap();
-        assert!((report.period - analytic).abs() < 1e-6, "{report:?} vs {analytic}");
+        assert!(
+            (report.period - analytic).abs() < 1e-6,
+            "{report:?} vs {analytic}"
+        );
         // Latency of the first data set on the chain:
         // 1 (in) + 2 (C1) + 0.5 + 1.5 (C2) + 1 + 1 (C3) + 1 (out) = 8.
         assert!((report.first_latency - 8.0).abs() < 1e-9);

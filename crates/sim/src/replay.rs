@@ -40,7 +40,7 @@ pub fn replay_oplist(
     oplist.covers(graph)?;
     let metrics = PlanMetrics::compute(app, graph)?;
     let lambda = oplist.lambda;
-    if !(lambda > 0.0) {
+    if lambda.is_nan() || lambda <= 0.0 {
         return Err(CoreError::InvalidNumber {
             what: "period",
             value: lambda,
@@ -51,13 +51,13 @@ pub fn replay_oplist(
 
     // Completion time of each data set: the last communication of that data set.
     let mut completions = vec![0.0f64; data_sets];
-    for d in 0..data_sets {
+    for (d, completion) in completions.iter_mut().enumerate() {
         let shift = d as f64 * lambda;
         let end = plan_edges(graph)
             .into_iter()
             .map(|e| oplist.comm(e).expect("coverage checked").end + shift)
             .fold(0.0f64, f64::max);
-        completions[d] = end;
+        *completion = end;
     }
 
     // Resource checks on the unrolled timeline.
@@ -110,8 +110,7 @@ pub fn replay_oplist(
                         }
                     }
                     // Sweep the event points and check the aggregate rate.
-                    let mut points: Vec<f64> =
-                        occ.iter().flat_map(|o| [o.start, o.end]).collect();
+                    let mut points: Vec<f64> = occ.iter().flat_map(|o| [o.start, o.end]).collect();
                     points.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
                     points.dedup_by(|a, b| (*a - *b).abs() <= eps);
                     for w in points.windows(2) {
@@ -156,8 +155,8 @@ pub fn replay_oplist(
 mod tests {
     use super::*;
     use fsw_core::Interval;
-    use fsw_sched::overlap::overlap_period_oplist;
     use fsw_sched::oneport::{inorder_oplist_for_orderings, oneport_period_search, OnePortStyle};
+    use fsw_sched::overlap::overlap_period_oplist;
 
     fn section23() -> (Application, ExecutionGraph) {
         let app = Application::independent(&[(4.0, 1.0); 5]);

@@ -36,8 +36,7 @@ impl PaperInstance {
 /// (OVERLAP), 7 (OUTORDER), 23/3 (INORDER).
 pub fn section23() -> PaperInstance {
     let app = Application::independent(&[(4.0, 1.0); 5]);
-    let graph =
-        ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
+    let graph = ExecutionGraph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 4), (3, 4)]).unwrap();
     PaperInstance {
         name: "section-2.3",
         app,
@@ -223,11 +222,7 @@ mod tests {
         let mc = PlanMetrics::compute(&inst.app, nocomm).unwrap();
         assert!(mc.period_lower_bound(CommModel::Overlap) > 199.0);
         // Without communications both plans achieve (almost exactly) 100.
-        let comp_only = |m: &PlanMetrics| {
-            (0..202)
-                .map(|k| m.c_comp(k))
-                .fold(0.0f64, f64::max)
-        };
+        let comp_only = |m: &PlanMetrics| (0..202).map(|k| m.c_comp(k)).fold(0.0f64, f64::max);
         assert!((comp_only(&m4) - 100.0).abs() < 0.02);
         assert!((comp_only(&mc) - 100.0).abs() < 0.02);
     }
@@ -250,7 +245,11 @@ mod tests {
         let inst = counterexample_b3();
         let m = PlanMetrics::compute(&inst.app, inst.graph()).unwrap();
         for i in 0..3 {
-            assert!((m.c_out(i) - 12.0).abs() < 1e-12, "Cout({i}) = {}", m.c_out(i));
+            assert!(
+                (m.c_out(i) - 12.0).abs() < 1e-12,
+                "Cout({i}) = {}",
+                m.c_out(i)
+            );
         }
         assert!((m.c_out(3) - 6.0).abs() < 1e-12);
         for j in 4..7 {

@@ -63,9 +63,7 @@ pub fn random_application<R: Rng + ?Sized>(config: &RandomAppConfig, rng: &mut R
     for _ in 0..config.n {
         let cost = rng.gen_range(config.cost_range.0..=config.cost_range.1);
         let selectivity = if rng.gen_bool(config.expander_fraction) {
-            rng.gen_range(
-                config.expander_selectivity_range.0..=config.expander_selectivity_range.1,
-            )
+            rng.gen_range(config.expander_selectivity_range.0..=config.expander_selectivity_range.1)
         } else {
             rng.gen_range(config.filter_selectivity_range.0..=config.filter_selectivity_range.1)
         };
@@ -85,7 +83,11 @@ pub fn random_application<R: Rng + ?Sized>(config: &RandomAppConfig, rng: &mut R
 
 /// Draws a random forest execution graph over `n` services (every service
 /// picks its parent among the lower-numbered services, or none).
-pub fn random_forest_graph<R: Rng + ?Sized>(n: usize, edge_bias: f64, rng: &mut R) -> ExecutionGraph {
+pub fn random_forest_graph<R: Rng + ?Sized>(
+    n: usize,
+    edge_bias: f64,
+    rng: &mut R,
+) -> ExecutionGraph {
     let mut parents: Vec<Option<ServiceId>> = vec![None; n];
     for (k, parent) in parents.iter_mut().enumerate().skip(1) {
         if rng.gen_bool(edge_bias) {

@@ -82,7 +82,10 @@ pub fn sensor_fusion(sensors: usize) -> Application {
         builder = builder.service(0.5, 0.4); // per-sensor denoising filters
     }
     // fusion (expands: feature vectors), anomaly detection, archival compaction
-    builder = builder.service(2.0, 1.5).service(4.0, 0.2).service(1.0, 0.1);
+    builder = builder
+        .service(2.0, 1.5)
+        .service(4.0, 0.2)
+        .service(1.0, 0.1);
     let fusion = sensors;
     for s in 0..sensors {
         builder = builder.constraint(s, fusion);

@@ -10,8 +10,7 @@
 //! Run with: `cargo run --example media_pipeline`
 
 use fsw::core::{CommModel, ExecutionGraph, PlanMetrics};
-use fsw::sched::latency::latency_lower_bound;
-use fsw::sched::oneport_latency_search;
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
 use fsw::sched::CommOrderings;
 use fsw::sim::simulate_inorder;
 use fsw::workloads::media_pipeline;
@@ -44,21 +43,31 @@ fn main() {
         );
     }
 
-    println!("\n-- achievable period --");
+    // Orchestrate the fixed chain under every model through the unified API.
+    let budget = SearchBudget::default();
+    println!("\n-- achievable period (orchestrator) --");
     for model in CommModel::ALL {
+        let solution = solve(
+            &Problem::on_graph(&app, model, Objective::MinPeriod, &graph),
+            &budget,
+        )
+        .expect("solve");
         println!(
-            "  {model:<9}: {:.3}",
-            metrics.period_lower_bound(model)
+            "  {model:<9}: {:.3}   (structural lower bound {:.3})",
+            solution.value, solution.lower_bound
         );
     }
     println!("  (on a chain the one-port bound is reached; Proposition 8 discussion)");
 
-    let latency = oneport_latency_search(&app, &graph, 1_000).expect("chain has one ordering");
+    let latency = solve(
+        &Problem::on_graph(&app, CommModel::InOrder, Objective::MinLatency, &graph),
+        &budget,
+    )
+    .expect("chain has one ordering");
     println!("\n-- latency --");
     println!(
         "  optimal: {:.3}   critical-path lower bound: {:.3}",
-        latency.latency,
-        latency_lower_bound(&app, &graph).unwrap()
+        latency.value, latency.lower_bound
     );
 
     // Simulate 200 frames through the pipeline under INORDER.

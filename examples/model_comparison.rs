@@ -9,15 +9,21 @@
 //!   Figure 6 graph while one-port (even with computation/communication
 //!   overlap) stays strictly above.
 //!
+//! Everything that maps onto the paper's three communication models goes
+//! through the unified orchestrator; only the B.3 *one-port-with-overlap*
+//! variant (a Section 3 construction outside the three models) still calls
+//! its dedicated search.
+//!
 //! Run with: `cargo run --release --example model_comparison`
 
-use fsw::core::PlanMetrics;
-use fsw::sched::latency::{multiport_proportional_latency, oneport_latency_search};
+use fsw::core::{CommModel, PlanMetrics};
 use fsw::sched::oneport::{oneport_period_search, OnePortStyle};
-use fsw::sched::overlap::overlap_period_lower_bound;
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
 use fsw::workloads::{counterexample_b1, counterexample_b2, counterexample_b3};
 
 fn main() {
+    let budget = SearchBudget::exhaustive_up_to(20_000, 2_000_000);
+
     // ---------------------------------------------------------------- B.1 --
     let b1 = counterexample_b1();
     let fig4 = b1.graph_named("figure-4").unwrap();
@@ -26,40 +32,91 @@ fn main() {
         let m = PlanMetrics::compute(&b1.app, g).unwrap();
         (0..b1.app.n()).map(|k| m.c_comp(k)).fold(0.0f64, f64::max)
     };
+    let overlap_period = |g| {
+        solve(
+            &Problem::on_graph(&b1.app, CommModel::Overlap, Objective::MinPeriod, g),
+            &budget,
+        )
+        .unwrap()
+        .value
+    };
     println!("== B.1: impact of communication costs on MINPERIOD (OVERLAP) ==");
     println!(
         "  chain plan   : period {:.2} without comm, {:.2} with comm",
         nocomm(chain),
-        overlap_period_lower_bound(&b1.app, chain).unwrap()
+        overlap_period(chain)
     );
     println!(
         "  Figure 4 plan: period {:.2} without comm, {:.2} with comm   (paper: 100 vs 200)",
         nocomm(fig4),
-        overlap_period_lower_bound(&b1.app, fig4).unwrap()
+        overlap_period(fig4)
     );
 
     // ---------------------------------------------------------------- B.2 --
     let b2 = counterexample_b2();
-    let (multi, _) = multiport_proportional_latency(&b2.app, b2.graph()).unwrap();
-    let oneport = oneport_latency_search(&b2.app, b2.graph(), 20_000).unwrap();
+    // OVERLAP latency admits bounded multi-port bandwidth sharing; the
+    // one-port models do not — the gap is the point of the counter-example.
+    let multi = solve(
+        &Problem::on_graph(
+            &b2.app,
+            CommModel::Overlap,
+            Objective::MinLatency,
+            b2.graph(),
+        ),
+        &budget,
+    )
+    .unwrap();
+    let oneport = solve(
+        &Problem::on_graph(
+            &b2.app,
+            CommModel::InOrder,
+            Objective::MinLatency,
+            b2.graph(),
+        ),
+        &budget,
+    )
+    .unwrap();
     println!("\n== B.2: one-port vs multi-port latency (Figure 5) ==");
-    println!("  multi-port latency        : {multi:.2}   (paper: 20)");
+    println!(
+        "  multi-port latency        : {:.2}   (paper: 20)",
+        multi.value
+    );
     println!(
         "  best one-port latency found: {:.2}   (paper: > 20; search {})",
-        oneport.latency,
-        if oneport.exhaustive { "exhaustive" } else { "heuristic" }
+        oneport.value,
+        if oneport.exhaustive {
+            "exhaustive"
+        } else {
+            "heuristic"
+        }
     );
 
     // ---------------------------------------------------------------- B.3 --
     let b3 = counterexample_b3();
-    let multi_period = overlap_period_lower_bound(&b3.app, b3.graph()).unwrap();
+    let multi_period = solve(
+        &Problem::on_graph(
+            &b3.app,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            b3.graph(),
+        ),
+        &budget,
+    )
+    .unwrap();
     let oneport_period =
         oneport_period_search(&b3.app, b3.graph(), OnePortStyle::OverlapPorts, 5_000).unwrap();
     println!("\n== B.3: one-port vs multi-port period (Figure 6) ==");
-    println!("  multi-port period          : {multi_period:.2}   (paper: 12)");
+    println!(
+        "  multi-port period          : {:.2}   (paper: 12)",
+        multi_period.value
+    );
     println!(
         "  best one-port period found : {:.2}   (paper: > 12; search {})",
         oneport_period.period,
-        if oneport_period.exhaustive { "exhaustive" } else { "heuristic" }
+        if oneport_period.exhaustive {
+            "exhaustive"
+        } else {
+            "heuristic"
+        }
     );
 }

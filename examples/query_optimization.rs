@@ -17,9 +17,10 @@ use rand::SeedableRng;
 
 use fsw::core::{CommModel, PlanMetrics};
 use fsw::sched::baseline::{nocomm_minperiod_plan, nocomm_period};
-use fsw::sched::chain::{chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order};
-use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
-use fsw::sched::minperiod::{minimize_period, MinPeriodOptions};
+use fsw::sched::chain::{
+    chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order,
+};
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
 use fsw::sched::tree::tree_latency;
 use fsw::workloads::query_optimization;
 
@@ -28,7 +29,10 @@ fn main() {
     let app = query_optimization(7, &mut rng);
     println!("== query optimisation workload ({} predicates) ==", app.n());
     for (i, s) in app.services().iter().enumerate() {
-        println!("  predicate {i}: cost {:.2}, selectivity {:.2}", s.cost, s.selectivity);
+        println!(
+            "  predicate {i}: cost {:.2}, selectivity {:.2}",
+            s.cost, s.selectivity
+        );
     }
 
     // Baseline: the plan that is optimal when communications are free.
@@ -37,13 +41,19 @@ fn main() {
     let baseline_metrics = PlanMetrics::compute(&app, &baseline_plan).unwrap();
     let baseline_with_comm = baseline_metrics.period_lower_bound(CommModel::Overlap);
 
-    // Chain-restricted greedy (Proposition 8) and full MINPERIOD.
+    // Chain-restricted greedy (Proposition 8) and full MINPERIOD through the
+    // unified orchestrator (threads = 0: use every core, identical results).
+    let budget = SearchBudget::default().with_threads(0);
     let chain_order = chain_minperiod_order(&app, CommModel::Overlap).unwrap();
     let chain = chain_graph(app.n(), &chain_order).unwrap();
     let chain_period = PlanMetrics::compute(&app, &chain)
         .unwrap()
         .period_lower_bound(CommModel::Overlap);
-    let best = minimize_period(&app, &MinPeriodOptions::default()).expect("solver");
+    let best = solve(
+        &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+        &budget,
+    )
+    .expect("solver");
 
     println!("\n-- period (OVERLAP) --");
     println!("no-communication optimum (comm ignored) : {baseline_nocomm:.3}");
@@ -51,19 +61,23 @@ fn main() {
     println!("Proposition 8 chain                     : {chain_period:.3}");
     println!(
         "communication-aware MINPERIOD           : {:.3}  (exhaustive: {})",
-        best.period, best.exhaustive
+        best.value, best.exhaustive
     );
 
     // Latency.
     let lat_order = chain_minlatency_order(&app).unwrap();
     let lat_chain = chain_latency(&app, &lat_order);
-    let best_lat = minimize_latency(&app, &MinLatencyOptions::default()).expect("solver");
+    let best_lat = solve(
+        &Problem::new(&app, CommModel::Overlap, Objective::MinLatency),
+        &budget,
+    )
+    .expect("solver");
     let baseline_lat = tree_latency(&app, &baseline_plan).unwrap();
     println!("\n-- latency --");
     println!("no-communication optimal plan           : {baseline_lat:.3}");
     println!("Proposition 16 chain                    : {lat_chain:.3}");
     println!(
         "communication-aware MINLATENCY          : {:.3}  (exhaustive: {})",
-        best_lat.latency, best_lat.exhaustive
+        best_lat.value, best_lat.exhaustive
     );
 }

@@ -1,17 +1,15 @@
 //! Quickstart: the worked example of Section 2.3 of the paper.
 //!
 //! Builds the five-service application and the Figure 1 execution graph, then
-//! computes the optimal period under the three communication models and the
-//! optimal latency, cross-checking everything with the validator and the
-//! replay simulator.
+//! drives the unified orchestrator (`fsw::sched::orchestrator`) to compute the
+//! optimal period under the three communication models and the optimal
+//! latency, cross-checking everything with the validator and the replay
+//! simulator.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use fsw::core::{validate_oplist, CommModel};
-use fsw::sched::oneport::{oneport_period_search, OnePortStyle};
-use fsw::sched::outorder::{outorder_period_search, OutOrderOptions};
-use fsw::sched::overlap::overlap_period_oplist;
-use fsw::sched::oneport_latency_search;
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
 use fsw::sim::replay_oplist;
 use fsw::workloads::section23;
 
@@ -26,35 +24,46 @@ fn main() {
         graph.edge_count()
     );
 
-    // Period, OVERLAP model (Theorem 1: polynomial).
-    let overlap = overlap_period_oplist(app, graph).expect("well-formed instance");
-    validate_oplist(app, graph, &overlap, CommModel::Overlap).expect("valid schedule");
-    println!("OVERLAP  period  : {:.4}  (paper: 4)", overlap.period());
+    // One budget for every solve: ordering and graph enumeration caps, plus
+    // the worker-thread fan-out (0 = use all cores; results are identical).
+    let budget = SearchBudget::exhaustive_up_to(10_000, 2_000_000).with_threads(0);
 
-    // Period, OUTORDER model (cyclic-scheduling search).
-    let outorder = outorder_period_search(app, graph, &OutOrderOptions::default())
+    // Period under the three communication models, via the single entry point.
+    let paper = [
+        (CommModel::Overlap, "4"),
+        (CommModel::OutOrder, "7"),
+        (CommModel::InOrder, "23/3 = 7.6667"),
+    ];
+    for (model, expected) in paper {
+        let solution = solve(
+            &Problem::on_graph(app, model, Objective::MinPeriod, graph),
+            &budget,
+        )
         .expect("well-formed instance");
-    validate_oplist(app, graph, &outorder.oplist, CommModel::OutOrder).expect("valid schedule");
-    println!(
-        "OUTORDER period  : {:.4}  (paper: 7, optimal = {})",
-        outorder.period, outorder.optimal
-    );
-
-    // Period, INORDER model (ordering search over the event graph).
-    let inorder = oneport_period_search(app, graph, OnePortStyle::InOrder, 10_000)
-        .expect("well-formed instance");
-    println!(
-        "INORDER  period  : {:.4}  (paper: 23/3 = {:.4})",
-        inorder.period,
-        23.0 / 3.0
-    );
+        let oplist = solution.oplist.as_ref().expect("orchestrated schedule");
+        validate_oplist(app, graph, oplist, model).expect("valid schedule");
+        println!(
+            "{model:<8} period  : {:.4}  (paper: {expected}, exhaustive = {})",
+            solution.value, solution.exhaustive
+        );
+    }
 
     // Latency (identical for the three models on this example).
-    let latency = oneport_latency_search(app, graph, 10_000).expect("well-formed instance");
-    println!("latency          : {:.4}  (paper: 21)", latency.latency);
+    let latency = solve(
+        &Problem::on_graph(app, CommModel::InOrder, Objective::MinLatency, graph),
+        &budget,
+    )
+    .expect("well-formed instance");
+    println!("latency          : {:.4}  (paper: 21)", latency.value);
 
     // Replay the OVERLAP schedule over a stream of data sets.
-    let report = replay_oplist(app, graph, &overlap, CommModel::Overlap, 64).expect("replay");
+    let overlap = solve(
+        &Problem::on_graph(app, CommModel::Overlap, Objective::MinPeriod, graph),
+        &budget,
+    )
+    .expect("well-formed instance");
+    let oplist = overlap.oplist.expect("overlap schedule");
+    let report = replay_oplist(app, graph, &oplist, CommModel::Overlap, 64).expect("replay");
     println!(
         "\nreplayed {} data sets: steady-state period {:.4}, first completion {:.4}",
         report.data_sets(),

@@ -58,7 +58,9 @@ fn e2_counterexample_b1_structure() {
 
     let nocomm_period = |g: &fsw::core::ExecutionGraph| {
         let m = PlanMetrics::compute(&inst.app, g).unwrap();
-        (0..inst.app.n()).map(|k| m.c_comp(k)).fold(0.0f64, f64::max)
+        (0..inst.app.n())
+            .map(|k| m.c_comp(k))
+            .fold(0.0f64, f64::max)
     };
     // Without communications both plans sit at 100.
     assert!((nocomm_period(chain) - 100.0).abs() < 0.05);
@@ -82,7 +84,11 @@ fn e3_counterexample_b2_latency_gap() {
     // space is too large to enumerate, so this is the best schedule found by
     // the hill-climbing search; it stays >= 21, strictly above the multi-port value.
     let oneport = oneport_latency_search(&inst.app, inst.graph(), 10_000).unwrap();
-    assert!(oneport.latency >= 21.0 - 1e-9, "one-port {}", oneport.latency);
+    assert!(
+        oneport.latency >= 21.0 - 1e-9,
+        "one-port {}",
+        oneport.latency
+    );
     assert!(multi < oneport.latency - 0.5);
 }
 

@@ -1,112 +1,134 @@
-//! Property-based tests (proptest) on the core invariants of the workspace.
+//! Property-based tests (seeded random instances) on the core invariants of
+//! the workspace.
+//!
+//! The build container cannot reach crates.io, so instead of proptest these
+//! properties are checked over a deterministic, seeded family of random
+//! instances: every run explores exactly the same cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use fsw::core::{
-    validate_oplist, Application, CommModel, ExecutionGraph, PlanMetrics, ServiceId,
+use fsw::core::{validate_oplist, Application, CommModel, ExecutionGraph, PlanMetrics, ServiceId};
+use fsw::sched::chain::{
+    chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
 };
-use fsw::sched::chain::{chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
 use fsw::sched::latency::{latency_lower_bound, oneport_latency_search};
 use fsw::sched::overlap::overlap_period_oplist;
 use fsw::sched::tree::tree_latency;
 
-/// Strategy: a vector of (cost, selectivity) pairs.
-fn service_specs(max_n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec(
-        (0.1f64..5.0, prop_oneof![0.05f64..1.0, 1.0f64..3.0]),
-        1..=max_n,
-    )
+const CASES: usize = 48;
+
+/// A random vector of (cost, selectivity) pairs; selectivities mix filters
+/// (< 1) and expanders (>= 1) like the original proptest strategy.
+fn service_specs(rng: &mut StdRng, max_n: usize) -> Vec<(f64, f64)> {
+    let n = rng.gen_range(1..=max_n);
+    (0..n)
+        .map(|_| {
+            let cost = rng.gen_range(0.1..5.0);
+            let selectivity = if rng.gen_bool(0.5) {
+                rng.gen_range(0.05..1.0)
+            } else {
+                rng.gen_range(1.0..3.0)
+            };
+            (cost, selectivity)
+        })
+        .collect()
 }
 
-/// Strategy: a parent function over `n` services (forest), parents always of
-/// lower index so the graph is acyclic by construction.
-fn parents(n: usize) -> impl Strategy<Value = Vec<Option<ServiceId>>> {
-    let mut strategies: Vec<BoxedStrategy<Option<ServiceId>>> = Vec::with_capacity(n);
-    for k in 0..n {
-        if k == 0 {
-            strategies.push(Just(None).boxed());
-        } else {
-            strategies.push(
-                prop_oneof![Just(None), (0..k).prop_map(Some)]
-                    .boxed(),
-            );
-        }
-    }
-    strategies
+/// A random parent function over `n` services; parents always have lower
+/// index so the graph is a forest (acyclic by construction).
+fn parents(rng: &mut StdRng, n: usize) -> Vec<Option<ServiceId>> {
+    (0..n)
+        .map(|k| {
+            if k == 0 || rng.gen_bool(0.5) {
+                None
+            } else {
+                Some(rng.gen_range(0..k))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The Proposition 1 schedule is always valid and meets the OVERLAP bound.
-    #[test]
-    fn overlap_oplist_always_valid(specs in service_specs(7), seed_parents in parents(7)) {
-        let n = specs.len();
+/// The Proposition 1 schedule is always valid and meets the OVERLAP bound.
+#[test]
+fn overlap_oplist_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let specs = service_specs(&mut rng, 7);
         let app = Application::independent(&specs);
-        let parents: Vec<Option<usize>> = seed_parents.into_iter().take(n).collect();
-        let graph = ExecutionGraph::from_parents(&parents).unwrap();
+        let graph = ExecutionGraph::from_parents(&parents(&mut rng, specs.len())).unwrap();
         let metrics = PlanMetrics::compute(&app, &graph).unwrap();
         let oplist = overlap_period_oplist(&app, &graph).unwrap();
-        prop_assert!(validate_oplist(&app, &graph, &oplist, CommModel::Overlap).is_ok());
-        prop_assert!(oplist.period() >= metrics.period_lower_bound(CommModel::Overlap) - 1e-9);
+        assert!(validate_oplist(&app, &graph, &oplist, CommModel::Overlap).is_ok());
+        assert!(oplist.period() >= metrics.period_lower_bound(CommModel::Overlap) - 1e-9);
     }
+}
 
-    /// Ancestor-set consistency: the input factor of a node equals the product
-    /// of the selectivities of its ancestors, and adding an edge can only add
-    /// ancestors.
-    #[test]
-    fn metrics_follow_ancestors(specs in service_specs(7), seed_parents in parents(7)) {
-        let n = specs.len();
+/// Ancestor-set consistency: the input factor of a node equals the product of
+/// the selectivities of its ancestors.
+#[test]
+fn metrics_follow_ancestors() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let specs = service_specs(&mut rng, 7);
         let app = Application::independent(&specs);
-        let parents: Vec<Option<usize>> = seed_parents.into_iter().take(n).collect();
-        let graph = ExecutionGraph::from_parents(&parents).unwrap();
+        let graph = ExecutionGraph::from_parents(&parents(&mut rng, specs.len())).unwrap();
         let metrics = PlanMetrics::compute(&app, &graph).unwrap();
-        for k in 0..n {
+        for k in 0..specs.len() {
             let expected: f64 = graph
                 .ancestors(k)
                 .into_iter()
                 .map(|a| app.selectivity(a))
                 .product();
-            prop_assert!((metrics.input_factor(k) - expected).abs() < 1e-9);
-            prop_assert!((metrics.c_comp(k) - expected * app.cost(k)).abs() < 1e-9);
+            assert!((metrics.input_factor(k) - expected).abs() < 1e-9);
+            assert!((metrics.c_comp(k) - expected * app.cost(k)).abs() < 1e-9);
         }
     }
+}
 
-    /// The chain formulas agree with the generic machinery for every
-    /// permutation prefix, and the greedy chain orders are never worse than
-    /// the identity order.
-    #[test]
-    fn chain_formulas_consistent(specs in service_specs(6)) {
+/// The chain formulas agree with the generic machinery, and the greedy chain
+/// orders are never worse than the identity order.
+#[test]
+fn chain_formulas_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let specs = service_specs(&mut rng, 6);
         let app = Application::independent(&specs);
         let n = app.n();
         let identity: Vec<usize> = (0..n).collect();
         for model in CommModel::ALL {
             let greedy = chain_minperiod_order(&app, model).unwrap();
-            prop_assert!(chain_period(&app, &greedy, model) <= chain_period(&app, &identity, model) + 1e-9);
+            assert!(
+                chain_period(&app, &greedy, model) <= chain_period(&app, &identity, model) + 1e-9
+            );
         }
         let greedy_lat = chain_minlatency_order(&app).unwrap();
-        prop_assert!(chain_latency(&app, &greedy_lat) <= chain_latency(&app, &identity) + 1e-9);
+        assert!(chain_latency(&app, &greedy_lat) <= chain_latency(&app, &identity) + 1e-9);
 
         // Closed form matches the tree algorithm on the corresponding chain graph.
         let graph = ExecutionGraph::chain_of(n, &identity).unwrap();
-        prop_assert!((chain_latency(&app, &identity) - tree_latency(&app, &graph).unwrap()).abs() < 1e-9);
+        assert!(
+            (chain_latency(&app, &identity) - tree_latency(&app, &graph).unwrap()).abs() < 1e-9
+        );
     }
+}
 
-    /// The one-port latency search respects the critical-path lower bound and
-    /// tree optimality on forests.
-    #[test]
-    fn latency_search_vs_bounds(specs in service_specs(5), seed_parents in parents(5)) {
-        let n = specs.len();
+/// The one-port latency search respects the critical-path lower bound and
+/// tree optimality on forests.
+#[test]
+fn latency_search_vs_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let specs = service_specs(&mut rng, 5);
         let app = Application::independent(&specs);
-        let parents: Vec<Option<usize>> = seed_parents.into_iter().take(n).collect();
-        let graph = ExecutionGraph::from_parents(&parents).unwrap();
+        let graph = ExecutionGraph::from_parents(&parents(&mut rng, specs.len())).unwrap();
         let lb = latency_lower_bound(&app, &graph).unwrap();
         let search = oneport_latency_search(&app, &graph, 50_000).unwrap();
-        prop_assert!(search.latency >= lb - 1e-9);
+        assert!(search.latency >= lb - 1e-9);
         let tree = tree_latency(&app, &graph).unwrap();
-        prop_assert!((search.latency - tree).abs() < 1e-9);
+        assert!((search.latency - tree).abs() < 1e-9);
         for model in CommModel::ALL {
-            prop_assert!(validate_oplist(&app, &graph, &search.oplist, model).is_ok());
+            assert!(validate_oplist(&app, &graph, &search.oplist, model).is_ok());
         }
     }
 }

@@ -4,8 +4,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use fsw::rn3dm::{no_instance, prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, yes_instance, Rn3dmInstance};
 use fsw::core::{validate_oplist, CommModel};
+use fsw::rn3dm::{
+    no_instance, prop13_minlatency, prop2_period_outorder, prop9_latency_forkjoin, yes_instance,
+    Rn3dmInstance,
+};
 use fsw::sched::latency::oneport_latency_search;
 use fsw::sched::outorder::{outorder_schedule_at, OutOrderOptions};
 use fsw::sched::tree::tree_latency;
