@@ -21,7 +21,7 @@ use fsw_sched::minperiod::{
     PeriodEvaluation,
 };
 use fsw_sched::oneport::{oneport_period_search, OnePortStyle};
-use fsw_sched::orchestrator::{solve, Objective, Problem, SearchBudget};
+use fsw_sched::orchestrator::{solve, solve_all, Objective, Problem, SearchBudget};
 use fsw_sched::outorder::OutOrderOptions;
 use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
@@ -392,6 +392,10 @@ pub fn e10_scaling() -> Vec<ExperimentRow> {
 /// E11 — the unified orchestrator across realistic workload scenarios: every
 /// communication model × objective on the media pipeline, a sensor-fusion
 /// DAG and a skewed query-optimisation workload, under one shared budget.
+///
+/// Each scenario's sweep goes through [`solve_all`], so all six solves share
+/// one canonical-signature evaluation cache (the one-port latency of a
+/// candidate DAG, for instance, is computed once for the whole sweep).
 pub fn e11_orchestrator_scenarios() -> Vec<ExperimentRow> {
     let mut rng = StdRng::seed_from_u64(11);
     let scenarios: Vec<(&str, fsw_core::Application)> = vec![
@@ -410,31 +414,84 @@ pub fn e11_orchestrator_scenarios() -> Vec<ExperimentRow> {
         dag_enumeration_max_n: 4,
         ..SearchBudget::default()
     };
+    let requests: Vec<(CommModel, Objective)> = CommModel::ALL
+        .into_iter()
+        .flat_map(|model| {
+            [Objective::MinPeriod, Objective::MinLatency]
+                .into_iter()
+                .map(move |objective| (model, objective))
+        })
+        .collect();
     let mut rows = Vec::new();
     for (name, app) in &scenarios {
-        for model in CommModel::ALL {
-            for objective in [Objective::MinPeriod, Objective::MinLatency] {
-                let solution = solve(&Problem::new(app, model, objective), &budget)
-                    .expect("orchestrator solve");
-                rows.push(ExperimentRow::new(
-                    format!(
-                        "{name} {model} {objective}{}",
-                        if solution.exhaustive {
-                            ""
-                        } else {
-                            " (heuristic)"
-                        }
-                    ),
-                    None,
-                    solution.value,
-                ));
-            }
+        let solutions = solve_all(app, &requests, &budget).expect("orchestrator solve_all");
+        for ((model, objective), solution) in requests.iter().zip(solutions) {
+            rows.push(ExperimentRow::new(
+                format!(
+                    "{name} {model} {objective}{}",
+                    if solution.exhaustive {
+                        ""
+                    } else {
+                        " (heuristic)"
+                    }
+                ),
+                None,
+                solution.value,
+            ));
         }
     }
     rows
 }
 
-/// Runs one experiment by id (`"e1"` … `"e11"`).
+/// E10s — a seconds-not-minutes smoke version of the E10 scaling study
+/// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
+/// performance regressions in the prune-and-memoise search engine: the run
+/// exercises the branch-and-bound forest enumeration, the seeded DAG phase
+/// and the memoised ordering searches end to end.
+pub fn e10s_smoke() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(10);
+    let budget = SearchBudget {
+        dag_enumeration_max_n: 4,
+        ..SearchBudget::default()
+    };
+    let mut rows = Vec::new();
+    for n in [4, 5] {
+        let app = query_optimization(n, &mut rng);
+        let period = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+            &budget,
+        )
+        .expect("solver");
+        rows.push(ExperimentRow::new(
+            format!("MINPERIOD OVERLAP n={n}: exhaustive forests"),
+            None,
+            period.value,
+        ));
+        let latency = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinLatency),
+            &budget,
+        )
+        .expect("solver");
+        rows.push(ExperimentRow::new(
+            format!("MINLATENCY n={n}: exhaustive forests (+ DAGs at n=4)"),
+            None,
+            latency.value,
+        ));
+        let inorder = solve(
+            &Problem::new(&app, CommModel::InOrder, Objective::MinPeriod),
+            &budget,
+        )
+        .expect("solver");
+        rows.push(ExperimentRow::new(
+            format!("MINPERIOD INORDER n={n}: exhaustive forests (lower-bound eval)"),
+            None,
+            inorder.value,
+        ));
+    }
+    rows
+}
+
+/// Runs one experiment by id (`"e1"` … `"e11"`, plus the `"e10s"` CI smoke).
 pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
     match id {
         "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
@@ -471,6 +528,10 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             e9_forest_structure(),
         )),
         "e10" => Some(("E10 — scaling and heuristic quality", e10_scaling())),
+        "e10s" => Some((
+            "E10s — search-engine smoke benchmark (CI, seconds not minutes)",
+            e10s_smoke(),
+        )),
         "e11" => Some((
             "E11 — unified orchestrator across workload scenarios",
             e11_orchestrator_scenarios(),

@@ -66,6 +66,44 @@ impl ExecutionGraph {
         Ok(g)
     }
 
+    /// Creates an execution graph whose edges are the selected *forward* edges
+    /// of a topological permutation: bit `a*(a-1)/2 + ...` — concretely, bit
+    /// `b` of `mask` selects the `b`-th pair `(a, c)` with `a < c` in the
+    /// lexicographic order `(0,1), (0,2), …, (0,n-1), (1,2), …`, adding the
+    /// edge `order[a] → order[c]`.
+    ///
+    /// Because every selected edge goes forward along `order`, the result is
+    /// acyclic by construction, so this skips the per-edge cycle checks of
+    /// [`ExecutionGraph::add_edge`] — it is the hot constructor of the
+    /// exhaustive DAG enumeration.  Requires `order` to be a permutation of
+    /// `0..n` with `n*(n-1)/2 <= 64`; both are debug-asserted.
+    pub fn from_permutation_mask(order: &[ServiceId], mask: u64) -> Self {
+        let n = order.len();
+        debug_assert!(n * n.saturating_sub(1) / 2 <= 64);
+        debug_assert!({
+            let mut seen = vec![false; n];
+            order
+                .iter()
+                .all(|&k| k < n && !std::mem::replace(&mut seen[k], true))
+        });
+        let mut g = ExecutionGraph::new(n);
+        let mut bit = 0u32;
+        for a in 0..n {
+            for c in (a + 1)..n {
+                if mask & (1u64 << bit) != 0 {
+                    let (i, j) = (order[a], order[c]);
+                    g.succs[i].push(j);
+                    g.preds[j].push(i);
+                }
+                bit += 1;
+            }
+        }
+        for list in g.succs.iter_mut().chain(g.preds.iter_mut()) {
+            list.sort_unstable();
+        }
+        g
+    }
+
     /// Number of services (excluding the implicit input/output nodes).
     pub fn n(&self) -> usize {
         self.n
@@ -473,6 +511,25 @@ mod tests {
             .unwrap()
             .parents()
             .is_err());
+    }
+
+    #[test]
+    fn permutation_mask_matches_checked_construction() {
+        let order = vec![2usize, 0, 3, 1];
+        let n = order.len();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .collect();
+        for mask in 0u64..(1 << pairs.len()) {
+            let fast = ExecutionGraph::from_permutation_mask(&order, mask);
+            let mut slow = ExecutionGraph::new(n);
+            for (bit, &(a, b)) in pairs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    slow.add_edge(order[a], order[b]).unwrap();
+                }
+            }
+            assert_eq!(fast, slow, "mask {mask:#b}");
+        }
     }
 
     #[test]

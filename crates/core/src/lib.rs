@@ -45,7 +45,7 @@ pub mod validate;
 
 pub use error::{CoreError, CoreResult};
 pub use graph::ExecutionGraph;
-pub use metrics::{in_edges, out_edges, plan_edges, PlanMetrics};
+pub use metrics::{in_edges, out_edges, plan_edges, PartialForestMetrics, PlanMetrics};
 pub use model::CommModel;
 pub use oplist::{EdgeRef, Interval, OperationList, Plan};
 pub use service::{Application, ApplicationBuilder, Service, ServiceId};

@@ -161,6 +161,224 @@ impl PlanMetrics {
     }
 }
 
+/// How far a node's ancestry is known in a [`PartialForestMetrics`] prefix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ChainState {
+    /// The walk to the root stays within the assigned prefix: the node's
+    /// input factor (and the input/computation volumes along its chain) are
+    /// final in **every** completion of the prefix.
+    Decided {
+        /// `Π sel` over the node's (final) strict ancestors.
+        factor: f64,
+        /// `Σ (in-volume + computation)` along the chain from its root down
+        /// to and including this node — a critical-path prefix.
+        path: f64,
+    },
+    /// The walk reaches a node whose parent is not assigned yet.
+    Undecided,
+    /// The walk re-enters itself: the assigned prefix already contains a
+    /// cycle, so *no* completion is a valid execution graph.
+    Cycle,
+    /// Memo marker for a node currently on the resolution stack.
+    Visiting,
+}
+
+/// Incrementally maintained volumes of a *partial* parent function, powering
+/// branch-and-bound pruning in the exhaustive forest enumeration.
+///
+/// Parents are assigned in service order (`push` assigns the next service,
+/// `pop` undoes the last assignment); child counts are updated per added or
+/// removed edge rather than recomputed.  At any prefix the structure yields
+/// *admissible* bounds — values that no completion of the prefix can beat:
+///
+/// * a node whose parent chain stays inside the assigned prefix has a final
+///   ancestor set (later assignments only add descendants), so its `Cin` and
+///   `Ccomp` are exact and its `Cout` can only grow as more children attach;
+/// * [`PartialForestMetrics::period_bound`] is therefore a lower bound on
+///   `PlanMetrics::period_lower_bound` of every completion (and equals it at
+///   a full assignment);
+/// * [`PartialForestMetrics::latency_bound`] is a lower bound on the optimal
+///   one-port latency (`tree_latency`) of every completion: the critical
+///   path through any decided node is already fully priced.
+///
+/// Both bounds return `f64::INFINITY` when the prefix contains a cycle —
+/// every completion is then infeasible and the whole subtree can be pruned.
+#[derive(Clone, Debug)]
+pub struct PartialForestMetrics<'a> {
+    app: &'a Application,
+    parent: Vec<Option<ServiceId>>,
+    children: Vec<usize>,
+    assigned: usize,
+    /// Generation-stamped memo for chain resolution; bumping `gen` invalidates
+    /// every entry without clearing the arrays.
+    gen: u64,
+    memo_gen: Vec<u64>,
+    memo: Vec<ChainState>,
+    scratch: Vec<ServiceId>,
+}
+
+impl<'a> PartialForestMetrics<'a> {
+    /// An empty prefix (no parent assigned yet) over `app`'s services.
+    pub fn new(app: &'a Application) -> Self {
+        let n = app.n();
+        PartialForestMetrics {
+            app,
+            parent: vec![None; n],
+            children: vec![0; n],
+            assigned: 0,
+            gen: 1,
+            memo_gen: vec![0; n],
+            memo: vec![ChainState::Undecided; n],
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of services whose parent has been assigned.
+    pub fn assigned(&self) -> usize {
+        self.assigned
+    }
+
+    /// The parent function built so far (`None` beyond the assigned prefix).
+    pub fn parents(&self) -> &[Option<ServiceId>] {
+        &self.parent
+    }
+
+    /// Assigns the next service's parent (`None` makes it an entry node).
+    pub fn push(&mut self, parent: Option<ServiceId>) {
+        let k = self.assigned;
+        debug_assert!(k < self.parent.len());
+        debug_assert!(parent != Some(k), "self-loops are never enumerated");
+        self.parent[k] = parent;
+        if let Some(p) = parent {
+            self.children[p] += 1;
+        }
+        self.assigned += 1;
+        self.gen += 1;
+    }
+
+    /// Undoes the last [`PartialForestMetrics::push`].
+    pub fn pop(&mut self) {
+        debug_assert!(self.assigned > 0);
+        self.assigned -= 1;
+        if let Some(p) = self.parent[self.assigned] {
+            self.children[p] -= 1;
+        }
+        self.parent[self.assigned] = None;
+        self.gen += 1;
+    }
+
+    /// Resolves the chain state of `j`, memoised for the current generation.
+    fn resolve(&mut self, j0: ServiceId) -> ChainState {
+        if self.memo_gen[j0] == self.gen {
+            let r = self.memo[j0];
+            debug_assert!(r != ChainState::Visiting);
+            return r;
+        }
+        let mut stack = std::mem::take(&mut self.scratch);
+        stack.clear();
+        let mut j = j0;
+        // Walk up until the state of `j`'s parentage is known.
+        let base = loop {
+            if self.memo_gen[j] == self.gen {
+                break match self.memo[j] {
+                    ChainState::Visiting => ChainState::Cycle,
+                    r => r,
+                };
+            }
+            if j >= self.assigned {
+                break ChainState::Undecided;
+            }
+            match self.parent[j] {
+                None => {
+                    let r = ChainState::Decided {
+                        factor: 1.0,
+                        path: 1.0 + self.app.cost(j),
+                    };
+                    self.memo_gen[j] = self.gen;
+                    self.memo[j] = r;
+                    break r;
+                }
+                Some(p) => {
+                    self.memo_gen[j] = self.gen;
+                    self.memo[j] = ChainState::Visiting;
+                    stack.push(j);
+                    j = p;
+                }
+            }
+        };
+        // Unwind: combine each stacked node with its (now resolved) parent.
+        let mut cur = base;
+        while let Some(v) = stack.pop() {
+            cur = match cur {
+                ChainState::Decided {
+                    factor: fp,
+                    path: pp,
+                } => {
+                    let p = self.parent[v].expect("stacked nodes have parents");
+                    // Volume on the edge p → v, which is also v's input factor.
+                    let volume = fp * self.app.selectivity(p);
+                    let comp = volume * self.app.cost(v);
+                    ChainState::Decided {
+                        factor: volume,
+                        path: pp + volume + comp,
+                    }
+                }
+                other => other,
+            };
+            self.memo[v] = cur;
+        }
+        self.scratch = stack;
+        cur
+    }
+
+    /// Lower bound on `PlanMetrics::period_lower_bound(model)` of every
+    /// completion of the current prefix (`∞` when the prefix is cyclic).
+    pub fn period_bound(&mut self, model: CommModel) -> f64 {
+        let mut bound = 0.0f64;
+        for j in 0..self.assigned {
+            match self.resolve(j) {
+                ChainState::Cycle => return f64::INFINITY,
+                ChainState::Undecided | ChainState::Visiting => {}
+                ChainState::Decided { factor, .. } => {
+                    let cin = if self.parent[j].is_none() {
+                        1.0
+                    } else {
+                        factor
+                    };
+                    let comp = factor * self.app.cost(j);
+                    let out_size = factor * self.app.selectivity(j);
+                    let cout = self.children[j].max(1) as f64 * out_size;
+                    let cexec = match model {
+                        CommModel::Overlap => cin.max(comp).max(cout),
+                        CommModel::InOrder | CommModel::OutOrder => cin + comp + cout,
+                    };
+                    bound = bound.max(cexec);
+                }
+            }
+        }
+        bound
+    }
+
+    /// Lower bound on the optimal one-port latency (`tree_latency`) of every
+    /// feasible completion of the current prefix (`∞` when cyclic).
+    pub fn latency_bound(&mut self) -> f64 {
+        let mut bound = 0.0f64;
+        for j in 0..self.assigned {
+            match self.resolve(j) {
+                ChainState::Cycle => return f64::INFINITY,
+                ChainState::Undecided | ChainState::Visiting => {}
+                ChainState::Decided { factor, path } => {
+                    // After j's computation the data either leaves through the
+                    // output node or feeds a child; both cost at least one
+                    // emission of j's output size.
+                    bound = bound.max(path + factor * self.app.selectivity(j));
+                }
+            }
+        }
+        bound
+    }
+}
+
 /// All plan edges of an execution graph, in a deterministic order:
 /// input edges (by entry node id), then service-to-service edges (by source,
 /// then target), then output edges (by exit node id).
@@ -309,6 +527,78 @@ mod tests {
             assert!((m.c_in(j) - 6.0).abs() < 1e-12, "Cin({j}) = {}", m.c_in(j));
             assert!((m.c_comp(j) - 6.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn partial_forest_bound_matches_full_metrics_when_complete() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let assignments: [&[Option<ServiceId>]; 3] = [
+            &[None, Some(0), Some(0), Some(2)],
+            &[None, None, Some(1), Some(1)],
+            &[Some(1), None, Some(0), Some(2)],
+        ];
+        for parents in assignments {
+            let mut pm = PartialForestMetrics::new(&app);
+            for &p in parents {
+                pm.push(p);
+            }
+            let graph = ExecutionGraph::from_parents(parents).unwrap();
+            let metrics = PlanMetrics::compute(&app, &graph).unwrap();
+            for model in [CommModel::Overlap, CommModel::InOrder, CommModel::OutOrder] {
+                let full = metrics.period_lower_bound(model);
+                let partial = pm.period_bound(model);
+                assert!(
+                    (full - partial).abs() <= 1e-12 * full.max(1.0),
+                    "{model}: partial {partial} vs full {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_forest_bounds_grow_monotonically_and_stay_admissible() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let parents = [None, Some(0), Some(0), Some(2)];
+        let graph = ExecutionGraph::from_parents(&parents).unwrap();
+        let full = PlanMetrics::compute(&app, &graph)
+            .unwrap()
+            .period_lower_bound(CommModel::InOrder);
+        let mut pm = PartialForestMetrics::new(&app);
+        let mut last = 0.0;
+        for &p in &parents {
+            pm.push(p);
+            let bound = pm.period_bound(CommModel::InOrder);
+            assert!(bound + 1e-12 >= last, "bounds shrank: {bound} < {last}");
+            assert!(bound <= full + 1e-12 * full.max(1.0));
+            last = bound;
+        }
+        // Unwinding restores the earlier (weaker) bound.
+        pm.pop();
+        pm.pop();
+        pm.push(parents[2]);
+        pm.push(parents[3]);
+        let rebound = pm.period_bound(CommModel::InOrder);
+        assert!((rebound - last).abs() <= 1e-12 * last.max(1.0));
+    }
+
+    #[test]
+    fn partial_forest_detects_cycles_and_forward_parents() {
+        let app = Application::independent(&[(1.0, 1.0); 3]);
+        // 0 → 1, 1 → 0 is a cycle within the assigned prefix.
+        let mut pm = PartialForestMetrics::new(&app);
+        pm.push(Some(1));
+        pm.push(Some(0));
+        assert!(pm.period_bound(CommModel::Overlap).is_infinite());
+        assert!(pm.latency_bound().is_infinite());
+        // A forward parent (2, unassigned) leaves node 0 undecided but the
+        // prefix feasible.
+        let mut pm = PartialForestMetrics::new(&app);
+        pm.push(Some(2));
+        pm.push(None);
+        let bound = pm.period_bound(CommModel::InOrder);
+        assert!(bound.is_finite());
+        // Node 1 is a decided root: Cin + Ccomp + Cout = 1 + 1 + 1.
+        assert!((bound - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Shared machinery of the prune-and-memoise exhaustive searches.
+//!
+//! The exhaustive MINPERIOD / MINLATENCY enumerations used to be brute force:
+//! every candidate execution graph paid a full evaluation, and the ~120k
+//! candidate DAGs of a five-service MINLATENCY search each paid a fresh
+//! one-port ordering search.  This module provides the three ingredients that
+//! collapse that cost while keeping results **bit-identical** to the brute
+//! force (see `crate::par` for the first-minimum-wins reduction rule):
+//!
+//! * [`Incumbent`] — a lock-free, monotonically decreasing bound shared by
+//!   all worker threads.  Enumerators prune a subtree only when its
+//!   admissible lower bound *strictly* exceeds the incumbent (plus a small
+//!   relative safety margin, [`prune_threshold`]), so a candidate that ties
+//!   the optimum is never pruned and the serial first-minimum winner is
+//!   preserved whatever the thread count;
+//! * [`PartialPrune`] — which partial-assignment bound the forest enumerator
+//!   should maintain (period or latency, from
+//!   [`fsw_core::PartialForestMetrics`]);
+//! * [`EvalCache`] — a concurrent memo of expensive candidate evaluations
+//!   (one-port ordering searches) keyed by a canonical shape-plus-weights
+//!   signature, so the members of an equivalence class share a single search.
+//!
+//! ### Canonical signatures and bit-exactness
+//!
+//! Two labelled DAGs are merged only when the merge provably cannot change a
+//! single output bit:
+//!
+//! * every graph is keyed by its exact edge set (the DAG enumeration visits
+//!   each labelled DAG once per topological permutation, a ~4–10× collapse on
+//!   its own);
+//! * when **all services carry identical cost and selectivity**, the key is
+//!   additionally canonicalised over node relabellings (the lexicographically
+//!   smallest edge mask over all permutations).  With uniform weights every
+//!   intermediate float of an evaluation is a function of structure alone, so
+//!   isomorphic graphs evaluate to bit-identical values.  With heterogeneous
+//!   weights the same products can be accumulated in a different order and
+//!   drift by an ulp, so cross-label sharing is disabled — correctness over
+//!   compression;
+//! * heuristic (hill-climbing) evaluations are label-dependent even with
+//!   uniform weights, so keys carry an *exhaustive?* flag and canonicalised
+//!   sharing applies only to exhaustively searched classes.
+//!
+//! ### Cutoff-aware memoisation
+//!
+//! Cached evaluations are *bounded*: an evaluator called with cutoff `c`
+//! must return the exact value when it is `<= c` and any value `> c`
+//! (typically `∞`) otherwise.  The cache stores which of the two happened,
+//! so a truncated entry is reused only under a cutoff it still covers and is
+//! transparently recomputed when a later caller needs more precision (this
+//! is what makes one cache shareable across a `solve_all` sweep, where each
+//! solve has its own incumbent trajectory).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fsw_core::{Application, ExecutionGraph, ServiceId};
+
+use crate::orderings::permutations;
+
+/// Relative safety margin for pruning decisions: admissible bounds and full
+/// evaluations may accumulate floating-point error along different operation
+/// orders, so a subtree is pruned only when its bound clears the incumbent by
+/// more than this relative slack.  Pruning less than theoretically possible
+/// costs a few extra evaluations; pruning more would break bit-identity.
+const PRUNE_EPSILON: f64 = 1e-9;
+
+/// The value a lower bound must strictly exceed before its subtree (or
+/// candidate) may be pruned against incumbent `cut`.
+pub fn prune_threshold(cut: f64) -> f64 {
+    if cut.is_finite() {
+        cut + PRUNE_EPSILON * cut.abs().max(1.0)
+    } else {
+        cut
+    }
+}
+
+/// A monotonically decreasing objective bound shared across search threads.
+///
+/// `offer` never raises the stored value, so every reader observes a valid
+/// upper bound on the optimum at all times; stale reads only weaken pruning,
+/// never correctness.
+#[derive(Debug)]
+pub struct Incumbent(AtomicU64);
+
+impl Incumbent {
+    /// A fresh incumbent at `+∞` (no bound known yet).
+    pub fn new() -> Self {
+        Incumbent::seeded(f64::INFINITY)
+    }
+
+    /// An incumbent seeded with a known upper bound (e.g. the optimum of an
+    /// earlier search phase over a subspace).
+    pub fn seeded(value: f64) -> Self {
+        Incumbent(AtomicU64::new(value.to_bits()))
+    }
+
+    /// The current bound.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the bound to `value` if it improves on the current one.
+    pub fn offer(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let mut current = self.0.load(Ordering::Relaxed);
+        while value < f64::from_bits(current) {
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Default for Incumbent {
+    fn default() -> Self {
+        Incumbent::new()
+    }
+}
+
+/// Which admissible partial-assignment bound the forest enumerator maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartialPrune {
+    /// No partial pruning: the enumeration degenerates to the brute force
+    /// (used by the reference solvers the property tests compare against).
+    Off,
+    /// Prune on [`fsw_core::PartialForestMetrics::period_bound`] for the
+    /// given model.  Valid whenever the candidate evaluation is at least the
+    /// model's structural period lower bound (both the `LowerBound` and the
+    /// `Orchestrated` evaluations are).
+    Period(fsw_core::CommModel),
+    /// Prune on [`fsw_core::PartialForestMetrics::latency_bound`].  Valid for
+    /// the exact forest latency (Algorithm 1) and every one-port/multi-port
+    /// schedule value, all of which dominate the critical path.
+    Latency,
+}
+
+/// What a bounded evaluation reported for a cache key.
+#[derive(Clone, Copy, Debug)]
+enum CacheEntry {
+    /// The exact value (the evaluation came back at or below its cutoff).
+    Exact(f64),
+    /// The value is known only to exceed this cutoff.
+    AboveCutoff(f64),
+}
+
+/// A concurrent memo of bounded candidate evaluations keyed by canonical
+/// shape-plus-weights signatures (see the module docs for the merge rules).
+///
+/// One instance serves one [`Application`]; `solve_all` shares an instance
+/// across a whole model × objective sweep.
+pub struct EvalCache<'a> {
+    app: &'a Application,
+    /// Class-preserving node relabellings (always containing the identity);
+    /// length 1 unless all services share one weight class.
+    perms: Vec<Vec<ServiceId>>,
+    map: Mutex<HashMap<(u8, bool, u128), CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Largest number of relabellings canonicalisation will scan per candidate
+/// (7! — beyond that the signature falls back to the exact edge set).
+const MAX_CANONICAL_PERMS: usize = 5_040;
+
+impl<'a> EvalCache<'a> {
+    /// A fresh cache for `app`.
+    pub fn new(app: &'a Application) -> Self {
+        let n = app.n();
+        let uniform = n > 0
+            && (1..n).all(|k| {
+                app.cost(k).to_bits() == app.cost(0).to_bits()
+                    && app.selectivity(k).to_bits() == app.selectivity(0).to_bits()
+            });
+        let mut factorial = 1usize;
+        for f in 2..=n {
+            factorial = factorial.saturating_mul(f);
+        }
+        let perms = if uniform && n > 1 && factorial <= MAX_CANONICAL_PERMS {
+            let ids: Vec<ServiceId> = (0..n).collect();
+            permutations(&ids)
+        } else {
+            vec![(0..n).collect()]
+        };
+        EvalCache {
+            app,
+            perms,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The application this cache serves.
+    pub fn app(&self) -> &'a Application {
+        self.app
+    }
+
+    /// `(hits, misses)` so far — `hits` counts evaluations answered from the
+    /// memo without running the underlying search.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Edge mask of `graph` under the node relabelling `perm`: bit
+    /// `perm[i]*n + perm[j]` is set for every edge `i → j`.
+    fn mask_under(&self, graph: &ExecutionGraph, perm: &[ServiceId]) -> u128 {
+        let n = graph.n();
+        let mut mask = 0u128;
+        for i in 0..n {
+            for &j in graph.succs(i) {
+                mask |= 1u128 << (perm[i] * n + perm[j]);
+            }
+        }
+        mask
+    }
+
+    /// The canonical signature of `graph`: its exact edge mask, minimised
+    /// over class-preserving relabellings when those are provably bit-safe.
+    fn signature(&self, graph: &ExecutionGraph, exhaustive: bool) -> u128 {
+        debug_assert!(graph.n() == self.app.n() && graph.n() * graph.n() <= 128);
+        let identity = &self.perms[0];
+        let mut best = self.mask_under(graph, identity);
+        if exhaustive {
+            for perm in &self.perms[1..] {
+                let mask = self.mask_under(graph, perm);
+                if mask < best {
+                    best = mask;
+                }
+            }
+        }
+        best
+    }
+
+    /// Memoised *exact* evaluation of `graph`: `compute` always returns the
+    /// true value (it has no cutoff support), so the entry is stored as
+    /// exact and reused under every cutoff.
+    pub fn get_or_compute_exact(
+        &self,
+        tag: u8,
+        graph: &ExecutionGraph,
+        exhaustive: bool,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        self.get_or_compute(tag, graph, exhaustive, f64::INFINITY, |_| compute())
+    }
+
+    /// Memoised bounded evaluation of `graph`.
+    ///
+    /// `tag` namespaces independent evaluation families sharing the cache
+    /// (e.g. one-port latency vs INORDER period).  `exhaustive` must be
+    /// `true` iff `compute` performs an exhaustive (label-independent)
+    /// search; heuristic evaluations are shared only between identical
+    /// labelled graphs.  `compute(c)` must return the exact value when it is
+    /// `<= c`, and any value `> c` otherwise.
+    pub fn get_or_compute(
+        &self,
+        tag: u8,
+        graph: &ExecutionGraph,
+        exhaustive: bool,
+        cutoff: f64,
+        compute: impl FnOnce(f64) -> f64,
+    ) -> f64 {
+        let n = graph.n();
+        if n * n > 128 {
+            // No compact signature: evaluate directly (never reached by the
+            // DAG enumeration, which is capped well below this).
+            return compute(cutoff);
+        }
+        let key = (tag, exhaustive, self.signature(graph, exhaustive));
+        {
+            let map = self.map.lock().expect("cache poisoned");
+            match map.get(&key) {
+                Some(CacheEntry::Exact(value)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return *value;
+                }
+                Some(CacheEntry::AboveCutoff(seen)) if cutoff <= *seen => {
+                    // The true value exceeds `seen >= cutoff`: anything above
+                    // the cutoff is a faithful answer.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return f64::INFINITY;
+                }
+                _ => {}
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock: concurrent duplicate work is possible but
+        // harmless (the evaluation is deterministic per signature).
+        let value = compute(cutoff);
+        let entry = if value <= cutoff {
+            CacheEntry::Exact(value)
+        } else {
+            CacheEntry::AboveCutoff(cutoff)
+        };
+        let mut map = self.map.lock().expect("cache poisoned");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                // Keep the most informative entry.
+                match (slot.get(), &entry) {
+                    (CacheEntry::Exact(_), _) => {}
+                    (_, CacheEntry::Exact(_)) => {
+                        slot.insert(entry);
+                    }
+                    (CacheEntry::AboveCutoff(old), CacheEntry::AboveCutoff(new)) => {
+                        if new > old {
+                            slot.insert(entry);
+                        }
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(entry);
+            }
+        }
+        value
+    }
+}
+
+/// Cache tags: independent evaluation families sharing one [`EvalCache`].
+pub mod tags {
+    /// One-port latency of a candidate DAG (MINLATENCY plan search).
+    pub const ONEPORT_LATENCY: u8 = 0;
+    /// INORDER period of a candidate DAG (orchestrated MINPERIOD search).
+    pub const INORDER_PERIOD: u8 = 1;
+    /// OUTORDER period of a candidate DAG (orchestrated MINPERIOD search).
+    pub const OUTORDER_PERIOD: u8 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incumbent_is_monotone() {
+        let inc = Incumbent::new();
+        assert!(inc.get().is_infinite());
+        inc.offer(5.0);
+        assert_eq!(inc.get(), 5.0);
+        inc.offer(7.0);
+        assert_eq!(inc.get(), 5.0);
+        inc.offer(3.0);
+        assert_eq!(inc.get(), 3.0);
+        inc.offer(f64::NAN);
+        assert_eq!(inc.get(), 3.0);
+    }
+
+    #[test]
+    fn prune_threshold_adds_relative_slack() {
+        assert!(prune_threshold(10.0) > 10.0);
+        assert!(prune_threshold(10.0) < 10.0 + 1e-6);
+        assert!(prune_threshold(f64::INFINITY).is_infinite());
+        assert!(prune_threshold(0.0) > 0.0);
+    }
+
+    #[test]
+    fn uniform_apps_share_isomorphic_graphs() {
+        let app = Application::independent(&[(2.0, 0.5); 4]);
+        let cache = EvalCache::new(&app);
+        assert!(cache.perms.len() > 1);
+        let g1 = ExecutionGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let g2 = ExecutionGraph::from_edges(4, &[(3, 2), (2, 0)]).unwrap();
+        // Isomorphic chains share one exhaustive evaluation…
+        let v1 = cache.get_or_compute(0, &g1, true, f64::INFINITY, |_| 42.0);
+        let v2 = cache.get_or_compute(0, &g2, true, f64::INFINITY, |_| {
+            panic!("second member of the class must hit the cache")
+        });
+        assert_eq!(v1, v2);
+        // …but heuristic evaluations are shared by exact labelling only.
+        let h1 = cache.get_or_compute(0, &g1, false, f64::INFINITY, |_| 1.0);
+        let h2 = cache.get_or_compute(0, &g2, false, f64::INFINITY, |_| 2.0);
+        assert_eq!(h1, 1.0);
+        assert_eq!(h2, 2.0);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn heterogeneous_apps_share_exact_graphs_only() {
+        let app = Application::independent(&[(1.0, 0.5), (2.0, 0.9), (3.0, 1.1)]);
+        let cache = EvalCache::new(&app);
+        assert_eq!(cache.perms.len(), 1);
+        let g1 = ExecutionGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let g2 = ExecutionGraph::from_edges(3, &[(1, 0)]).unwrap();
+        let v1 = cache.get_or_compute(0, &g1, true, f64::INFINITY, |_| 1.0);
+        let v2 = cache.get_or_compute(0, &g2, true, f64::INFINITY, |_| 2.0);
+        assert_eq!((v1, v2), (1.0, 2.0));
+        // The same labelled graph hits.
+        let again = cache.get_or_compute(0, &g1, true, f64::INFINITY, |_| panic!("hit expected"));
+        assert_eq!(again, 1.0);
+    }
+
+    #[test]
+    fn truncated_entries_are_refined_on_demand() {
+        let app = Application::independent(&[(1.0, 1.0); 3]);
+        let cache = EvalCache::new(&app);
+        let g = ExecutionGraph::from_edges(3, &[(0, 1)]).unwrap();
+        // First query under a tight cutoff: the evaluator reports "above".
+        let v = cache.get_or_compute(1, &g, true, 1.0, |c| {
+            assert_eq!(c, 1.0);
+            f64::INFINITY
+        });
+        assert!(v.is_infinite());
+        // A query under an even tighter cutoff is answered from the memo.
+        let v = cache.get_or_compute(1, &g, true, 0.5, |_| panic!("covered by the memo"));
+        assert!(v.is_infinite());
+        // A looser cutoff forces a recomputation and upgrades the entry.
+        let v = cache.get_or_compute(1, &g, true, 10.0, |_| 4.0);
+        assert_eq!(v, 4.0);
+        let v = cache.get_or_compute(1, &g, true, 0.1, |_| panic!("exact entry stored"));
+        assert_eq!(v, 4.0);
+    }
+}

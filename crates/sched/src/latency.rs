@@ -31,7 +31,8 @@ use fsw_core::{
     Interval, OperationList, PlanMetrics,
 };
 
-use crate::orderings::CommOrderings;
+use crate::engine::prune_threshold;
+use crate::orderings::{CommOrderings, OrderingSpace};
 use crate::par::{fold_min, par_chunks, Exec};
 
 /// Critical-path lower bound on the latency, valid for every communication model.
@@ -41,6 +42,15 @@ use crate::par::{fold_min, par_chunks, Exec};
 /// with the output transfer of an exit node.
 pub fn latency_lower_bound(app: &Application, graph: &ExecutionGraph) -> CoreResult<f64> {
     let metrics = PlanMetrics::compute(app, graph)?;
+    latency_lower_bound_with(app, graph, &metrics)
+}
+
+/// [`latency_lower_bound`] with pre-computed plan metrics.
+pub(crate) fn latency_lower_bound_with(
+    app: &Application,
+    graph: &ExecutionGraph,
+    metrics: &PlanMetrics,
+) -> CoreResult<f64> {
     let order = graph.topological_order()?;
     let mut done = vec![0.0f64; graph.n()];
     let mut best = 0.0f64;
@@ -70,6 +80,166 @@ enum LatOp {
     Calc(usize),
 }
 
+/// Pre-computed state for evaluating many communication orderings of one
+/// `(application, graph)` pair.
+///
+/// The operation set, its durations and the plan metrics do not depend on
+/// the ordering — only the per-server sequence arcs do — so an exhaustive
+/// ordering search builds this once and pays only the longest-path run per
+/// candidate, instead of recomputing `PlanMetrics` (ancestor sets and all)
+/// for every one of thousands of orderings.
+pub struct LatencyEvaluator<'a> {
+    graph: &'a ExecutionGraph,
+    ops: Vec<LatOp>,
+    index: BTreeMap<LatOp, usize>,
+    durations: Vec<f64>,
+    lower_bound: f64,
+}
+
+impl<'a> LatencyEvaluator<'a> {
+    /// Precomputes the operation DAG skeleton for `graph`.
+    pub fn new(app: &Application, graph: &'a ExecutionGraph) -> CoreResult<Self> {
+        let metrics = PlanMetrics::compute(app, graph)?;
+        Self::with_metrics(app, graph, &metrics)
+    }
+
+    /// [`LatencyEvaluator::new`] with caller-provided plan metrics, so a
+    /// caller that already computed them does not pay for them twice.
+    pub fn with_metrics(
+        app: &Application,
+        graph: &'a ExecutionGraph,
+        metrics: &PlanMetrics,
+    ) -> CoreResult<Self> {
+        let lower_bound = latency_lower_bound_with(app, graph, metrics)?;
+        // Operation set:
+        //  * per server: receptions, the computation, emissions;
+        //  * rendezvous: a transfer is a single operation shared by both
+        //    sequences — data flow is implied by the per-server sequences.
+        let mut ops: Vec<LatOp> = Vec::new();
+        let mut index: BTreeMap<LatOp, usize> = BTreeMap::new();
+        let mut add = |op: LatOp| {
+            index.entry(op).or_insert_with(|| {
+                ops.push(op);
+                ops.len() - 1
+            });
+        };
+        for edge in plan_edges(graph) {
+            add(LatOp::Comm(edge));
+        }
+        for k in 0..graph.n() {
+            add(LatOp::Calc(k));
+        }
+        let durations: Vec<f64> = ops
+            .iter()
+            .map(|op| match op {
+                LatOp::Comm(e) => metrics.edge_volume(app, *e),
+                LatOp::Calc(k) => metrics.c_comp(*k),
+            })
+            .collect();
+        Ok(LatencyEvaluator {
+            graph,
+            ops,
+            index,
+            durations,
+            lower_bound,
+        })
+    }
+
+    /// The critical-path latency lower bound of the underlying graph
+    /// ([`latency_lower_bound`], computed once at construction).
+    pub fn lower_bound(&self) -> f64 {
+        self.lower_bound
+    }
+
+    /// Longest path over the operation DAG induced by `ords` (Kahn), with
+    /// cycle (deadlock) detection.
+    ///
+    /// Returns `Ok(None)` when some operation provably ends after `cutoff` —
+    /// every operation end bounds the makespan from below, so the true
+    /// latency then exceeds `cutoff` and the caller can abandon the
+    /// candidate early.  With `cutoff = ∞` the result is always exact.
+    fn run(
+        &self,
+        ords: &CommOrderings,
+        cutoff: f64,
+        starts_out: Option<&mut Vec<f64>>,
+    ) -> CoreResult<Option<f64>> {
+        let m = self.ops.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut indeg: Vec<usize> = vec![0; m];
+        for k in 0..self.graph.n() {
+            let mut seq: Vec<usize> =
+                Vec::with_capacity(ords.incoming[k].len() + 1 + ords.outgoing[k].len());
+            for e in &ords.incoming[k] {
+                seq.push(self.index[&LatOp::Comm(*e)]);
+            }
+            seq.push(self.index[&LatOp::Calc(k)]);
+            for e in &ords.outgoing[k] {
+                seq.push(self.index[&LatOp::Comm(*e)]);
+            }
+            for w in seq.windows(2) {
+                succs[w[0]].push(w[1]);
+                indeg[w[1]] += 1;
+            }
+        }
+        let mut start = vec![0.0f64; m];
+        let mut stack: Vec<usize> = (0..m).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0usize;
+        let mut makespan = 0.0f64;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            let end = start[i] + self.durations[i];
+            if end > cutoff {
+                return Ok(None);
+            }
+            makespan = makespan.max(end);
+            for &j in &succs[i] {
+                if end > start[j] {
+                    start[j] = end;
+                }
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    stack.push(j);
+                }
+            }
+        }
+        if visited != m {
+            return Err(CoreError::CyclicGraph);
+        }
+        if let Some(out) = starts_out {
+            *out = start;
+        }
+        Ok(Some(makespan))
+    }
+
+    /// Latency of a fixed ordering, abandoning early (`Ok(None)`) once it
+    /// provably exceeds `cutoff`; `Err(CyclicGraph)` on deadlock.
+    pub fn value(&self, ords: &CommOrderings, cutoff: f64) -> CoreResult<Option<f64>> {
+        self.run(ords, cutoff, None)
+    }
+
+    /// Latency *and* concrete operation list of a fixed ordering.
+    pub fn schedule(&self, ords: &CommOrderings) -> CoreResult<(f64, OperationList)> {
+        let mut start = Vec::new();
+        let makespan = self
+            .run(ords, f64::INFINITY, Some(&mut start))?
+            .expect("an infinite cutoff never abandons");
+        // Assemble the operation list; its period is set to the makespan so
+        // the schedule trivially has no cross-data-set conflict (the "fully
+        // serialise each data set" strategy of Section 2.2 for the latency).
+        let lambda = if makespan > 0.0 { makespan } else { 1.0 };
+        let mut oplist = OperationList::new(self.graph.n(), lambda);
+        for (i, op) in self.ops.iter().enumerate() {
+            let iv = Interval::with_duration(start[i], self.durations[i]);
+            match op {
+                LatOp::Comm(e) => oplist.set_comm(*e, iv),
+                LatOp::Calc(k) => oplist.set_calc(*k, iv),
+            }
+        }
+        Ok((oplist.latency(), oplist))
+    }
+}
+
 /// Latency (and operation list) achieved by a fixed communication ordering
 /// under one-port communications.
 ///
@@ -86,86 +256,7 @@ pub fn oneport_latency_for_orderings(
             found: ords.n(),
         });
     }
-    let metrics = PlanMetrics::compute(app, graph)?;
-    // Build the precedence DAG over operations:
-    //  * per server: receptions in order, then the computation, then emissions in order;
-    //  * rendezvous: a transfer is a single operation shared by both sequences;
-    //  * data flow is implied by the per-server sequences.
-    let mut ops: Vec<LatOp> = Vec::new();
-    let mut index: BTreeMap<LatOp, usize> = BTreeMap::new();
-    let add = |ops: &mut Vec<LatOp>, index: &mut BTreeMap<LatOp, usize>, op: LatOp| -> usize {
-        *index.entry(op).or_insert_with(|| {
-            ops.push(op);
-            ops.len() - 1
-        })
-    };
-    for edge in plan_edges(graph) {
-        add(&mut ops, &mut index, LatOp::Comm(edge));
-    }
-    for k in 0..graph.n() {
-        add(&mut ops, &mut index, LatOp::Calc(k));
-    }
-    let duration = |op: &LatOp| -> f64 {
-        match op {
-            LatOp::Comm(e) => metrics.edge_volume(app, *e),
-            LatOp::Calc(k) => metrics.c_comp(*k),
-        }
-    };
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
-    let mut indeg: Vec<usize> = vec![0; ops.len()];
-    let add_arc = |succs: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
-        succs[a].push(b);
-        indeg[b] += 1;
-    };
-    for k in 0..graph.n() {
-        let mut seq: Vec<usize> = Vec::new();
-        for e in &ords.incoming[k] {
-            seq.push(index[&LatOp::Comm(*e)]);
-        }
-        seq.push(index[&LatOp::Calc(k)]);
-        for e in &ords.outgoing[k] {
-            seq.push(index[&LatOp::Comm(*e)]);
-        }
-        for w in seq.windows(2) {
-            add_arc(&mut succs, &mut indeg, w[0], w[1]);
-        }
-    }
-    // Longest-path over the operation DAG (Kahn), with cycle detection.
-    let mut start = vec![0.0f64; ops.len()];
-    let mut stack: Vec<usize> = (0..ops.len()).filter(|&i| indeg[i] == 0).collect();
-    let mut visited = 0usize;
-    while let Some(i) = stack.pop() {
-        visited += 1;
-        let end = start[i] + duration(&ops[i]);
-        for &j in &succs[i] {
-            if end > start[j] {
-                start[j] = end;
-            }
-            indeg[j] -= 1;
-            if indeg[j] == 0 {
-                stack.push(j);
-            }
-        }
-    }
-    if visited != ops.len() {
-        return Err(CoreError::CyclicGraph);
-    }
-    // Assemble the operation list; its period is set to the makespan so the
-    // schedule trivially has no cross-data-set conflict (the "fully serialise
-    // each data set" strategy discussed in Section 2.2 for the latency).
-    let makespan: f64 = (0..ops.len())
-        .map(|i| start[i] + duration(&ops[i]))
-        .fold(0.0, f64::max);
-    let lambda = if makespan > 0.0 { makespan } else { 1.0 };
-    let mut oplist = OperationList::new(graph.n(), lambda);
-    for (i, op) in ops.iter().enumerate() {
-        let iv = Interval::with_duration(start[i], duration(op));
-        match op {
-            LatOp::Comm(e) => oplist.set_comm(*e, iv),
-            LatOp::Calc(k) => oplist.set_calc(*k, iv),
-        }
-    }
-    Ok((oplist.latency(), oplist))
+    LatencyEvaluator::new(app, graph)?.schedule(ords)
 }
 
 /// Result of a latency ordering search.
@@ -203,20 +294,74 @@ pub fn oneport_latency_search_exec(
     exhaustive_limit: usize,
     exec: Exec,
 ) -> CoreResult<LatencySearchResult> {
-    if let Some(all) = CommOrderings::enumerate_all(graph, exhaustive_limit) {
-        let parts = par_chunks(exec.effective_threads(), &all, |base, chunk| {
+    Ok(
+        oneport_latency_search_bounded(app, graph, exhaustive_limit, exec, f64::INFINITY)?
+            .expect("an infinite cutoff never prunes the search"),
+    )
+}
+
+/// Branch-and-bound variant of [`oneport_latency_search_exec`]: a `cutoff`
+/// carried in from an incumbent lets the search abandon work that cannot
+/// matter.
+///
+/// * Returns `Ok(None)` when every ordering provably exceeds `cutoff`
+///   (including the cheap case where already the critical-path lower bound
+///   does) — the caller's incumbent cannot be improved by this graph.
+/// * Otherwise the result is exactly what the unbounded search would have
+///   returned (value, winning ordering and schedule are bit-identical):
+///   partial schedules are abandoned only once some operation provably ends
+///   after both the cutoff and the best latency found so far.
+pub fn oneport_latency_search_bounded(
+    app: &Application,
+    graph: &ExecutionGraph,
+    exhaustive_limit: usize,
+    exec: Exec,
+    cutoff: f64,
+) -> CoreResult<Option<LatencySearchResult>> {
+    let evaluator = LatencyEvaluator::new(app, graph)?;
+    oneport_latency_search_prepared(graph, &evaluator, exhaustive_limit, exec, cutoff)
+}
+
+/// [`oneport_latency_search_bounded`] with a caller-provided evaluator, so a
+/// caller that already built one (e.g. the memoised MINLATENCY candidate
+/// evaluation) does not recompute the plan metrics.
+pub(crate) fn oneport_latency_search_prepared(
+    graph: &ExecutionGraph,
+    evaluator: &LatencyEvaluator<'_>,
+    exhaustive_limit: usize,
+    exec: Exec,
+    cutoff: f64,
+) -> CoreResult<Option<LatencySearchResult>> {
+    if evaluator.lower_bound() > prune_threshold(cutoff) {
+        return Ok(None);
+    }
+    if let Some(space) = OrderingSpace::new(graph, exhaustive_limit) {
+        let indices: Vec<usize> = (0..space.len()).collect();
+        let parts = par_chunks(exec.effective_threads(), &indices, |_base, chunk| {
             let mut best: Option<(f64, usize)> = None;
             let mut complete = true;
-            for (i, ords) in chunk.iter().enumerate() {
+            for &i in chunk {
                 if exec.expired() {
                     complete = false;
                     break;
                 }
-                let Ok((latency, _)) = oneport_latency_for_orderings(app, graph, ords) else {
-                    continue; // dead-locked ordering
-                };
-                if best.as_ref().is_none_or(|(b, _)| latency < *b) {
-                    best = Some((latency, base + i));
+                let ords = space.get(i);
+                // Anything that cannot strictly beat both the cutoff and the
+                // chunk's own best is abandoned mid-evaluation; ties are
+                // evaluated in full so first-minimum-wins is preserved.
+                let dynamic_cutoff = best.map_or(cutoff, |(b, _)| cutoff.min(b));
+                match evaluator.value(&ords, dynamic_cutoff) {
+                    Err(_) => continue,   // dead-locked ordering
+                    Ok(None) => continue, // provably above the bar
+                    // No early exit at the critical-path bound: a computed
+                    // makespan can land an ulp below it (different float
+                    // paths), so stopping there could miss the bitwise
+                    // minimum and break serial/parallel equivalence.
+                    Ok(Some(latency)) => {
+                        if best.is_none_or(|(b, _)| latency < b) {
+                            best = Some((latency, i));
+                        }
+                    }
                 }
             }
             (best, complete)
@@ -225,27 +370,37 @@ pub fn oneport_latency_search_exec(
         let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
         match best {
             Some((latency, winner)) => {
+                if latency > cutoff {
+                    return Ok(None);
+                }
                 // Rebuild the winning operation list (deterministic for a
                 // fixed ordering, so this matches the serial run exactly).
-                let orderings = all[winner].clone();
-                let (_, oplist) = oneport_latency_for_orderings(app, graph, &orderings)?;
-                return Ok(LatencySearchResult {
+                let orderings = space.get(winner);
+                let (_, oplist) = evaluator.schedule(&orderings)?;
+                return Ok(Some(LatencySearchResult {
                     latency,
                     oplist,
                     orderings,
                     exhaustive: complete,
-                });
+                }));
             }
-            None if complete => return Err(CoreError::CyclicGraph),
+            None if complete => {
+                if cutoff.is_finite() {
+                    // Everything was either dead-locked or above the cutoff.
+                    return Ok(None);
+                }
+                return Err(CoreError::CyclicGraph);
+            }
             // Deadline expired before anything was evaluated: fall through to
             // the (cheap) topological-ordering fallback below.
             None => {}
         }
     }
-    // Start the hill climbing from the (always feasible) topological ordering.
+    // Start the hill climbing from the (always feasible) topological
+    // ordering.  The climb itself is not cutoff-bounded: its value must stay
+    // bit-identical to the legacy heuristic whatever incumbent is carried in.
     let mut current = CommOrderings::topological(graph);
-    let (mut current_latency, mut current_oplist) =
-        oneport_latency_for_orderings(app, graph, &current)?;
+    let (mut current_latency, mut current_oplist) = evaluator.schedule(&current)?;
     let mut improved = true;
     while improved && !exec.expired() {
         improved = false;
@@ -259,9 +414,7 @@ pub fn oneport_latency_search_exec(
                 for pos in 0..len.saturating_sub(1) {
                     let mut candidate = current.clone();
                     candidate.swap_adjacent(server, outgoing, pos);
-                    if let Ok((latency, oplist)) =
-                        oneport_latency_for_orderings(app, graph, &candidate)
-                    {
+                    if let Ok((latency, oplist)) = evaluator.schedule(&candidate) {
                         if latency + 1e-12 < current_latency {
                             current = candidate;
                             current_latency = latency;
@@ -273,12 +426,12 @@ pub fn oneport_latency_search_exec(
             }
         }
     }
-    Ok(LatencySearchResult {
+    Ok(Some(LatencySearchResult {
         latency: current_latency,
         oplist: current_oplist,
         orderings: current,
         exhaustive: false,
-    })
+    }))
 }
 
 /// Constructive bounded multi-port latency schedule.

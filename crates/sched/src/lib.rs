@@ -15,6 +15,7 @@
 //! | Theorem 2 — MINPERIOD solvers (exhaustive forests, DAGs, heuristics) | [`minperiod`] |
 //! | Theorem 4 — MINLATENCY solvers | [`minlatency`] |
 //! | Srivastava et al. no-communication baseline | [`baseline`] |
+//! | prune-and-memoise search engine (incumbents, canonical ordering cache) | [`engine`] |
 //!
 //! ```
 //! use fsw_core::{Application, CommModel, ExecutionGraph};
@@ -37,6 +38,7 @@
 
 pub mod baseline;
 pub mod chain;
+pub mod engine;
 pub mod latency;
 pub mod minlatency;
 pub mod minperiod;
@@ -49,10 +51,11 @@ pub mod par;
 pub mod tree;
 
 pub use chain::{chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
+pub use engine::{EvalCache, Incumbent, PartialPrune};
 pub use latency::{
     latency_lower_bound, multiport_latency, multiport_proportional_latency,
-    oneport_latency_for_orderings, oneport_latency_search, oneport_latency_search_exec,
-    LatencySearchResult,
+    oneport_latency_for_orderings, oneport_latency_search, oneport_latency_search_bounded,
+    oneport_latency_search_exec, LatencyEvaluator, LatencySearchResult,
 };
 pub use minlatency::{
     minimize_latency, minimize_latency_exec, MinLatencyOptions, MinLatencyResult,
@@ -64,13 +67,13 @@ pub use minperiod::{
 pub use oneport::{
     inorder_oplist_for_orderings, inorder_period_for_orderings,
     oneport_overlap_period_for_orderings, oneport_period_lower_bound, oneport_period_search,
-    oneport_period_search_exec, OnePortStyle, OrderingSearchResult,
+    oneport_period_search_bounded, oneport_period_search_exec, OnePortStyle, OrderingSearchResult,
 };
-pub use orchestrator::{solve, Objective, Problem, SearchBudget, Solution};
-pub use orderings::CommOrderings;
+pub use orchestrator::{solve, solve_all, Objective, Problem, SearchBudget, Solution};
+pub use orderings::{CommOrderings, OrderingSpace};
 pub use outorder::{
-    outorder_period_lower_bound, outorder_period_search, outorder_schedule_at, OutOrderOptions,
-    OutOrderResult,
+    outorder_period_lower_bound, outorder_period_search, outorder_period_search_exec,
+    outorder_schedule_at, OutOrderOptions, OutOrderResult,
 };
 pub use overlap::{overlap_period_lower_bound, overlap_period_oplist};
 pub use par::Exec;

@@ -14,11 +14,18 @@
 //! * latency of a candidate graph measured exactly for forests, and by the
 //!   one-port / multi-port orchestration searches for general DAGs.
 
-use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, ServiceId};
+use std::time::Instant;
+
+use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
 
 use crate::chain::{chain_graph, chain_minlatency_order};
-use crate::latency::{multiport_proportional_latency, oneport_latency_search};
+use crate::engine::{prune_threshold, tags, EvalCache, PartialPrune};
+use crate::latency::{
+    latency_lower_bound_with, multiport_proportional_latency, oneport_latency_search,
+    oneport_latency_search_prepared, LatencyEvaluator,
+};
 use crate::minperiod::{exhaustive_dag_search, exhaustive_forest_search};
+use crate::orderings::CommOrderings;
 use crate::par::Exec;
 use crate::tree::tree_latency;
 
@@ -103,13 +110,93 @@ fn forest_latency_eval(app: &Application, graph: &ExecutionGraph) -> f64 {
 
 /// Enumerates every forest execution graph compatible with the precedence
 /// constraints and returns the latency-optimal one (exact evaluation by
-/// Algorithm 1).
+/// Algorithm 1, subtrees pruned on the incremental critical-path bound).
 pub fn exhaustive_forest_minlatency(
     app: &Application,
     cap: usize,
 ) -> Option<(f64, ExecutionGraph)> {
-    exhaustive_forest_search(app, cap, Exec::serial(), &|g| forest_latency_eval(app, g))
-        .map(|out| (out.value, out.graph))
+    exhaustive_forest_search(app, cap, Exec::serial(), PartialPrune::Latency, &|g, _| {
+        forest_latency_eval(app, g)
+    })
+    .map(|out| (out.value, out.graph))
+}
+
+/// Bounded (branch-and-bound aware) candidate evaluation: like
+/// [`evaluate_latency`], but may return `∞` for candidates whose critical
+/// path already clears `cutoff`, and memoises the one-port ordering searches
+/// in `cache` (one search per canonical equivalence class).
+fn evaluate_latency_bounded(
+    app: &Application,
+    graph: &ExecutionGraph,
+    options: &MinLatencyOptions,
+    cache: &EvalCache<'_>,
+    cutoff: f64,
+    deadline: Option<Instant>,
+) -> f64 {
+    if graph.is_forest() {
+        // Exact by Algorithm 1 — cheap enough to skip the cache entirely.
+        return tree_latency(app, graph).unwrap_or(f64::INFINITY);
+    }
+    // Every one-port or multi-port schedule dominates the critical path, so
+    // a critical path above the cutoff proves the candidate cannot improve
+    // the incumbent.  The metrics are computed once here and shared with the
+    // ordering search on a cache miss.
+    let Ok(metrics) = PlanMetrics::compute(app, graph) else {
+        return f64::INFINITY;
+    };
+    let Ok(lower) = latency_lower_bound_with(app, graph, &metrics) else {
+        return f64::INFINITY;
+    };
+    if lower > prune_threshold(cutoff) {
+        return f64::INFINITY;
+    }
+    // The (cheap, exact) proportional multi-port schedule further tightens
+    // the cutoff handed to the expensive one-port ordering search.
+    let fluid = if options.model == CommModel::Overlap {
+        multiport_proportional_latency(app, graph)
+            .ok()
+            .map(|(value, _)| value)
+    } else {
+        None
+    };
+    let inner_cutoff = fluid.map_or(cutoff, |f| cutoff.min(f));
+    // The evaluator (operation skeleton) is built lazily so cache hits never
+    // pay for it; it reuses the metrics computed above.
+    let search = |c: f64| {
+        let Ok(evaluator) = LatencyEvaluator::with_metrics(app, graph, &metrics) else {
+            return f64::INFINITY;
+        };
+        let inner_exec = Exec {
+            threads: 1,
+            deadline,
+        };
+        match oneport_latency_search_prepared(
+            graph,
+            &evaluator,
+            options.ordering_exhaustive_limit,
+            inner_exec,
+            c,
+        ) {
+            Ok(Some(result)) => result.latency,
+            Ok(None) | Err(_) => f64::INFINITY,
+        }
+    };
+    // With a deadline, inner searches may return deadline-truncated values:
+    // honour the time limit, but never memoise wall-clock-dependent results.
+    let oneport = if deadline.is_some() {
+        search(inner_cutoff)
+    } else {
+        let exhaustive =
+            CommOrderings::search_space_size(graph) <= options.ordering_exhaustive_limit;
+        cache.get_or_compute(
+            tags::ONEPORT_LATENCY,
+            graph,
+            exhaustive,
+            inner_cutoff,
+            search,
+        )
+    };
+    fluid.map_or(oneport, |f| f.min(oneport))
 }
 
 /// Constructive seeds for the heuristic search.
@@ -213,12 +300,27 @@ pub fn minimize_latency_exec(
     options: &MinLatencyOptions,
     exec: Exec,
 ) -> CoreResult<MinLatencyResult> {
+    minimize_latency_engine(app, options, exec, &EvalCache::new(app))
+}
+
+/// [`minimize_latency_exec`] with a caller-provided evaluation cache, so a
+/// batch sweep ([`crate::orchestrator::solve_all`]) can share one memo.
+pub(crate) fn minimize_latency_engine(
+    app: &Application,
+    options: &MinLatencyOptions,
+    exec: Exec,
+    cache: &EvalCache<'_>,
+) -> CoreResult<MinLatencyResult> {
     let mut best: Option<MinLatencyResult> = None;
     if !app.has_constraints() {
-        let eval = |g: &ExecutionGraph| forest_latency_eval(app, g);
-        if let Some(out) =
-            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, &eval)
-        {
+        let eval = |g: &ExecutionGraph, _cutoff: f64| forest_latency_eval(app, g);
+        if let Some(out) = exhaustive_forest_search(
+            app,
+            options.forest_enumeration_cap,
+            exec,
+            PartialPrune::Latency,
+            &eval,
+        ) {
             best = Some(MinLatencyResult {
                 latency: out.value,
                 graph: out.graph,
@@ -227,8 +329,14 @@ pub fn minimize_latency_exec(
         }
     }
     if app.n() <= options.dag_enumeration_max_n {
-        let eval = |g: &ExecutionGraph| evaluate_latency(app, g, options).unwrap_or(f64::INFINITY);
-        let dag = exhaustive_dag_search(app, options.dag_enumeration_max_n, exec, &eval);
+        // Seed the DAG phase's incumbent with the forest optimum: a DAG only
+        // matters when it strictly beats every forest, so candidates whose
+        // critical path already clears the seed skip their ordering search.
+        let seed = best.as_ref().map_or(f64::INFINITY, |b| b.latency);
+        let eval = |g: &ExecutionGraph, cutoff: f64| {
+            evaluate_latency_bounded(app, g, options, cache, cutoff, exec.deadline)
+        };
+        let dag = exhaustive_dag_search(app, options.dag_enumeration_max_n, exec, seed, &eval);
         if let Some(out) = dag {
             if best.as_ref().is_none_or(|b| out.value < b.latency - 1e-12) {
                 best = Some(MinLatencyResult {

@@ -18,10 +18,15 @@
 
 use std::time::Instant;
 
-use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
+use fsw_core::{
+    Application, CommModel, CoreResult, ExecutionGraph, PartialForestMetrics, PlanMetrics,
+    ServiceId,
+};
 
 use crate::chain::{chain_graph, chain_minperiod_order};
-use crate::oneport::{oneport_period_search, OnePortStyle};
+use crate::engine::{prune_threshold, tags, EvalCache, Incumbent, PartialPrune};
+use crate::oneport::{oneport_period_search, oneport_period_search_prepared, OnePortStyle};
+use crate::orderings::CommOrderings;
 use crate::outorder::{outorder_period_search, OutOrderOptions};
 use crate::par::{fold_min, par_chunks, Exec};
 
@@ -158,24 +163,36 @@ pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
     best
 }
 
-/// The budgeted, parallel variant of [`exhaustive_forest_best_capped`]: the
-/// first-level branches of the enumeration tree are split over
-/// `exec.effective_threads()` workers and reduced in enumeration order, so the
-/// result is bit-identical to the serial run; an optional deadline interrupts
-/// the enumeration (flagged via [`SearchOutcome::complete`]).
+/// The budgeted, parallel, branch-and-bound variant of
+/// [`exhaustive_forest_best_capped`]: the first-level branches of the
+/// enumeration tree are split over `exec.effective_threads()` workers and
+/// reduced in enumeration order, so the result is bit-identical to the serial
+/// run; an optional deadline interrupts the enumeration (flagged via
+/// [`SearchOutcome::complete`]).
+///
+/// `eval` receives the current incumbent as a *cutoff*: it may return any
+/// value above the cutoff (typically `∞`) for candidates it can prove cannot
+/// beat it, and must return the exact value otherwise.  `prune` selects the
+/// admissible partial-assignment bound (maintained incrementally by
+/// [`PartialForestMetrics`]) used to discard whole subtrees; subtrees are
+/// pruned only when their bound *strictly* clears the shared incumbent, so
+/// the first-minimum winner of the brute-force enumeration always survives,
+/// whatever the thread count.
 pub fn exhaustive_forest_search<F>(
     app: &Application,
     cap: usize,
     exec: Exec,
+    prune: PartialPrune,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
-    F: Fn(&ExecutionGraph) -> f64 + Sync,
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
     let n = app.n();
     if forest_space_size(n)? > cap {
         return None;
     }
+    let incumbent = Incumbent::new();
     // First-level branches, in the order the serial enumeration visits them:
     // service 0 is an entry node, or has parent 1, 2, …, n-1.
     let mut branches: Vec<Option<ServiceId>> = vec![None];
@@ -183,18 +200,20 @@ where
     let parts = par_chunks(exec.effective_threads(), &branches, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
-        let mut local_eval = |g: &ExecutionGraph| eval(g);
+        let mut partial = PartialForestMetrics::new(app);
         for &first in chunk {
-            let mut parents: Vec<Option<ServiceId>> = vec![None; n];
-            parents[0] = first;
-            if !enumerate_parents(
+            partial.push(first);
+            let ok = enumerate_parents_pruned(
                 app,
-                &mut parents,
-                1,
+                &mut partial,
                 &mut best,
-                &mut local_eval,
+                &incumbent,
+                prune,
+                eval,
                 exec.deadline,
-            ) {
+            );
+            partial.pop();
+            if !ok {
                 complete = false;
                 break;
             }
@@ -208,6 +227,72 @@ where
         graph,
         complete,
     })
+}
+
+/// Branch-and-bound enumeration of parent functions from the current prefix
+/// of `partial`.  Returns `false` when the deadline interrupted this subtree.
+fn enumerate_parents_pruned<F>(
+    app: &Application,
+    partial: &mut PartialForestMetrics<'_>,
+    best: &mut Option<(f64, ExecutionGraph)>,
+    incumbent: &Incumbent,
+    prune: PartialPrune,
+    eval: &F,
+    deadline: Option<Instant>,
+) -> bool
+where
+    F: Fn(&ExecutionGraph, f64) -> f64,
+{
+    if prune != PartialPrune::Off && partial.assigned() > 0 {
+        let bound = match prune {
+            PartialPrune::Off => unreachable!(),
+            PartialPrune::Period(model) => partial.period_bound(model),
+            PartialPrune::Latency => partial.latency_bound(),
+        };
+        // An infinite bound flags a cycle inside the prefix: no completion is
+        // feasible.  Otherwise prune only on a strict clearance of the
+        // incumbent, so optimum-tying subtrees are never discarded.
+        if bound == f64::INFINITY || bound > prune_threshold(incumbent.get()) {
+            return true;
+        }
+    }
+    let n = app.n();
+    let k = partial.assigned();
+    if k >= n {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        let Ok(graph) = ExecutionGraph::from_parents(partial.parents()) else {
+            return true; // the parent function contains a cycle
+        };
+        if graph.respects(app).is_err() {
+            return true;
+        }
+        let value = eval(&graph, incumbent.get());
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
+            incumbent.offer(value);
+            *best = Some((value, graph));
+        }
+        return true;
+    }
+    partial.push(None);
+    let ok = enumerate_parents_pruned(app, partial, best, incumbent, prune, eval, deadline);
+    partial.pop();
+    if !ok {
+        return false;
+    }
+    for p in 0..n {
+        if p == k {
+            continue;
+        }
+        partial.push(Some(p));
+        let ok = enumerate_parents_pruned(app, partial, best, incumbent, prune, eval, deadline);
+        partial.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
 }
 
 /// Size of the parent-function space (`n^n`, saturating); `None` for `n == 0`.
@@ -295,37 +380,53 @@ pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
     best
 }
 
-/// The budgeted, parallel variant of [`exhaustive_dag_best`]: permutations
-/// are split by their first element over `exec.effective_threads()` workers
-/// and reduced in enumeration order, so the result is bit-identical to the
-/// serial run; an optional deadline interrupts the enumeration.  Instances
-/// larger than [`DAG_ENUMERATION_HARD_MAX_N`] return `None` regardless of
-/// `max_n`.
+/// The budgeted, parallel, branch-and-bound variant of
+/// [`exhaustive_dag_best`]: permutations are split by their first element
+/// over `exec.effective_threads()` workers and reduced in enumeration order,
+/// so the result is bit-identical to the serial run; an optional deadline
+/// interrupts the enumeration.  Instances larger than
+/// [`DAG_ENUMERATION_HARD_MAX_N`] return `None` regardless of `max_n`.
+///
+/// `eval` receives the current incumbent as a *cutoff* (see
+/// [`exhaustive_forest_search`]).  `incumbent_seed` pre-loads the shared
+/// incumbent with an upper bound from an earlier phase (e.g. the forest
+/// optimum): candidates that cannot strictly beat the seed may then be
+/// valued `∞`, so when the outcome's value is not below the seed only the
+/// seed phase's result is meaningful.  Pass `f64::INFINITY` for an
+/// unseeded, self-contained search (its value is then always exact).
 pub fn exhaustive_dag_search<F>(
     app: &Application,
     max_n: usize,
     exec: Exec,
+    incumbent_seed: f64,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
-    F: Fn(&ExecutionGraph) -> f64 + Sync,
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
     let n = app.n();
     if n == 0 || n > max_n.min(DAG_ENUMERATION_HARD_MAX_N) {
         return None;
     }
+    let incumbent = Incumbent::seeded(incumbent_seed);
     // First elements of the permutation, in the order the serial recursion
     // (`items.swap(0, i)` for i = 0..n) visits them.
     let firsts: Vec<ServiceId> = (0..n).collect();
     let parts = par_chunks(exec.effective_threads(), &firsts, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
-        let mut local_eval = |g: &ExecutionGraph| eval(g);
         for &first in chunk {
             let mut order: Vec<ServiceId> = (0..n).collect();
             order.swap(0, first);
             let ok = permute_orders(&mut order, 1, &mut |perm| {
-                visit_dags_of_permutation(app, perm, &mut best, &mut local_eval, exec.deadline)
+                visit_dags_of_permutation_pruned(
+                    app,
+                    perm,
+                    &mut best,
+                    &incumbent,
+                    eval,
+                    exec.deadline,
+                )
             });
             if !ok {
                 complete = false;
@@ -341,6 +442,40 @@ where
         graph,
         complete,
     })
+}
+
+/// Evaluates every DAG whose edges are forward edges of `perm`, threading the
+/// shared incumbent into every evaluation.  Returns `false` when the deadline
+/// interrupted the mask enumeration.
+fn visit_dags_of_permutation_pruned<F>(
+    app: &Application,
+    perm: &[ServiceId],
+    best: &mut Option<(f64, ExecutionGraph)>,
+    incumbent: &Incumbent,
+    eval: &F,
+    deadline: Option<Instant>,
+) -> bool
+where
+    F: Fn(&ExecutionGraph, f64) -> f64,
+{
+    let n = perm.len();
+    let m = n * (n - 1) / 2;
+    debug_assert!(m < 64, "callers bound n by DAG_ENUMERATION_HARD_MAX_N");
+    for mask in 0u64..(1u64 << m) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        let graph = ExecutionGraph::from_permutation_mask(perm, mask);
+        if graph.respects(app).is_err() {
+            continue;
+        }
+        let value = eval(&graph, incumbent.get());
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
+            incumbent.offer(value);
+            *best = Some((value, graph));
+        }
+    }
+    true
 }
 
 /// Evaluates every DAG whose edges are forward edges of `perm`.  Returns
@@ -510,12 +645,113 @@ pub fn minimize_period_exec(
     options: &MinPeriodOptions,
     exec: Exec,
 ) -> CoreResult<MinPeriodResult> {
-    let eval = |g: &ExecutionGraph| -> f64 {
-        evaluate_period(app, g, options.model, options.evaluation).unwrap_or(f64::INFINITY)
+    minimize_period_engine(app, options, exec, &EvalCache::new(app))
+}
+
+/// Bounded (branch-and-bound aware) candidate evaluation: like
+/// [`evaluate_period`], but may return `∞` for candidates whose structural
+/// lower bound already clears `cutoff`, and memoises the expensive ordering
+/// searches in `cache`.
+fn evaluate_period_bounded(
+    app: &Application,
+    graph: &ExecutionGraph,
+    model: CommModel,
+    evaluation: PeriodEvaluation,
+    cache: &EvalCache<'_>,
+    cutoff: f64,
+    deadline: Option<Instant>,
+) -> f64 {
+    let Ok(metrics) = PlanMetrics::compute(app, graph) else {
+        return f64::INFINITY;
+    };
+    let lower = metrics.period_lower_bound(model);
+    let PeriodEvaluation::Orchestrated { exhaustive_limit } = evaluation else {
+        return lower;
+    };
+    if model == CommModel::Overlap {
+        // Theorem 1: the lower bound is achieved.
+        return lower;
+    }
+    // Every orchestrated period dominates the structural bound, so a bound
+    // above the cutoff proves the candidate cannot improve the incumbent.
+    if lower > prune_threshold(cutoff) {
+        return f64::INFINITY;
+    }
+    // With a deadline, inner searches may return deadline-truncated values:
+    // honour the time limit inside the candidate evaluation, but never
+    // memoise a value that depends on the wall clock.
+    let inner_exec = Exec {
+        threads: 1,
+        deadline,
+    };
+    match model {
+        CommModel::Overlap => unreachable!("handled above"),
+        CommModel::InOrder => {
+            let search = |c: f64| match oneport_period_search_prepared(
+                app,
+                graph,
+                &metrics,
+                OnePortStyle::InOrder,
+                exhaustive_limit,
+                inner_exec,
+                c,
+            ) {
+                Ok(Some(result)) => result.period,
+                Ok(None) | Err(_) => f64::INFINITY,
+            };
+            if deadline.is_some() {
+                return search(cutoff);
+            }
+            let exhaustive = CommOrderings::search_space_size(graph) <= exhaustive_limit;
+            cache.get_or_compute(tags::INORDER_PERIOD, graph, exhaustive, cutoff, search)
+        }
+        CommModel::OutOrder => {
+            // The OUTORDER backtracker is label-dependent, so its value is
+            // shared between identical labelled graphs only; it has no
+            // internal cutoff support, hence the exact-compute variant.
+            let opts = OutOrderOptions {
+                inorder_exhaustive_limit: exhaustive_limit,
+                deadline,
+                ..OutOrderOptions::default()
+            };
+            let search = || {
+                outorder_period_search(app, graph, &opts)
+                    .map(|r| r.period)
+                    .unwrap_or(f64::INFINITY)
+            };
+            if deadline.is_some() {
+                return search();
+            }
+            cache.get_or_compute_exact(tags::OUTORDER_PERIOD, graph, false, search)
+        }
+    }
+}
+
+/// [`minimize_period_exec`] with a caller-provided evaluation cache, so a
+/// batch sweep ([`crate::orchestrator::solve_all`]) can share one memo.
+pub(crate) fn minimize_period_engine(
+    app: &Application,
+    options: &MinPeriodOptions,
+    exec: Exec,
+    cache: &EvalCache<'_>,
+) -> CoreResult<MinPeriodResult> {
+    let eval = |g: &ExecutionGraph, cutoff: f64| -> f64 {
+        evaluate_period_bounded(
+            app,
+            g,
+            options.model,
+            options.evaluation,
+            cache,
+            cutoff,
+            exec.deadline,
+        )
     };
     if !app.has_constraints() {
+        // Both evaluations dominate the model's structural period bound, so
+        // the incremental period bound is an admissible subtree pruner.
+        let prune = PartialPrune::Period(options.model);
         if let Some(out) =
-            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, &eval)
+            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, prune, &eval)
         {
             return Ok(MinPeriodResult {
                 period: out.value,
@@ -527,7 +763,7 @@ pub fn minimize_period_exec(
         // With precedence constraints the optimal plan need not be a forest;
         // use the DAG enumeration for tiny instances.
         if app.n() <= 5 {
-            if let Some(out) = exhaustive_dag_search(app, 5, exec, &eval) {
+            if let Some(out) = exhaustive_dag_search(app, 5, exec, f64::INFINITY, &eval) {
                 return Ok(MinPeriodResult {
                     period: out.value,
                     graph: out.graph,

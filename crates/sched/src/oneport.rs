@@ -25,7 +25,8 @@ use fsw_core::{
 };
 use fsw_eventgraph::TimedEventGraph;
 
-use crate::orderings::CommOrderings;
+use crate::engine::prune_threshold;
+use crate::orderings::{CommOrderings, OrderingSpace};
 use crate::par::{fold_min, par_chunks, Exec};
 
 /// Which serialisation discipline the event graph should encode.
@@ -61,6 +62,19 @@ fn build_event_graph(
         });
     }
     let metrics = PlanMetrics::compute(app, graph)?;
+    build_event_graph_with(app, graph, &metrics, ords, style)
+}
+
+/// [`build_event_graph`] with pre-computed plan metrics and no consistency
+/// check — the hot path of the exhaustive ordering search, whose candidates
+/// are consistent by construction.
+fn build_event_graph_with(
+    app: &Application,
+    graph: &ExecutionGraph,
+    metrics: &PlanMetrics,
+    ords: &CommOrderings,
+    style: OnePortStyle,
+) -> CoreResult<(TimedEventGraph, TransitionMap)> {
     let mut eg = TimedEventGraph::new();
     let mut map = TransitionMap {
         comm: BTreeMap::new(),
@@ -156,6 +170,29 @@ fn period_for_orderings(
     Ok(period)
 }
 
+fn period_for_orderings_with(
+    app: &Application,
+    graph: &ExecutionGraph,
+    metrics: &PlanMetrics,
+    ords: &CommOrderings,
+    style: OnePortStyle,
+) -> CoreResult<f64> {
+    let (eg, _) = build_event_graph_with(app, graph, metrics, ords, style)?;
+    let period = eg.min_period().map_err(|_| CoreError::CyclicGraph)?;
+    Ok(period)
+}
+
+/// The communication model whose structural period bound every schedule of
+/// the given one-port style must respect.
+fn bounding_model(style: OnePortStyle) -> CommModel {
+    match style {
+        OnePortStyle::InOrder => CommModel::InOrder,
+        // With overlap, ports and CPU are separate unary resources: only the
+        // `max(Cin, Ccomp, Cout)` bound applies.
+        OnePortStyle::OverlapPorts => CommModel::Overlap,
+    }
+}
+
 /// Builds a concrete operation list realising the optimal period of a fixed
 /// ordering under the `INORDER` model.
 pub fn inorder_oplist_for_orderings(
@@ -233,22 +270,70 @@ pub fn oneport_period_search_exec(
     exhaustive_limit: usize,
     exec: Exec,
 ) -> CoreResult<OrderingSearchResult> {
-    if let Some(all) = CommOrderings::enumerate_all(graph, exhaustive_limit) {
-        let parts = par_chunks(exec.effective_threads(), &all, |base, chunk| {
+    Ok(
+        oneport_period_search_bounded(app, graph, style, exhaustive_limit, exec, f64::INFINITY)?
+            .expect("an infinite cutoff never prunes the search"),
+    )
+}
+
+/// Branch-and-bound variant of [`oneport_period_search_exec`]: a `cutoff`
+/// carried in from an incumbent lets the search skip work that cannot
+/// matter.
+///
+/// Returns `Ok(None)` when the structural period lower bound of `graph`
+/// already exceeds `cutoff` — no ordering of this graph can improve the
+/// caller's incumbent.  Otherwise the result is exactly what the unbounded
+/// search would have returned (value and winning ordering alike).
+pub fn oneport_period_search_bounded(
+    app: &Application,
+    graph: &ExecutionGraph,
+    style: OnePortStyle,
+    exhaustive_limit: usize,
+    exec: Exec,
+    cutoff: f64,
+) -> CoreResult<Option<OrderingSearchResult>> {
+    let metrics = PlanMetrics::compute(app, graph)?;
+    oneport_period_search_prepared(app, graph, &metrics, style, exhaustive_limit, exec, cutoff)
+}
+
+/// [`oneport_period_search_bounded`] with caller-provided plan metrics, so a
+/// caller that already computed them (e.g. the memoised MINPERIOD candidate
+/// evaluation) does not pay for them twice.
+pub(crate) fn oneport_period_search_prepared(
+    app: &Application,
+    graph: &ExecutionGraph,
+    metrics: &PlanMetrics,
+    style: OnePortStyle,
+    exhaustive_limit: usize,
+    exec: Exec,
+    cutoff: f64,
+) -> CoreResult<Option<OrderingSearchResult>> {
+    let lower_bound = metrics.period_lower_bound(bounding_model(style));
+    if lower_bound > prune_threshold(cutoff) {
+        return Ok(None);
+    }
+    if let Some(space) = OrderingSpace::new(graph, exhaustive_limit) {
+        let indices: Vec<usize> = (0..space.len()).collect();
+        let parts = par_chunks(exec.effective_threads(), &indices, |_base, chunk| {
             let mut best: Option<(f64, usize)> = None;
             let mut complete = true;
-            for (i, ords) in chunk.iter().enumerate() {
+            for &i in chunk {
                 if exec.expired() {
                     complete = false;
                     break;
                 }
+                let ords = space.get(i);
                 // Orderings whose rendezvous constraints dead-lock are
                 // infeasible (token-free cycle): skip them.
-                let Ok(p) = period_for_orderings(app, graph, ords, style) else {
+                let Ok(p) = period_for_orderings_with(app, graph, metrics, &ords, style) else {
                     continue;
                 };
+                // No early exit at the structural lower bound: computed
+                // cycle ratios can land an ulp *below* it (different float
+                // paths), so stopping there could miss the bitwise minimum
+                // and break serial/parallel equivalence.
                 if best.as_ref().is_none_or(|(bp, _)| p < *bp) {
-                    best = Some((p, base + i));
+                    best = Some((p, i));
                 }
             }
             (best, complete)
@@ -256,11 +341,11 @@ pub fn oneport_period_search_exec(
         let complete = parts.iter().all(|(_, c)| *c);
         let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
         if let Some((period, winner)) = best {
-            return Ok(OrderingSearchResult {
+            return Ok(Some(OrderingSearchResult {
                 period,
-                orderings: all[winner].clone(),
+                orderings: space.get(winner),
                 exhaustive: complete,
-            });
+            }));
         }
         debug_assert!(
             !complete,
@@ -270,9 +355,11 @@ pub fn oneport_period_search_exec(
     }
     // Hill climbing over adjacent swaps, starting from the (always feasible)
     // topological ordering.  Also the fallback when a deadline expired before
-    // the exhaustive enumeration evaluated a single ordering.
+    // the exhaustive enumeration evaluated a single ordering.  The climb is
+    // not cutoff-bounded: its value must stay bit-identical to the legacy
+    // heuristic whatever incumbent is carried in.
     let mut current = CommOrderings::topological(graph);
-    let mut current_period = period_for_orderings(app, graph, &current, style)?;
+    let mut current_period = period_for_orderings_with(app, graph, metrics, &current, style)?;
     let mut improved = true;
     while improved && !exec.expired() {
         improved = false;
@@ -286,7 +373,8 @@ pub fn oneport_period_search_exec(
                 for pos in 0..len.saturating_sub(1) {
                     let mut candidate = current.clone();
                     candidate.swap_adjacent(server, outgoing, pos);
-                    let Ok(p) = period_for_orderings(app, graph, &candidate, style) else {
+                    let Ok(p) = period_for_orderings_with(app, graph, metrics, &candidate, style)
+                    else {
                         continue;
                     };
                     if p + 1e-12 < current_period {
@@ -298,11 +386,11 @@ pub fn oneport_period_search_exec(
             }
         }
     }
-    Ok(OrderingSearchResult {
+    Ok(Some(OrderingSearchResult {
         period: current_period,
         orderings: current,
         exhaustive: false,
-    })
+    }))
 }
 
 /// Convenience: the period lower bound of the one-port models

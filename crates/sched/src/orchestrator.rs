@@ -46,14 +46,15 @@ use std::time::{Duration, Instant};
 
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, OperationList, PlanMetrics};
 
+use crate::engine::EvalCache;
 use crate::latency::{
     latency_lower_bound, multiport_proportional_latency, oneport_latency_search_exec,
 };
-use crate::minlatency::{minimize_latency_exec, MinLatencyOptions};
-use crate::minperiod::{minimize_period_exec, MinPeriodOptions, PeriodEvaluation};
+use crate::minlatency::{minimize_latency_engine, MinLatencyOptions};
+use crate::minperiod::{minimize_period_engine, MinPeriodOptions, PeriodEvaluation};
 use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search_exec, OnePortStyle};
 use crate::orderings::CommOrderings;
-use crate::outorder::{outorder_period_search, OutOrderOptions};
+use crate::outorder::{outorder_period_search_exec, OutOrderOptions};
 use crate::overlap::overlap_period_oplist;
 use crate::par::Exec;
 
@@ -135,9 +136,9 @@ pub struct SearchBudget {
     pub max_graphs: usize,
     /// Optional wall-clock limit.  When it expires, the graph and ordering
     /// enumerations stop and the best candidate found so far is returned with
-    /// `exhaustive == false`.  Caveat: the OUTORDER cyclic backtracker is
-    /// bounded by [`SearchBudget::outorder_node_budget`] only and may overrun
-    /// the deadline (see ROADMAP — wiring it through is an open item).
+    /// `exhaustive == false`; the OUTORDER cyclic backtracker and its
+    /// bisection refinement honour it too (on top of
+    /// [`SearchBudget::outorder_node_budget`]).
     pub time_limit: Option<Duration>,
     /// Worker threads for the exhaustive searches; `0` = available
     /// parallelism, `1` = serial.  Results are identical for every value.
@@ -243,6 +244,7 @@ impl SearchBudget {
             node_budget: self.outorder_node_budget,
             refinement_steps: self.outorder_refinement_steps,
             inorder_exhaustive_limit: self.max_orderings,
+            deadline: None, // supplied per solve through `Exec`
         }
     }
 }
@@ -275,8 +277,7 @@ pub struct Solution {
     pub orderings: Option<CommOrderings>,
     /// `true` when the value is optimal for the searched space (every
     /// enumeration ran to completion within the budget).  For OUTORDER this
-    /// reflects the node-budgeted backtracker reaching the structural lower
-    /// bound, independent of [`SearchBudget::time_limit`].
+    /// reflects the budgeted backtracker reaching the structural lower bound.
     pub exhaustive: bool,
 }
 
@@ -284,6 +285,36 @@ pub struct Solution {
 /// three communication models for both MINPERIOD and MINLATENCY, with or
 /// without a fixed execution graph.
 pub fn solve(problem: &Problem<'_>, budget: &SearchBudget) -> CoreResult<Solution> {
+    solve_with_cache(problem, budget, &EvalCache::new(problem.app))
+}
+
+/// Solves a whole model × objective sweep over one application, sharing a
+/// single candidate-evaluation cache ([`crate::engine::EvalCache`]) across
+/// the requests: plan metrics signatures are computed once per application
+/// and the expensive ordering searches memoised per canonical graph class
+/// are reused by every solve of the batch (the one-port latency of a
+/// candidate DAG, for instance, is model-independent).  Results are
+/// bit-identical to calling [`solve`] once per request; requests are solved
+/// in order and each gets its own [`SearchBudget::time_limit`] window.
+pub fn solve_all(
+    app: &Application,
+    requests: &[(CommModel, Objective)],
+    budget: &SearchBudget,
+) -> CoreResult<Vec<Solution>> {
+    let cache = EvalCache::new(app);
+    requests
+        .iter()
+        .map(|&(model, objective)| {
+            solve_with_cache(&Problem::new(app, model, objective), budget, &cache)
+        })
+        .collect()
+}
+
+fn solve_with_cache(
+    problem: &Problem<'_>,
+    budget: &SearchBudget,
+    cache: &EvalCache<'_>,
+) -> CoreResult<Solution> {
     let exec = budget.exec();
     match (problem.graph, problem.objective) {
         (Some(graph), Objective::MinPeriod) => {
@@ -294,7 +325,7 @@ pub fn solve(problem: &Problem<'_>, budget: &SearchBudget) -> CoreResult<Solutio
         }
         (None, Objective::MinPeriod) => {
             let options = budget.minperiod_options(problem.model);
-            let result = minimize_period_exec(problem.app, &options, exec)?;
+            let result = minimize_period_engine(problem.app, &options, exec, cache)?;
             let mut solution =
                 orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)?;
             // Report the search's own value (bit-identical to the legacy
@@ -306,7 +337,7 @@ pub fn solve(problem: &Problem<'_>, budget: &SearchBudget) -> CoreResult<Solutio
         }
         (None, Objective::MinLatency) => {
             let options = budget.minlatency_options(problem.model);
-            let result = minimize_latency_exec(problem.app, &options, exec)?;
+            let result = minimize_latency_engine(problem.app, &options, exec, cache)?;
             let mut solution =
                 orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)?;
             solution.value = result.latency;
@@ -348,7 +379,7 @@ fn orchestrate_period(
             )
         }
         CommModel::OutOrder => {
-            let search = outorder_period_search(app, graph, &budget.outorder_options())?;
+            let search = outorder_period_search_exec(app, graph, &budget.outorder_options(), exec)?;
             (search.period, Some(search.oplist), None, search.optimal)
         }
     };

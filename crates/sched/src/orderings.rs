@@ -101,46 +101,11 @@ impl CommOrderings {
     /// Enumerates every distinct ordering of `graph`, up to `limit` of them.
     ///
     /// Returns `None` if the search space exceeds `limit` (use a heuristic
-    /// instead in that case).
+    /// instead in that case).  Prefer [`OrderingSpace`] in hot loops: it
+    /// addresses the same sequence without materialising every element.
     pub fn enumerate_all(graph: &ExecutionGraph, limit: usize) -> Option<Vec<CommOrderings>> {
-        if Self::search_space_size(graph) > limit {
-            return None;
-        }
-        let n = graph.n();
-        // Collect, per server, all permutations of its incoming and outgoing edges.
-        let mut per_slot: Vec<Vec<Vec<EdgeRef>>> = Vec::with_capacity(2 * n);
-        for k in 0..n {
-            per_slot.push(permutations(&in_edges(graph, k)));
-        }
-        for k in 0..n {
-            per_slot.push(permutations(&out_edges(graph, k)));
-        }
-        let mut result = Vec::new();
-        let mut indices = vec![0usize; per_slot.len()];
-        loop {
-            let incoming: Vec<Vec<EdgeRef>> =
-                (0..n).map(|k| per_slot[k][indices[k]].clone()).collect();
-            let outgoing: Vec<Vec<EdgeRef>> = (0..n)
-                .map(|k| per_slot[n + k][indices[n + k]].clone())
-                .collect();
-            result.push(CommOrderings { incoming, outgoing });
-            if result.len() > limit {
-                return None;
-            }
-            // Odometer increment.
-            let mut slot = 0;
-            loop {
-                if slot == per_slot.len() {
-                    return Some(result);
-                }
-                indices[slot] += 1;
-                if indices[slot] < per_slot[slot].len() {
-                    break;
-                }
-                indices[slot] = 0;
-                slot += 1;
-            }
-        }
+        let space = OrderingSpace::new(graph, limit)?;
+        Some((0..space.len()).map(|i| space.get(i)).collect())
     }
 
     /// A uniformly random ordering.
@@ -171,6 +136,68 @@ impl CommOrderings {
         }
         list.swap(pos, pos + 1);
         true
+    }
+}
+
+/// The communication-ordering space of an execution graph, addressable by
+/// index without materialising it.
+///
+/// Index `i` corresponds to the `i`-th element of the sequence produced by
+/// [`CommOrderings::enumerate_all`] (a mixed-radix odometer over per-server
+/// permutation slots, least-significant slot first), so searches that switch
+/// from the materialised vector to this accessor visit candidates in the
+/// exact same order — a prerequisite for bit-identical first-minimum-wins
+/// reductions.  The point of the indirection is allocation: an exhaustive
+/// ordering search over thousands of candidates per graph no longer clones
+/// the whole space up front.
+pub struct OrderingSpace {
+    n: usize,
+    /// `2n` slots: the permutations of every server's incoming edge list,
+    /// then of every server's outgoing edge list.
+    per_slot: Vec<Vec<Vec<EdgeRef>>>,
+    size: usize,
+}
+
+impl OrderingSpace {
+    /// Builds the space accessor, or `None` when the space exceeds `limit`.
+    pub fn new(graph: &ExecutionGraph, limit: usize) -> Option<Self> {
+        if CommOrderings::search_space_size(graph) > limit {
+            return None;
+        }
+        let n = graph.n();
+        let mut per_slot: Vec<Vec<Vec<EdgeRef>>> = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            per_slot.push(permutations(&in_edges(graph, k)));
+        }
+        for k in 0..n {
+            per_slot.push(permutations(&out_edges(graph, k)));
+        }
+        let size = per_slot.iter().map(Vec::len).product();
+        Some(OrderingSpace { n, per_slot, size })
+    }
+
+    /// Number of distinct orderings.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// `true` when the space is empty (never for a well-formed graph).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The `index`-th ordering of the enumeration sequence.
+    pub fn get(&self, index: usize) -> CommOrderings {
+        debug_assert!(index < self.size);
+        let mut rest = index;
+        let mut pick = |slot: &Vec<Vec<EdgeRef>>| {
+            let digit = rest % slot.len();
+            rest /= slot.len();
+            slot[digit].clone()
+        };
+        let incoming: Vec<Vec<EdgeRef>> = self.per_slot[..self.n].iter().map(&mut pick).collect();
+        let outgoing: Vec<Vec<EdgeRef>> = self.per_slot[self.n..].iter().map(&mut pick).collect();
+        CommOrderings { incoming, outgoing }
     }
 }
 
@@ -248,6 +275,18 @@ mod tests {
             }
         }
         assert!(CommOrderings::enumerate_all(&g, 10).is_none());
+    }
+
+    #[test]
+    fn ordering_space_matches_enumerate_all() {
+        let g = fork_join();
+        let all = CommOrderings::enumerate_all(&g, 100).unwrap();
+        let space = OrderingSpace::new(&g, 100).unwrap();
+        assert_eq!(space.len(), all.len());
+        for (i, ords) in all.iter().enumerate() {
+            assert_eq!(&space.get(i), ords, "index {i}");
+        }
+        assert!(OrderingSpace::new(&g, 10).is_none());
     }
 
     #[test]

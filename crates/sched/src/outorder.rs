@@ -22,12 +22,15 @@
 //! finite, at the cost of completeness only within that class (documented in
 //! DESIGN.md).
 
+use std::time::Instant;
+
 use fsw_core::{
     in_edges, Application, CommModel, CoreResult, EdgeRef, ExecutionGraph, Interval, OperationList,
     PlanMetrics, ServiceId,
 };
 
-use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search, OnePortStyle};
+use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search_exec, OnePortStyle};
+use crate::par::Exec;
 
 /// Options controlling the `OUTORDER` search.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +42,12 @@ pub struct OutOrderOptions {
     pub refinement_steps: usize,
     /// Ordering-search budget used for the `INORDER` fallback.
     pub inorder_exhaustive_limit: usize,
+    /// Optional wall-clock deadline: the backtracking scheduler checks it
+    /// every few hundred nodes and gives up the current feasibility call once
+    /// it has passed (treated like an exhausted node budget), so a
+    /// [`crate::orchestrator::SearchBudget::time_limit`] now bounds OUTORDER
+    /// solves too.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for OutOrderOptions {
@@ -47,6 +56,7 @@ impl Default for OutOrderOptions {
             node_budget: 200_000,
             refinement_steps: 8,
             inorder_exhaustive_limit: 20_000,
+            deadline: None,
         }
     }
 }
@@ -151,6 +161,7 @@ pub fn outorder_schedule_at(
         placements: Vec::new(),
         nodes: 0,
         budget: opts.node_budget,
+        deadline: opts.deadline,
     };
     if !schedule_ops(&ops, 0, &mut state) {
         return Ok(None);
@@ -179,6 +190,16 @@ struct SearchState {
     placements: Vec<(usize, f64)>,
     nodes: usize,
     budget: usize,
+    deadline: Option<Instant>,
+}
+
+impl SearchState {
+    /// `true` once the node budget is exhausted or the deadline (checked
+    /// every 256 nodes to keep the hot loop cheap) has passed.
+    fn out_of_budget(&self) -> bool {
+        self.nodes >= self.budget
+            || (self.nodes & 0xFF == 0 && self.deadline.is_some_and(|d| Instant::now() >= d))
+    }
 }
 
 impl SearchState {
@@ -249,7 +270,7 @@ fn schedule_ops(ops: &[Op], idx: usize, state: &mut SearchState) -> bool {
     if idx == ops.len() {
         return true;
     }
-    if state.nodes >= state.budget {
+    if state.out_of_budget() {
         return false;
     }
     state.nodes += 1;
@@ -295,7 +316,7 @@ fn schedule_ops(ops: &[Op], idx: usize, state: &mut SearchState) -> bool {
             return true;
         }
         state.unplace(op);
-        if state.nodes >= state.budget {
+        if state.out_of_budget() {
             return false;
         }
     }
@@ -312,9 +333,31 @@ pub fn outorder_period_search(
     graph: &ExecutionGraph,
     opts: &OutOrderOptions,
 ) -> CoreResult<OutOrderResult> {
+    outorder_period_search_exec(app, graph, opts, Exec::serial())
+}
+
+/// [`outorder_period_search`] under an explicit execution strategy: the
+/// `INORDER` fallback search fans out over `exec` worker threads, and
+/// `exec.deadline` (combined with any [`OutOrderOptions::deadline`]) bounds
+/// the backtracking scheduler and the bisection refinement — when it passes,
+/// the best feasible operation list found so far is returned (flagged
+/// non-optimal unless it already reached the lower bound).
+pub fn outorder_period_search_exec(
+    app: &Application,
+    graph: &ExecutionGraph,
+    opts: &OutOrderOptions,
+    exec: Exec,
+) -> CoreResult<OutOrderResult> {
+    let opts = OutOrderOptions {
+        deadline: match (opts.deadline, exec.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        ..*opts
+    };
     let lower_bound = outorder_period_lower_bound(app, graph)?;
     let lb = if lower_bound > 0.0 { lower_bound } else { 1.0 };
-    if let Some(oplist) = outorder_schedule_at(app, graph, lb, opts)? {
+    if let Some(oplist) = outorder_schedule_at(app, graph, lb, &opts)? {
         return Ok(OutOrderResult {
             period: lb,
             oplist,
@@ -323,11 +366,12 @@ pub fn outorder_period_search(
         });
     }
     // Fallback: the best INORDER schedule found is always OUTORDER-feasible.
-    let inorder = oneport_period_search(
+    let inorder = oneport_period_search_exec(
         app,
         graph,
         OnePortStyle::InOrder,
         opts.inorder_exhaustive_limit,
+        exec,
     )?;
     let mut best_period = inorder.period;
     let mut best_oplist = inorder_oplist_for_orderings(app, graph, &inorder.orderings)?;
@@ -338,8 +382,11 @@ pub fn outorder_period_search(
         if hi - lo <= 1e-9 * hi.max(1.0) {
             break;
         }
+        if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
         let mid = 0.5 * (lo + hi);
-        match outorder_schedule_at(app, graph, mid, opts)? {
+        match outorder_schedule_at(app, graph, mid, &opts)? {
             Some(oplist) => {
                 best_period = mid;
                 best_oplist = oplist;

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fsw::core::{CommModel, ExecutionGraph};
+use fsw::sched::engine::PartialPrune;
 use fsw::sched::latency::{oneport_latency_search, oneport_latency_search_exec};
 use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
 use fsw::sched::minperiod::{
@@ -161,24 +162,38 @@ fn parallel_searches_equal_serial() {
         let app = random_application(&RandomAppConfig::independent(4), &mut rng);
         let graph = random_compatible_graph(&app, 0.6, &mut rng);
 
-        // Forest enumeration.
-        let eval = |g: &ExecutionGraph| {
+        // Forest enumeration, with and without branch-and-bound pruning:
+        // every combination must agree bit-for-bit with the serial brute
+        // force (value and tie-broken winner alike).
+        let eval = |g: &ExecutionGraph, _cutoff: f64| {
             fsw::core::PlanMetrics::compute(&app, g)
                 .map(|m| m.period_lower_bound(CommModel::Overlap))
                 .unwrap_or(f64::INFINITY)
         };
         let serial: SearchOutcome =
-            exhaustive_forest_search(&app, 2_000_000, Exec::serial(), &eval).unwrap();
-        for threads in [2, 3, 8] {
-            let parallel =
-                exhaustive_forest_search(&app, 2_000_000, Exec::threaded(threads), &eval).unwrap();
-            assert_eq!(serial.value, parallel.value, "case {case} x{threads}");
-            assert_eq!(
-                graph_edges(&serial.graph),
-                graph_edges(&parallel.graph),
-                "case {case} x{threads}: winning forest"
-            );
-            assert!(parallel.complete);
+            exhaustive_forest_search(&app, 2_000_000, Exec::serial(), PartialPrune::Off, &eval)
+                .unwrap();
+        for threads in [1, 2, 3, 8] {
+            for prune in [PartialPrune::Off, PartialPrune::Period(CommModel::Overlap)] {
+                let parallel = exhaustive_forest_search(
+                    &app,
+                    2_000_000,
+                    Exec::threaded(threads),
+                    prune,
+                    &eval,
+                )
+                .unwrap();
+                assert_eq!(
+                    serial.value, parallel.value,
+                    "case {case} x{threads} {prune:?}"
+                );
+                assert_eq!(
+                    graph_edges(&serial.graph),
+                    graph_edges(&parallel.graph),
+                    "case {case} x{threads} {prune:?}: winning forest"
+                );
+                assert!(parallel.complete);
+            }
         }
 
         // Ordering enumeration, period and latency.
