@@ -15,6 +15,7 @@ use fsw_sched::baseline::{nocomm_minperiod_plan, nocomm_period};
 use fsw_sched::chain::{
     chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
 };
+use fsw_sched::engine::CanonicalSpace;
 use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
 use fsw_sched::minperiod::{
     exhaustive_dag_best, exhaustive_forest_best, minperiod_local_search, MinPeriodOptions,
@@ -29,7 +30,8 @@ use fsw_sched::CommOrderings;
 use fsw_sim::{replay_oplist, simulate_inorder};
 use fsw_workloads::{
     counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
-    random_application, section23, sensor_fusion, skewed_query_optimization, RandomAppConfig,
+    random_application, section23, sensor_fusion, skewed_query_optimization,
+    uniform_query_optimization, RandomAppConfig,
 };
 
 /// One row of an experiment table.
@@ -443,6 +445,54 @@ pub fn e11_orchestrator_scenarios() -> Vec<ExperimentRow> {
     rows
 }
 
+/// E12 — symmetry-reduced exhaustive MINPERIOD on uniform-weight
+/// query-optimisation instances, n = 8..11: the raw `n^n` parent-function
+/// space against the canonical forest-class space the searches actually
+/// enumerate (`fsw_sched::engine::CanonicalSpace`), the orbit-accounting
+/// identity (`Σ orbit sizes == (n+1)^(n-1)` labelled forests), and the
+/// resulting optima — all exhaustive within the *default* `SearchBudget`,
+/// where the raw space stopped being enumerable beyond n ≈ 8.
+pub fn e12_symmetry_scaling() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(12);
+    let budget = SearchBudget::default();
+    let mut rows = Vec::new();
+    for n in 8..=11 {
+        let app = uniform_query_optimization(n, &mut rng);
+        let classes = CanonicalSpace::forest_class_count(n);
+        rows.push(ExperimentRow::new(
+            format!("n={n}: canonical forest classes (paper column = n^n parent functions)"),
+            Some((n as f64).powi(n as i32)),
+            classes as f64,
+        ));
+        let covered: u128 = CanonicalSpace::forest_representatives(n)
+            .iter()
+            .map(|(_, orbit)| orbit)
+            .sum();
+        rows.push(ExperimentRow::new(
+            format!("n={n}: labelled forests covered by the orbits (paper column = (n+1)^(n-1))"),
+            Some(fsw_core::labelled_forests(n) as f64),
+            covered as f64,
+        ));
+        for model in [CommModel::Overlap, CommModel::InOrder] {
+            let solution = solve(&Problem::new(&app, model, Objective::MinPeriod), &budget)
+                .expect("uniform instance");
+            rows.push(ExperimentRow::new(
+                format!(
+                    "uniform MINPERIOD {model} n={n}: optimum{}",
+                    if solution.exhaustive {
+                        " (exhaustive via canonical space)"
+                    } else {
+                        " (heuristic)"
+                    }
+                ),
+                None,
+                solution.value,
+            ));
+        }
+    }
+    rows
+}
+
 /// E10s — a seconds-not-minutes smoke version of the E10 scaling study
 /// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
 /// performance regressions in the prune-and-memoise search engine: the run
@@ -488,6 +538,28 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
             inorder.value,
         ));
     }
+    // Symmetry-reduced smoke: a uniform-weight instance at n = 9, where the
+    // raw space (387M parent functions) dwarfs the 2M cap but the canonical
+    // space (719 classes) makes the default budget exhaustive.  Guards the
+    // canonical enumeration path against perf and correctness regressions.
+    let uniform = uniform_query_optimization(9, &mut rng);
+    let solution = solve(
+        &Problem::new(&uniform, CommModel::Overlap, Objective::MinPeriod),
+        &budget,
+    )
+    .expect("solver");
+    rows.push(ExperimentRow::new(
+        format!(
+            "MINPERIOD OVERLAP n=9 uniform: canonical space{}",
+            if solution.exhaustive {
+                " (exhaustive)"
+            } else {
+                " (heuristic!)"
+            }
+        ),
+        None,
+        solution.value,
+    ));
     rows
 }
 
@@ -536,6 +608,10 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E11 — unified orchestrator across workload scenarios",
             e11_orchestrator_scenarios(),
         )),
+        "e12" => Some((
+            "E12 — symmetry-reduced exhaustive search on uniform weights",
+            e12_symmetry_scaling(),
+        )),
         _ => None,
     }
 }
@@ -543,7 +619,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

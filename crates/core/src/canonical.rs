@@ -1,0 +1,504 @@
+//! Weight-class symmetry and canonical forms of execution structures.
+//!
+//! Services that carry **bit-identical cost and selectivity** are
+//! interchangeable: relabelling them maps any execution graph to an
+//! equivalent one with the same volumes, bounds and (for label-independent
+//! evaluations) the same objective value.  The exhaustive plan searches can
+//! therefore enumerate one *canonical representative* per relabelling orbit
+//! instead of the whole labelled space — for the fully uniform case this
+//! collapses the `n^n` parent-function space of the forest enumeration to
+//! the number of *unlabelled* rooted forests (A000081 shifted: 286 classes
+//! at `n = 8` against 16.7M parent functions, 1 842 at `n = 10` against
+//! 10^10).
+//!
+//! This module provides the building blocks of that reduction:
+//!
+//! * [`WeightClasses`] — the partition of services into weight classes
+//!   (groups with identical `(cost, selectivity)` bit patterns);
+//! * [`CanonicalForests`] — a streaming generator of canonical rooted
+//!   forests on `n` nodes (one per isomorphism class, as parent vectors in
+//!   preorder) via the Beyer–Hedetniemi level-sequence successor rule, with
+//!   **orbit-size accounting**: each class reports how many labelled forests
+//!   it stands for (`n! / |Aut|`), so reduced enumerations remain
+//!   explainable and auditable against the raw space;
+//! * [`canonical_forest_form`] — the canonical relabelling of an arbitrary
+//!   labelled forest (the representative its orbit is reported under);
+//! * [`forest_classes`] / [`labelled_forests`] — closed-form counts of both
+//!   spaces (`Σ orbit sizes == labelled_forests(n)` is tested below).
+//!
+//! The canonical *tie-break* is part of the contract: representatives are
+//! produced in decreasing lexicographic order of their level sequences
+//! (path first, all-roots last), so "the first optimum in canonical order"
+//! is a well-defined, deterministic winner — it is generally **not** the
+//! same labelled graph as the first optimum of the raw `n^n` enumeration,
+//! which is why the symmetry-reduced searches only engage when every member
+//! of an orbit provably evaluates to the same value (see
+//! `fsw_sched::engine`).
+
+use crate::error::{CoreError, CoreResult};
+use crate::graph::ExecutionGraph;
+use crate::service::{Application, ServiceId};
+
+/// The partition of an application's services into weight classes: two
+/// services share a class iff their cost and selectivity are bit-identical.
+///
+/// Classes are numbered in order of first appearance (service 0's class is
+/// class 0).
+#[derive(Clone, Debug)]
+pub struct WeightClasses {
+    class_of: Vec<usize>,
+    sizes: Vec<usize>,
+}
+
+impl WeightClasses {
+    /// Computes the weight-class partition of `app`'s services.
+    pub fn of(app: &Application) -> Self {
+        let n = app.n();
+        let mut keys: Vec<(u64, u64)> = Vec::new();
+        let mut class_of = Vec::with_capacity(n);
+        let mut sizes: Vec<usize> = Vec::new();
+        for k in 0..n {
+            let key = (app.cost(k).to_bits(), app.selectivity(k).to_bits());
+            let class = match keys.iter().position(|&existing| existing == key) {
+                Some(c) => c,
+                None => {
+                    keys.push(key);
+                    sizes.push(0);
+                    keys.len() - 1
+                }
+            };
+            class_of.push(class);
+            sizes[class] += 1;
+        }
+        WeightClasses { class_of, sizes }
+    }
+
+    /// Number of services partitioned.
+    pub fn n(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Number of distinct weight classes.
+    pub fn class_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The class index of service `k`.
+    pub fn class_of(&self, k: ServiceId) -> usize {
+        self.class_of[k]
+    }
+
+    /// Number of services in class `c`.
+    pub fn class_size(&self, c: usize) -> usize {
+        self.sizes[c]
+    }
+
+    /// `true` when every service carries the same weights (at most one
+    /// class) — the regime in which full relabelling symmetry applies.
+    pub fn is_uniform(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+}
+
+/// One canonical rooted forest, borrowed from a [`CanonicalForests`] stream.
+#[derive(Debug)]
+pub struct ForestClass<'a> {
+    /// Parent vector of the representative: node `k`'s unique direct
+    /// predecessor, `None` for roots.  Nodes are labelled in preorder of the
+    /// canonical level sequence, so `parents[k] < Some(k)` always holds.
+    pub parents: &'a [Option<ServiceId>],
+    /// Number of labelled forests in this isomorphism class (`n! / |Aut|`).
+    pub orbit: u128,
+    /// Index of the first node whose parent may differ from the previously
+    /// streamed representative (`0` for the first one): an enumerator
+    /// maintaining incremental per-prefix state needs to rewind only the
+    /// suffix `changed_from..`.
+    pub changed_from: usize,
+}
+
+/// Streaming generator of canonical rooted forests on `n` nodes — exactly
+/// one representative per forest-isomorphism class.
+///
+/// A rooted forest on `n` nodes corresponds to a rooted tree on `n + 1`
+/// nodes (attach every root to a virtual super-root); the generator walks
+/// the canonical level sequences of those super-trees with the classic
+/// Beyer–Hedetniemi successor rule (*Constant time generation of rooted
+/// trees*, SIAM J. Comput. 1980), from the path (deepest) to the star of
+/// isolated nodes (flattest), and converts each sequence to a parent
+/// vector plus its orbit size.
+#[derive(Clone, Debug)]
+pub struct CanonicalForests {
+    /// Level sequence of the super-tree in preorder; `levels[0] == 0` is the
+    /// virtual root, real nodes sit at levels `>= 1`.
+    levels: Vec<usize>,
+    parents: Vec<Option<ServiceId>>,
+    /// Position scratch: last preorder position seen per level.
+    last_at_level: Vec<usize>,
+    started: bool,
+}
+
+impl CanonicalForests {
+    /// A stream over the forests on `n` nodes (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "canonical enumeration needs at least one node");
+        CanonicalForests {
+            levels: (0..=n).collect(),
+            parents: vec![None; n],
+            last_at_level: vec![0; n + 1],
+            started: false,
+        }
+    }
+
+    /// Advances to the next canonical representative, or `None` once the
+    /// class space is exhausted.  (A lending iterator: the returned item
+    /// borrows the generator's buffers.)
+    #[allow(clippy::should_implement_trait)] // lending: items borrow self
+    pub fn next(&mut self) -> Option<ForestClass<'_>> {
+        let changed_pos = if !self.started {
+            self.started = true;
+            1 // every position is fresh
+        } else {
+            // On the terminal sequence (all forest roots) `successor` keeps
+            // returning `None`, so an exhausted stream stays exhausted.
+            self.successor()?
+        };
+        self.refresh_parents(changed_pos);
+        Some(ForestClass {
+            parents: &self.parents,
+            orbit: forest_orbit_size(&self.levels),
+            changed_from: changed_pos - 1,
+        })
+    }
+
+    /// Beyer–Hedetniemi successor: returns the first sequence position that
+    /// changed, or `None` when the current sequence is the last one.
+    fn successor(&mut self) -> Option<usize> {
+        // p: rightmost node deeper than a forest root (level > 1).
+        let p = (1..self.levels.len()).rev().find(|&i| self.levels[i] > 1)?;
+        // q: rightmost proper ancestor-level position before p.
+        let q = (1..p)
+            .rev()
+            .find(|&i| self.levels[i] == self.levels[p] - 1)
+            .expect("a node of level > 1 has an earlier node one level up");
+        for i in p..self.levels.len() {
+            self.levels[i] = self.levels[i - (p - q)];
+        }
+        Some(p)
+    }
+
+    /// Recomputes `parents[changed_pos - 1 ..]` from the level sequence.
+    fn refresh_parents(&mut self, changed_pos: usize) {
+        // Seed the per-level position memo from the unchanged prefix.
+        for l in &mut self.last_at_level {
+            *l = usize::MAX;
+        }
+        for (i, &level) in self.levels.iter().enumerate().take(changed_pos) {
+            self.last_at_level[level] = i;
+        }
+        for i in changed_pos..self.levels.len() {
+            let level = self.levels[i];
+            self.parents[i - 1] = if level == 1 {
+                None
+            } else {
+                let p = self.last_at_level[level - 1];
+                debug_assert!(p >= 1, "parent of a level >= 2 node is a real node");
+                Some(p - 1)
+            };
+            self.last_at_level[level] = i;
+        }
+    }
+}
+
+/// Orbit size of the forest described by a canonical super-tree level
+/// sequence: the number of distinct labelled forests isomorphic to it,
+/// `n! / |Aut|` (saturating at `u128::MAX` far beyond any enumerable size).
+fn forest_orbit_size(levels: &[usize]) -> u128 {
+    let n = levels.len() - 1;
+    factorial(n) / subtree_automorphisms(levels, 0, levels.len())
+}
+
+/// `|Aut|` of the subtree spanning `levels[start..end)` (rooted at `start`):
+/// the product of the children's automorphism counts times, per run of
+/// identical child subtree sequences, the factorial of the run length.
+/// Canonical sequences keep identical siblings adjacent, so runs suffice.
+fn subtree_automorphisms(levels: &[usize], start: usize, end: usize) -> u128 {
+    let child_level = levels[start] + 1;
+    let mut aut = 1u128;
+    let mut child = start + 1;
+    let mut run_slice: Option<(usize, usize)> = None;
+    let mut run_len = 0u128;
+    while child < end {
+        debug_assert!(levels[child] == child_level);
+        let mut next = child + 1;
+        while next < end && levels[next] > child_level {
+            next += 1;
+        }
+        aut = aut.saturating_mul(subtree_automorphisms(levels, child, next));
+        let same = run_slice
+            .map(|(b, e)| levels[b..e] == levels[child..next])
+            .unwrap_or(false);
+        if same {
+            run_len += 1;
+        } else {
+            aut = aut.saturating_mul(factorial_u128(run_len));
+            run_slice = Some((child, next));
+            run_len = 1;
+        }
+        child = next;
+    }
+    aut.saturating_mul(factorial_u128(run_len))
+}
+
+fn factorial(n: usize) -> u128 {
+    factorial_u128(n as u128)
+}
+
+fn factorial_u128(n: u128) -> u128 {
+    let mut f = 1u128;
+    for k in 2..=n {
+        f = f.saturating_mul(k);
+    }
+    f
+}
+
+/// Number of forest-isomorphism classes on `n` nodes — the size of the
+/// canonical space [`CanonicalForests`] streams (A000081 shifted by one:
+/// rooted forests on `n` nodes ↔ rooted trees on `n + 1` nodes).
+/// Saturates at `u128::MAX` once the exact count overflows.
+pub fn forest_classes(n: usize) -> u128 {
+    rooted_tree_classes(n + 1)
+}
+
+/// Number of *labelled* rooted forests on `n` nodes, `(n + 1)^(n - 1)`
+/// (Cayley's formula via the super-root bijection) — the raw space the
+/// canonical enumeration collapses.  Saturating.
+pub fn labelled_forests(n: usize) -> u128 {
+    if n == 0 {
+        return 1;
+    }
+    let mut size = 1u128;
+    for _ in 0..(n - 1) {
+        size = size.saturating_mul((n + 1) as u128);
+    }
+    size
+}
+
+/// Number of unlabelled rooted trees on `n` nodes (OEIS A000081), by the
+/// Euler-transform recurrence
+/// `(n - 1) · t(n) = Σ_{k=1}^{n-1} (Σ_{d | k} d · t(d)) · t(n - k)`.
+/// Saturates at `u128::MAX` on overflow.
+pub fn rooted_tree_classes(n: usize) -> u128 {
+    if n == 0 {
+        return 1; // the empty tree
+    }
+    let mut t = vec![0u128; n + 1];
+    t[1] = 1;
+    for m in 2..=n {
+        let mut sum = 0u128;
+        for k in 1..m {
+            let s = t
+                .iter()
+                .enumerate()
+                .take(k + 1)
+                .skip(1)
+                .filter(|&(d, _)| k % d == 0)
+                .fold(0u128, |acc, (d, &td)| {
+                    acc.saturating_add((d as u128).saturating_mul(td))
+                });
+            sum = sum.saturating_add(s.saturating_mul(t[m - k]));
+        }
+        if sum == u128::MAX {
+            t[m] = u128::MAX;
+        } else {
+            t[m] = sum / (m as u128 - 1);
+        }
+    }
+    t[n]
+}
+
+/// The canonical relabelling of a labelled forest: the parent vector of the
+/// [`CanonicalForests`] representative of its isomorphism class.
+///
+/// Fails with [`CoreError::NotAForest`] when some node has several direct
+/// predecessors or the graph is cyclic.
+pub fn canonical_forest_form(graph: &ExecutionGraph) -> CoreResult<Vec<Option<ServiceId>>> {
+    if !graph.is_forest() {
+        return Err(CoreError::NotAForest);
+    }
+    graph.topological_order()?; // rejects cycles (a "forest" check alone keeps 2-cycles out already, but be explicit)
+    let n = graph.n();
+    // Canonical level sequence of every subtree, deepest-first at each node.
+    fn subtree_sequence(graph: &ExecutionGraph, node: ServiceId) -> Vec<usize> {
+        let mut children: Vec<Vec<usize>> = graph
+            .succs(node)
+            .iter()
+            .map(|&c| subtree_sequence(graph, c))
+            .collect();
+        children.sort_by(|a, b| b.cmp(a)); // non-increasing lex order
+        let mut seq = vec![0usize];
+        for child in children {
+            seq.extend(child.into_iter().map(|l| l + 1));
+        }
+        seq
+    }
+    let mut roots: Vec<Vec<usize>> = graph
+        .entry_nodes()
+        .into_iter()
+        .map(|r| subtree_sequence(graph, r))
+        .collect();
+    roots.sort_by(|a, b| b.cmp(a));
+    let mut levels = vec![0usize];
+    for root in roots {
+        levels.extend(root.into_iter().map(|l| l + 1));
+    }
+    debug_assert_eq!(levels.len(), n + 1);
+    // Level sequence → parent vector (as in `CanonicalForests`).
+    let mut parents = vec![None; n];
+    let mut last_at_level = vec![usize::MAX; n + 2];
+    last_at_level[0] = 0;
+    for i in 1..levels.len() {
+        let level = levels[i];
+        parents[i - 1] = if level == 1 {
+            None
+        } else {
+            Some(last_at_level[level - 1] - 1)
+        };
+        last_at_level[level] = i;
+    }
+    Ok(parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_classes_partition_by_bits() {
+        let app = Application::independent(&[(1.0, 0.5), (2.0, 0.5), (1.0, 0.5), (1.0, 0.25)]);
+        let classes = WeightClasses::of(&app);
+        assert_eq!(classes.n(), 4);
+        assert_eq!(classes.class_count(), 3);
+        assert_eq!(classes.class_of(0), classes.class_of(2));
+        assert_ne!(classes.class_of(0), classes.class_of(1));
+        assert_eq!(classes.class_size(classes.class_of(0)), 2);
+        assert!(!classes.is_uniform());
+        let uniform = Application::independent(&[(3.0, 0.7); 5]);
+        assert!(WeightClasses::of(&uniform).is_uniform());
+    }
+
+    #[test]
+    fn class_counts_match_a000081() {
+        // A000081: 1, 1, 1, 2, 4, 9, 20, 48, 115, 286, 719, 1842, 4766 …
+        let expected = [1u128, 1, 1, 2, 4, 9, 20, 48, 115, 286, 719, 1842, 4766];
+        for (n, &e) in expected.iter().enumerate() {
+            assert_eq!(rooted_tree_classes(n), e, "A000081({n})");
+        }
+        assert_eq!(forest_classes(8), 286);
+        assert_eq!(forest_classes(10), 1842);
+        assert_eq!(forest_classes(11), 4766);
+    }
+
+    #[test]
+    fn generator_streams_each_class_once_and_orbits_cover_the_labelled_space() {
+        for n in 1..=8 {
+            let mut stream = CanonicalForests::new(n);
+            let mut classes = 0u128;
+            let mut labelled = 0u128;
+            let mut seen = std::collections::HashSet::new();
+            while let Some(class) = stream.next() {
+                assert_eq!(class.parents.len(), n);
+                // Preorder labelling: parents always precede their children.
+                for (k, &p) in class.parents.iter().enumerate() {
+                    if let Some(p) = p {
+                        assert!(p < k, "n={n}: parent {p} !< child {k}");
+                    }
+                }
+                assert!(
+                    seen.insert(class.parents.to_vec()),
+                    "n={n}: duplicate representative {:?}",
+                    class.parents
+                );
+                classes += 1;
+                labelled += class.orbit;
+            }
+            assert_eq!(classes, forest_classes(n), "n={n}: class count");
+            assert_eq!(labelled, labelled_forests(n), "n={n}: Σ orbit sizes");
+        }
+    }
+
+    #[test]
+    fn changed_from_is_a_faithful_rewind_hint() {
+        let mut stream = CanonicalForests::new(6);
+        let mut previous: Option<Vec<Option<ServiceId>>> = None;
+        while let Some(class) = stream.next() {
+            if let Some(prev) = &previous {
+                for (k, &p) in class.parents.iter().enumerate().take(class.changed_from) {
+                    assert_eq!(prev[k], p, "prefix before changed_from");
+                }
+            } else {
+                assert_eq!(class.changed_from, 0);
+            }
+            previous = Some(class.parents.to_vec());
+        }
+    }
+
+    #[test]
+    fn canonical_form_maps_every_labelled_forest_to_a_streamed_representative() {
+        // Enumerate every labelled forest on n nodes (all parent functions
+        // that yield a DAG), canonicalise, and tally per representative: the
+        // tallies must equal the generator's orbit sizes exactly.
+        let n = 5usize;
+        let mut tally: std::collections::HashMap<Vec<Option<ServiceId>>, u128> =
+            std::collections::HashMap::new();
+        let mut parents = vec![None::<ServiceId>; n];
+        fn walk(
+            k: usize,
+            n: usize,
+            parents: &mut Vec<Option<ServiceId>>,
+            tally: &mut std::collections::HashMap<Vec<Option<ServiceId>>, u128>,
+        ) {
+            if k == n {
+                if let Ok(graph) = ExecutionGraph::from_parents(parents) {
+                    let canon = canonical_forest_form(&graph).expect("forest");
+                    *tally.entry(canon).or_insert(0) += 1;
+                }
+                return;
+            }
+            for p in std::iter::once(None).chain((0..n).filter(|&p| p != k).map(Some)) {
+                parents[k] = p;
+                walk(k + 1, n, parents, tally);
+                parents[k] = None;
+            }
+        }
+        walk(0, n, &mut parents, &mut tally);
+        let mut stream = CanonicalForests::new(n);
+        let mut streamed = 0usize;
+        while let Some(class) = stream.next() {
+            let canon = class.parents.to_vec();
+            assert_eq!(
+                tally.get(&canon).copied(),
+                Some(class.orbit),
+                "orbit of {canon:?}"
+            );
+            streamed += 1;
+        }
+        assert_eq!(streamed, tally.len(), "every orbit has one representative");
+    }
+
+    #[test]
+    fn canonical_form_is_isomorphism_invariant_and_idempotent() {
+        let chain = ExecutionGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let relabelled = ExecutionGraph::from_edges(4, &[(3, 2), (2, 0)]).unwrap();
+        let c1 = canonical_forest_form(&chain).unwrap();
+        let c2 = canonical_forest_form(&relabelled).unwrap();
+        assert_eq!(c1, c2);
+        let again = canonical_forest_form(&ExecutionGraph::from_parents(&c1).unwrap()).unwrap();
+        assert_eq!(c1, again);
+        // Non-forests are rejected.
+        let join = ExecutionGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        assert!(matches!(
+            canonical_forest_form(&join),
+            Err(CoreError::NotAForest)
+        ));
+    }
+}

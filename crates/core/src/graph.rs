@@ -109,6 +109,24 @@ impl ExecutionGraph {
         self.n
     }
 
+    /// Edge mask of this graph under the node relabelling `perm`: bit
+    /// `perm[i] * n + perm[j]` is set for every edge `i → j`.  Two graphs
+    /// are identical up to the relabelling iff their masks under it match —
+    /// the compact signature behind the canonical-form machinery
+    /// ([`crate::canonical`], `fsw_sched::engine::EvalCache`).  Requires
+    /// `n² <= 128` (debug-asserted); `perm` must be a permutation of `0..n`.
+    pub fn edge_mask_under(&self, perm: &[ServiceId]) -> u128 {
+        debug_assert!(self.n * self.n <= 128);
+        debug_assert_eq!(perm.len(), self.n);
+        let mut mask = 0u128;
+        for i in 0..self.n {
+            for &j in self.succs(i).iter() {
+                mask |= 1u128 << (perm[i] * self.n + perm[j]);
+            }
+        }
+        mask
+    }
+
     /// Number of service-to-service edges.
     pub fn edge_count(&self) -> usize {
         self.succs.iter().map(Vec::len).sum()

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod canonical;
 pub mod error;
 pub mod graph;
 pub mod metrics;
@@ -43,6 +44,10 @@ pub mod oplist;
 pub mod service;
 pub mod validate;
 
+pub use canonical::{
+    canonical_forest_form, forest_classes, labelled_forests, CanonicalForests, ForestClass,
+    WeightClasses,
+};
 pub use error::{CoreError, CoreResult};
 pub use graph::ExecutionGraph;
 pub use metrics::{in_edges, out_edges, plan_edges, PartialForestMetrics, PlanMetrics};

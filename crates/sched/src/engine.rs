@@ -18,7 +18,13 @@
 //!   [`fsw_core::PartialForestMetrics`]);
 //! * [`EvalCache`] — a concurrent memo of expensive candidate evaluations
 //!   (one-port ordering searches) keyed by a canonical shape-plus-weights
-//!   signature, so the members of an equivalence class share a single search.
+//!   signature, so the members of an equivalence class share a single search;
+//! * [`CanonicalSpace`] / [`ForestCursor`] / [`Symmetry`] — the
+//!   symmetry-reduced *enumeration* layer: on uniform-weight, constraint-free
+//!   instances the plan searches iterate canonical representatives of
+//!   weight-class orbits (with the partial bounds applied before a
+//!   representative is materialised) instead of the full labelled space,
+//!   falling back to the bit-identical full enumeration otherwise.
 //!
 //! ### Canonical signatures and bit-exactness
 //!
@@ -54,7 +60,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fsw_core::{Application, ExecutionGraph, ServiceId};
+use fsw_core::{
+    Application, CanonicalForests, ExecutionGraph, PartialForestMetrics, ServiceId, WeightClasses,
+};
 
 use crate::orderings::permutations;
 
@@ -126,6 +134,161 @@ impl Default for Incumbent {
     }
 }
 
+/// Whether an exhaustive search may enumerate canonical representatives of
+/// weight-class orbits instead of the full labelled space.
+///
+/// The reduction is engaged only when **both** hold:
+///
+/// * the caller passes [`Symmetry::Auto`], asserting that its candidate
+///   evaluation is *label-invariant* — isomorphic graphs evaluate to the
+///   same value.  On uniform weights this holds **bit-exactly** for every
+///   *forest* evaluation (single-predecessor volumes involve no multi-term
+///   sums, and the tree-latency recursion combines children in value order)
+///   and for exhaustive ordering searches; for *DAG* bounds a join of
+///   in-degree ≥ 3 sums its `Cin` terms in label order, so relabelling can
+///   shift the value by an ulp and the DAG reduction's equality holds up to
+///   summation-order rounding — the same caveat [`EvalCache`] documents.
+///   Hill-climbing and backtracking evaluations, whose search trajectory
+///   follows node ids, are not label-invariant at all;
+/// * the instance is [`CanonicalSpace::reducible`]: every service carries
+///   bit-identical weights and there are no precedence constraints.
+///
+/// Otherwise the search runs the bit-identical full enumeration, so
+/// heterogeneous instances keep the exact legacy semantics (value *and*
+/// first-minimum winner).  Under the reduction the value is unchanged but
+/// the winning graph follows the **canonical tie-break**: the first optimum
+/// in canonical enumeration order (see `fsw_core::canonical`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Always enumerate the full labelled space.
+    Full,
+    /// Enumerate canonical representatives when the instance is reducible;
+    /// the caller guarantees its evaluation is label-invariant there.
+    Auto,
+}
+
+/// The symmetry-reduced candidate spaces: which instances admit the orbit
+/// collapse and how large the reduced spaces are.
+pub struct CanonicalSpace;
+
+impl CanonicalSpace {
+    /// `true` when relabelling symmetry applies to the whole instance:
+    /// at least two services, all in one weight class, no precedence
+    /// constraints (constraints distinguish services regardless of weights).
+    pub fn reducible(app: &Application) -> bool {
+        app.n() >= 2 && !app.has_constraints() && WeightClasses::of(app).is_uniform()
+    }
+
+    /// Number of forest-isomorphism classes on `n` nodes — the size of the
+    /// reduced forest space (the raw space holds `(n+1)^(n-1)` labelled
+    /// forests inside `n^n` parent functions).
+    pub fn forest_class_count(n: usize) -> u128 {
+        fsw_core::forest_classes(n)
+    }
+
+    /// Worst-case communication-ordering space of any *forest* on `n`
+    /// nodes (`(n-1)!`, the star), saturating.  When this clears the
+    /// exhaustive-ordering budget, every forest candidate's ordering search
+    /// is exhaustive — hence label-invariant on uniform weights — and the
+    /// orbit reduction is safe for orchestrated evaluations too.
+    pub fn max_forest_ordering_space(n: usize) -> usize {
+        let mut f = 1usize;
+        for k in 2..n {
+            f = f.saturating_mul(k);
+        }
+        f
+    }
+
+    /// Worst-case communication-ordering space of any DAG on `n` nodes
+    /// (`Π_k max(k,1)!·max(n-1-k,1)!`, the complete DAG), saturating.
+    pub fn max_dag_ordering_space(n: usize) -> usize {
+        let mut total = 1usize;
+        for k in 0..n {
+            for degree in [k.max(1), (n - 1 - k).max(1)] {
+                for f in 2..=degree {
+                    total = total.saturating_mul(f);
+                }
+            }
+        }
+        total
+    }
+
+    /// Materialises the canonical forest representatives on `n` nodes, in
+    /// canonical enumeration order, each with its orbit size.  The list is
+    /// tiny (1 842 entries at `n = 10`), so collecting it up front lets the
+    /// search fan the stream out over worker threads while keeping the
+    /// serial reduction order.
+    pub fn forest_representatives(n: usize) -> Vec<(Vec<Option<ServiceId>>, u128)> {
+        let mut stream = CanonicalForests::new(n);
+        let mut reps = Vec::new();
+        while let Some(class) = stream.next() {
+            reps.push((class.parents.to_vec(), class.orbit));
+        }
+        reps
+    }
+}
+
+/// Replays canonical forest representatives against an incrementally
+/// maintained [`PartialForestMetrics`], pruning a representative **before it
+/// is materialised** as an [`ExecutionGraph`] whenever its admissible bound
+/// already clears the cutoff.  Consecutive representatives share long
+/// prefixes (canonical order changes a suffix), so the cursor pops and
+/// pushes only the differing tail.
+pub struct ForestCursor<'a> {
+    metrics: PartialForestMetrics<'a>,
+    current: Vec<Option<ServiceId>>,
+    prune: PartialPrune,
+}
+
+impl<'a> ForestCursor<'a> {
+    /// A cursor over `app`'s canonical forest space with the given
+    /// partial-assignment bound.
+    pub fn new(app: &'a Application, prune: PartialPrune) -> Self {
+        ForestCursor {
+            metrics: PartialForestMetrics::new(app),
+            current: Vec::with_capacity(app.n()),
+            prune,
+        }
+    }
+
+    /// Advances the cursor to `parents` and returns its execution graph —
+    /// or `None` when the partial bound proves no member of the orbit can
+    /// beat `cutoff` (the representative is then pruned without ever being
+    /// materialised).
+    pub fn advance(
+        &mut self,
+        parents: &[Option<ServiceId>],
+        cutoff: f64,
+    ) -> Option<ExecutionGraph> {
+        // Rewind to the common prefix, then replay the differing suffix.
+        let common = self
+            .current
+            .iter()
+            .zip(parents)
+            .take_while(|(a, b)| a == b)
+            .count();
+        while self.current.len() > common {
+            self.metrics.pop();
+            self.current.pop();
+        }
+        for &p in &parents[common..] {
+            self.metrics.push(p);
+            self.current.push(p);
+        }
+        if self.prune != PartialPrune::Off {
+            let bound = match self.prune {
+                PartialPrune::Off => unreachable!(),
+                PartialPrune::Period(model) => self.metrics.period_bound(model),
+                PartialPrune::Latency => self.metrics.latency_bound(),
+            };
+            if bound > prune_threshold(cutoff) {
+                return None;
+            }
+        }
+        Some(ExecutionGraph::from_parents(parents).expect("canonical parent vectors are acyclic"))
+    }
+}
+
 /// Which admissible partial-assignment bound the forest enumerator maintains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartialPrune {
@@ -175,11 +338,7 @@ impl<'a> EvalCache<'a> {
     /// A fresh cache for `app`.
     pub fn new(app: &'a Application) -> Self {
         let n = app.n();
-        let uniform = n > 0
-            && (1..n).all(|k| {
-                app.cost(k).to_bits() == app.cost(0).to_bits()
-                    && app.selectivity(k).to_bits() == app.selectivity(0).to_bits()
-            });
+        let uniform = n > 0 && WeightClasses::of(app).is_uniform();
         let mut factorial = 1usize;
         for f in 2..=n {
             factorial = factorial.saturating_mul(f);
@@ -213,28 +372,16 @@ impl<'a> EvalCache<'a> {
         )
     }
 
-    /// Edge mask of `graph` under the node relabelling `perm`: bit
-    /// `perm[i]*n + perm[j]` is set for every edge `i → j`.
-    fn mask_under(&self, graph: &ExecutionGraph, perm: &[ServiceId]) -> u128 {
-        let n = graph.n();
-        let mut mask = 0u128;
-        for i in 0..n {
-            for &j in graph.succs(i) {
-                mask |= 1u128 << (perm[i] * n + perm[j]);
-            }
-        }
-        mask
-    }
-
-    /// The canonical signature of `graph`: its exact edge mask, minimised
-    /// over class-preserving relabellings when those are provably bit-safe.
+    /// The canonical signature of `graph`: its exact edge mask
+    /// ([`ExecutionGraph::edge_mask_under`]), minimised over class-preserving
+    /// relabellings when those are provably bit-safe.
     fn signature(&self, graph: &ExecutionGraph, exhaustive: bool) -> u128 {
         debug_assert!(graph.n() == self.app.n() && graph.n() * graph.n() <= 128);
         let identity = &self.perms[0];
-        let mut best = self.mask_under(graph, identity);
+        let mut best = graph.edge_mask_under(identity);
         if exhaustive {
             for perm in &self.perms[1..] {
-                let mask = self.mask_under(graph, perm);
+                let mask = graph.edge_mask_under(perm);
                 if mask < best {
                     best = mask;
                 }

@@ -15,7 +15,7 @@
 //! | Theorem 2 — MINPERIOD solvers (exhaustive forests, DAGs, heuristics) | [`minperiod`] |
 //! | Theorem 4 — MINLATENCY solvers | [`minlatency`] |
 //! | Srivastava et al. no-communication baseline | [`baseline`] |
-//! | prune-and-memoise search engine (incumbents, canonical ordering cache) | [`engine`] |
+//! | prune-and-memoise search engine (incumbents, canonical ordering cache, symmetry-reduced enumeration) | [`engine`] |
 //!
 //! ```
 //! use fsw_core::{Application, CommModel, ExecutionGraph};
@@ -51,7 +51,7 @@ pub mod par;
 pub mod tree;
 
 pub use chain::{chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period};
-pub use engine::{EvalCache, Incumbent, PartialPrune};
+pub use engine::{CanonicalSpace, EvalCache, ForestCursor, Incumbent, PartialPrune, Symmetry};
 pub use latency::{
     latency_lower_bound, multiport_latency, multiport_proportional_latency,
     oneport_latency_for_orderings, oneport_latency_search, oneport_latency_search_bounded,
@@ -72,8 +72,8 @@ pub use oneport::{
 pub use orchestrator::{solve, solve_all, Objective, Problem, SearchBudget, Solution};
 pub use orderings::{CommOrderings, OrderingSpace};
 pub use outorder::{
-    outorder_period_lower_bound, outorder_period_search, outorder_period_search_exec,
-    outorder_schedule_at, OutOrderOptions, OutOrderResult,
+    outorder_period_lower_bound, outorder_period_search, outorder_period_search_bounded,
+    outorder_period_search_exec, outorder_schedule_at, OutOrderOptions, OutOrderResult,
 };
 pub use overlap::{overlap_period_lower_bound, overlap_period_oplist};
 pub use par::Exec;

@@ -19,7 +19,7 @@ use std::time::Instant;
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
 
 use crate::chain::{chain_graph, chain_minlatency_order};
-use crate::engine::{prune_threshold, tags, EvalCache, PartialPrune};
+use crate::engine::{prune_threshold, tags, CanonicalSpace, EvalCache, PartialPrune, Symmetry};
 use crate::latency::{
     latency_lower_bound_with, multiport_proportional_latency, oneport_latency_search,
     oneport_latency_search_prepared, LatencyEvaluator,
@@ -115,9 +115,14 @@ pub fn exhaustive_forest_minlatency(
     app: &Application,
     cap: usize,
 ) -> Option<(f64, ExecutionGraph)> {
-    exhaustive_forest_search(app, cap, Exec::serial(), PartialPrune::Latency, &|g, _| {
-        forest_latency_eval(app, g)
-    })
+    exhaustive_forest_search(
+        app,
+        cap,
+        Exec::serial(),
+        PartialPrune::Latency,
+        Symmetry::Auto, // Algorithm 1 is exact, hence label-invariant
+        &|g, _| forest_latency_eval(app, g),
+    )
     .map(|out| (out.value, out.graph))
 }
 
@@ -169,6 +174,7 @@ fn evaluate_latency_bounded(
         let inner_exec = Exec {
             threads: 1,
             deadline,
+            split_levels: 1,
         };
         match oneport_latency_search_prepared(
             graph,
@@ -319,6 +325,7 @@ pub(crate) fn minimize_latency_engine(
             options.forest_enumeration_cap,
             exec,
             PartialPrune::Latency,
+            Symmetry::Auto, // Algorithm 1 is exact, hence label-invariant
             &eval,
         ) {
             best = Some(MinLatencyResult {
@@ -336,7 +343,25 @@ pub(crate) fn minimize_latency_engine(
         let eval = |g: &ExecutionGraph, cutoff: f64| {
             evaluate_latency_bounded(app, g, options, cache, cutoff, exec.deadline)
         };
-        let dag = exhaustive_dag_search(app, options.dag_enumeration_max_n, exec, seed, &eval);
+        // The DAG evaluation is label-invariant only while every candidate's
+        // ordering search stays exhaustive (beyond the budget it falls back
+        // to label-following hill climbing), so the symmetry reduction is
+        // gated on the worst DAG's ordering space fitting the budget.
+        let symmetry = if CanonicalSpace::max_dag_ordering_space(app.n())
+            <= options.ordering_exhaustive_limit
+        {
+            Symmetry::Auto
+        } else {
+            Symmetry::Full
+        };
+        let dag = exhaustive_dag_search(
+            app,
+            options.dag_enumeration_max_n,
+            exec,
+            seed,
+            symmetry,
+            &eval,
+        );
         if let Some(out) = dag {
             if best.as_ref().is_none_or(|b| out.value < b.latency - 1e-12) {
                 best = Some(MinLatencyResult {

@@ -24,10 +24,13 @@ use fsw_core::{
 };
 
 use crate::chain::{chain_graph, chain_minperiod_order};
-use crate::engine::{prune_threshold, tags, EvalCache, Incumbent, PartialPrune};
+use crate::engine::{
+    prune_threshold, tags, CanonicalSpace, EvalCache, ForestCursor, Incumbent, PartialPrune,
+    Symmetry,
+};
 use crate::oneport::{oneport_period_search, oneport_period_search_prepared, OnePortStyle};
 use crate::orderings::CommOrderings;
-use crate::outorder::{outorder_period_search, OutOrderOptions};
+use crate::outorder::{outorder_period_search, outorder_period_search_bounded, OutOrderOptions};
 use crate::par::{fold_min, par_chunks, Exec};
 
 /// How the period of a candidate execution graph is evaluated.
@@ -164,11 +167,11 @@ pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
 }
 
 /// The budgeted, parallel, branch-and-bound variant of
-/// [`exhaustive_forest_best_capped`]: the first-level branches of the
-/// enumeration tree are split over `exec.effective_threads()` workers and
-/// reduced in enumeration order, so the result is bit-identical to the serial
-/// run; an optional deadline interrupts the enumeration (flagged via
-/// [`SearchOutcome::complete`]).
+/// [`exhaustive_forest_best_capped`]: the first one or two enumeration
+/// levels (see [`Exec::split_levels`]) are expanded into tasks, split over
+/// `exec.effective_threads()` workers and reduced in enumeration order, so
+/// the result is bit-identical to the serial run; an optional deadline
+/// interrupts the enumeration (flagged via [`SearchOutcome::complete`]).
 ///
 /// `eval` receives the current incumbent as a *cutoff*: it may return any
 /// value above the cutoff (typically `∞`) for candidates it can prove cannot
@@ -178,31 +181,48 @@ pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
 /// pruned only when their bound *strictly* clears the shared incumbent, so
 /// the first-minimum winner of the brute-force enumeration always survives,
 /// whatever the thread count.
+///
+/// Under [`Symmetry::Auto`] on a reducible instance (uniform weights, no
+/// constraints — see [`CanonicalSpace`]) the search enumerates **canonical
+/// forest representatives** instead of all `n^n` parent functions: the cap
+/// is then measured against the class count (1 842 classes at `n = 10`
+/// versus `10^10` parent functions), the optimum *value* is unchanged, and
+/// the winner is the canonical tie-break representative.  Callers passing
+/// `Auto` assert that `eval` is label-invariant on uniform weights.
 pub fn exhaustive_forest_search<F>(
     app: &Application,
     cap: usize,
     exec: Exec,
     prune: PartialPrune,
+    symmetry: Symmetry,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
     let n = app.n();
+    if n == 0 {
+        return None;
+    }
+    if symmetry == Symmetry::Auto && CanonicalSpace::reducible(app) {
+        if CanonicalSpace::forest_class_count(n) > cap as u128 {
+            return None;
+        }
+        return canonical_forest_search(app, exec, prune, eval);
+    }
     if forest_space_size(n)? > cap {
         return None;
     }
     let incumbent = Incumbent::new();
-    // First-level branches, in the order the serial enumeration visits them:
-    // service 0 is an entry node, or has parent 1, 2, …, n-1.
-    let mut branches: Vec<Option<ServiceId>> = vec![None];
-    branches.extend((1..n).map(Some));
-    let parts = par_chunks(exec.effective_threads(), &branches, |_base, chunk| {
+    let prefixes = forest_task_prefixes(n, exec.effective_split_levels());
+    let parts = par_chunks(exec.effective_threads(), &prefixes, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
         let mut partial = PartialForestMetrics::new(app);
-        for &first in chunk {
-            partial.push(first);
+        for prefix in chunk {
+            for &p in prefix {
+                partial.push(p);
+            }
             let ok = enumerate_parents_pruned(
                 app,
                 &mut partial,
@@ -212,10 +232,80 @@ where
                 eval,
                 exec.deadline,
             );
-            partial.pop();
+            for _ in prefix {
+                partial.pop();
+            }
             if !ok {
                 complete = false;
                 break;
+            }
+        }
+        (best, complete)
+    });
+    let complete = parts.iter().all(|(_, c)| *c);
+    let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+    best.map(|(value, graph)| SearchOutcome {
+        value,
+        graph,
+        complete,
+    })
+}
+
+/// Choices for service `k`'s parent, in the order the serial enumeration
+/// tries them: entry node first, then every other service.
+fn parent_choices(n: usize, k: usize) -> impl Iterator<Item = Option<ServiceId>> {
+    std::iter::once(None).chain((0..n).filter(move |&p| p != k).map(Some))
+}
+
+/// The task prefixes of the forest enumeration: its first one or two levels
+/// expanded in serial enumeration order (`n` or `n²` tasks), so per-chunk
+/// winners fold back to the exact serial result.
+fn forest_task_prefixes(n: usize, levels: usize) -> Vec<Vec<Option<ServiceId>>> {
+    if levels >= 2 && n >= 2 {
+        let mut prefixes = Vec::with_capacity(n * n);
+        for c0 in parent_choices(n, 0) {
+            for c1 in parent_choices(n, 1) {
+                prefixes.push(vec![c0, c1]);
+            }
+        }
+        prefixes
+    } else {
+        parent_choices(n, 0).map(|c| vec![c]).collect()
+    }
+}
+
+/// The symmetry-reduced forest search: one evaluation per canonical
+/// representative, with the partial-assignment bound applied by a
+/// [`ForestCursor`] *before* a representative is materialised.  Chunks keep
+/// the canonical enumeration order, so the fold is deterministic for every
+/// thread count and the winner is the first optimum in canonical order.
+fn canonical_forest_search<F>(
+    app: &Application,
+    exec: Exec,
+    prune: PartialPrune,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
+    let reps = CanonicalSpace::forest_representatives(app.n());
+    let incumbent = Incumbent::new();
+    let parts = par_chunks(exec.effective_threads(), &reps, |_base, chunk| {
+        let mut best: Option<(f64, ExecutionGraph)> = None;
+        let mut complete = true;
+        let mut cursor = ForestCursor::new(app, prune);
+        for (parents, _orbit) in chunk {
+            if exec.deadline.is_some_and(|d| Instant::now() >= d) {
+                complete = false;
+                break;
+            }
+            let Some(graph) = cursor.advance(parents, incumbent.get()) else {
+                continue; // pruned before materialisation
+            };
+            let value = eval(&graph, incumbent.get());
+            if best.as_ref().is_none_or(|(b, _)| value < *b) {
+                incumbent.offer(value);
+                best = Some((value, graph));
             }
         }
         (best, complete)
@@ -381,8 +471,9 @@ pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
 }
 
 /// The budgeted, parallel, branch-and-bound variant of
-/// [`exhaustive_dag_best`]: permutations are split by their first element
-/// over `exec.effective_threads()` workers and reduced in enumeration order,
+/// [`exhaustive_dag_best`]: the first one or two permutation positions (see
+/// [`Exec::split_levels`]) are expanded into tasks, split over
+/// `exec.effective_threads()` workers and reduced in enumeration order,
 /// so the result is bit-identical to the serial run; an optional deadline
 /// interrupts the enumeration.  Instances larger than
 /// [`DAG_ENUMERATION_HARD_MAX_N`] return `None` regardless of `max_n`.
@@ -394,11 +485,24 @@ pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
 /// valued `∞`, so when the outcome's value is not below the seed only the
 /// seed phase's result is meaningful.  Pass `f64::INFINITY` for an
 /// unseeded, self-contained search (its value is then always exact).
+///
+/// Under [`Symmetry::Auto`] on a reducible instance (uniform weights, no
+/// constraints) only the DAGs whose edges are forward edges of the
+/// **identity permutation** are enumerated: every DAG is isomorphic to one
+/// of those, so with a label-invariant `eval` the optimum value is
+/// unchanged while the `n!` topological-permutation factor disappears.  The
+/// winner is the first optimum in ascending edge-mask order (the canonical
+/// tie-break).  Caveat on exactness: joins of in-degree ≥ 3 accumulate
+/// their `Cin` sum in label order, so across relabellings the value can
+/// move by an ulp — the reduced optimum matches the full enumeration up to
+/// that summation-order rounding (exactly, whenever the weights make the
+/// sums exact, e.g. dyadic values or selectivity 1).
 pub fn exhaustive_dag_search<F>(
     app: &Application,
     max_n: usize,
     exec: Exec,
     incumbent_seed: f64,
+    symmetry: Symmetry,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
@@ -409,16 +513,28 @@ where
         return None;
     }
     let incumbent = Incumbent::seeded(incumbent_seed);
-    // First elements of the permutation, in the order the serial recursion
-    // (`items.swap(0, i)` for i = 0..n) visits them.
-    let firsts: Vec<ServiceId> = (0..n).collect();
-    let parts = par_chunks(exec.effective_threads(), &firsts, |_base, chunk| {
+    if symmetry == Symmetry::Auto && CanonicalSpace::reducible(app) {
+        return canonical_dag_search(app, exec, &incumbent, eval);
+    }
+    // Task prefixes: positions swapped into the first one or two permutation
+    // slots, in the order the serial recursion (`items.swap(level, i)`)
+    // visits them.
+    let prefixes: Vec<Vec<usize>> = if exec.effective_split_levels() >= 2 && n >= 2 {
+        (0..n)
+            .flat_map(|i| (1..n).map(move |j| vec![i, j]))
+            .collect()
+    } else {
+        (0..n).map(|i| vec![i]).collect()
+    };
+    let parts = par_chunks(exec.effective_threads(), &prefixes, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
-        for &first in chunk {
+        for prefix in chunk {
             let mut order: Vec<ServiceId> = (0..n).collect();
-            order.swap(0, first);
-            let ok = permute_orders(&mut order, 1, &mut |perm| {
+            for (level, &pos) in prefix.iter().enumerate() {
+                order.swap(level, pos);
+            }
+            let ok = permute_orders(&mut order, prefix.len(), &mut |perm| {
                 visit_dags_of_permutation_pruned(
                     app,
                     perm,
@@ -431,6 +547,59 @@ where
             if !ok {
                 complete = false;
                 break;
+            }
+        }
+        (best, complete)
+    });
+    let complete = parts.iter().all(|(_, c)| *c);
+    let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+    best.map(|(value, graph)| SearchOutcome {
+        value,
+        graph,
+        complete,
+    })
+}
+
+/// The symmetry-reduced DAG search: enumerates the forward-edge masks of
+/// the identity permutation only (ascending, chunked into contiguous ranges
+/// per worker so the fold reproduces the serial first-minimum).
+fn canonical_dag_search<F>(
+    app: &Application,
+    exec: Exec,
+    incumbent: &Incumbent,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
+    let n = app.n();
+    let m = n * (n - 1) / 2;
+    debug_assert!(m < 64, "callers bound n by DAG_ENUMERATION_HARD_MAX_N");
+    let total = 1u64 << m;
+    let workers = (exec.effective_threads() as u64).clamp(1, total);
+    let span = total.div_ceil(workers);
+    let ranges: Vec<(u64, u64)> = (0..workers)
+        .map(|w| (w * span, ((w + 1) * span).min(total)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let identity: Vec<ServiceId> = (0..n).collect();
+    let parts = par_chunks(ranges.len(), &ranges, |_base, chunk| {
+        let mut best: Option<(f64, ExecutionGraph)> = None;
+        let mut complete = true;
+        'ranges: for &(lo, hi) in chunk {
+            for mask in lo..hi {
+                if exec.deadline.is_some_and(|d| Instant::now() >= d) {
+                    complete = false;
+                    break 'ranges;
+                }
+                // Reducible instances have no precedence constraints, so
+                // every forward-edge DAG is feasible.
+                let graph = ExecutionGraph::from_permutation_mask(&identity, mask);
+                let value = eval(&graph, incumbent.get());
+                if best.as_ref().is_none_or(|(b, _)| value < *b) {
+                    incumbent.offer(value);
+                    best = Some((value, graph));
+                }
             }
         }
         (best, complete)
@@ -683,6 +852,7 @@ fn evaluate_period_bounded(
     let inner_exec = Exec {
         threads: 1,
         deadline,
+        split_levels: 1,
     };
     match model {
         CommModel::Overlap => unreachable!("handled above"),
@@ -707,22 +877,35 @@ fn evaluate_period_bounded(
         }
         CommModel::OutOrder => {
             // The OUTORDER backtracker is label-dependent, so its value is
-            // shared between identical labelled graphs only; it has no
-            // internal cutoff support, hence the exact-compute variant.
+            // shared between identical labelled graphs only — but it is now
+            // incumbent-aware: the shared incumbent is threaded in as a
+            // cutoff that skips candidates whose lower bound clears it and
+            // stops the bisection once every remaining probe provably sits
+            // above it (values at or below the cutoff stay bit-identical to
+            // the unbounded search, so the memo remains coherent).
             let opts = OutOrderOptions {
                 inorder_exhaustive_limit: exhaustive_limit,
                 deadline,
                 ..OutOrderOptions::default()
             };
-            let search = || {
-                outorder_period_search(app, graph, &opts)
-                    .map(|r| r.period)
-                    .unwrap_or(f64::INFINITY)
+            let search = |c: f64| match outorder_period_search_bounded(
+                app,
+                graph,
+                &opts,
+                Exec {
+                    threads: 1,
+                    deadline,
+                    split_levels: 1,
+                },
+                c,
+            ) {
+                Ok(Some(result)) => result.period,
+                Ok(None) | Err(_) => f64::INFINITY,
             };
             if deadline.is_some() {
-                return search();
+                return search(cutoff);
             }
-            cache.get_or_compute_exact(tags::OUTORDER_PERIOD, graph, false, search)
+            cache.get_or_compute(tags::OUTORDER_PERIOD, graph, false, cutoff, search)
         }
     }
 }
@@ -750,9 +933,31 @@ pub(crate) fn minimize_period_engine(
         // Both evaluations dominate the model's structural period bound, so
         // the incremental period bound is an admissible subtree pruner.
         let prune = PartialPrune::Period(options.model);
-        if let Some(out) =
-            exhaustive_forest_search(app, options.forest_enumeration_cap, exec, prune, &eval)
-        {
+        // Symmetry reduction is engaged only when the candidate evaluation
+        // is provably label-invariant on uniform weights: the structural
+        // bounds always are; orchestrated evaluations only when every
+        // forest's ordering search stays exhaustive (the OUTORDER
+        // backtracker's trajectory follows node ids, so it never is).
+        let symmetry = match options.evaluation {
+            PeriodEvaluation::LowerBound => Symmetry::Auto,
+            PeriodEvaluation::Orchestrated { exhaustive_limit } => match options.model {
+                CommModel::Overlap => Symmetry::Auto,
+                CommModel::InOrder
+                    if CanonicalSpace::max_forest_ordering_space(app.n()) <= exhaustive_limit =>
+                {
+                    Symmetry::Auto
+                }
+                CommModel::InOrder | CommModel::OutOrder => Symmetry::Full,
+            },
+        };
+        if let Some(out) = exhaustive_forest_search(
+            app,
+            options.forest_enumeration_cap,
+            exec,
+            prune,
+            symmetry,
+            &eval,
+        ) {
             return Ok(MinPeriodResult {
                 period: out.value,
                 graph: out.graph,
@@ -761,9 +966,12 @@ pub(crate) fn minimize_period_engine(
         }
     } else {
         // With precedence constraints the optimal plan need not be a forest;
-        // use the DAG enumeration for tiny instances.
+        // use the DAG enumeration for tiny instances.  (Constraints break
+        // reducibility, so the symmetry flag is moot here.)
         if app.n() <= 5 {
-            if let Some(out) = exhaustive_dag_search(app, 5, exec, f64::INFINITY, &eval) {
+            if let Some(out) =
+                exhaustive_dag_search(app, 5, exec, f64::INFINITY, Symmetry::Full, &eval)
+            {
                 return Ok(MinPeriodResult {
                     period: out.value,
                     graph: out.graph,
@@ -860,6 +1068,124 @@ mod tests {
         result.graph.respects(&app).unwrap();
         // Service 0 must be (transitively) after service 2.
         assert!(result.graph.ancestors(0).contains(&2));
+    }
+
+    #[test]
+    fn canonical_forest_search_matches_brute_force_on_uniform_weights() {
+        // Uniform weights: the symmetry-reduced enumeration must return the
+        // same optimum value as the raw n^n space, for filters and expanders.
+        for specs in [(2.0, 0.5), (1.0, 1.5), (4.0, 1.0)] {
+            for n in [3usize, 5] {
+                let app = Application::independent(&vec![specs; n]);
+                assert!(CanonicalSpace::reducible(&app));
+                for model in CommModel::ALL {
+                    let eval = |g: &ExecutionGraph| {
+                        PlanMetrics::compute(&app, g)
+                            .map(|m| m.period_lower_bound(model))
+                            .unwrap_or(f64::INFINITY)
+                    };
+                    let brute = exhaustive_forest_best(&app, eval).unwrap();
+                    let reduced = exhaustive_forest_search(
+                        &app,
+                        2_000_000,
+                        Exec::serial(),
+                        PartialPrune::Period(model),
+                        Symmetry::Auto,
+                        &|g, _| eval(g),
+                    )
+                    .unwrap();
+                    assert_eq!(brute.0, reduced.value, "{specs:?} n={n} {model}");
+                    assert!(reduced.complete);
+                    // The canonical winner evaluates to the optimum too.
+                    assert_eq!(eval(&reduced.graph), reduced.value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_dag_search_matches_brute_force_on_uniform_weights() {
+        let app = Application::independent(&[(4.0, 1.0); 4]);
+        for model in CommModel::ALL {
+            let eval = |g: &ExecutionGraph| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            };
+            let brute = exhaustive_dag_best(&app, 4, eval).unwrap();
+            let reduced = exhaustive_dag_search(
+                &app,
+                4,
+                Exec::serial(),
+                f64::INFINITY,
+                Symmetry::Auto,
+                &|g, _| eval(g),
+            )
+            .unwrap();
+            assert_eq!(brute.0, reduced.value, "{model}");
+            assert_eq!(eval(&reduced.graph), reduced.value);
+        }
+    }
+
+    #[test]
+    fn uniform_minperiod_clears_n10_within_the_default_budget() {
+        // n^n = 10^10 parent functions dwarf the 2M cap, but the canonical
+        // space holds 1 842 classes: the default budget is now exhaustive.
+        let app = Application::independent(&[(3.0, 0.9); 10]);
+        let result = minimize_period(&app, &MinPeriodOptions::default()).unwrap();
+        assert!(result.exhaustive, "canonical space fits the default cap");
+        // Sanity: never worse than the all-independent plan.
+        let independent = evaluate_period(
+            &app,
+            &ExecutionGraph::new(10),
+            CommModel::Overlap,
+            PeriodEvaluation::LowerBound,
+        )
+        .unwrap();
+        assert!(result.period <= independent + 1e-9);
+    }
+
+    #[test]
+    fn two_level_split_is_bit_identical_to_serial() {
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let eval = |g: &ExecutionGraph, _c: f64| {
+            PlanMetrics::compute(&app, g)
+                .map(|m| m.period_lower_bound(CommModel::InOrder))
+                .unwrap_or(f64::INFINITY)
+        };
+        let serial = exhaustive_forest_search(
+            &app,
+            2_000_000,
+            Exec::serial(),
+            PartialPrune::Period(CommModel::InOrder),
+            Symmetry::Full,
+            &eval,
+        )
+        .unwrap();
+        for threads in [2, 5] {
+            for split_levels in [1, 2] {
+                let exec = Exec {
+                    threads,
+                    deadline: None,
+                    split_levels,
+                };
+                let par = exhaustive_forest_search(
+                    &app,
+                    2_000_000,
+                    exec,
+                    PartialPrune::Period(CommModel::InOrder),
+                    Symmetry::Full,
+                    &eval,
+                )
+                .unwrap();
+                assert_eq!(serial.value, par.value, "x{threads} lvl{split_levels}");
+                assert_eq!(
+                    serial.graph.edges().collect::<Vec<_>>(),
+                    par.graph.edges().collect::<Vec<_>>(),
+                    "x{threads} lvl{split_levels}: winner"
+                );
+            }
+        }
     }
 
     #[test]

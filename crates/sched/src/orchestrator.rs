@@ -217,6 +217,7 @@ impl SearchBudget {
         Exec {
             threads: self.threads,
             deadline: self.time_limit.map(|d| Instant::now() + d),
+            split_levels: 0, // auto: two-level (n²) tasks when fanning out
         }
     }
 

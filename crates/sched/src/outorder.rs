@@ -21,6 +21,23 @@
 //! dominance rule is standard for machine scheduling and makes the search
 //! finite, at the cost of completeness only within that class (documented in
 //! DESIGN.md).
+//!
+//! Since the incumbent-aware engine pass, the scheduler additionally runs an
+//! **admissible per-node completion bound** (forward checking): after every
+//! placement it verifies that each still-unplaced operation touching the
+//! affected servers retains a feasible start — a gap of its duration in the
+//! merged modular occupancy of its resources.  Occupancy only grows along a
+//! branch, so an operation without a slot *now* can never be placed deeper
+//! in the branch and the node is a proven dead end; the prune removes no
+//! solution, so complete searches return bit-identical verdicts while
+//! infeasibility (the expensive case) is detected exponentially earlier.
+//! The period search on top is cutoff-aware
+//! ([`outorder_period_search_bounded`]): the plan-search incumbent is
+//! threaded in as a cutoff that (a) skips candidates whose lower bound
+//! already clears it and (b) stops the bisection once every remaining probe
+//! provably sits above it, and each bisection probe is **warm-started** from
+//! the feasibility witness of the previous one instead of rebuilding the
+//! schedule from scratch.
 
 use std::time::Instant;
 
@@ -29,6 +46,7 @@ use fsw_core::{
     PlanMetrics, ServiceId,
 };
 
+use crate::engine::prune_threshold;
 use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search_exec, OnePortStyle};
 use crate::par::Exec;
 
@@ -90,22 +108,16 @@ struct Op {
     resources: Vec<ServiceId>,
 }
 
-/// Attempts to build a valid `OUTORDER` operation list with period exactly `lambda`.
-///
-/// Returns `Ok(None)` when the backtracking search (limited to
-/// `opts.node_budget` nodes) finds no schedule.
-pub fn outorder_schedule_at(
-    app: &Application,
-    graph: &ExecutionGraph,
-    lambda: f64,
-    opts: &OutOrderOptions,
-) -> CoreResult<Option<OperationList>> {
+/// Builds the operation sequence of the cyclic scheduling problem in
+/// data-flow order: for every service, its incoming transfers, then its
+/// computation, then (if it is an exit node) its output transfer.
+/// Service-to-service transfers are emitted when the receiver is visited so
+/// that the sender's computation is already placed.  The order is a pure
+/// function of the graph, which lets a bisection driver map one probe's
+/// placements onto the next probe's operations (warm starts).
+fn build_ops(app: &Application, graph: &ExecutionGraph) -> CoreResult<Vec<Op>> {
     let metrics = PlanMetrics::compute(app, graph)?;
     let order = graph.topological_order()?;
-    // Build the operation sequence in data-flow order: for every service, its
-    // incoming transfers, then its computation, then (if it is an exit node)
-    // its output transfer.  Service-to-service transfers are emitted when the
-    // receiver is visited so that the sender's computation is already placed.
     let mut ops: Vec<Op> = Vec::new();
     for &k in &order {
         for e in in_edges(graph, k) {
@@ -135,12 +147,50 @@ pub fn outorder_schedule_at(
             });
         }
     }
+    Ok(ops)
+}
+
+/// Attempts to build a valid `OUTORDER` operation list with period exactly `lambda`.
+///
+/// Returns `Ok(None)` when the backtracking search (limited to
+/// `opts.node_budget` nodes) finds no schedule.
+pub fn outorder_schedule_at(
+    app: &Application,
+    graph: &ExecutionGraph,
+    lambda: f64,
+    opts: &OutOrderOptions,
+) -> CoreResult<Option<OperationList>> {
+    outorder_schedule_at_warm(app, graph, lambda, opts, None)
+}
+
+/// [`outorder_schedule_at`] with optional warm-start hints: `warm[i]` is a
+/// preferred start time for operation `i` of the [`build_ops`] sequence
+/// (typically the placement found by a previous probe at a nearby period).
+fn outorder_schedule_at_warm(
+    app: &Application,
+    graph: &ExecutionGraph,
+    lambda: f64,
+    opts: &OutOrderOptions,
+    warm: Option<&[Option<f64>]>,
+) -> CoreResult<Option<OperationList>> {
+    let ops = build_ops(app, graph)?;
+    Ok(schedule_prepared(graph.n(), &ops, lambda, opts, warm))
+}
+
+/// The backtracking feasibility search itself, over a pre-built operation
+/// sequence — the bisection driver builds the (graph-determined, immutable)
+/// sequence once and probes many periods against it.
+fn schedule_prepared(
+    n: usize,
+    ops: &[Op],
+    lambda: f64,
+    opts: &OutOrderOptions,
+    warm: Option<&[Option<f64>]>,
+) -> Option<OperationList> {
     // Any single operation longer than the period is an immediate contradiction.
     if ops.iter().any(|op| op.duration > lambda + 1e-9) {
-        return Ok(None);
+        return None;
     }
-
-    let n = graph.n();
     // When every duration and the period are integral (the case of all the
     // paper's constructions and reductions), start times can be restricted to
     // the integer grid without loss of generality, which makes the
@@ -162,9 +212,11 @@ pub fn outorder_schedule_at(
         nodes: 0,
         budget: opts.node_budget,
         deadline: opts.deadline,
+        warm: warm.map(|w| w.to_vec()).unwrap_or_default(),
+        slot_scratch: Vec::new(),
     };
-    if !schedule_ops(&ops, 0, &mut state) {
-        return Ok(None);
+    if !schedule_ops(ops, 0, &mut state) {
+        return None;
     }
     let mut oplist = OperationList::new(n, lambda);
     for (op_idx, start) in &state.placements {
@@ -175,7 +227,7 @@ pub fn outorder_schedule_at(
             None => oplist.set_calc(op.service, iv),
         }
     }
-    Ok(Some(oplist))
+    Some(oplist)
 }
 
 struct SearchState {
@@ -191,6 +243,12 @@ struct SearchState {
     nodes: usize,
     budget: usize,
     deadline: Option<Instant>,
+    /// Per-operation preferred starts from a previous probe's witness
+    /// (empty when cold): tried first, so a nearby feasible schedule is
+    /// usually re-found without backtracking.
+    warm: Vec<Option<f64>>,
+    /// Scratch for the forward-checking gap computation.
+    slot_scratch: Vec<(f64, f64)>,
 }
 
 impl SearchState {
@@ -253,6 +311,61 @@ impl SearchState {
         }
         self.placements.pop();
     }
+
+    /// Admissible completion check for a not-yet-placed operation: does the
+    /// merged modular occupancy of its resources still leave a gap of the
+    /// operation's duration?  Starts are free modulo `λ` (any residue is
+    /// reachable at or after the ready time, and every gap's left edge is an
+    /// "abutting" candidate of the search), so no slot *now* means no slot
+    /// in any extension of the current branch — occupancy only grows.
+    fn has_feasible_slot(&mut self, op: &Op) -> bool {
+        if op.duration <= self.eps {
+            return true;
+        }
+        let mut intervals = std::mem::take(&mut self.slot_scratch);
+        intervals.clear();
+        for &r in &op.resources {
+            for &(b, d) in &self.occupancy[r] {
+                if d <= self.eps {
+                    continue;
+                }
+                let begin = b.rem_euclid(self.lambda);
+                let end = begin + d;
+                if end > self.lambda + self.eps {
+                    // The interval wraps around the period boundary.
+                    intervals.push((begin, self.lambda));
+                    intervals.push((0.0, end - self.lambda));
+                } else {
+                    intervals.push((begin, end));
+                }
+            }
+        }
+        let feasible = if intervals.is_empty() {
+            op.duration <= self.lambda + self.eps
+        } else {
+            intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let first_begin = intervals[0].0;
+            let mut merged_end = intervals[0].1;
+            let mut max_gap = 0.0f64;
+            for &(b, e) in &intervals[1..] {
+                if b > merged_end + self.eps {
+                    max_gap = max_gap.max(b - merged_end);
+                }
+                merged_end = merged_end.max(e);
+            }
+            // The cyclic gap closing the circle, from the last merged end
+            // back to the first begin one period later.
+            max_gap = max_gap.max(first_begin + self.lambda - merged_end);
+            max_gap >= op.duration - self.eps
+        };
+        self.slot_scratch = intervals;
+        feasible
+    }
+}
+
+/// `true` when `a` and `b` occupy at least one common server.
+fn shares_resource(a: &Op, b: &Op) -> bool {
+    a.resources.iter().any(|r| b.resources.contains(r))
 }
 
 fn cyclically_disjoint(b1: f64, d1: f64, b2: f64, d2: f64, lambda: f64, eps: f64) -> bool {
@@ -307,12 +420,30 @@ fn schedule_ops(ops: &[Op], idx: usize, state: &mut SearchState) -> bool {
     }
     candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
     candidates.dedup_by(|a, b| (*a - *b).abs() <= state.eps);
+    // A warm hint (the previous probe's witness, re-based to the current
+    // period) jumps the queue.  Hint residues are generally *outside* the
+    // abutting-starts dominance class, so a warm probe searches a strictly
+    // larger candidate set than a cold one: every placement is still
+    // validated by `fits`, so found schedules remain sound — a warm probe
+    // can only find schedules a cold probe would miss, never the converse
+    // per candidate explored.
+    if let Some(hint) = state.warm.get(idx).copied().flatten() {
+        let start = ready + (hint - ready).rem_euclid(state.lambda);
+        candidates.retain(|c| (*c - start).abs() > state.eps);
+        candidates.insert(0, start);
+    }
     for start in candidates {
         if !state.fits(op, start) {
             continue;
         }
         state.place(idx, op, start);
-        if schedule_ops(ops, idx + 1, state) {
+        // Forward checking (admissible): if some remaining operation on the
+        // servers just occupied no longer has a feasible slot, no extension
+        // of this placement can complete — skip the recursion entirely.
+        let dead = ops[idx + 1..]
+            .iter()
+            .any(|o| shares_resource(o, op) && !state.has_feasible_slot(o));
+        if !dead && schedule_ops(ops, idx + 1, state) {
             return true;
         }
         state.unplace(op);
@@ -348,6 +479,42 @@ pub fn outorder_period_search_exec(
     opts: &OutOrderOptions,
     exec: Exec,
 ) -> CoreResult<OutOrderResult> {
+    Ok(
+        outorder_period_search_bounded(app, graph, opts, exec, f64::INFINITY)?
+            .expect("an infinite cutoff never prunes"),
+    )
+}
+
+/// The incumbent-aware variant of [`outorder_period_search_exec`], the
+/// OUTORDER evaluation of the branch-and-bound plan searches.
+///
+/// `cutoff` is the shared incumbent at call time.  The contract mirrors the
+/// other bounded searches: the result is the *exact* value of the unbounded
+/// search whenever that value is `<= cutoff`; otherwise the search may stop
+/// early and report any value above the cutoff (`Ok(None)` stands for `∞`).
+/// Concretely the cutoff is used twice, both times behind admissible
+/// reasoning only, so values at or below it are bit-identical to the
+/// unbounded search:
+///
+/// * every feasible `OUTORDER` period dominates the structural lower bound,
+///   so `lb > cutoff` proves the candidate cannot beat the incumbent before
+///   any scheduling work happens;
+/// * the bisection keeps the invariant that its final value is at least
+///   `lo`; once `lo` clears the cutoff (and no feasible period `<= cutoff`
+///   was found), every remaining probe is provably wasted and the
+///   refinement stops — the blind fixed-step probing of the legacy search
+///   is replaced by these cutoff-seeded probes.
+///
+/// Each probe is warm-started from the previous feasibility witness (the
+/// `INORDER` fallback schedule for the first one), so successive probes
+/// re-find nearby schedules instead of rebuilding them from scratch.
+pub fn outorder_period_search_bounded(
+    app: &Application,
+    graph: &ExecutionGraph,
+    opts: &OutOrderOptions,
+    exec: Exec,
+    cutoff: f64,
+) -> CoreResult<Option<OutOrderResult>> {
     let opts = OutOrderOptions {
         deadline: match (opts.deadline, exec.deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -357,13 +524,21 @@ pub fn outorder_period_search_exec(
     };
     let lower_bound = outorder_period_lower_bound(app, graph)?;
     let lb = if lower_bound > 0.0 { lower_bound } else { 1.0 };
-    if let Some(oplist) = outorder_schedule_at(app, graph, lb, &opts)? {
-        return Ok(OutOrderResult {
+    if lb > prune_threshold(cutoff) {
+        // Admissible: any feasible period is >= lb, which clears the cutoff.
+        return Ok(None);
+    }
+    // The operation sequence is a pure function of the graph: build it once
+    // and probe every candidate period against it.
+    let ops = build_ops(app, graph)?;
+    let n = graph.n();
+    if let Some(oplist) = schedule_prepared(n, &ops, lb, &opts, None) {
+        return Ok(Some(OutOrderResult {
             period: lb,
             oplist,
             lower_bound: lb,
             optimal: true,
-        });
+        }));
     }
     // Fallback: the best INORDER schedule found is always OUTORDER-feasible.
     let inorder = oneport_period_search_exec(
@@ -375,7 +550,9 @@ pub fn outorder_period_search_exec(
     )?;
     let mut best_period = inorder.period;
     let mut best_oplist = inorder_oplist_for_orderings(app, graph, &inorder.orderings)?;
-    // Bisection between the lower bound and the fallback.
+    // Bisection between the lower bound and the fallback, warm-starting each
+    // probe from the best feasibility witness so far.
+    let mut warm = warm_hints(&ops, &best_oplist);
     let mut lo = lb;
     let mut hi = best_period;
     for _ in 0..opts.refinement_steps {
@@ -385,9 +562,16 @@ pub fn outorder_period_search_exec(
         if opts.deadline.is_some_and(|d| Instant::now() >= d) {
             break;
         }
+        if lo > prune_threshold(cutoff) && best_period > prune_threshold(cutoff) {
+            // Every remaining probe lies in (lo, hi) with lo above the
+            // cutoff: the final value cannot come back below it.  Stop; the
+            // caller sees a value above its cutoff, exactly as contracted.
+            break;
+        }
         let mid = 0.5 * (lo + hi);
-        match outorder_schedule_at(app, graph, mid, &opts)? {
+        match schedule_prepared(n, &ops, mid, &opts, Some(&warm)) {
             Some(oplist) => {
+                warm = warm_hints(&ops, &oplist);
                 best_period = mid;
                 best_oplist = oplist;
                 hi = mid;
@@ -397,12 +581,23 @@ pub fn outorder_period_search_exec(
             }
         }
     }
-    Ok(OutOrderResult {
+    Ok(Some(OutOrderResult {
         period: best_period,
         oplist: best_oplist,
         lower_bound: lb,
         optimal: (best_period - lb).abs() <= 1e-9 * lb.max(1.0),
-    })
+    }))
+}
+
+/// Maps an operation list back onto its [`build_ops`] sequence as per-op
+/// start-time hints for a warm-started probe.
+fn warm_hints(ops: &[Op], oplist: &OperationList) -> Vec<Option<f64>> {
+    ops.iter()
+        .map(|op| match op.edge {
+            Some(e) => oplist.comm(e).map(|iv| iv.begin),
+            None => Some(oplist.calc(op.service).begin),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -462,6 +657,74 @@ mod tests {
             validate_oplist(&app, &g, &ol, CommModel::OutOrder)
                 .unwrap_or_else(|v| panic!("lambda {lambda}: {v:?}"));
         }
+    }
+
+    #[test]
+    fn bounded_search_never_prunes_a_reachable_optimum() {
+        let (app, g) = section23();
+        let opts = OutOrderOptions::default();
+        let unbounded = outorder_period_search(&app, &g, &opts).unwrap();
+        // A cutoff at or above the true value must return it exactly.
+        for slack in [0.0, 0.5, 100.0] {
+            let bounded = outorder_period_search_bounded(
+                &app,
+                &g,
+                &opts,
+                Exec::serial(),
+                unbounded.period + slack,
+            )
+            .unwrap()
+            .expect("optimum within cutoff");
+            assert_eq!(bounded.period, unbounded.period, "slack {slack}");
+            assert_eq!(bounded.optimal, unbounded.optimal);
+            validate_oplist(&app, &g, &bounded.oplist, CommModel::OutOrder).unwrap();
+        }
+        // A cutoff below the structural lower bound prunes outright…
+        let pruned =
+            outorder_period_search_bounded(&app, &g, &opts, Exec::serial(), unbounded.lower_bound)
+                .unwrap();
+        // …only when the bound strictly clears it (here period == lb == 7,
+        // so cutoff == lb must NOT prune).
+        assert!(pruned.is_some());
+        let pruned = outorder_period_search_bounded(
+            &app,
+            &g,
+            &opts,
+            Exec::serial(),
+            unbounded.lower_bound - 1.0,
+        )
+        .unwrap();
+        assert!(
+            pruned.is_none(),
+            "lb > cutoff proves the candidate hopeless"
+        );
+    }
+
+    #[test]
+    fn bounded_search_value_above_cutoff_is_still_faithful() {
+        // A single-node backtracking budget makes every probe fail, pinning
+        // the search to the INORDER fallback above the lower bound — the
+        // deterministic setting in which the cutoff abort engages.  Aborted
+        // refinements must only ever report values above the cutoff.
+        let (app, g) = section23();
+        let opts = OutOrderOptions {
+            node_budget: 1,
+            ..OutOrderOptions::default()
+        };
+        let unbounded = outorder_period_search(&app, &g, &opts).unwrap();
+        assert!(unbounded.period > unbounded.lower_bound + 1e-9);
+        // Cutoff halfway between lb and the optimum: the probe ladder may
+        // stop early, but whatever comes back must exceed the cutoff (the
+        // cache contract) — and a cutoff above the optimum must be exact.
+        let cutoff = 0.5 * (unbounded.lower_bound + unbounded.period);
+        match outorder_period_search_bounded(&app, &g, &opts, Exec::serial(), cutoff).unwrap() {
+            None => {}
+            Some(result) => assert!(result.period > cutoff, "faithful above-cutoff value"),
+        }
+        let exact = outorder_period_search_bounded(&app, &g, &opts, Exec::serial(), f64::INFINITY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(exact.period, unbounded.period);
     }
 
     #[test]

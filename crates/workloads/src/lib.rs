@@ -24,4 +24,7 @@ pub use random::{
     random_application, random_compatible_graph, random_dag_graph, random_forest_graph,
     RandomAppConfig,
 };
-pub use scenarios::{media_pipeline, query_optimization, sensor_fusion, skewed_query_optimization};
+pub use scenarios::{
+    media_pipeline, query_optimization, sensor_fusion, skewed_query_optimization,
+    uniform_query_optimization,
+};

@@ -26,6 +26,25 @@ pub fn query_optimization<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Application
     app
 }
 
+/// A *uniform-weight* query-optimisation workload: `n` interchangeable
+/// predicates sharing one cost/selectivity pair drawn from the
+/// [`query_optimization`] distributions.
+///
+/// This is the regime of replicated micro-services (one predicate deployed
+/// `n` times behind a load balancer): every plan is determined by its shape
+/// alone, so the symmetry-reduced exhaustive searches enumerate canonical
+/// representatives of forest-isomorphism classes instead of all `n^n`
+/// parent functions (see `fsw_sched::engine::CanonicalSpace`).
+pub fn uniform_query_optimization<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Application {
+    let cost = 0.2 * (100.0f64).powf(rng.gen::<f64>());
+    let selectivity = rng.gen_range(0.05..0.95);
+    let mut app = Application::new();
+    for _ in 0..n {
+        app.add_service(cost, selectivity);
+    }
+    app
+}
+
 /// A query-optimisation workload with *correlated* expensive predicates: a few
 /// cheap, highly selective predicates and a tail of expensive ones, which is
 /// the regime where ordering matters most.

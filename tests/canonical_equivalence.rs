@@ -1,0 +1,281 @@
+//! Property tests for the symmetry-reduced canonical enumeration (seeded
+//! random instances):
+//!
+//! * on **uniform-weight** instances the reduced searches must return the
+//!   same optimum *value* as the unreduced engine and the brute force;
+//! * on **heterogeneous** instances `Symmetry::Auto` must fall back to the
+//!   full enumeration bit-for-bit (identical value *and* witness);
+//! * the orbit accounting must cover the labelled space exactly;
+//! * the incumbent-aware OUTORDER bound must never prune a reachable
+//!   optimum, and values above the cutoff must be faithfully above it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fsw::core::{Application, CommModel, ExecutionGraph, PlanMetrics};
+use fsw::sched::engine::{CanonicalSpace, PartialPrune, Symmetry};
+use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
+use fsw::sched::minperiod::{
+    exhaustive_dag_best, exhaustive_dag_search, exhaustive_forest_best, exhaustive_forest_search,
+    minimize_period, MinPeriodOptions,
+};
+use fsw::sched::outorder::{
+    outorder_period_search, outorder_period_search_bounded, OutOrderOptions,
+};
+use fsw::sched::tree::tree_latency;
+use fsw::sched::Exec;
+use fsw::workloads::{random_application, random_compatible_graph, RandomAppConfig};
+use fsw_core::validate_oplist;
+
+const CASES: usize = 6;
+
+fn graph_edges(graph: &ExecutionGraph) -> Vec<(usize, usize)> {
+    graph.edges().collect()
+}
+
+/// A random uniform-weight application: one (cost, selectivity) pair —
+/// filters and expanders alike — replicated across `n` services.
+fn random_uniform_app(n: usize, rng: &mut StdRng) -> Application {
+    let cost = rng.gen_range(0.2..8.0);
+    let selectivity = rng.gen_range(0.1..1.8);
+    Application::independent(&vec![(cost, selectivity); n])
+}
+
+/// Uniform weights: the canonical forest enumeration returns the brute
+/// force's optimum value, for every model's period bound and for the exact
+/// forest latency.
+#[test]
+fn canonical_forest_values_match_brute_force_on_uniform_weights() {
+    let mut rng = StdRng::seed_from_u64(0xCA01);
+    for case in 0..CASES {
+        let n = 4 + case % 3; // 4..=6
+        let app = random_uniform_app(n, &mut rng);
+        assert!(CanonicalSpace::reducible(&app));
+        for model in CommModel::ALL {
+            let eval = |g: &ExecutionGraph| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            };
+            let brute = exhaustive_forest_best(&app, eval).unwrap();
+            let reduced = exhaustive_forest_search(
+                &app,
+                2_000_000,
+                Exec::serial(),
+                PartialPrune::Period(model),
+                Symmetry::Auto,
+                &|g, _| eval(g),
+            )
+            .unwrap();
+            assert_eq!(brute.0, reduced.value, "case {case} {model}: value");
+            assert!(reduced.complete);
+            // The canonical winner achieves the optimum itself.
+            assert_eq!(eval(&reduced.graph), reduced.value, "case {case} {model}");
+        }
+        let eval = |g: &ExecutionGraph| tree_latency(&app, g).unwrap_or(f64::INFINITY);
+        let brute = exhaustive_forest_best(&app, eval).unwrap();
+        let reduced = exhaustive_forest_search(
+            &app,
+            2_000_000,
+            Exec::serial(),
+            PartialPrune::Latency,
+            Symmetry::Auto,
+            &|g, _| eval(g),
+        )
+        .unwrap();
+        assert_eq!(brute.0, reduced.value, "case {case}: latency value");
+        assert_eq!(eval(&reduced.graph), reduced.value);
+    }
+}
+
+/// Uniform weights: the canonical (identity-permutation) DAG enumeration
+/// returns the brute force's optimum value.  Weights are dyadic so every
+/// volume sum is exact in `f64`: DAG joins accumulate `Cin` in label order,
+/// and only exact arithmetic makes the cross-labelling value equality
+/// bit-exact rather than up-to-an-ulp (see `Symmetry`'s docs).
+#[test]
+fn canonical_dag_values_match_brute_force_on_uniform_weights() {
+    let mut rng = StdRng::seed_from_u64(0xCA02);
+    let dyadic_costs = [0.5, 1.0, 2.0, 4.0];
+    let dyadic_sels = [0.25, 0.5, 1.0, 2.0];
+    for case in 0..CASES {
+        let cost = dyadic_costs[rng.gen_range(0..dyadic_costs.len())];
+        let sel = dyadic_sels[rng.gen_range(0..dyadic_sels.len())];
+        let app = Application::independent(&[(cost, sel); 4]);
+        for model in CommModel::ALL {
+            let eval = |g: &ExecutionGraph| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            };
+            let brute = exhaustive_dag_best(&app, 4, eval).unwrap();
+            let reduced = exhaustive_dag_search(
+                &app,
+                4,
+                Exec::serial(),
+                f64::INFINITY,
+                Symmetry::Auto,
+                &|g, _| eval(g),
+            )
+            .unwrap();
+            assert_eq!(brute.0, reduced.value, "case {case} {model}: value");
+            assert_eq!(eval(&reduced.graph), reduced.value);
+        }
+    }
+}
+
+/// Heterogeneous weights: `Symmetry::Auto` is the full enumeration,
+/// bit-for-bit — same value *and* same first-minimum witness.
+#[test]
+fn auto_symmetry_is_identical_to_full_on_distinct_weights() {
+    let mut rng = StdRng::seed_from_u64(0xCA03);
+    for case in 0..CASES {
+        let app = random_application(&RandomAppConfig::independent(4), &mut rng);
+        assert!(!CanonicalSpace::reducible(&app));
+        let eval = |g: &ExecutionGraph, _c: f64| {
+            PlanMetrics::compute(&app, g)
+                .map(|m| m.period_lower_bound(CommModel::InOrder))
+                .unwrap_or(f64::INFINITY)
+        };
+        let full = exhaustive_forest_search(
+            &app,
+            2_000_000,
+            Exec::serial(),
+            PartialPrune::Period(CommModel::InOrder),
+            Symmetry::Full,
+            &eval,
+        )
+        .unwrap();
+        let auto = exhaustive_forest_search(
+            &app,
+            2_000_000,
+            Exec::serial(),
+            PartialPrune::Period(CommModel::InOrder),
+            Symmetry::Auto,
+            &eval,
+        )
+        .unwrap();
+        assert_eq!(full.value, auto.value, "case {case}: value");
+        assert_eq!(
+            graph_edges(&full.graph),
+            graph_edges(&auto.graph),
+            "case {case}: witness"
+        );
+    }
+}
+
+/// Full solver stack on uniform instances: `minimize_period` /
+/// `minimize_latency` (canonical path) equal the brute-force optima.
+#[test]
+fn uniform_solves_match_brute_force_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(0xCA04);
+    for case in 0..CASES / 2 {
+        let app = random_uniform_app(5, &mut rng);
+        for model in CommModel::ALL {
+            let options = MinPeriodOptions::for_model(model);
+            let result = minimize_period(&app, &options).unwrap();
+            assert!(result.exhaustive, "case {case} {model}");
+            let brute = exhaustive_forest_best(&app, |g| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            })
+            .unwrap();
+            assert_eq!(brute.0, result.period, "case {case} {model}: period");
+        }
+        // MINLATENCY composes the canonical forest phase with the
+        // (possibly reduced) seeded DAG phase; the value must still match
+        // the brute-force forest-then-DAG composition.
+        let options = MinLatencyOptions::for_model(CommModel::InOrder);
+        let result = minimize_latency(&app, &options).unwrap();
+        assert!(result.exhaustive, "case {case}: latency exhaustive");
+        let forest =
+            exhaustive_forest_best(&app, |g| tree_latency(&app, g).unwrap_or(f64::INFINITY))
+                .unwrap();
+        assert!(
+            result.latency <= forest.0 + 1e-12,
+            "case {case}: latency {} vs forest optimum {}",
+            result.latency,
+            forest.0
+        );
+    }
+}
+
+/// The canonical space really is what the default budget enumerates at
+/// n = 10: the raw space dwarfs the cap, yet the solve stays exhaustive.
+#[test]
+fn uniform_n10_is_exhaustive_within_the_default_budget() {
+    let app = Application::independent(&[(2.5, 0.7); 10]);
+    assert!(CanonicalSpace::forest_class_count(10) <= 2_000_000);
+    assert_eq!(CanonicalSpace::forest_class_count(10), 1_842);
+    let result = minimize_period(&app, &MinPeriodOptions::default()).unwrap();
+    assert!(result.exhaustive);
+}
+
+/// The incumbent-aware OUTORDER bound never prunes a reachable optimum: a
+/// cutoff at (or above) the unbounded search's value reproduces it exactly,
+/// and any pruned/truncated outcome is provably above the cutoff.
+#[test]
+fn outorder_bound_never_prunes_the_optimum() {
+    let mut rng = StdRng::seed_from_u64(0xCA05);
+    let opts = OutOrderOptions::default();
+    for case in 0..CASES {
+        let app = random_application(&RandomAppConfig::independent(4), &mut rng);
+        let graph = random_compatible_graph(&app, 0.5, &mut rng);
+        let unbounded = outorder_period_search(&app, &graph, &opts).unwrap();
+        validate_oplist(&app, &graph, &unbounded.oplist, CommModel::OutOrder)
+            .unwrap_or_else(|v| panic!("case {case}: {v:?}"));
+        for factor in [1.0, 1.5, 10.0] {
+            let cutoff = unbounded.period * factor;
+            let bounded =
+                outorder_period_search_bounded(&app, &graph, &opts, Exec::serial(), cutoff)
+                    .unwrap()
+                    .expect("optimum within cutoff is never pruned");
+            assert_eq!(bounded.period, unbounded.period, "case {case} x{factor}");
+            validate_oplist(&app, &graph, &bounded.oplist, CommModel::OutOrder)
+                .unwrap_or_else(|v| panic!("case {case} x{factor}: {v:?}"));
+        }
+        for factor in [0.3, 0.8, 0.999] {
+            let cutoff = unbounded.period * factor;
+            match outorder_period_search_bounded(&app, &graph, &opts, Exec::serial(), cutoff)
+                .unwrap()
+            {
+                None => assert!(
+                    unbounded.lower_bound > cutoff,
+                    "case {case} x{factor}: pruned although lb {} <= cutoff {cutoff}",
+                    unbounded.lower_bound
+                ),
+                Some(result) => {
+                    if result.period <= cutoff {
+                        assert_eq!(result.period, unbounded.period, "case {case} x{factor}");
+                    } else {
+                        assert!(
+                            unbounded.period > cutoff,
+                            "case {case} x{factor}: reported above-cutoff but optimum {} <= {cutoff}",
+                            unbounded.period
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Orbit accounting at solver scale: every labelled forest is represented by
+/// exactly one canonical class, so the per-class orbit sizes must sum to the
+/// labelled count the raw enumeration would have visited.
+#[test]
+fn orbit_accounting_covers_the_labelled_space() {
+    for n in [6usize, 9, 10] {
+        let covered: u128 = CanonicalSpace::forest_representatives(n)
+            .iter()
+            .map(|(_, orbit)| orbit)
+            .sum();
+        assert_eq!(covered, fsw_core::labelled_forests(n), "n={n}");
+        assert_eq!(
+            CanonicalSpace::forest_representatives(n).len() as u128,
+            CanonicalSpace::forest_class_count(n),
+            "n={n}"
+        );
+    }
+}

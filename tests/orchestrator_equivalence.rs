@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fsw::core::{CommModel, ExecutionGraph};
-use fsw::sched::engine::PartialPrune;
+use fsw::sched::engine::{PartialPrune, Symmetry};
 use fsw::sched::latency::{oneport_latency_search, oneport_latency_search_exec};
 use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
 use fsw::sched::minperiod::{
@@ -170,16 +170,23 @@ fn parallel_searches_equal_serial() {
                 .map(|m| m.period_lower_bound(CommModel::Overlap))
                 .unwrap_or(f64::INFINITY)
         };
-        let serial: SearchOutcome =
-            exhaustive_forest_search(&app, 2_000_000, Exec::serial(), PartialPrune::Off, &eval)
-                .unwrap();
+        let serial: SearchOutcome = exhaustive_forest_search(
+            &app,
+            2_000_000,
+            Exec::serial(),
+            PartialPrune::Off,
+            Symmetry::Full,
+            &eval,
+        )
+        .unwrap();
         for threads in [1, 2, 3, 8] {
             for prune in [PartialPrune::Off, PartialPrune::Period(CommModel::Overlap)] {
                 let parallel = exhaustive_forest_search(
                     &app,
                     2_000_000,
-                    Exec::threaded(threads),
+                    Exec::threaded(threads), // auto split: two-level (n²) tasks
                     prune,
+                    Symmetry::Full,
                     &eval,
                 )
                 .unwrap();
@@ -248,6 +255,40 @@ fn parallel_solve_equals_serial_solve() {
                     graph_edges(&serial.graph),
                     graph_edges(&parallel.graph),
                     "{model} {objective}"
+                );
+                assert_eq!(serial.exhaustive, parallel.exhaustive);
+            }
+        }
+    }
+}
+
+/// The canonical path is deterministic under parallelism: uniform-weight
+/// solves (symmetry-reduced enumeration) are bit-identical for every thread
+/// count and split depth, value and winner alike.
+#[test]
+fn canonical_parallel_solve_equals_serial() {
+    for shared in [(2.0, 0.5), (1.0, 1.5)] {
+        let app = fsw::core::Application::independent(&[shared; 6]);
+        for model in CommModel::ALL {
+            for objective in [Objective::MinPeriod, Objective::MinLatency] {
+                let serial = solve(
+                    &Problem::new(&app, model, objective),
+                    &SearchBudget::default().with_threads(1),
+                )
+                .unwrap();
+                let parallel = solve(
+                    &Problem::new(&app, model, objective),
+                    &SearchBudget::default().with_threads(6),
+                )
+                .unwrap();
+                assert_eq!(
+                    serial.value, parallel.value,
+                    "{shared:?} {model} {objective}"
+                );
+                assert_eq!(
+                    graph_edges(&serial.graph),
+                    graph_edges(&parallel.graph),
+                    "{shared:?} {model} {objective}: winner"
                 );
                 assert_eq!(serial.exhaustive, parallel.exhaustive);
             }
