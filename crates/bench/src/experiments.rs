@@ -16,6 +16,7 @@ use fsw_sched::chain::{
     chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
 };
 use fsw_sched::engine::CanonicalSpace;
+use fsw_sched::engine::SearchStrategy;
 use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
 use fsw_sched::minperiod::{
     exhaustive_dag_best, exhaustive_forest_best, minperiod_local_search, MinPeriodOptions,
@@ -31,7 +32,7 @@ use fsw_sim::{replay_oplist, simulate_inorder};
 use fsw_workloads::{
     counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
     random_application, section23, sensor_fusion, skewed_query_optimization,
-    uniform_query_optimization, RandomAppConfig,
+    tiered_query_optimization, uniform_query_optimization, RandomAppConfig,
 };
 
 /// One row of an experiment table.
@@ -493,6 +494,61 @@ pub fn e12_symmetry_scaling() -> Vec<ExperimentRow> {
     rows
 }
 
+/// E13 — partial-symmetry exhaustive MINPERIOD on **multi-weight-class**
+/// (tiered) query-optimisation instances, n = 8..11 with 2–3 weight
+/// classes: the raw `n^n` parent-function space against the coloured
+/// (class-preserving-orbit) class space the searches actually enumerate
+/// (`fsw_sched::engine::CanonicalSpace::classed_representatives`), the
+/// orbit-accounting identity `Σ Π_c |class c|!/|Aut| == (n+1)^(n-1)`
+/// labelled forests, and the resulting optima — exhaustive within the
+/// *default* `SearchBudget`, a regime the uniform-only reduction of E12
+/// could not touch (multi-class instances used to pay the full labelled
+/// space).
+pub fn e13_partial_symmetry_scaling() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(13);
+    let budget = SearchBudget::default();
+    let mut rows = Vec::new();
+    let tiers: [&[usize]; 4] = [&[4, 4], &[3, 3, 3], &[5, 5], &[6, 5]];
+    for sizes in tiers {
+        let n: usize = sizes.iter().sum();
+        let app = tiered_query_optimization(sizes, &mut rng);
+        let reps = CanonicalSpace::classed_representatives(&app, budget.max_graphs)
+            .expect("coloured class spaces of the sweep fit the default cap");
+        rows.push(ExperimentRow::new(
+            format!(
+                "n={n} classes={sizes:?}: coloured forest classes (paper column = n^n parent functions)"
+            ),
+            Some((n as f64).powi(n as i32)),
+            reps.len() as f64,
+        ));
+        let covered: u128 = reps.iter().map(|rep| rep.orbit).sum();
+        rows.push(ExperimentRow::new(
+            format!(
+                "n={n} classes={sizes:?}: labelled forests covered by the orbits (paper column = (n+1)^(n-1))"
+            ),
+            Some(fsw_core::labelled_forests(n) as f64),
+            covered as f64,
+        ));
+        for model in [CommModel::Overlap, CommModel::InOrder] {
+            let solution = solve(&Problem::new(&app, model, Objective::MinPeriod), &budget)
+                .expect("tiered instance");
+            rows.push(ExperimentRow::new(
+                format!(
+                    "tiered MINPERIOD {model} n={n}: optimum{}",
+                    if solution.exhaustive {
+                        " (exhaustive via classed space)"
+                    } else {
+                        " (heuristic)"
+                    }
+                ),
+                None,
+                solution.value,
+            ));
+        }
+    }
+    rows
+}
+
 /// E10s — a seconds-not-minutes smoke version of the E10 scaling study
 /// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
 /// performance regressions in the prune-and-memoise search engine: the run
@@ -560,6 +616,47 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
         None,
         solution.value,
     ));
+    // Partial-symmetry smoke: a 5+4 tiered (two weight classes) instance at
+    // n = 9 — the raw space is the same 387M parent functions, but the
+    // class-preserving orbit space (~50k coloured classes) keeps the default
+    // budget exhaustive.  Guards the classed enumeration path.
+    let tiered = tiered_query_optimization(&[5, 4], &mut rng);
+    let solution = solve(
+        &Problem::new(&tiered, CommModel::Overlap, Objective::MinPeriod),
+        &budget,
+    )
+    .expect("solver");
+    rows.push(ExperimentRow::new(
+        format!(
+            "MINPERIOD OVERLAP n=9 tiered 5+4: classed space{}",
+            if solution.exhaustive {
+                " (exhaustive)"
+            } else {
+                " (heuristic!)"
+            }
+        ),
+        None,
+        solution.value,
+    ));
+    // Best-first smoke: the same instance under both explicit strategies —
+    // best-first must reproduce the depth-first value bit-for-bit (the
+    // equivalence suites guard the winner too) while exercising the
+    // bound-ordered frontier end to end in CI.
+    let depth_first = solve(
+        &Problem::new(&tiered, CommModel::Overlap, Objective::MinPeriod),
+        &budget.with_search_strategy(SearchStrategy::DepthFirst),
+    )
+    .expect("solver");
+    let best_first = solve(
+        &Problem::new(&tiered, CommModel::Overlap, Objective::MinPeriod),
+        &budget.with_search_strategy(SearchStrategy::BestFirst),
+    )
+    .expect("solver");
+    rows.push(ExperimentRow::new(
+        "MINPERIOD OVERLAP n=9 tiered 5+4: best-first strategy (paper column = depth-first value)",
+        Some(depth_first.value),
+        best_first.value,
+    ));
     rows
 }
 
@@ -612,6 +709,10 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E12 — symmetry-reduced exhaustive search on uniform weights",
             e12_symmetry_scaling(),
         )),
+        "e13" => Some((
+            "E13 — partial symmetry: multi-class exhaustive search",
+            e13_partial_symmetry_scaling(),
+        )),
         _ => None,
     }
 }
@@ -619,7 +720,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

@@ -11,7 +11,16 @@
 //! at `n = 8` against 16.7M parent functions, 1 842 at `n = 10` against
 //! 10^10).
 //!
-//! This module provides the building blocks of that reduction:
+//! The same idea applies *partially* when the services split into several
+//! weight classes: the symmetry group is then the **product of the per-class
+//! symmetric groups** `G = Π_c S_{|class c|}`, its orbits are isomorphism
+//! classes of *class-coloured* rooted forests, and the orbit accounting
+//! becomes `Π_c |class c|! / |Aut|` with `Aut` the colour-preserving
+//! automorphism group.  A `2 + 3`-class instance on 10 services still
+//! collapses its 10^10 parent functions to a few tens of thousands of
+//! coloured classes.
+//!
+//! This module provides the building blocks of both reductions:
 //!
 //! * [`WeightClasses`] — the partition of services into weight classes
 //!   (groups with identical `(cost, selectivity)` bit patterns);
@@ -21,19 +30,28 @@
 //!   **orbit-size accounting**: each class reports how many labelled forests
 //!   it stands for (`n! / |Aut|`), so reduced enumerations remain
 //!   explainable and auditable against the raw space;
-//! * [`canonical_forest_form`] — the canonical relabelling of an arbitrary
-//!   labelled forest (the representative its orbit is reported under);
-//! * [`forest_classes`] / [`labelled_forests`] — closed-form counts of both
-//!   spaces (`Σ orbit sizes == labelled_forests(n)` is tested below).
+//! * [`classed_forest_representatives`] — the class-preserving
+//!   generalisation: one representative per coloured-forest class (a shape
+//!   *and* an assignment of weight classes to its nodes, canonical up to the
+//!   shape's automorphisms), with `Π_c |class c|! / |Aut|` orbit accounting;
+//! * [`canonical_forest_form`] / [`canonical_classed_form`] — the canonical
+//!   relabelling of an arbitrary labelled forest (the representative its
+//!   orbit is reported under), shape-only and class-aware respectively;
+//! * [`forest_classes`] / [`labelled_forests`] — closed-form counts of the
+//!   uniform spaces (`Σ orbit sizes == labelled_forests(n)` is tested below,
+//!   for the coloured generator too — the identity holds for *every*
+//!   partition, because the coloured orbits also tile the labelled space).
 //!
 //! The canonical *tie-break* is part of the contract: representatives are
 //! produced in decreasing lexicographic order of their level sequences
-//! (path first, all-roots last), so "the first optimum in canonical order"
-//! is a well-defined, deterministic winner — it is generally **not** the
-//! same labelled graph as the first optimum of the raw `n^n` enumeration,
-//! which is why the symmetry-reduced searches only engage when every member
-//! of an orbit provably evaluates to the same value (see
-//! `fsw_sched::engine`).
+//! (path first, all-roots last), colourings in **increasing** lexicographic
+//! order of their class vectors within each shape (class 0 first; each
+//! individual representative still carries non-increasing colour sequences
+//! across identical siblings), so "the first optimum in canonical order" is
+//! a well-defined, deterministic winner — it is generally **not** the same
+//! labelled graph as the first optimum of the raw `n^n` enumeration, which
+//! is why the symmetry-reduced searches only engage when every member of an
+//! orbit provably evaluates to the same value (see `fsw_sched::engine`).
 
 use crate::error::{CoreError, CoreResult};
 use crate::graph::ExecutionGraph;
@@ -93,10 +111,68 @@ impl WeightClasses {
         self.sizes[c]
     }
 
+    /// The class sizes, indexed by class.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The class of every service, indexed by service id.
+    pub fn class_vector(&self) -> &[usize] {
+        &self.class_of
+    }
+
     /// `true` when every service carries the same weights (at most one
     /// class) — the regime in which full relabelling symmetry applies.
     pub fn is_uniform(&self) -> bool {
         self.sizes.len() <= 1
+    }
+
+    /// `true` when at least one class holds two or more services — the
+    /// regime in which class-preserving relabelling symmetry is non-trivial.
+    pub fn has_symmetry(&self) -> bool {
+        self.sizes.iter().any(|&s| s >= 2)
+    }
+
+    /// Order of the class-preserving relabelling group `Π_c |class c|!`
+    /// (saturating): the number of labelled graphs each coloured orbit of
+    /// trivial automorphism stands for.
+    pub fn group_order(&self) -> u128 {
+        self.sizes
+            .iter()
+            .fold(1u128, |acc, &s| acc.saturating_mul(factorial(s)))
+    }
+
+    /// A compact signature of the partition (an order-sensitive FNV-1a hash
+    /// of the class vector): two applications whose services partition
+    /// differently get different signatures with overwhelming probability,
+    /// so caches keyed by graph shape can mix in the partition and never
+    /// collide across applications.
+    pub fn signature(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &c in &self.class_of {
+            hash ^= c as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Deterministic assignment of concrete services to the positions of a
+    /// coloured representative: position `p` (of class `colors[p]`) receives
+    /// the smallest not-yet-used service id of that class.  Returns `None`
+    /// when the colour multiset does not match the partition.
+    pub fn service_assignment(&self, colors: &[usize]) -> Option<Vec<ServiceId>> {
+        if colors.len() != self.n() {
+            return None;
+        }
+        let mut pool: Vec<Vec<ServiceId>> = vec![Vec::new(); self.sizes.len()];
+        for k in (0..self.n()).rev() {
+            pool[self.class_of[k]].push(k); // descending, so pop() yields ascending ids
+        }
+        let mut assignment = Vec::with_capacity(colors.len());
+        for &c in colors {
+            assignment.push(pool.get_mut(c)?.pop()?);
+        }
+        Some(assignment)
     }
 }
 
@@ -207,6 +283,246 @@ impl CanonicalForests {
             self.last_at_level[level] = i;
         }
     }
+}
+
+/// One canonical representative of a **class-preserving** relabelling orbit:
+/// a forest shape (parent vector over preorder positions) plus an assignment
+/// of weight classes to its positions, canonical up to the shape's
+/// automorphisms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassedRepresentative {
+    /// Parent vector of the shape: position `p`'s unique direct predecessor,
+    /// `None` for roots; positions are preorder labels (`parents[p] < Some(p)`).
+    pub parents: Vec<Option<ServiceId>>,
+    /// Weight class of every position.
+    pub classes: Vec<usize>,
+    /// Number of labelled forests in this coloured-isomorphism class
+    /// (`Π_c |class c|! / |Aut|` with `Aut` the colour-preserving
+    /// automorphism group).
+    pub orbit: u128,
+}
+
+impl ClassedRepresentative {
+    /// The representative as a labelled execution graph over the concrete
+    /// services of `classes`'s application: positions receive service ids via
+    /// [`WeightClasses::service_assignment`] (smallest unused id of the
+    /// position's class, in preorder) — the deterministic *canonical member*
+    /// of the orbit.  Returns `None` when the colour multiset does not match
+    /// the partition (never for generator output).
+    pub fn member_graph(&self, classes: &WeightClasses) -> Option<ExecutionGraph> {
+        let assignment = classes.service_assignment(&self.classes)?;
+        let mut parents = vec![None; self.parents.len()];
+        for (pos, &p) in self.parents.iter().enumerate() {
+            parents[assignment[pos]] = p.map(|pp| assignment[pp]);
+        }
+        ExecutionGraph::from_parents(&parents).ok()
+    }
+}
+
+/// Outcome of a bounded classed-representative materialisation
+/// ([`classed_forest_representatives_within`]).
+#[derive(Clone, Debug)]
+pub enum ClassedGeneration {
+    /// The complete representative list, in canonical enumeration order.
+    Generated(Vec<ClassedRepresentative>),
+    /// More than the cap exist; callers fall back to the raw enumeration.
+    CapExceeded,
+    /// The deadline passed mid-generation; callers should degrade like an
+    /// interrupted search (best-effort fallback, flagged non-exhaustive).
+    DeadlineExpired,
+}
+
+/// Materialises one canonical representative per **coloured** forest class on
+/// `classes.n()` nodes: every forest shape (canonical enumeration order) and,
+/// within each shape, every assignment of the weight-class multiset to its
+/// nodes that is canonical with respect to the shape's automorphisms
+/// (identical sibling subtrees carry non-increasing colour sequences).
+///
+/// Returns `None` once more than `cap` representatives exist — the caller
+/// then falls back to the full labelled enumeration or a heuristic.
+///
+/// The orbit sizes `Π_c |class c|! / |Aut|` tile the labelled space exactly:
+/// `Σ orbit == (n+1)^(n-1)` for every partition (tested below), which is the
+/// auditable identity the reduced searches print.
+pub fn classed_forest_representatives(
+    classes: &WeightClasses,
+    cap: usize,
+) -> Option<Vec<ClassedRepresentative>> {
+    match classed_forest_representatives_within(classes, cap, None) {
+        ClassedGeneration::Generated(reps) => Some(reps),
+        ClassedGeneration::CapExceeded | ClassedGeneration::DeadlineExpired => None,
+    }
+}
+
+/// [`classed_forest_representatives`] with an optional wall-clock deadline,
+/// checked once per shape (sub-millisecond granularity at enumerable sizes)
+/// so a `time_limit`-bounded solver never blocks on a large materialisation.
+pub fn classed_forest_representatives_within(
+    classes: &WeightClasses,
+    cap: usize,
+    deadline: Option<std::time::Instant>,
+) -> ClassedGeneration {
+    let n = classes.n();
+    assert!(n >= 1, "classed enumeration needs at least one node");
+    let group_order = classes.group_order();
+    let mut stream = CanonicalForests::new(n);
+    let mut reps: Vec<ClassedRepresentative> = Vec::new();
+    while let Some(class) = stream.next() {
+        let parents = class.parents.to_vec();
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return ClassedGeneration::DeadlineExpired;
+        }
+        // `stream.levels` describes the shape just streamed (the lending
+        // borrow has been released by copying the parent vector out).
+        if !enumerate_canonical_colorings(&stream.levels, classes, &mut |colors, aut| {
+            if reps.len() >= cap {
+                return false;
+            }
+            debug_assert!(
+                group_order == u128::MAX || group_order.is_multiple_of(aut),
+                "|Aut| divides the group order"
+            );
+            reps.push(ClassedRepresentative {
+                parents: parents.clone(),
+                classes: colors.to_vec(),
+                orbit: group_order / aut,
+            });
+            true
+        }) {
+            return ClassedGeneration::CapExceeded;
+        }
+    }
+    ClassedGeneration::Generated(reps)
+}
+
+/// Enumerates the canonical colourings of one shape (super-tree `levels`):
+/// assignments of the class multiset to the real positions such that within
+/// every run of identical sibling subtrees the coloured subtree encodings
+/// are non-increasing.  `emit(colors, aut)` receives the colour of each
+/// *real* position (preorder) and the coloured automorphism count; returning
+/// `false` aborts the enumeration (propagated as `false`).
+fn enumerate_canonical_colorings(
+    levels: &[usize],
+    classes: &WeightClasses,
+    emit: &mut impl FnMut(&[usize], u128) -> bool,
+) -> bool {
+    let len = levels.len();
+    // Subtree span ends: end[i] = first j > i with levels[j] <= levels[i].
+    let mut end = vec![len; len];
+    let mut open: Vec<usize> = Vec::new();
+    for (i, &level) in levels.iter().enumerate() {
+        while let Some(&top) = open.last() {
+            if levels[top] >= level {
+                end[top] = i;
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        open.push(i);
+    }
+    // Sortedness checks, attached to the position that completes the later
+    // subtree of the pair: within every run of identical sibling shapes,
+    // member `m` must carry a colour sequence `<=` member `m-1`'s.
+    let mut checks_at: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); len];
+    for i in 0..len {
+        let mut child = i + 1;
+        let mut prev: Option<usize> = None;
+        while child < end[i] {
+            debug_assert_eq!(levels[child], levels[i] + 1);
+            let next = end[child];
+            if let Some(p) = prev {
+                if end[p] - p == next - child && levels[p..end[p]] == levels[child..next] {
+                    checks_at[next - 1].push((p, child, next - child));
+                }
+            }
+            prev = Some(child);
+            child = next;
+        }
+    }
+    // Depth-first colour assignment over real positions 1..=n, with the
+    // remaining per-class budget; a completed run member is compared with
+    // its predecessor the moment its last position is coloured.
+    let class_count = classes.class_count();
+    let mut remaining: Vec<usize> = (0..class_count).map(|c| classes.class_size(c)).collect();
+    let mut colors = vec![usize::MAX; len];
+    fn walk(
+        pos: usize,
+        len: usize,
+        levels: &[usize],
+        checks_at: &[Vec<(usize, usize, usize)>],
+        remaining: &mut [usize],
+        colors: &mut [usize],
+        emit: &mut impl FnMut(&[usize], u128) -> bool,
+    ) -> bool {
+        if pos == len {
+            let aut = colored_subtree_automorphisms(levels, colors, 0, len);
+            return emit(&colors[1..], aut);
+        }
+        for c in 0..remaining.len() {
+            if remaining[c] == 0 {
+                continue;
+            }
+            colors[pos] = c;
+            remaining[c] -= 1;
+            let sorted = checks_at[pos]
+                .iter()
+                .all(|&(p, s, l)| colors[p..p + l] >= colors[s..s + l]);
+            if sorted && !walk(pos + 1, len, levels, checks_at, remaining, colors, emit) {
+                return false;
+            }
+            remaining[c] += 1;
+            colors[pos] = usize::MAX;
+        }
+        true
+    }
+    walk(
+        1,
+        len,
+        levels,
+        &checks_at,
+        &mut remaining,
+        &mut colors,
+        emit,
+    )
+}
+
+/// `|Aut|` of the **coloured** subtree spanning `levels[start..end)`: as
+/// [`subtree_automorphisms`], but a run only accumulates its factorial when
+/// the sibling subtrees agree on shape *and* colours.
+fn colored_subtree_automorphisms(
+    levels: &[usize],
+    colors: &[usize],
+    start: usize,
+    end: usize,
+) -> u128 {
+    let child_level = levels[start] + 1;
+    let mut aut = 1u128;
+    let mut child = start + 1;
+    let mut run_slice: Option<(usize, usize)> = None;
+    let mut run_len = 0u128;
+    while child < end {
+        debug_assert!(levels[child] == child_level);
+        let mut next = child + 1;
+        while next < end && levels[next] > child_level {
+            next += 1;
+        }
+        aut = aut.saturating_mul(colored_subtree_automorphisms(levels, colors, child, next));
+        let same = run_slice
+            .map(|(b, e)| {
+                levels[b..e] == levels[child..next] && colors[b..e] == colors[child..next]
+            })
+            .unwrap_or(false);
+        if same {
+            run_len += 1;
+        } else {
+            aut = aut.saturating_mul(factorial_u128(run_len));
+            run_slice = Some((child, next));
+            run_len = 1;
+        }
+        child = next;
+    }
+    aut.saturating_mul(factorial_u128(run_len))
 }
 
 /// Orbit size of the forest described by a canonical super-tree level
@@ -368,6 +684,101 @@ pub fn canonical_forest_form(graph: &ExecutionGraph) -> CoreResult<Vec<Option<Se
     Ok(parents)
 }
 
+/// The class-aware canonical form of a labelled forest: the
+/// [`classed_forest_representatives`] representative of its
+/// **class-preserving** relabelling orbit (same shape canonicalisation as
+/// [`canonical_forest_form`], with the weight classes carried along and used
+/// as the tie-break among identically-shaped sibling subtrees).
+///
+/// Every member of an orbit maps to the *same* representative, so evaluating
+/// the representative's [`ClassedRepresentative::member_graph`] instead of
+/// the original graph makes label-trajectory-dependent evaluations (the
+/// OUTORDER backtracker) a pure function of the orbit — the key property
+/// behind the canonical-form memoisation in `fsw_sched::engine`.
+///
+/// Fails with [`CoreError::NotAForest`] when some node has several direct
+/// predecessors or the graph is cyclic.
+pub fn canonical_classed_form(
+    classes: &WeightClasses,
+    graph: &ExecutionGraph,
+) -> CoreResult<ClassedRepresentative> {
+    if !graph.is_forest() {
+        return Err(CoreError::NotAForest);
+    }
+    graph.topological_order()?; // rejects cycles
+    let n = graph.n();
+    debug_assert_eq!(classes.n(), n);
+    // Coloured canonical encoding of every subtree: children sorted by
+    // (level sequence, colour sequence) in non-increasing lexicographic
+    // order — shape dominates, colours break shape ties, exactly the order
+    // `classed_forest_representatives` emits.
+    #[allow(clippy::type_complexity)]
+    fn subtree_encoding(
+        graph: &ExecutionGraph,
+        classes: &WeightClasses,
+        node: ServiceId,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut children: Vec<(Vec<usize>, Vec<usize>)> = graph
+            .succs(node)
+            .iter()
+            .map(|&c| subtree_encoding(graph, classes, c))
+            .collect();
+        children.sort_by(|a, b| b.cmp(a));
+        let mut levels = vec![0usize];
+        let mut colors = vec![classes.class_of(node)];
+        for (child_levels, child_colors) in children {
+            levels.extend(child_levels.into_iter().map(|l| l + 1));
+            colors.extend(child_colors);
+        }
+        (levels, colors)
+    }
+    let mut roots: Vec<(Vec<usize>, Vec<usize>)> = graph
+        .entry_nodes()
+        .into_iter()
+        .map(|r| subtree_encoding(graph, classes, r))
+        .collect();
+    roots.sort_by(|a, b| b.cmp(a));
+    let mut levels = vec![0usize];
+    let mut colors = vec![usize::MAX]; // virtual super-root carries no class
+    for (root_levels, root_colors) in roots {
+        levels.extend(root_levels.into_iter().map(|l| l + 1));
+        colors.extend(root_colors);
+    }
+    debug_assert_eq!(levels.len(), n + 1);
+    // Level sequence → parent vector (as in `CanonicalForests`).
+    let mut parents = vec![None; n];
+    let mut last_at_level = vec![usize::MAX; n + 2];
+    last_at_level[0] = 0;
+    for i in 1..levels.len() {
+        let level = levels[i];
+        parents[i - 1] = if level == 1 {
+            None
+        } else {
+            Some(last_at_level[level - 1] - 1)
+        };
+        last_at_level[level] = i;
+    }
+    let aut = colored_subtree_automorphisms(&levels, &colors, 0, levels.len());
+    Ok(ClassedRepresentative {
+        parents,
+        classes: colors[1..].to_vec(),
+        orbit: classes.group_order() / aut,
+    })
+}
+
+/// The deterministic canonical *member* of a labelled forest's
+/// class-preserving orbit: [`canonical_classed_form`] mapped back onto the
+/// concrete services ([`ClassedRepresentative::member_graph`]).  Evaluating
+/// this member instead of the original graph makes any evaluation a pure
+/// function of the orbit.
+pub fn canonical_classed_member(
+    classes: &WeightClasses,
+    graph: &ExecutionGraph,
+) -> CoreResult<ExecutionGraph> {
+    let rep = canonical_classed_form(classes, graph)?;
+    rep.member_graph(classes).ok_or(CoreError::NotAForest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +894,193 @@ mod tests {
             streamed += 1;
         }
         assert_eq!(streamed, tally.len(), "every orbit has one representative");
+    }
+
+    /// `(cost, selectivity)` specs with `sizes[c]` copies of class `c`.
+    fn classed_app(sizes: &[usize]) -> Application {
+        let mut specs = Vec::new();
+        for (c, &size) in sizes.iter().enumerate() {
+            for _ in 0..size {
+                specs.push((1.0 + c as f64, 0.5 + 0.1 * c as f64));
+            }
+        }
+        Application::independent(&specs)
+    }
+
+    #[test]
+    fn classed_generator_degenerates_to_the_uniform_one_on_a_single_class() {
+        for n in 1..=7 {
+            let classes = WeightClasses::of(&classed_app(&[n]));
+            let reps = classed_forest_representatives(&classes, usize::MAX).unwrap();
+            let mut stream = CanonicalForests::new(n);
+            let mut i = 0;
+            while let Some(class) = stream.next() {
+                assert_eq!(reps[i].parents, class.parents, "n={n} rep {i}: shape");
+                assert_eq!(reps[i].orbit, class.orbit, "n={n} rep {i}: orbit");
+                assert!(reps[i].classes.iter().all(|&c| c == 0));
+                i += 1;
+            }
+            assert_eq!(i, reps.len(), "n={n}: same class count");
+        }
+    }
+
+    #[test]
+    fn classed_orbits_tile_the_labelled_space_for_every_partition() {
+        for sizes in [
+            vec![2usize, 3],
+            vec![1, 1, 3],
+            vec![3, 3],
+            vec![1, 2, 2, 1],
+            vec![4, 2, 1],
+        ] {
+            let n: usize = sizes.iter().sum();
+            let classes = WeightClasses::of(&classed_app(&sizes));
+            let reps = classed_forest_representatives(&classes, usize::MAX).unwrap();
+            let covered: u128 = reps.iter().map(|r| r.orbit).sum();
+            assert_eq!(covered, labelled_forests(n), "{sizes:?}: Σ orbit sizes");
+            // Representatives are pairwise distinct (shape, colouring) pairs.
+            let mut seen = std::collections::HashSet::new();
+            for rep in &reps {
+                assert!(
+                    seen.insert((rep.parents.clone(), rep.classes.clone())),
+                    "{sizes:?}: duplicate representative"
+                );
+                // Colour multiset matches the partition.
+                let mut counts = vec![0usize; classes.class_count()];
+                for &c in &rep.classes {
+                    counts[c] += 1;
+                }
+                assert_eq!(counts, sizes, "{sizes:?}: colour multiset");
+            }
+        }
+    }
+
+    #[test]
+    fn classed_form_maps_every_labelled_forest_to_a_generated_representative() {
+        // Enumerate every labelled forest on 5 nodes under a 2+3 partition,
+        // canonicalise with the class-aware form, and tally per
+        // representative: tallies must equal the generator's orbit sizes.
+        let classes = WeightClasses::of(&classed_app(&[2, 3]));
+        let n = 5usize;
+        let mut tally: std::collections::HashMap<(Vec<Option<ServiceId>>, Vec<usize>), u128> =
+            std::collections::HashMap::new();
+        let mut parents = vec![None::<ServiceId>; n];
+        #[allow(clippy::type_complexity)]
+        fn walk(
+            k: usize,
+            n: usize,
+            classes: &WeightClasses,
+            parents: &mut Vec<Option<ServiceId>>,
+            tally: &mut std::collections::HashMap<(Vec<Option<ServiceId>>, Vec<usize>), u128>,
+        ) {
+            if k == n {
+                if let Ok(graph) = ExecutionGraph::from_parents(parents) {
+                    let rep = canonical_classed_form(classes, &graph).expect("forest");
+                    *tally.entry((rep.parents, rep.classes)).or_insert(0) += 1;
+                }
+                return;
+            }
+            for p in std::iter::once(None).chain((0..n).filter(|&p| p != k).map(Some)) {
+                parents[k] = p;
+                walk(k + 1, n, classes, parents, tally);
+                parents[k] = None;
+            }
+        }
+        walk(0, n, &classes, &mut parents, &mut tally);
+        let reps = classed_forest_representatives(&classes, usize::MAX).unwrap();
+        assert_eq!(reps.len(), tally.len(), "one representative per orbit");
+        for rep in &reps {
+            assert_eq!(
+                tally
+                    .get(&(rep.parents.clone(), rep.classes.clone()))
+                    .copied(),
+                Some(rep.orbit),
+                "orbit of {:?}/{:?}",
+                rep.parents,
+                rep.classes
+            );
+        }
+    }
+
+    #[test]
+    fn classed_form_is_invariant_under_class_preserving_relabellings_only() {
+        // Classes {0, 1} and {2, 3}: swapping within a class is invisible,
+        // swapping across classes is not.
+        let app = Application::independent(&[(1.0, 0.5), (1.0, 0.5), (2.0, 0.8), (2.0, 0.8)]);
+        let classes = WeightClasses::of(&app);
+        let chain = ExecutionGraph::from_edges(4, &[(0, 2), (2, 1)]).unwrap();
+        let class_swapped = ExecutionGraph::from_edges(4, &[(1, 3), (3, 0)]).unwrap();
+        let cross_swapped = ExecutionGraph::from_edges(4, &[(2, 0), (0, 3)]).unwrap();
+        let c1 = canonical_classed_form(&classes, &chain).unwrap();
+        let c2 = canonical_classed_form(&classes, &class_swapped).unwrap();
+        let c3 = canonical_classed_form(&classes, &cross_swapped).unwrap();
+        assert_eq!(c1, c2, "class-preserving relabelling");
+        assert_ne!(
+            (&c1.parents, &c1.classes),
+            (&c3.parents, &c3.classes),
+            "cross-class relabelling changes the coloured orbit"
+        );
+        // Idempotent: the canonical member canonicalises to itself.
+        let member = c1.member_graph(&classes).unwrap();
+        let again = canonical_classed_form(&classes, &member).unwrap();
+        assert_eq!(c1, again);
+        // The member graph realises the representative's coloured shape.
+        let member_value = canonical_classed_member(&classes, &chain).unwrap();
+        assert_eq!(member, member_value);
+        // Non-forests are rejected.
+        let join = ExecutionGraph::from_edges(4, &[(0, 2), (1, 2)]).unwrap();
+        assert!(matches!(
+            canonical_classed_form(&classes, &join),
+            Err(CoreError::NotAForest)
+        ));
+    }
+
+    #[test]
+    fn service_assignment_is_class_consistent_and_deterministic() {
+        let app = Application::independent(&[(1.0, 0.5), (2.0, 0.8), (1.0, 0.5), (2.0, 0.8)]);
+        let classes = WeightClasses::of(&app);
+        // Positions coloured 1, 0, 0, 1 receive the smallest unused ids of
+        // their classes in order: 1, 0, 2, 3.
+        let assignment = classes.service_assignment(&[1, 0, 0, 1]).unwrap();
+        assert_eq!(assignment, vec![1, 0, 2, 3]);
+        for (pos, &k) in assignment.iter().enumerate() {
+            assert_eq!(classes.class_of(k), [1, 0, 0, 1][pos]);
+        }
+        // A colour multiset that does not match the partition is rejected.
+        assert!(classes.service_assignment(&[0, 0, 0, 1]).is_none());
+        assert!(classes.service_assignment(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn classed_representative_cap_aborts_generation() {
+        let classes = WeightClasses::of(&classed_app(&[2, 3]));
+        let all = classed_forest_representatives(&classes, usize::MAX).unwrap();
+        assert!(all.len() > 4);
+        assert!(classed_forest_representatives(&classes, 4).is_none());
+        assert_eq!(
+            classed_forest_representatives(&classes, all.len())
+                .unwrap()
+                .len(),
+            all.len()
+        );
+    }
+
+    #[test]
+    fn weight_class_signatures_distinguish_partitions() {
+        let a = WeightClasses::of(&classed_app(&[2, 3]));
+        let b = WeightClasses::of(&classed_app(&[3, 2]));
+        let c = WeightClasses::of(&classed_app(&[5]));
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature());
+        assert_eq!(
+            a.signature(),
+            WeightClasses::of(&classed_app(&[2, 3])).signature()
+        );
+        assert_eq!(a.sizes(), &[2, 3]);
+        assert_eq!(a.class_vector(), &[0, 0, 1, 1, 1]);
+        assert!(a.has_symmetry());
+        assert!(!WeightClasses::of(&classed_app(&[1, 1, 1])).has_symmetry());
+        assert_eq!(a.group_order(), 2 * 6);
     }
 
     #[test]

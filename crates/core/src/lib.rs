@@ -45,7 +45,9 @@ pub mod service;
 pub mod validate;
 
 pub use canonical::{
-    canonical_forest_form, forest_classes, labelled_forests, CanonicalForests, ForestClass,
+    canonical_classed_form, canonical_classed_member, canonical_forest_form,
+    classed_forest_representatives, classed_forest_representatives_within, forest_classes,
+    labelled_forests, CanonicalForests, ClassedGeneration, ClassedRepresentative, ForestClass,
     WeightClasses,
 };
 pub use error::{CoreError, CoreResult};

@@ -49,21 +49,39 @@ impl PlanMetrics {
         let order = graph.topological_order()?;
 
         // input_factor[k] = product of selectivities of all strict ancestors of k.
-        // Computed per-node from the ancestor sets so that "diamond" ancestors
-        // are counted exactly once (selectivities are independent, join cost
-        // negligible — Section 2.1).
-        let anc = graph.ancestor_sets();
+        //
+        // Single-predecessor nodes inherit it **structurally** along the
+        // parent chain (`factor[k] = factor[p] · σ_p`): the float value is
+        // then a function of the path alone, so class-preserving
+        // relabellings — which map paths to weight-identical paths — leave
+        // it bit-identical (the property the symmetry-reduced searches rely
+        // on), and forests never pay for ancestor sets at all.  Only join
+        // nodes fall back to the per-node ancestor-set product, which counts
+        // "diamond" ancestors exactly once (selectivities are independent,
+        // join cost negligible — Section 2.1).
+        let needs_ancestor_sets = (0..n).any(|k| graph.preds(k).len() > 1);
+        let anc = if needs_ancestor_sets {
+            Some(graph.ancestor_sets())
+        } else {
+            None
+        };
         let mut input_factor = vec![1.0f64; n];
-        for k in 0..n {
-            let mut prod = 1.0;
-            for (a, &is_anc) in anc[k].iter().enumerate() {
-                if is_anc {
-                    prod *= app.selectivity(a);
+        for &k in &order {
+            input_factor[k] = match graph.preds(k) {
+                [] => 1.0,
+                [p] => input_factor[*p] * app.selectivity(*p),
+                _ => {
+                    let sets = anc.as_ref().expect("computed when a join exists");
+                    let mut prod = 1.0;
+                    for (a, &is_anc) in sets[k].iter().enumerate() {
+                        if is_anc {
+                            prod *= app.selectivity(a);
+                        }
+                    }
+                    prod
                 }
-            }
-            input_factor[k] = prod;
+            };
         }
-        let _ = order; // the topological order guarantees acyclicity was checked
 
         let mut c_in = vec![0.0f64; n];
         let mut c_comp = vec![0.0f64; n];
@@ -188,8 +206,13 @@ enum ChainState {
 ///
 /// Parents are assigned in service order (`push` assigns the next service,
 /// `pop` undoes the last assignment); child counts are updated per added or
-/// removed edge rather than recomputed.  At any prefix the structure yields
-/// *admissible* bounds — values that no completion of the prefix can beat:
+/// removed edge rather than recomputed.  The symmetry-reduced searches
+/// enumerate canonical *positions* rather than concrete services:
+/// [`PartialForestMetrics::push_weighted`] lets them pin each position to the
+/// weights of an arbitrary service (of the position's weight class), keeping
+/// the bounds bit-identical to those of the relabelled concrete graph.
+/// At any prefix the structure yields *admissible* bounds — values that no
+/// completion of the prefix can beat:
 ///
 /// * a node whose parent chain stays inside the assigned prefix has a final
 ///   ancestor set (later assignments only add descendants), so its `Cin` and
@@ -207,6 +230,9 @@ enum ChainState {
 pub struct PartialForestMetrics<'a> {
     app: &'a Application,
     parent: Vec<Option<ServiceId>>,
+    /// Which service's weights each position carries (identity unless
+    /// [`PartialForestMetrics::push_weighted`] pinned something else).
+    weight: Vec<ServiceId>,
     children: Vec<usize>,
     assigned: usize,
     /// Generation-stamped memo for chain resolution; bumping `gen` invalidates
@@ -224,6 +250,7 @@ impl<'a> PartialForestMetrics<'a> {
         PartialForestMetrics {
             app,
             parent: vec![None; n],
+            weight: (0..n).collect(),
             children: vec![0; n],
             assigned: 0,
             gen: 1,
@@ -246,9 +273,20 @@ impl<'a> PartialForestMetrics<'a> {
     /// Assigns the next service's parent (`None` makes it an entry node).
     pub fn push(&mut self, parent: Option<ServiceId>) {
         let k = self.assigned;
+        self.push_weighted(parent, k);
+    }
+
+    /// Assigns the next *position*'s parent, carrying the weights of service
+    /// `weight_of` (any service of the position's weight class): the
+    /// symmetry-reduced enumerations walk canonical positions whose concrete
+    /// service ids depend on the colouring.  `push` is the identity case.
+    pub fn push_weighted(&mut self, parent: Option<ServiceId>, weight_of: ServiceId) {
+        let k = self.assigned;
         debug_assert!(k < self.parent.len());
         debug_assert!(parent != Some(k), "self-loops are never enumerated");
+        debug_assert!(weight_of < self.parent.len());
         self.parent[k] = parent;
+        self.weight[k] = weight_of;
         if let Some(p) = parent {
             self.children[p] += 1;
         }
@@ -264,6 +302,7 @@ impl<'a> PartialForestMetrics<'a> {
             self.children[p] -= 1;
         }
         self.parent[self.assigned] = None;
+        self.weight[self.assigned] = self.assigned;
         self.gen += 1;
     }
 
@@ -292,7 +331,7 @@ impl<'a> PartialForestMetrics<'a> {
                 None => {
                     let r = ChainState::Decided {
                         factor: 1.0,
-                        path: 1.0 + self.app.cost(j),
+                        path: 1.0 + self.app.cost(self.weight[j]),
                     };
                     self.memo_gen[j] = self.gen;
                     self.memo[j] = r;
@@ -316,8 +355,8 @@ impl<'a> PartialForestMetrics<'a> {
                 } => {
                     let p = self.parent[v].expect("stacked nodes have parents");
                     // Volume on the edge p → v, which is also v's input factor.
-                    let volume = fp * self.app.selectivity(p);
-                    let comp = volume * self.app.cost(v);
+                    let volume = fp * self.app.selectivity(self.weight[p]);
+                    let comp = volume * self.app.cost(self.weight[v]);
                     ChainState::Decided {
                         factor: volume,
                         path: pp + volume + comp,
@@ -345,8 +384,8 @@ impl<'a> PartialForestMetrics<'a> {
                     } else {
                         factor
                     };
-                    let comp = factor * self.app.cost(j);
-                    let out_size = factor * self.app.selectivity(j);
+                    let comp = factor * self.app.cost(self.weight[j]);
+                    let out_size = factor * self.app.selectivity(self.weight[j]);
                     let cout = self.children[j].max(1) as f64 * out_size;
                     let cexec = match model {
                         CommModel::Overlap => cin.max(comp).max(cout),
@@ -371,7 +410,7 @@ impl<'a> PartialForestMetrics<'a> {
                     // After j's computation the data either leaves through the
                     // output node or feeds a child; both cost at least one
                     // emission of j's output size.
-                    bound = bound.max(path + factor * self.app.selectivity(j));
+                    bound = bound.max(path + factor * self.app.selectivity(self.weight[j]));
                 }
             }
         }

@@ -20,31 +20,47 @@
 //!   (one-port ordering searches) keyed by a canonical shape-plus-weights
 //!   signature, so the members of an equivalence class share a single search;
 //! * [`CanonicalSpace`] / [`ForestCursor`] / [`Symmetry`] — the
-//!   symmetry-reduced *enumeration* layer: on uniform-weight, constraint-free
-//!   instances the plan searches iterate canonical representatives of
-//!   weight-class orbits (with the partial bounds applied before a
-//!   representative is materialised) instead of the full labelled space,
-//!   falling back to the bit-identical full enumeration otherwise.
+//!   symmetry-reduced *enumeration* layer: on constraint-free instances the
+//!   plan searches iterate canonical representatives of weight-class orbits
+//!   (with the partial bounds applied before a representative is
+//!   materialised) instead of the full labelled space — full relabelling
+//!   symmetry on uniform weights, **class-preserving** relabelling (the
+//!   product of per-weight-class symmetric groups) on multi-class instances
+//!   — falling back to the bit-identical full enumeration otherwise;
+//! * [`SearchStrategy`] / [`frontier`] — how the candidate space is walked:
+//!   the classic depth-first branch-and-bound, or a **best-first** search
+//!   over the partial-assignment lower bound (a bounded priority frontier
+//!   with deterministic tie-breaking and spill-to-DFS, see the [`frontier`]
+//!   module) that expands the most promising candidates first and turns the
+//!   incumbent into an early bound-clearance certificate.
 //!
 //! ### Canonical signatures and bit-exactness
 //!
 //! Two labelled DAGs are merged only when the merge provably cannot change a
 //! single output bit:
 //!
-//! * every graph is keyed by its exact edge set (the DAG enumeration visits
-//!   each labelled DAG once per topological permutation, a ~4–10× collapse on
-//!   its own);
+//! * every graph is keyed by its exact edge set plus the weight-class
+//!   partition's signature (the DAG enumeration visits each labelled DAG
+//!   once per topological permutation, a ~4–10× collapse on its own; the
+//!   partition in the key keeps class-reduced and full-path entries from
+//!   ever colliding should one cache serve several applications);
 //! * when **all services carry identical cost and selectivity**, the key is
 //!   additionally canonicalised over node relabellings (the lexicographically
 //!   smallest edge mask over all permutations).  With uniform weights every
 //!   intermediate float of an evaluation is a function of structure alone, so
-//!   isomorphic graphs evaluate to bit-identical values.  With heterogeneous
-//!   weights the same products can be accumulated in a different order and
-//!   drift by an ulp, so cross-label sharing is disabled — correctness over
-//!   compression;
+//!   isomorphic graphs evaluate to bit-identical values.  On multi-class
+//!   instances the exhaustive one-port searches are *not* class-invariant
+//!   (their internal sums follow node ids over per-class terms and can drift
+//!   by an ulp across orbit members), so cross-label sharing stays disabled
+//!   there — correctness over compression;
 //! * heuristic (hill-climbing) evaluations are label-dependent even with
 //!   uniform weights, so keys carry an *exhaustive?* flag and canonicalised
-//!   sharing applies only to exhaustively searched classes.
+//!   sharing applies only to exhaustively searched classes.  The OUTORDER
+//!   backtracker is label-dependent too, but its plan-search evaluation
+//!   canonicalises the *graph* before evaluating (see
+//!   `fsw_core::canonical_classed_member`), which turns the value into a
+//!   pure function of the orbit and makes the memo key one entry per
+//!   canonical shape + class signature.
 //!
 //! ### Cutoff-aware memoisation
 //!
@@ -56,9 +72,12 @@
 //! is what makes one cache shareable across a `solve_all` sweep, where each
 //! solve has its own incumbent trajectory).
 
+pub mod frontier;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use fsw_core::{
     Application, CanonicalForests, ExecutionGraph, PartialForestMetrics, ServiceId, WeightClasses,
@@ -139,32 +158,75 @@ impl Default for Incumbent {
 ///
 /// The reduction is engaged only when **both** hold:
 ///
-/// * the caller passes [`Symmetry::Auto`], asserting that its candidate
-///   evaluation is *label-invariant* — isomorphic graphs evaluate to the
-///   same value.  On uniform weights this holds **bit-exactly** for every
-///   *forest* evaluation (single-predecessor volumes involve no multi-term
-///   sums, and the tree-latency recursion combines children in value order)
-///   and for exhaustive ordering searches; for *DAG* bounds a join of
-///   in-degree ≥ 3 sums its `Cin` terms in label order, so relabelling can
-///   shift the value by an ulp and the DAG reduction's equality holds up to
-///   summation-order rounding — the same caveat [`EvalCache`] documents.
-///   Hill-climbing and backtracking evaluations, whose search trajectory
-///   follows node ids, are not label-invariant at all;
-/// * the instance is [`CanonicalSpace::reducible`]: every service carries
-///   bit-identical weights and there are no precedence constraints.
+/// * the caller passes [`Symmetry::Auto`] or [`Symmetry::Classes`],
+///   asserting an invariance property of its candidate evaluation (see the
+///   variants); hill-climbing and backtracking evaluations, whose search
+///   trajectory follows node ids, satisfy neither;
+/// * the instance admits the corresponding symmetry:
+///   [`CanonicalSpace::reducible`] (uniform weights, no constraints) for
+///   `Auto`, the weaker [`CanonicalSpace::class_reducible`] (some weight
+///   class with at least two members, no constraints) for `Classes`.
 ///
 /// Otherwise the search runs the bit-identical full enumeration, so
-/// heterogeneous instances keep the exact legacy semantics (value *and*
-/// first-minimum winner).  Under the reduction the value is unchanged but
-/// the winning graph follows the **canonical tie-break**: the first optimum
-/// in canonical enumeration order (see `fsw_core::canonical`).
+/// instances outside the gate keep the exact legacy semantics (value *and*
+/// first-minimum winner).  Under a reduction the value is unchanged but the
+/// winning graph follows the **canonical tie-break**: the first optimum in
+/// canonical enumeration order (see `fsw_core::canonical`).
+///
+/// ### The bit-safety gate
+///
+/// `Classes` is the stronger claim, so it is gated on the stricter
+/// invariance: every float of the evaluation must be a function of the
+/// *class-coloured* structure alone.  This holds bit-exactly for every
+/// forest evaluation whose arithmetic follows the structure — the
+/// structural period bounds (input factors are path-order products since
+/// the metrics rework, single-predecessor volumes involve no multi-term
+/// sums, `Cout` multiplies rather than sums) and the tree-latency recursion
+/// (children combine in value order).  Evaluations whose internal sums
+/// could associate differently across orbit members — the one-port ordering
+/// searches, whose schedule accumulation follows node ids, and every DAG
+/// bound with joins — must **fall back**: pass `Auto` (uniform-only, the
+/// regime where those sums are over identical terms) or `Full`.  The
+/// `tests/partial_symmetry_equivalence.rs` suite guards both directions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Symmetry {
     /// Always enumerate the full labelled space.
     Full,
-    /// Enumerate canonical representatives when the instance is reducible;
-    /// the caller guarantees its evaluation is label-invariant there.
+    /// Enumerate canonical representatives when the instance is
+    /// [`CanonicalSpace::reducible`] (uniform weights); the caller
+    /// guarantees its evaluation is label-invariant there.
     Auto,
+    /// Additionally enumerate **class-preserving** canonical representatives
+    /// when the instance is [`CanonicalSpace::class_reducible`] (several
+    /// weight classes, at least one with two or more members); the caller
+    /// guarantees its evaluation is invariant under class-preserving
+    /// relabellings — a strictly stronger claim than `Auto`'s.
+    Classes,
+}
+
+/// How an exhaustive plan search walks its candidate space.
+///
+/// Both strategies return **bit-identical solutions** (value and winning
+/// graph) on complete runs, for every thread count: the depth-first walk
+/// keeps the first minimum in enumeration order, and the best-first walk
+/// tie-breaks value ties by that same enumeration rank.  They differ in
+/// *when* the optimum is reached and how much of the space is materialised:
+/// best-first expands the most promising candidates (smallest
+/// partial-assignment lower bound) first, so the incumbent drops to the
+/// optimum early and the remaining frontier is killed wholesale by a single
+/// bound-clearance certificate, at the cost of a bounded priority frontier
+/// (see [`frontier`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Pick per space: best-first on the (small, fully materialised)
+    /// canonical orbit spaces, depth-first on the raw labelled spaces.
+    #[default]
+    Auto,
+    /// The classic depth-first branch-and-bound enumeration.
+    DepthFirst,
+    /// Best-first over the partial-assignment lower bound, with a bounded
+    /// priority frontier that spills to depth-first when full.
+    BestFirst,
 }
 
 /// The symmetry-reduced candidate spaces: which instances admit the orbit
@@ -226,6 +288,118 @@ impl CanonicalSpace {
         }
         reps
     }
+
+    /// `true` when **class-preserving** relabelling symmetry is non-trivial
+    /// for the instance: at least two services, no precedence constraints
+    /// (constraints distinguish services regardless of weights), and some
+    /// weight class holding two or more services.  Uniform instances
+    /// ([`CanonicalSpace::reducible`]) are the single-class special case.
+    pub fn class_reducible(app: &Application) -> bool {
+        CanonicalSpace::class_reducible_with(app, &WeightClasses::of(app))
+    }
+
+    /// [`CanonicalSpace::class_reducible`] against a partition the caller
+    /// already holds (hot evaluation paths keep one per solve, e.g. in
+    /// [`EvalCache::weight_classes`]) — the single definition of the gate.
+    pub fn class_reducible_with(app: &Application, classes: &WeightClasses) -> bool {
+        app.n() >= 2 && !app.has_constraints() && classes.has_symmetry()
+    }
+
+    /// Materialises one representative per **class-preserving** relabelling
+    /// orbit (coloured-forest class) of `app`'s forest space, in canonical
+    /// enumeration order, with each position already pinned to a concrete
+    /// service of its weight class.  Returns `None` once the coloured class
+    /// space exceeds `cap` — callers then fall back to the raw enumeration.
+    pub fn classed_representatives(app: &Application, cap: usize) -> Option<Vec<CanonicalRep>> {
+        match CanonicalSpace::classed_representatives_within(app, cap, None) {
+            ClassedGeneration::Generated(reps) => Some(reps),
+            ClassedGeneration::CapExceeded | ClassedGeneration::DeadlineExpired => None,
+        }
+    }
+
+    /// [`CanonicalSpace::classed_representatives`] with an optional
+    /// wall-clock deadline (checked per shape), reporting *why* no list came
+    /// back: a cap overflow falls back to the raw enumeration, an expired
+    /// deadline degrades like any interrupted search.
+    pub fn classed_representatives_within(
+        app: &Application,
+        cap: usize,
+        deadline: Option<Instant>,
+    ) -> ClassedGeneration {
+        let classes = WeightClasses::of(app);
+        match fsw_core::classed_forest_representatives_within(&classes, cap, deadline) {
+            fsw_core::ClassedGeneration::CapExceeded => ClassedGeneration::CapExceeded,
+            fsw_core::ClassedGeneration::DeadlineExpired => ClassedGeneration::DeadlineExpired,
+            fsw_core::ClassedGeneration::Generated(reps) => ClassedGeneration::Generated(
+                reps.into_iter()
+                    .map(|rep| {
+                        let weights = classes
+                            .service_assignment(&rep.classes)
+                            .expect("generator colourings match the partition");
+                        CanonicalRep {
+                            parents: rep.parents,
+                            weights,
+                            orbit: rep.orbit,
+                        }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The uniform-weight representatives of [`CanonicalSpace::forest_representatives`]
+    /// in [`CanonicalRep`] form (identity weights), so both canonical spaces
+    /// share one search driver.
+    pub fn uniform_representatives(n: usize) -> Vec<CanonicalRep> {
+        CanonicalSpace::forest_representatives(n)
+            .into_iter()
+            .map(|(parents, orbit)| CanonicalRep {
+                weights: (0..n).collect(),
+                parents,
+                orbit,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a deadline-bounded classed-representative materialisation
+/// ([`CanonicalSpace::classed_representatives_within`]; the engine-level
+/// mirror of [`fsw_core::ClassedGeneration`] carrying [`CanonicalRep`]s).
+#[derive(Clone, Debug)]
+pub enum ClassedGeneration {
+    /// The complete representative list, in canonical enumeration order.
+    Generated(Vec<CanonicalRep>),
+    /// More than the cap exist; fall back to the raw enumeration.
+    CapExceeded,
+    /// The deadline passed mid-generation; degrade like an interrupted
+    /// search.
+    DeadlineExpired,
+}
+
+/// One canonical orbit representative ready for evaluation: the shape's
+/// parent vector over preorder *positions*, the concrete service id each
+/// position carries the weights of (identity on uniform instances, a
+/// class-consistent assignment on multi-class ones), and the orbit size.
+#[derive(Clone, Debug)]
+pub struct CanonicalRep {
+    /// Parent vector over preorder positions (`parents[p] < Some(p)`).
+    pub parents: Vec<Option<ServiceId>>,
+    /// The concrete service each position stands for.
+    pub weights: Vec<ServiceId>,
+    /// Number of labelled forests this representative stands for.
+    pub orbit: u128,
+}
+
+impl CanonicalRep {
+    /// The representative as a labelled execution graph over the concrete
+    /// services (position `p` becomes service `weights[p]`).
+    pub fn graph(&self) -> ExecutionGraph {
+        let mut parents = vec![None; self.parents.len()];
+        for (pos, &p) in self.parents.iter().enumerate() {
+            parents[self.weights[pos]] = p.map(|pp| self.weights[pp]);
+        }
+        ExecutionGraph::from_parents(&parents).expect("canonical parent vectors are acyclic")
+    }
 }
 
 /// Replays canonical forest representatives against an incrementally
@@ -236,7 +410,7 @@ impl CanonicalSpace {
 /// pushes only the differing tail.
 pub struct ForestCursor<'a> {
     metrics: PartialForestMetrics<'a>,
-    current: Vec<Option<ServiceId>>,
+    current: Vec<(Option<ServiceId>, ServiceId)>,
     prune: PartialPrune,
 }
 
@@ -251,30 +425,55 @@ impl<'a> ForestCursor<'a> {
         }
     }
 
-    /// Advances the cursor to `parents` and returns its execution graph —
-    /// or `None` when the partial bound proves no member of the orbit can
-    /// beat `cutoff` (the representative is then pruned without ever being
-    /// materialised).
-    pub fn advance(
-        &mut self,
-        parents: &[Option<ServiceId>],
-        cutoff: f64,
-    ) -> Option<ExecutionGraph> {
-        // Rewind to the common prefix, then replay the differing suffix.
+    /// Rewinds to the longest prefix shared with `(parents, weights)` and
+    /// replays the differing suffix (`weights[p]` pins position `p` to a
+    /// concrete service's cost/selectivity; identity on uniform instances).
+    fn replay(&mut self, parents: &[Option<ServiceId>], weights: &[ServiceId]) {
         let common = self
             .current
             .iter()
-            .zip(parents)
-            .take_while(|(a, b)| a == b)
+            .zip(parents.iter().zip(weights))
+            .take_while(|(&(cp, cw), (&p, &w))| cp == p && cw == w)
             .count();
         while self.current.len() > common {
             self.metrics.pop();
             self.current.pop();
         }
-        for &p in &parents[common..] {
-            self.metrics.push(p);
-            self.current.push(p);
+        for (&p, &w) in parents[common..].iter().zip(&weights[common..]) {
+            self.metrics.push_weighted(p, w);
+            self.current.push((p, w));
         }
+    }
+
+    /// The representative's partial-assignment bound (its structural lower
+    /// bound once fully replayed); `0.0` under [`PartialPrune::Off`].
+    pub fn bound(&mut self, parents: &[Option<ServiceId>], weights: &[ServiceId]) -> f64 {
+        self.replay(parents, weights);
+        match self.prune {
+            PartialPrune::Off => 0.0,
+            PartialPrune::Period(model) => self.metrics.period_bound(model),
+            PartialPrune::Latency => self.metrics.latency_bound(),
+        }
+    }
+
+    /// Advances the cursor to a (possibly class-coloured) representative and
+    /// returns its **service-labelled** execution graph — or `None` when the
+    /// partial bound proves no member of the orbit can beat `cutoff`.
+    pub fn advance_rep(&mut self, rep: &CanonicalRep, cutoff: f64) -> Option<ExecutionGraph> {
+        if self.advance_pruned(&rep.parents, &rep.weights, cutoff) {
+            return None;
+        }
+        Some(rep.graph())
+    }
+
+    /// Replays and returns `true` when the bound prunes against `cutoff`.
+    fn advance_pruned(
+        &mut self,
+        parents: &[Option<ServiceId>],
+        weights: &[ServiceId],
+        cutoff: f64,
+    ) -> bool {
+        self.replay(parents, weights);
         if self.prune != PartialPrune::Off {
             let bound = match self.prune {
                 PartialPrune::Off => unreachable!(),
@@ -282,10 +481,10 @@ impl<'a> ForestCursor<'a> {
                 PartialPrune::Latency => self.metrics.latency_bound(),
             };
             if bound > prune_threshold(cutoff) {
-                return None;
+                return true;
             }
         }
-        Some(ExecutionGraph::from_parents(parents).expect("canonical parent vectors are acyclic"))
+        false
     }
 }
 
@@ -322,10 +521,22 @@ enum CacheEntry {
 /// across a whole model × objective sweep.
 pub struct EvalCache<'a> {
     app: &'a Application,
-    /// Class-preserving node relabellings (always containing the identity);
-    /// length 1 unless all services share one weight class.
+    /// Node relabellings exhaustive entries may be canonicalised over
+    /// (always containing the identity, first): the full symmetric group on
+    /// uniform instances, just the identity otherwise — multi-class merging
+    /// is unsound for the label-following searches cached here (see
+    /// `EvalCache::new`).
     perms: Vec<Vec<ServiceId>>,
-    map: Mutex<HashMap<(u8, bool, u128), CacheEntry>>,
+    /// The application's weight-class partition, computed once per cache so
+    /// hot evaluation paths can consult it without rebuilding it per
+    /// candidate (see [`EvalCache::weight_classes`]).
+    classes: WeightClasses,
+    /// Signature of the weight-class partition, mixed into every key so
+    /// entries can never collide across applications whose services
+    /// partition differently (e.g. when a future service layer shares one
+    /// cache across a fleet of `solve_all` applications).
+    class_sig: u64,
+    map: Mutex<HashMap<(u8, bool, u64, u128), CacheEntry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -338,12 +549,19 @@ impl<'a> EvalCache<'a> {
     /// A fresh cache for `app`.
     pub fn new(app: &'a Application) -> Self {
         let n = app.n();
-        let uniform = n > 0 && WeightClasses::of(app).is_uniform();
-        let mut factorial = 1usize;
-        for f in 2..=n {
-            factorial = factorial.saturating_mul(f);
-        }
-        let perms = if uniform && n > 1 && factorial <= MAX_CANONICAL_PERMS {
+        let classes = WeightClasses::of(app);
+        let group = classes.group_order();
+        // Cross-label merging of exhaustive entries is enabled on **uniform**
+        // instances only: the exhaustive one-port searches cached here follow
+        // node ids internally, and on multi-class instances two
+        // class-isomorphic graphs can return values an ulp apart (different
+        // summation orders over *different* per-class terms), so merging
+        // them would break the bit-exact full-enumeration fallback the
+        // `Symmetry` gate promises.  Multi-class orbit sharing happens one
+        // layer up instead, where it is sound by construction: the OUTORDER
+        // evaluation canonicalises the *graph* before evaluating, so all
+        // orbit members key (and compute) the identical canonical member.
+        let perms = if n > 1 && classes.is_uniform() && group <= MAX_CANONICAL_PERMS as u128 {
             let ids: Vec<ServiceId> = (0..n).collect();
             permutations(&ids)
         } else {
@@ -352,6 +570,8 @@ impl<'a> EvalCache<'a> {
         EvalCache {
             app,
             perms,
+            class_sig: classes.signature(),
+            classes,
             map: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
@@ -361,6 +581,13 @@ impl<'a> EvalCache<'a> {
     /// The application this cache serves.
     pub fn app(&self) -> &'a Application {
         self.app
+    }
+
+    /// The application's weight-class partition (computed once at cache
+    /// construction; hot evaluation paths should use this instead of
+    /// re-deriving it per candidate).
+    pub fn weight_classes(&self) -> &WeightClasses {
+        &self.classes
     }
 
     /// `(hits, misses)` so far — `hits` counts evaluations answered from the
@@ -425,7 +652,12 @@ impl<'a> EvalCache<'a> {
             // DAG enumeration, which is capped well below this).
             return compute(cutoff);
         }
-        let key = (tag, exhaustive, self.signature(graph, exhaustive));
+        let key = (
+            tag,
+            exhaustive,
+            self.class_sig,
+            self.signature(graph, exhaustive),
+        );
         {
             let map = self.map.lock().expect("cache poisoned");
             match map.get(&key) {

@@ -1,0 +1,482 @@
+//! Best-first search over the partial-assignment lower bound.
+//!
+//! The depth-first branch-and-bound enumerations explore candidates in
+//! *generation* order: the incumbent tightens whenever the walk happens to
+//! stumble on a good candidate, and everything visited before that point is
+//! evaluated against a weak bound.  This module flips the exploration
+//! around: a **priority frontier** of partial forests ordered by their
+//! admissible [`PartialForestMetrics`](fsw_core::PartialForestMetrics) bound
+//! (a binary heap with deterministic tie-breaking by enumeration rank)
+//! always expands the most promising prefix next, so the incumbent drops to
+//! the optimum almost immediately — and because the heap is bound-ordered,
+//! the first popped node whose bound clears the incumbent is a
+//! **bound-clearance certificate** for every node still enqueued: the
+//! search ends by discarding the whole frontier in one step instead of
+//! walking millions of hopeless subtrees to re-prove it one bound at a
+//! time.
+//!
+//! Memory stays bounded: the frontier never grows past a hard cap
+//! ([`DEFAULT_FRONTIER_CAP`] unless the caller chooses otherwise).  When a
+//! batch of expansions could overflow it, the popped nodes are
+//! **spilled** — their subtrees are completed depth-first on the spot
+//! (inheriting the incumbent, so the spill is as pruned as the classic
+//! walk) and contribute no frontier nodes at all.  In the worst case the
+//! search degenerates into the depth-first enumeration it replaces, never
+//! into an out-of-memory condition.
+//!
+//! ### Bit-identical to depth-first
+//!
+//! Both strategies prune a candidate only when its admissible bound
+//! *strictly* clears the shared incumbent, so every candidate tying the
+//! optimum is evaluated under either walk, whatever the thread count.  The
+//! depth-first winner is the first minimum in enumeration order; the
+//! best-first walk reproduces it exactly by minimising `(value, rank)`
+//! lexicographically, where `rank` is that same enumeration order (the
+//! node's choice sequence for labelled spaces, the canonical stream index
+//! for orbit spaces).  `tests/partial_symmetry_equivalence.rs` asserts the
+//! equality on every equivalence suite, serial and parallel, including the
+//! spill path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use fsw_core::{Application, ExecutionGraph, PartialForestMetrics, ServiceId};
+
+use crate::engine::{prune_threshold, CanonicalRep, ForestCursor, Incumbent, PartialPrune};
+use crate::minperiod::SearchOutcome;
+use crate::par::{par_chunks, Exec};
+
+/// Hard cap on the number of partial forests held in the priority frontier
+/// (~a few MB of prefixes at the deepest useful instance sizes); beyond it
+/// the search spills to depth-first completion, so memory stays bounded
+/// however large the space is.
+pub const DEFAULT_FRONTIER_CAP: usize = 1 << 16;
+
+/// Telemetry of one best-first run, for tests and tuning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrontierStats {
+    /// Largest number of nodes the frontier ever held.
+    pub peak: usize,
+    /// Number of pop batches completed depth-first because expanding them
+    /// could have overflowed the cap.
+    pub spills: usize,
+}
+
+/// One frontier node: a prefix of parent choices and its admissible bound.
+/// The heap orders by `(bound, key)` — `key` is the prefix's choice sequence
+/// (`0` = entry node, `p + 1` = parent `p`), whose lexicographic order *is*
+/// the serial enumeration order, making tie-breaks deterministic.
+#[derive(Clone, Debug, PartialEq)]
+struct Node {
+    bound: f64,
+    key: Vec<u8>,
+}
+
+impl Eq for Node {}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+/// The best complete candidate seen so far, with its enumeration rank.
+struct Best {
+    value: f64,
+    key: Vec<u8>,
+    graph: ExecutionGraph,
+}
+
+/// `(value, key)` beats the current best lexicographically — the rule that
+/// reproduces the depth-first "first minimum wins" winner.
+fn improves(value: f64, key: &[u8], best: &Option<Best>) -> bool {
+    match best {
+        None => true,
+        Some(b) => value < b.value || (value == b.value && key < b.key.as_slice()),
+    }
+}
+
+fn merge_best(best: &mut Option<Best>, candidate: Option<Best>) {
+    if let Some(c) = candidate {
+        if improves(c.value, &c.key, best) {
+            *best = Some(c);
+        }
+    }
+}
+
+fn decode(choice: u8) -> Option<ServiceId> {
+    match choice {
+        0 => None,
+        p => Some(p as usize - 1),
+    }
+}
+
+/// Best-first enumeration of the labelled forest space (all parent
+/// functions compatible with `app`'s constraints): bit-identical winners to
+/// the depth-first walk, most promising prefixes first, frontier bounded by
+/// `frontier_cap`.
+pub fn best_first_forest_search<F>(
+    app: &Application,
+    exec: Exec,
+    prune: PartialPrune,
+    frontier_cap: usize,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
+    best_first_forest_search_stats(app, exec, prune, frontier_cap, eval).0
+}
+
+/// [`best_first_forest_search`] with the run's [`FrontierStats`] (tests
+/// assert the cap is respected and the spill path fires).
+pub fn best_first_forest_search_stats<F>(
+    app: &Application,
+    exec: Exec,
+    prune: PartialPrune,
+    frontier_cap: usize,
+    eval: &F,
+) -> (Option<SearchOutcome>, FrontierStats)
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
+    let n = app.n();
+    let mut stats = FrontierStats::default();
+    if n == 0 {
+        return (None, stats);
+    }
+    // Keys encode a choice per position as one byte (`0` = entry node,
+    // `p + 1` = parent `p`); enumerable spaces sit far below this, but the
+    // encoding must never truncate silently.
+    assert!(
+        n < u8::MAX as usize,
+        "frontier keys encode parents as u8: n = {n} is out of range"
+    );
+    let frontier_cap = frontier_cap.max(1);
+    let threads = exec.effective_threads();
+    let batch_len = (threads * 4).max(1);
+    let incumbent = Incumbent::new();
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    heap.push(Reverse(Node {
+        bound: 0.0,
+        key: Vec::new(),
+    }));
+    stats.peak = 1;
+    let mut best: Option<Best> = None;
+    let mut complete = true;
+    'search: loop {
+        if exec.deadline.is_some_and(|d| Instant::now() >= d) {
+            complete = heap.is_empty();
+            break;
+        }
+        // Pop a bound-ordered batch.  The first node whose bound clears the
+        // incumbent certifies every node still enqueued prunable (the heap
+        // holds nothing smaller), so the whole frontier is discarded at once.
+        let mut nodes: Vec<Node> = Vec::with_capacity(batch_len);
+        while nodes.len() < batch_len {
+            match heap.pop() {
+                Some(Reverse(node)) => {
+                    if node.bound > prune_threshold(incumbent.get()) {
+                        heap.clear(); // bound-clearance certificate
+                        break;
+                    }
+                    nodes.push(node);
+                }
+                None => break,
+            }
+        }
+        if nodes.is_empty() {
+            break;
+        }
+        // Expanding a node adds up to `n + 1` children; spill the batch to
+        // depth-first completion when that could overflow the cap.
+        let spill = heap.len() + nodes.len() * (n + 1) > frontier_cap;
+        if spill {
+            stats.spills += 1;
+        }
+        let parts = par_chunks(threads, &nodes, |_base, chunk| {
+            let mut children: Vec<Node> = Vec::new();
+            let mut local: Option<Best> = None;
+            let mut metrics = PartialForestMetrics::new(app);
+            let mut interrupted = false;
+            for node in chunk {
+                for &choice in &node.key {
+                    metrics.push(decode(choice));
+                }
+                let ok = if node.key.len() == n {
+                    evaluate_leaf(
+                        app,
+                        &metrics,
+                        &node.key,
+                        &incumbent,
+                        eval,
+                        exec.deadline,
+                        &mut local,
+                    )
+                } else if spill {
+                    let mut key = node.key.clone();
+                    dfs_complete(
+                        app,
+                        &mut metrics,
+                        &mut key,
+                        &incumbent,
+                        prune,
+                        eval,
+                        exec.deadline,
+                        &mut local,
+                    )
+                } else {
+                    expand(app, &mut metrics, node, prune, &incumbent, &mut children);
+                    true
+                };
+                for _ in &node.key {
+                    metrics.pop();
+                }
+                if !ok {
+                    interrupted = true;
+                    break;
+                }
+            }
+            (children, local, interrupted)
+        });
+        let mut interrupted = false;
+        for (children, local, part_interrupted) in parts {
+            for child in children {
+                heap.push(Reverse(child));
+            }
+            merge_best(&mut best, local);
+            interrupted |= part_interrupted;
+        }
+        stats.peak = stats.peak.max(heap.len());
+        if interrupted {
+            complete = false;
+            break 'search;
+        }
+    }
+    let outcome = best.map(|b| SearchOutcome {
+        value: b.value,
+        graph: b.graph,
+        complete,
+    });
+    (outcome, stats)
+}
+
+/// Evaluates a complete parent function against the shared incumbent.
+/// Returns `false` when the deadline interrupted before the evaluation.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_leaf<F>(
+    app: &Application,
+    metrics: &PartialForestMetrics<'_>,
+    key: &[u8],
+    incumbent: &Incumbent,
+    eval: &F,
+    deadline: Option<Instant>,
+    best: &mut Option<Best>,
+) -> bool
+where
+    F: Fn(&ExecutionGraph, f64) -> f64,
+{
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return false;
+    }
+    let Ok(graph) = ExecutionGraph::from_parents(metrics.parents()) else {
+        return true; // the parent function contains a cycle
+    };
+    if graph.respects(app).is_err() {
+        return true;
+    }
+    let value = eval(&graph, incumbent.get());
+    if improves(value, key, best) {
+        incumbent.offer(value);
+        *best = Some(Best {
+            value,
+            key: key.to_vec(),
+            graph,
+        });
+    }
+    true
+}
+
+/// Expands a frontier node: every next-position choice whose admissible
+/// bound survives the incumbent becomes a child node.
+fn expand(
+    app: &Application,
+    metrics: &mut PartialForestMetrics<'_>,
+    node: &Node,
+    prune: PartialPrune,
+    incumbent: &Incumbent,
+    children: &mut Vec<Node>,
+) {
+    let n = app.n();
+    let k = metrics.assigned();
+    debug_assert_eq!(k, node.key.len());
+    for choice in 0..=(n as u8) {
+        let parent = decode(choice);
+        if parent == Some(k) {
+            continue; // self-loops are never enumerated
+        }
+        metrics.push(parent);
+        let bound = match prune {
+            PartialPrune::Off => 0.0,
+            PartialPrune::Period(model) => metrics.period_bound(model),
+            PartialPrune::Latency => metrics.latency_bound(),
+        };
+        metrics.pop();
+        // An infinite bound flags a cycle inside the prefix; a bound above
+        // the incumbent's threshold proves the subtree hopeless — the same
+        // two prunes the depth-first walk applies at node entry.
+        if bound == f64::INFINITY || bound > prune_threshold(incumbent.get()) {
+            continue;
+        }
+        let mut key = Vec::with_capacity(node.key.len() + 1);
+        key.extend_from_slice(&node.key);
+        key.push(choice);
+        children.push(Node { bound, key });
+    }
+}
+
+/// Depth-first completion of a spilled subtree, tracking `(value, key)` so
+/// spilled winners merge deterministically with frontier winners.  Returns
+/// `false` when the deadline interrupted the walk.
+///
+/// Mirror of `minperiod::enumerate_parents_pruned` plus the key tracking:
+/// the bit-identity contract between the strategies requires the prune rule
+/// (infinite bound = cycle, strict `prune_threshold` clearance) and the
+/// choice order (`None` first, then ascending parents) to stay in lockstep
+/// with that walker — change them together.
+#[allow(clippy::too_many_arguments)]
+fn dfs_complete<F>(
+    app: &Application,
+    metrics: &mut PartialForestMetrics<'_>,
+    key: &mut Vec<u8>,
+    incumbent: &Incumbent,
+    prune: PartialPrune,
+    eval: &F,
+    deadline: Option<Instant>,
+    best: &mut Option<Best>,
+) -> bool
+where
+    F: Fn(&ExecutionGraph, f64) -> f64,
+{
+    if prune != PartialPrune::Off && metrics.assigned() > 0 {
+        let bound = match prune {
+            PartialPrune::Off => unreachable!(),
+            PartialPrune::Period(model) => metrics.period_bound(model),
+            PartialPrune::Latency => metrics.latency_bound(),
+        };
+        if bound == f64::INFINITY || bound > prune_threshold(incumbent.get()) {
+            return true;
+        }
+    }
+    let n = app.n();
+    let k = metrics.assigned();
+    if k >= n {
+        return evaluate_leaf(app, metrics, key, incumbent, eval, deadline, best);
+    }
+    for choice in 0..=(n as u8) {
+        let parent = decode(choice);
+        if parent == Some(k) {
+            continue;
+        }
+        metrics.push(parent);
+        key.push(choice);
+        let ok = dfs_complete(app, metrics, key, incumbent, prune, eval, deadline, best);
+        key.pop();
+        metrics.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Best-first walk of a canonical orbit space: the representatives are
+/// ordered by their structural lower bound (computed incrementally with a
+/// [`ForestCursor`] in stream order, then sorted with the stream index as
+/// the deterministic tie-break) and evaluated most-promising-first in
+/// parallel batches.  Because the order is bound-ascending, the first
+/// representative whose bound clears the incumbent certifies all remaining
+/// ones prunable and ends the search — the optimum's bound-clearance
+/// certificate is reached after evaluating a handful of orbits instead of
+/// the whole stream.
+pub fn best_first_canonical_search<F>(
+    app: &Application,
+    reps: &[CanonicalRep],
+    exec: Exec,
+    prune: PartialPrune,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
+    let mut cursor = ForestCursor::new(app, prune);
+    let mut order: Vec<(f64, usize)> = Vec::with_capacity(reps.len());
+    for (idx, rep) in reps.iter().enumerate() {
+        // The bound prelude walks the whole stream; honour the deadline at a
+        // coarse granularity so a tight `time_limit` cannot block on it.
+        if idx & 0xFFF == 0 && exec.deadline.is_some_and(|d| Instant::now() >= d) {
+            return None; // nothing evaluated yet: degrade to the fallback
+        }
+        order.push((cursor.bound(&rep.parents, &rep.weights), idx));
+    }
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let incumbent = Incumbent::new();
+    let threads = exec.effective_threads();
+    let batch_len = (threads * 8).max(1);
+    let mut best: Option<(f64, usize, ExecutionGraph)> = None;
+    let mut complete = true;
+    let mut at = 0;
+    while at < order.len() {
+        if exec.deadline.is_some_and(|d| Instant::now() >= d) {
+            complete = false;
+            break;
+        }
+        // Bound-ascending order: the head clearing the incumbent is the
+        // certificate that every remaining representative is prunable.
+        if order[at].0 > prune_threshold(incumbent.get()) {
+            break;
+        }
+        let hi = (at + batch_len).min(order.len());
+        let parts = par_chunks(threads, &order[at..hi], |_base, items| {
+            let mut local: Option<(f64, usize, ExecutionGraph)> = None;
+            for &(bound, idx) in items {
+                if bound > prune_threshold(incumbent.get()) {
+                    continue;
+                }
+                let graph = reps[idx].graph();
+                let value = eval(&graph, incumbent.get());
+                let improves = local
+                    .as_ref()
+                    .is_none_or(|&(bv, bi, _)| value < bv || (value == bv && idx < bi));
+                if improves {
+                    incumbent.offer(value);
+                    local = Some((value, idx, graph));
+                }
+            }
+            local
+        });
+        for part in parts.into_iter().flatten() {
+            let improves = best
+                .as_ref()
+                .is_none_or(|&(bv, bi, _)| part.0 < bv || (part.0 == bv && part.1 < bi));
+            if improves {
+                best = Some(part);
+            }
+        }
+        at = hi;
+    }
+    best.map(|(value, _, graph)| SearchOutcome {
+        value,
+        graph,
+        complete,
+    })
+}

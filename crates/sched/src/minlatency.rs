@@ -19,7 +19,9 @@ use std::time::Instant;
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
 
 use crate::chain::{chain_graph, chain_minlatency_order};
-use crate::engine::{prune_threshold, tags, CanonicalSpace, EvalCache, PartialPrune, Symmetry};
+use crate::engine::{
+    prune_threshold, tags, CanonicalSpace, EvalCache, PartialPrune, SearchStrategy, Symmetry,
+};
 use crate::latency::{
     latency_lower_bound_with, multiport_proportional_latency, oneport_latency_search,
     oneport_latency_search_prepared, LatencyEvaluator,
@@ -44,6 +46,9 @@ pub struct MinLatencyOptions {
     pub local_search_passes: usize,
     /// Instances up to this size are also searched over all DAGs.
     pub dag_enumeration_max_n: usize,
+    /// How the exhaustive forest search walks its candidate space (see
+    /// [`SearchStrategy`]); solutions are bit-identical either way.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for MinLatencyOptions {
@@ -54,6 +59,7 @@ impl Default for MinLatencyOptions {
             forest_enumeration_cap: 2_000_000,
             local_search_passes: 32,
             dag_enumeration_max_n: 5,
+            strategy: SearchStrategy::Auto,
         }
     }
 }
@@ -120,7 +126,10 @@ pub fn exhaustive_forest_minlatency(
         cap,
         Exec::serial(),
         PartialPrune::Latency,
-        Symmetry::Auto, // Algorithm 1 is exact, hence label-invariant
+        // Algorithm 1 is exact and purely structural (children combine in
+        // value order), hence invariant under class-preserving relabellings.
+        Symmetry::Classes,
+        SearchStrategy::Auto,
         &|g, _| forest_latency_eval(app, g),
     )
     .map(|out| (out.value, out.graph))
@@ -325,7 +334,10 @@ pub(crate) fn minimize_latency_engine(
             options.forest_enumeration_cap,
             exec,
             PartialPrune::Latency,
-            Symmetry::Auto, // Algorithm 1 is exact, hence label-invariant
+            // Algorithm 1 is exact and purely structural, hence invariant
+            // under class-preserving relabellings (the `Classes` gate).
+            Symmetry::Classes,
+            options.strategy,
             &eval,
         ) {
             best = Some(MinLatencyResult {

@@ -19,19 +19,22 @@
 use std::time::Instant;
 
 use fsw_core::{
-    Application, CommModel, CoreResult, ExecutionGraph, PartialForestMetrics, PlanMetrics,
-    ServiceId,
+    canonical_classed_member, Application, CommModel, CoreResult, ExecutionGraph,
+    PartialForestMetrics, PlanMetrics, ServiceId,
 };
 
 use crate::chain::{chain_graph, chain_minperiod_order};
+use crate::engine::frontier::{
+    best_first_canonical_search, best_first_forest_search, DEFAULT_FRONTIER_CAP,
+};
 use crate::engine::{
-    prune_threshold, tags, CanonicalSpace, EvalCache, ForestCursor, Incumbent, PartialPrune,
-    Symmetry,
+    prune_threshold, tags, CanonicalRep, CanonicalSpace, EvalCache, ForestCursor, Incumbent,
+    PartialPrune, SearchStrategy, Symmetry,
 };
 use crate::oneport::{oneport_period_search, oneport_period_search_prepared, OnePortStyle};
 use crate::orderings::CommOrderings;
 use crate::outorder::{outorder_period_search, outorder_period_search_bounded, OutOrderOptions};
-use crate::par::{fold_min, par_chunks, Exec};
+use crate::par::{fold_min, par_chunks, par_chunks_weighted, Exec};
 
 /// How the period of a candidate execution graph is evaluated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +63,10 @@ pub struct MinPeriodOptions {
     pub forest_enumeration_cap: usize,
     /// Number of hill-climbing passes of the local search.
     pub local_search_passes: usize,
+    /// How the exhaustive searches walk their candidate space (depth-first
+    /// branch-and-bound vs best-first over the partial bound); both return
+    /// bit-identical solutions, see [`SearchStrategy`].
+    pub strategy: SearchStrategy,
 }
 
 impl Default for MinPeriodOptions {
@@ -69,6 +76,7 @@ impl Default for MinPeriodOptions {
             evaluation: PeriodEvaluation::LowerBound,
             forest_enumeration_cap: 2_000_000,
             local_search_passes: 32,
+            strategy: SearchStrategy::Auto,
         }
     }
 }
@@ -189,12 +197,26 @@ pub fn exhaustive_forest_best_capped<F: FnMut(&ExecutionGraph) -> f64>(
 /// versus `10^10` parent functions), the optimum *value* is unchanged, and
 /// the winner is the canonical tie-break representative.  Callers passing
 /// `Auto` assert that `eval` is label-invariant on uniform weights.
+///
+/// [`Symmetry::Classes`] extends the reduction to **multi-weight-class**
+/// instances (class-preserving relabelling orbits, cap measured against the
+/// coloured class count): callers assert the stronger class-invariance of
+/// `eval` — see the bit-safety discussion on [`Symmetry`].  When the
+/// coloured space exceeds the cap the search falls back to the raw labelled
+/// enumeration (value-exact by construction) before giving up.
+///
+/// `strategy` picks the walk ([`SearchStrategy`]): depth-first
+/// branch-and-bound or best-first over the partial bound (bounded frontier,
+/// spill-to-DFS).  Solutions are bit-identical either way; `Auto` uses
+/// best-first on the canonical orbit spaces and depth-first on the raw
+/// labelled space.
 pub fn exhaustive_forest_search<F>(
     app: &Application,
     cap: usize,
     exec: Exec,
     prune: PartialPrune,
     symmetry: Symmetry,
+    strategy: SearchStrategy,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
@@ -204,14 +226,32 @@ where
     if n == 0 {
         return None;
     }
-    if symmetry == Symmetry::Auto && CanonicalSpace::reducible(app) {
+    if symmetry != Symmetry::Full && CanonicalSpace::reducible(app) {
         if CanonicalSpace::forest_class_count(n) > cap as u128 {
             return None;
         }
-        return canonical_forest_search(app, exec, prune, eval);
+        let reps = CanonicalSpace::uniform_representatives(n);
+        return canonical_forest_search(app, &reps, exec, prune, strategy, eval);
+    }
+    if symmetry == Symmetry::Classes && CanonicalSpace::class_reducible(app) {
+        match CanonicalSpace::classed_representatives_within(app, cap, exec.deadline) {
+            crate::engine::ClassedGeneration::Generated(reps) => {
+                return canonical_forest_search(app, &reps, exec, prune, strategy, eval);
+            }
+            // Deadline passed before the space was even materialised: no
+            // candidate was examined, so degrade to the heuristic fallback
+            // (flagged non-exhaustive by the caller) instead of blocking.
+            crate::engine::ClassedGeneration::DeadlineExpired => return None,
+            // Coloured class space over the cap: fall through to the raw
+            // space, which may still fit.
+            crate::engine::ClassedGeneration::CapExceeded => {}
+        }
     }
     if forest_space_size(n)? > cap {
         return None;
+    }
+    if strategy == SearchStrategy::BestFirst {
+        return best_first_forest_search(app, exec, prune, DEFAULT_FRONTIER_CAP, eval);
     }
     let incumbent = Incumbent::new();
     let prefixes = forest_task_prefixes(n, exec.effective_split_levels());
@@ -274,32 +314,48 @@ fn forest_task_prefixes(n: usize, levels: usize) -> Vec<Vec<Option<ServiceId>>> 
     }
 }
 
-/// The symmetry-reduced forest search: one evaluation per canonical
-/// representative, with the partial-assignment bound applied by a
-/// [`ForestCursor`] *before* a representative is materialised.  Chunks keep
-/// the canonical enumeration order, so the fold is deterministic for every
-/// thread count and the winner is the first optimum in canonical order.
+/// The symmetry-reduced forest search over a materialised canonical orbit
+/// stream (uniform or class-coloured): one evaluation per representative,
+/// with the partial-assignment bound applied by a [`ForestCursor`] *before*
+/// a representative is materialised.
+///
+/// Under [`SearchStrategy::DepthFirst`] the stream is scanned in canonical
+/// order, chunked by **orbit weight** ([`par_chunks_weighted`]) so that
+/// representatives standing for huge orbits — which cluster early in the
+/// stream — stop load-imbalancing the workers; chunks keep the enumeration
+/// order, so the fold is deterministic for every thread count and the
+/// winner is the first optimum in canonical order.  Under `Auto` /
+/// `BestFirst` the stream is walked most-promising-bound-first
+/// ([`best_first_canonical_search`]), which reaches the same winner (the
+/// `(value, stream index)` minimum) after evaluating far fewer orbits.
 fn canonical_forest_search<F>(
     app: &Application,
+    reps: &[CanonicalRep],
     exec: Exec,
     prune: PartialPrune,
+    strategy: SearchStrategy,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
-    let reps = CanonicalSpace::forest_representatives(app.n());
+    if strategy != SearchStrategy::DepthFirst {
+        // Auto resolves to best-first on canonical spaces: the stream is
+        // small enough to hold, and bound-ordering pays off immediately.
+        return best_first_canonical_search(app, reps, exec, prune, eval);
+    }
     let incumbent = Incumbent::new();
-    let parts = par_chunks(exec.effective_threads(), &reps, |_base, chunk| {
+    let weight_of = |rep: &CanonicalRep| u64::try_from(rep.orbit).unwrap_or(u64::MAX);
+    let parts = par_chunks_weighted(exec.effective_threads(), reps, weight_of, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
         let mut cursor = ForestCursor::new(app, prune);
-        for (parents, _orbit) in chunk {
+        for rep in chunk {
             if exec.deadline.is_some_and(|d| Instant::now() >= d) {
                 complete = false;
                 break;
             }
-            let Some(graph) = cursor.advance(parents, incumbent.get()) else {
+            let Some(graph) = cursor.advance_rep(rep, incumbent.get()) else {
                 continue; // pruned before materialisation
             };
             let value = eval(&graph, incumbent.get());
@@ -321,6 +377,10 @@ where
 
 /// Branch-and-bound enumeration of parent functions from the current prefix
 /// of `partial`.  Returns `false` when the deadline interrupted this subtree.
+///
+/// The best-first spill path (`engine::frontier::dfs_complete`) mirrors this
+/// walker's prune rule and choice order to keep the two strategies
+/// bit-identical — change them together.
 fn enumerate_parents_pruned<F>(
     app: &Application,
     partial: &mut PartialForestMetrics<'_>,
@@ -486,11 +546,14 @@ pub fn exhaustive_dag_best<F: FnMut(&ExecutionGraph) -> f64>(
 /// seed phase's result is meaningful.  Pass `f64::INFINITY` for an
 /// unseeded, self-contained search (its value is then always exact).
 ///
-/// Under [`Symmetry::Auto`] on a reducible instance (uniform weights, no
-/// constraints) only the DAGs whose edges are forward edges of the
-/// **identity permutation** are enumerated: every DAG is isomorphic to one
-/// of those, so with a label-invariant `eval` the optimum value is
-/// unchanged while the `n!` topological-permutation factor disappears.  The
+/// Under [`Symmetry::Auto`] (or [`Symmetry::Classes`], which the DAG space
+/// treats identically — coloured DAG canonicalisation is not implemented,
+/// and DAG joins are exactly where cross-class sums could tie-break
+/// differently) on a reducible instance (uniform weights, no constraints)
+/// only the DAGs whose edges are forward edges of the **identity
+/// permutation** are enumerated: every DAG is isomorphic to one of those,
+/// so with a label-invariant `eval` the optimum value is unchanged while
+/// the `n!` topological-permutation factor disappears.  The
 /// winner is the first optimum in ascending edge-mask order (the canonical
 /// tie-break).  Caveat on exactness: joins of in-degree ≥ 3 accumulate
 /// their `Cin` sum in label order, so across relabellings the value can
@@ -513,7 +576,7 @@ where
         return None;
     }
     let incumbent = Incumbent::seeded(incumbent_seed);
-    if symmetry == Symmetry::Auto && CanonicalSpace::reducible(app) {
+    if symmetry != Symmetry::Full && CanonicalSpace::reducible(app) {
         return canonical_dag_search(app, exec, &incumbent, eval);
     }
     // Task prefixes: positions swapped into the first one or two permutation
@@ -876,21 +939,47 @@ fn evaluate_period_bounded(
             cache.get_or_compute(tags::INORDER_PERIOD, graph, exhaustive, cutoff, search)
         }
         CommModel::OutOrder => {
-            // The OUTORDER backtracker is label-dependent, so its value is
-            // shared between identical labelled graphs only — but it is now
+            // The OUTORDER backtracker is label-dependent (its trajectory
+            // follows node ids), so its raw value is shared between
+            // identical labelled graphs only.  On instances with weight
+            // symmetry the evaluation therefore **canonicalises the graph
+            // first** (`fsw_core::canonical_classed_member`: the
+            // deterministic member of the candidate's class-preserving
+            // orbit) and evaluates that member instead: the value becomes a
+            // pure function of the orbit — a faithful feasible period for
+            // every member, since class-preserving isomorphisms map
+            // schedules to schedules — and the memo collapses to one
+            // backtracking search per canonical shape + class signature,
+            // which is what lets repeated orbit evaluations across a
+            // `solve_all` sweep hit the cache.  The search stays
             // incumbent-aware: the shared incumbent is threaded in as a
             // cutoff that skips candidates whose lower bound clears it and
             // stops the bisection once every remaining probe provably sits
-            // above it (values at or below the cutoff stay bit-identical to
-            // the unbounded search, so the memo remains coherent).
+            // above it.
             let opts = OutOrderOptions {
                 inorder_exhaustive_limit: exhaustive_limit,
                 deadline,
                 ..OutOrderOptions::default()
             };
+            // The partition comes from the cache (computed once per solve),
+            // not per candidate — this branch runs for every enumerated
+            // graph.  Reduced-path candidates are already their own
+            // canonical member, so for them the canonicalisation merely
+            // re-derives the input; that O(n² log n) is noise next to the
+            // backtracking search each evaluation runs, and paying it
+            // unconditionally keeps the memo key correct on the raw
+            // (cap-overflow) path too.
+            let classes = cache.weight_classes();
+            let canonical =
+                if deadline.is_none() && CanonicalSpace::class_reducible_with(app, classes) {
+                    canonical_classed_member(classes, graph).ok()
+                } else {
+                    None
+                };
+            let eval_graph = canonical.as_ref().unwrap_or(graph);
             let search = |c: f64| match outorder_period_search_bounded(
                 app,
-                graph,
+                eval_graph,
                 &opts,
                 Exec {
                     threads: 1,
@@ -905,7 +994,7 @@ fn evaluate_period_bounded(
             if deadline.is_some() {
                 return search(cutoff);
             }
-            cache.get_or_compute(tags::OUTORDER_PERIOD, graph, false, cutoff, search)
+            cache.get_or_compute(tags::OUTORDER_PERIOD, eval_graph, false, cutoff, search)
         }
     }
 }
@@ -934,20 +1023,27 @@ pub(crate) fn minimize_period_engine(
         // the incremental period bound is an admissible subtree pruner.
         let prune = PartialPrune::Period(options.model);
         // Symmetry reduction is engaged only when the candidate evaluation
-        // is provably label-invariant on uniform weights: the structural
-        // bounds always are; orchestrated evaluations only when every
-        // forest's ordering search stays exhaustive (the OUTORDER
-        // backtracker's trajectory follows node ids, so it never is).
+        // is provably invariant under the matching relabelling group (the
+        // bit-safety gate on `Symmetry`): the structural bounds are
+        // class-invariant since the metrics rework (path-order input
+        // factors, no cross-class sums on forests), and so is the OUTORDER
+        // orchestrated evaluation — it canonicalises the candidate graph
+        // before backtracking, making its value a pure function of the
+        // orbit.  The INORDER ordering search's schedule accumulation
+        // follows node ids, so it engages the uniform-only reduction when
+        // every forest's ordering search stays exhaustive and falls back to
+        // the value-exact full enumeration on multi-class instances.
         let symmetry = match options.evaluation {
-            PeriodEvaluation::LowerBound => Symmetry::Auto,
+            PeriodEvaluation::LowerBound => Symmetry::Classes,
             PeriodEvaluation::Orchestrated { exhaustive_limit } => match options.model {
-                CommModel::Overlap => Symmetry::Auto,
+                CommModel::Overlap => Symmetry::Classes,
+                CommModel::OutOrder => Symmetry::Classes,
                 CommModel::InOrder
                     if CanonicalSpace::max_forest_ordering_space(app.n()) <= exhaustive_limit =>
                 {
                     Symmetry::Auto
                 }
-                CommModel::InOrder | CommModel::OutOrder => Symmetry::Full,
+                CommModel::InOrder => Symmetry::Full,
             },
         };
         if let Some(out) = exhaustive_forest_search(
@@ -956,6 +1052,7 @@ pub(crate) fn minimize_period_engine(
             exec,
             prune,
             symmetry,
+            options.strategy,
             &eval,
         ) {
             return Ok(MinPeriodResult {
@@ -1091,6 +1188,7 @@ mod tests {
                         Exec::serial(),
                         PartialPrune::Period(model),
                         Symmetry::Auto,
+                        SearchStrategy::Auto,
                         &|g, _| eval(g),
                     )
                     .unwrap();
@@ -1159,6 +1257,7 @@ mod tests {
             Exec::serial(),
             PartialPrune::Period(CommModel::InOrder),
             Symmetry::Full,
+            SearchStrategy::Auto,
             &eval,
         )
         .unwrap();
@@ -1175,6 +1274,7 @@ mod tests {
                     exec,
                     PartialPrune::Period(CommModel::InOrder),
                     Symmetry::Full,
+                    SearchStrategy::Auto,
                     &eval,
                 )
                 .unwrap();

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, OperationList, PlanMetrics};
 
-use crate::engine::EvalCache;
+use crate::engine::{EvalCache, SearchStrategy};
 use crate::latency::{
     latency_lower_bound, multiport_proportional_latency, oneport_latency_search_exec,
 };
@@ -156,6 +156,11 @@ pub struct SearchBudget {
     /// latency optimum may require a join, unlike the period).  Hard-capped
     /// at [`crate::minperiod::DAG_ENUMERATION_HARD_MAX_N`] by the engine.
     pub dag_enumeration_max_n: usize,
+    /// How the exhaustive plan searches walk their candidate space
+    /// (depth-first branch-and-bound vs best-first over the partial bound).
+    /// Both return bit-identical solutions; see
+    /// [`SearchStrategy`](crate::engine::SearchStrategy).
+    pub search_strategy: SearchStrategy,
 }
 
 impl Default for SearchBudget {
@@ -170,6 +175,7 @@ impl Default for SearchBudget {
             outorder_node_budget: 200_000,
             outorder_refinement_steps: 8,
             dag_enumeration_max_n: 5,
+            search_strategy: SearchStrategy::Auto,
         }
     }
 }
@@ -212,6 +218,13 @@ impl SearchBudget {
         self
     }
 
+    /// Returns the budget with the given search strategy (bit-identical
+    /// solutions either way; a pure exploration-order/performance knob).
+    pub fn with_search_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.search_strategy = strategy;
+        self
+    }
+
     /// Materialises the execution strategy (resolves the deadline now).
     fn exec(&self) -> Exec {
         Exec {
@@ -227,6 +240,7 @@ impl SearchBudget {
             evaluation: self.period_evaluation,
             forest_enumeration_cap: self.max_graphs,
             local_search_passes: self.local_search_passes,
+            strategy: self.search_strategy,
         }
     }
 
@@ -237,6 +251,7 @@ impl SearchBudget {
             forest_enumeration_cap: self.max_graphs,
             local_search_passes: self.local_search_passes,
             dag_enumeration_max_n: self.dag_enumeration_max_n,
+            strategy: self.search_strategy,
         }
     }
 
@@ -270,8 +285,13 @@ pub struct Solution {
     pub graph: ExecutionGraph,
     /// A concrete cyclic schedule realising the solve, when the model's
     /// orchestration machinery produces one.  Its `period()` / `latency()`
-    /// may sit above [`Solution::value`] when the plan search valued
-    /// candidates by a lower bound.
+    /// may sit above [`Solution::value`]: the plan search may have valued
+    /// candidates by a lower bound, and the OUTORDER plan search values
+    /// candidates on their *canonical orbit member*
+    /// (`fsw_core::canonical_classed_member`) — a period the winner
+    /// provably admits (relabel the member's schedule back), which the
+    /// budget-capped backtracker re-run on the raw winner graph here does
+    /// not always re-find.
     pub oplist: Option<OperationList>,
     /// The communication orderings behind [`Solution::oplist`], for the
     /// one-port models.

@@ -26,5 +26,5 @@ pub use random::{
 };
 pub use scenarios::{
     media_pipeline, query_optimization, sensor_fusion, skewed_query_optimization,
-    uniform_query_optimization,
+    tiered_query_optimization, uniform_query_optimization,
 };

@@ -63,6 +63,34 @@ pub fn skewed_query_optimization<R: Rng + ?Sized>(
     app
 }
 
+/// The *replicated-tier* variant of [`skewed_query_optimization`]: each tier
+/// draws **one** `(cost, selectivity)` pair and deploys `sizes[t]` identical
+/// replicas of it — the regime of horizontally scaled predicate services,
+/// where every instance of a tier is bit-interchangeable.
+///
+/// Tiers alternate between the cheap/selective and expensive/permissive
+/// distributions of the skewed workload (tier 0 cheap, tier 1 expensive,
+/// tier 2 cheap, …).  Every tier with two or more replicas contributes a
+/// weight class with non-trivial symmetry, so the plan searches collapse the
+/// instance to class-preserving relabelling orbits
+/// (`fsw_sched::engine::CanonicalSpace::class_reducible`): a `5 + 5` tiered
+/// instance enumerates ~245k coloured forest classes instead of 10^10
+/// parent functions.
+pub fn tiered_query_optimization<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Application {
+    let mut app = Application::new();
+    for (tier, &size) in sizes.iter().enumerate() {
+        let (cost, selectivity) = if tier % 2 == 0 {
+            (rng.gen_range(0.1..0.5), rng.gen_range(0.05..0.3))
+        } else {
+            (rng.gen_range(5.0..30.0), rng.gen_range(0.6..0.99))
+        };
+        for _ in 0..size {
+            app.add_service(cost, selectivity);
+        }
+    }
+    app
+}
+
 /// A media-analytics pipeline: a demultiplexer, a decoder that *expands* the
 /// data, several per-frame analysis filters, and a re-encoder, with the
 /// natural precedence constraints of the pipeline.
@@ -131,6 +159,20 @@ mod tests {
         let skewed = skewed_query_optimization(3, 5, &mut rng);
         assert_eq!(skewed.n(), 8);
         skewed.validate().unwrap();
+    }
+
+    #[test]
+    fn tiered_workloads_partition_into_weight_classes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let app = tiered_query_optimization(&[3, 4, 2], &mut rng);
+        assert_eq!(app.n(), 9);
+        app.validate().unwrap();
+        let classes = fsw_core::WeightClasses::of(&app);
+        assert_eq!(classes.class_count(), 3);
+        assert_eq!(classes.sizes(), &[3, 4, 2]);
+        assert!(classes.has_symmetry());
+        // Tier 1 is the expensive one.
+        assert!(app.cost(3) > app.cost(0));
     }
 
     #[test]

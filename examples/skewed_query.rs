@@ -1,8 +1,17 @@
-//! The `skewed_query_optimization` workload, served in batch: many tenant
+//! The skewed query-optimisation workloads, served in batch: many tenant
 //! applications — each a few cheap, highly selective predicates plus a tail
 //! of expensive ones, the regime where plan choice matters most — are pushed
 //! through `fsw::sched::orchestrator::solve_all` on a thread pool, and the
 //! run finishes with a per-application latency table.
+//!
+//! Half the tenants are *tiered* (`tiered_query_optimization`): their
+//! predicates come in replicated tiers sharing one `(cost, selectivity)`
+//! pair each, so they form several weight classes with non-trivial symmetry
+//! and the exhaustive plan searches take the **class-preserving reduced
+//! path** (one evaluation per coloured orbit instead of the full labelled
+//! space — the `cls` column counts the weight classes, `*` marks reduced
+//! tenants).  The other half keep fully distinct weights and exercise the
+//! bit-identical full enumeration.
 //!
 //! This is the ROADMAP's serving-path demo: one `solve_all` sweep per
 //! application shares a single candidate-evaluation cache across its model ×
@@ -17,29 +26,40 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fsw::core::{Application, CommModel};
+use fsw::sched::engine::CanonicalSpace;
 use fsw::sched::orchestrator::{solve_all, Objective, SearchBudget, Solution};
 use fsw::sched::par::par_chunks;
-use fsw::workloads::skewed_query_optimization;
+use fsw::workloads::{skewed_query_optimization, tiered_query_optimization};
 
 struct Row {
     name: String,
     n: usize,
+    classes: usize,
+    reduced: bool,
     solutions: Vec<Solution>,
     millis: f64,
 }
 
 fn main() {
     // A batch of tenant applications of varying shapes (cheap + expensive
-    // predicate counts), as a serving tier would see them.
+    // predicate counts), as a serving tier would see them; even tenants are
+    // replicated-tier (multi-weight-class) deployments.
     let mut rng = StdRng::seed_from_u64(2009);
     let apps: Vec<(String, Application)> = (0..12)
         .map(|i| {
             let cheap = 1 + i % 3;
             let expensive = 2 + i % 4;
-            (
-                format!("tenant-{i:02} ({cheap}+{expensive})"),
-                skewed_query_optimization(cheap, expensive, &mut rng),
-            )
+            if i % 2 == 0 {
+                (
+                    format!("tenant-{i:02} ({cheap}x{expensive} tiers)"),
+                    tiered_query_optimization(&[cheap, expensive], &mut rng),
+                )
+            } else {
+                (
+                    format!("tenant-{i:02} ({cheap}+{expensive})"),
+                    skewed_query_optimization(cheap, expensive, &mut rng),
+                )
+            }
         })
         .collect();
 
@@ -65,6 +85,8 @@ fn main() {
                 Row {
                     name: name.clone(),
                     n: app.n(),
+                    classes: fsw::core::WeightClasses::of(app).class_count(),
+                    reduced: CanonicalSpace::class_reducible(app),
                     solutions,
                     millis: t.elapsed().as_secs_f64() * 1e3,
                 }
@@ -74,10 +96,18 @@ fn main() {
     let elapsed = started.elapsed().as_secs_f64() * 1e3;
 
     println!(
-        "{:<18} {:>2}  {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "application", "n", "lat OVERLAP", "lat INORDER", "lat OUTORDER", "per OVERLAP", "solve ms"
+        "{:<22} {:>2} {:>4}  {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "application",
+        "n",
+        "cls",
+        "lat OVERLAP",
+        "lat INORDER",
+        "lat OUTORDER",
+        "per OVERLAP",
+        "solve ms"
     );
     let mut batch_worst_latency = 0.0f64;
+    let mut reduced_tenants = 0usize;
     for row in rows.into_iter().flatten() {
         let values: Vec<String> = row
             .solutions
@@ -91,17 +121,21 @@ fn main() {
             })
             .collect();
         batch_worst_latency = batch_worst_latency.max(row.solutions[1].value);
+        reduced_tenants += usize::from(row.reduced);
         println!(
-            "{:<18} {:>2}  {} {:>9.2}",
+            "{:<22} {:>2} {:>3}{}  {} {:>9.2}",
             row.name,
             row.n,
+            row.classes,
+            if row.reduced { "*" } else { " " }, // * = class-reduced plan search
             values.join(" "),
             row.millis
         );
     }
     println!(
         "\n{} applications × {} solves on {} worker thread(s) in {elapsed:.1} ms \
-         (worst one-port latency in the batch: {batch_worst_latency:.4})",
+         ({reduced_tenants} tenants took the class-reduced search path; \
+         worst one-port latency in the batch: {batch_worst_latency:.4})",
         apps.len(),
         requests.len(),
         threads,

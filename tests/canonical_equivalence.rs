@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use fsw::core::{Application, CommModel, ExecutionGraph, PlanMetrics};
-use fsw::sched::engine::{CanonicalSpace, PartialPrune, Symmetry};
+use fsw::sched::engine::{CanonicalSpace, PartialPrune, SearchStrategy, Symmetry};
 use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
 use fsw::sched::minperiod::{
     exhaustive_dag_best, exhaustive_dag_search, exhaustive_forest_best, exhaustive_forest_search,
@@ -64,6 +64,7 @@ fn canonical_forest_values_match_brute_force_on_uniform_weights() {
                 Exec::serial(),
                 PartialPrune::Period(model),
                 Symmetry::Auto,
+                SearchStrategy::Auto,
                 &|g, _| eval(g),
             )
             .unwrap();
@@ -80,6 +81,7 @@ fn canonical_forest_values_match_brute_force_on_uniform_weights() {
             Exec::serial(),
             PartialPrune::Latency,
             Symmetry::Auto,
+            SearchStrategy::Auto,
             &|g, _| eval(g),
         )
         .unwrap();
@@ -143,6 +145,7 @@ fn auto_symmetry_is_identical_to_full_on_distinct_weights() {
             Exec::serial(),
             PartialPrune::Period(CommModel::InOrder),
             Symmetry::Full,
+            SearchStrategy::Auto,
             &eval,
         )
         .unwrap();
@@ -152,6 +155,7 @@ fn auto_symmetry_is_identical_to_full_on_distinct_weights() {
             Exec::serial(),
             PartialPrune::Period(CommModel::InOrder),
             Symmetry::Auto,
+            SearchStrategy::Auto,
             &eval,
         )
         .unwrap();

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fsw::core::{CommModel, ExecutionGraph, PlanMetrics};
-use fsw::sched::engine::{PartialPrune, Symmetry};
+use fsw::sched::engine::{PartialPrune, SearchStrategy, Symmetry};
 use fsw::sched::latency::{oneport_latency_search, oneport_latency_search_bounded};
 use fsw::sched::minlatency::{evaluate_latency, minimize_latency, MinLatencyOptions};
 use fsw::sched::minperiod::{
@@ -50,6 +50,7 @@ fn pruned_forest_enumeration_matches_brute_force() {
                 Exec::serial(),
                 PartialPrune::Period(model),
                 Symmetry::Auto, // heterogeneous weights: falls back to the full space
+                SearchStrategy::Auto,
                 &|g, _| eval(g),
             )
             .unwrap();
@@ -69,6 +70,7 @@ fn pruned_forest_enumeration_matches_brute_force() {
             Exec::serial(),
             PartialPrune::Latency,
             Symmetry::Auto,
+            SearchStrategy::Auto,
             &|g, _| eval(g),
         )
         .unwrap();
