@@ -33,7 +33,7 @@ fn main() {
             Some((title, rows)) => print_table(title, &rows),
             None => {
                 unknown = true;
-                eprintln!("unknown experiment id: {id} (expected e1..e12 or e10s)");
+                eprintln!("unknown experiment id: {id} (expected e1..e14 or e10s)");
             }
         }
     }

@@ -28,7 +28,9 @@ use fsw_sched::outorder::OutOrderOptions;
 use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
 use fsw_sched::CommOrderings;
-use fsw_sim::{replay_oplist, simulate_inorder};
+use fsw_serve::{PlanRequest, PlanService, ServeSource};
+use fsw_sim::{replay_oplist, replay_trace, simulate_inorder, ServeReplayConfig};
+use fsw_workloads::streaming::{serving_trace, TraceConfig};
 use fsw_workloads::{
     counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
     random_application, section23, sensor_fusion, skewed_query_optimization,
@@ -549,6 +551,124 @@ pub fn e13_partial_symmetry_scaling() -> Vec<ExperimentRow> {
     rows
 }
 
+/// E14 — the serving story end to end: a streaming arrival trace (12
+/// tenants drawn from 4 templates, service-set mutations over time, 140+
+/// plan requests) replayed through the multi-tenant planning service
+/// (`fsw_serve`): fingerprint-keyed plan store, in-flight dedup, and
+/// warm-started online re-plans, with a shadow cold solve per request
+/// cross-checking every served value **bit-for-bit**.
+///
+/// The PR-5 acceptance criteria are *asserted* here (not just printed), so
+/// a regression fails the experiment binary loudly: ≥ 100 requests across
+/// ≥ 12 tenants, ≥ 50% of requests served from cache or dedup, zero value
+/// mismatches against ground truth, and warm re-plans evaluating strictly
+/// fewer candidates than their cold shadows in aggregate (never more per
+/// request).
+pub fn e14_serving() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(14);
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants: 12,
+            steps: 30,
+            templates: 4,
+            services_per_tenant: 6,
+            mutation_rate: 0.4,
+            requests_per_step: 4,
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    );
+    let config = ServeReplayConfig {
+        verify: true,
+        ..ServeReplayConfig::default()
+    };
+    let report = replay_trace(&trace, &config).expect("trace replays cleanly");
+    let (warm, cold) = report.replan_evaluations();
+    // Acceptance criteria — hard assertions.
+    assert!(report.requests() >= 100, "trace too small");
+    assert!(report.tenants >= 12, "tenant fleet too small");
+    assert!(
+        report.served_ratio() >= 0.5,
+        "store/dedup served only {:.0}% of requests",
+        report.served_ratio() * 100.0
+    );
+    assert_eq!(
+        report.value_mismatches(),
+        0,
+        "a served value deviated from its cold-solve ground truth"
+    );
+    assert!(report.replans() > 0, "no online re-plans exercised");
+    assert!(
+        warm < cold,
+        "warm-started re-plans must expand fewer nodes than cold solves ({warm} vs {cold})"
+    );
+    for outcome in &report.outcomes {
+        if let Some(cold_evaluated) = outcome.cold_evaluated {
+            assert!(
+                outcome.evaluated <= cold_evaluated,
+                "warm re-plan evaluated more than its cold shadow"
+            );
+        }
+    }
+    vec![
+        ExperimentRow::new(
+            "requests replayed (floor = acceptance minimum)",
+            Some(100.0),
+            report.requests() as f64,
+        ),
+        ExperimentRow::new(
+            "tenants in the fleet (floor = acceptance minimum)",
+            Some(12.0),
+            report.tenants as f64,
+        ),
+        ExperimentRow::new(
+            "served from store or dedup, fraction (floor = 0.5)",
+            Some(0.5),
+            report.served_ratio(),
+        ),
+        ExperimentRow::new(
+            "cold solves (fingerprint leaders)",
+            None,
+            report.service.cold as f64,
+        ),
+        ExperimentRow::new(
+            "store hits across batches",
+            None,
+            report.service.store_hits as f64,
+        ),
+        ExperimentRow::new(
+            "in-flight dedup hits",
+            None,
+            report.service.dedup_hits as f64,
+        ),
+        ExperimentRow::new(
+            "online re-plans after service-set mutations",
+            None,
+            report.replans() as f64,
+        ),
+        ExperimentRow::new(
+            "plan churn across all re-plans (moved parent assignments)",
+            None,
+            report.total_churn() as f64,
+        ),
+        ExperimentRow::new(
+            "warm re-plan candidate evaluations (paper column = cold shadows)",
+            Some(cold as f64),
+            warm as f64,
+        ),
+        ExperimentRow::new(
+            "served values deviating from cold ground truth (must be 0)",
+            Some(0.0),
+            report.value_mismatches() as f64,
+        ),
+        ExperimentRow::new(
+            "serving throughput, requests/s (store + dedup + solves)",
+            None,
+            report.requests_per_second(),
+        ),
+    ]
+}
+
 /// E10s — a seconds-not-minutes smoke version of the E10 scaling study
 /// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
 /// performance regressions in the prune-and-memoise search engine: the run
@@ -657,6 +777,61 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
         Some(depth_first.value),
         best_first.value,
     ));
+    // Serving-throughput smoke: 12 tenants from 3 templates hit the plan
+    // service twice — the first round pays the cold solves (deduplicated by
+    // fingerprint), the repeat round must be served entirely from the store
+    // at well over the asserted request rate.  Guards the fingerprint /
+    // store / dedup path end to end in CI (the workflow's hard timeout
+    // bounds the whole table).
+    let tenants: Vec<fsw_core::Application> = serving_trace(
+        &TraceConfig {
+            tenants: 12,
+            steps: 0,
+            templates: 3,
+            services_per_tenant: 5,
+            mutation_rate: 0.0,
+            requests_per_step: 1,
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    )
+    .admitted_apps();
+    let service = PlanService::new(budget, 64);
+    let batch: Vec<PlanRequest> = tenants
+        .iter()
+        .map(|app| PlanRequest::new(app.clone(), CommModel::Overlap, Objective::MinPeriod))
+        .collect();
+    let first_round = service.serve_batch(&batch).expect("validated tenants");
+    let cold_solves = first_round
+        .iter()
+        .filter(|r| r.source == ServeSource::Cold)
+        .count();
+    assert!(
+        cold_solves <= 3,
+        "12 tenants from 3 templates must collapse to <= 3 cold solves"
+    );
+    let started = std::time::Instant::now();
+    let repeat = service.serve_batch(&batch).expect("validated tenants");
+    let elapsed = started.elapsed().as_secs_f64();
+    assert!(
+        repeat.iter().all(|r| r.source == ServeSource::Store),
+        "repeat round must be served from the store"
+    );
+    let cached_rps = repeat.len() as f64 / elapsed.max(1e-9);
+    assert!(
+        cached_rps >= 200.0,
+        "cached path too slow: {cached_rps:.0} req/s"
+    );
+    rows.push(ExperimentRow::new(
+        "serving smoke: cold solves for 12 tenants / 3 templates (cap 3)",
+        Some(3.0),
+        cold_solves as f64,
+    ));
+    rows.push(ExperimentRow::new(
+        "serving smoke: cached-path throughput, req/s (floor 200)",
+        Some(200.0),
+        cached_rps,
+    ));
     rows
 }
 
@@ -713,6 +888,10 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E13 — partial symmetry: multi-class exhaustive search",
             e13_partial_symmetry_scaling(),
         )),
+        "e14" => Some((
+            "E14 — serving throughput: fingerprint store, dedup and online re-planning",
+            e14_serving(),
+        )),
         _ => None,
     }
 }
@@ -720,7 +899,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 /// Runs every experiment in order.
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

@@ -148,12 +148,7 @@ impl WeightClasses {
     /// so caches keyed by graph shape can mix in the partition and never
     /// collide across applications.
     pub fn signature(&self) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &c in &self.class_of {
-            hash ^= c as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        hash
+        fnv1a(self.class_of.iter().map(|&c| c as u64))
     }
 
     /// Deterministic assignment of concrete services to the positions of a
@@ -357,6 +352,14 @@ pub fn classed_forest_representatives(
 /// [`classed_forest_representatives`] with an optional wall-clock deadline,
 /// checked once per shape (sub-millisecond granularity at enumerable sizes)
 /// so a `time_limit`-bounded solver never blocks on a large materialisation.
+///
+/// The cap is checked by a **count-only pass first**
+/// ([`classed_class_count_within`]): the number of coloured classes per
+/// shape is computed from memoised per-shape generating functions without
+/// materialising a single representative, so a space that overflows the cap
+/// is rejected in time proportional to the number of *shapes* (A000081)
+/// instead of the number of coloured classes — 3-class spaces at `n >= 10`
+/// used to burn millions of representative allocations before falling back.
 pub fn classed_forest_representatives_within(
     classes: &WeightClasses,
     cap: usize,
@@ -364,6 +367,14 @@ pub fn classed_forest_representatives_within(
 ) -> ClassedGeneration {
     let n = classes.n();
     assert!(n >= 1, "classed enumeration needs at least one node");
+    match classed_class_count_within(classes, cap as u128, deadline) {
+        ClassedCount::Exact(_) => {}
+        ClassedCount::ExceedsCap => return ClassedGeneration::CapExceeded,
+        ClassedCount::DeadlineExpired => return ClassedGeneration::DeadlineExpired,
+        // Too many classes for the counting representation: generate under
+        // the cap directly (the pre-count behaviour).
+        ClassedCount::Intractable => {}
+    }
     let group_order = classes.group_order();
     let mut stream = CanonicalForests::new(n);
     let mut reps: Vec<ClassedRepresentative> = Vec::new();
@@ -393,6 +404,295 @@ pub fn classed_forest_representatives_within(
         }
     }
     ClassedGeneration::Generated(reps)
+}
+
+/// Outcome of a count-only coloured-class pass ([`classed_class_count_within`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassedCount {
+    /// The exact number of coloured-forest classes of the partition.
+    Exact(u128),
+    /// The running total exceeded the cap; counting stopped early.
+    ExceedsCap,
+    /// The deadline passed mid-count.
+    DeadlineExpired,
+    /// The partition is too wide for the counting representation (its dense
+    /// exponent space `Π_c (|class c| + 1)` exceeds
+    /// [`COUNT_DENSE_LIMIT`]): callers fall back to bounded generation.
+    Intractable,
+}
+
+/// Largest dense generating-function length ([`ClassedCount::Intractable`]
+/// beyond it): the exponent space is `Π_c (|class c| + 1)`, exponential in
+/// the number of classes, so partitions with many near-singleton classes
+/// (one duplicated weight, the rest distinct) would pay more for counting
+/// than the generation it guards.  1024 covers every symmetric regime worth
+/// collapsing (e.g. four classes of four at `n = 16` is 625) while keeping
+/// the worst polynomial product near a microsecond-millisecond scale.
+pub const COUNT_DENSE_LIMIT: usize = 1 << 10;
+
+/// The number of coloured-forest classes of `classes`'s partition — the
+/// length of the [`classed_forest_representatives`] list — without
+/// materialising a single representative.  Returns `None` once the running
+/// total exceeds `cap`.
+pub fn classed_class_count(classes: &WeightClasses, cap: u128) -> Option<u128> {
+    match classed_class_count_within(classes, cap, None) {
+        ClassedCount::Exact(count) => Some(count),
+        ClassedCount::ExceedsCap | ClassedCount::DeadlineExpired | ClassedCount::Intractable => {
+            None
+        }
+    }
+}
+
+/// [`classed_class_count`] with an optional wall-clock deadline, checked
+/// once per shape.
+///
+/// The count is **O(shapes)**, not O(colourings): per canonical shape the
+/// number of canonical colourings is read off a generating function over
+/// colour-count vectors — for every subtree, `gf[v]` counts its colourings
+/// using `v_c` nodes of class `c`, and a run of `k` identical sibling
+/// subtrees contributes the size-`k` multiset construction `MSET_k(gf)`
+/// (canonical colourings order identical siblings non-increasingly, i.e.
+/// pick a multiset), computed by the Newton/Euler-transform recurrence
+/// `k · h_k = Σ_{i=1..k} p_i · h_{k-i}` with `p_i = gf(x^i)` the power sum.
+/// Subtree GFs are memoised across shapes (identical subtrees recur
+/// massively in the Beyer–Hedetniemi stream), so the whole pass costs a few
+/// small polynomial products per shape.
+pub fn classed_class_count_within(
+    classes: &WeightClasses,
+    cap: u128,
+    deadline: Option<std::time::Instant>,
+) -> ClassedCount {
+    let n = classes.n();
+    assert!(n >= 1, "classed counting needs at least one node");
+    let dense_len = classes
+        .sizes()
+        .iter()
+        .try_fold(1usize, |acc, &s| acc.checked_mul(s + 1))
+        .unwrap_or(usize::MAX);
+    if dense_len > COUNT_DENSE_LIMIT {
+        return ClassedCount::Intractable;
+    }
+    let mut counter = ColourCounter::new(classes);
+    let mut stream = CanonicalForests::new(n);
+    let mut total: u128 = 0;
+    while stream.next().is_some() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return ClassedCount::DeadlineExpired;
+        }
+        total = total.saturating_add(counter.forest_colorings(&stream.levels));
+        if total > cap {
+            return ClassedCount::ExceedsCap;
+        }
+    }
+    ClassedCount::Exact(total)
+}
+
+/// Memoised per-shape counter of canonical colourings: generating functions
+/// over colour-count vectors, represented densely over the mixed-radix
+/// exponent space `Π_c (|class c| + 1)` (truncating products — an exponent
+/// beyond its class size can never reach the full-budget coefficient).
+struct ColourCounter {
+    /// Class sizes (the exponent bound per dimension).
+    sizes: Vec<usize>,
+    /// Mixed-radix strides: `index(v) = Σ_c v_c · strides[c]`.
+    strides: Vec<usize>,
+    /// Dense length `Π_c (sizes[c] + 1)`.
+    len: usize,
+    /// Decoded exponent vector per dense index.
+    vectors: Vec<Vec<usize>>,
+    /// Subtree GF per normalised level slice (root at relative level 0).
+    tree_memo: std::collections::HashMap<Vec<usize>, Vec<u128>>,
+    /// `MSET_k` of a subtree GF per (normalised slice, k).
+    mset_memo: std::collections::HashMap<(Vec<usize>, usize), Vec<u128>>,
+}
+
+impl ColourCounter {
+    fn new(classes: &WeightClasses) -> Self {
+        let sizes = classes.sizes().to_vec();
+        let mut strides = Vec::with_capacity(sizes.len());
+        let mut len = 1usize;
+        for &s in &sizes {
+            strides.push(len);
+            len *= s + 1;
+        }
+        let mut vectors = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut v = Vec::with_capacity(sizes.len());
+            let mut rest = i;
+            for &s in &sizes {
+                v.push(rest % (s + 1));
+                rest /= s + 1;
+            }
+            vectors.push(v);
+        }
+        ColourCounter {
+            sizes,
+            strides,
+            len,
+            vectors,
+            tree_memo: std::collections::HashMap::new(),
+            mset_memo: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The multiplicative identity (`x^0`).
+    fn one(&self) -> Vec<u128> {
+        let mut p = vec![0u128; self.len];
+        p[0] = 1;
+        p
+    }
+
+    /// Truncating product: exponent overflow in any class dimension drops
+    /// the term (it can never contribute to the full-budget coefficient).
+    fn mul(&self, a: &[u128], b: &[u128]) -> Vec<u128> {
+        let mut out = vec![0u128; self.len];
+        for (ia, &ca) in a.iter().enumerate() {
+            if ca == 0 {
+                continue;
+            }
+            let va = &self.vectors[ia];
+            for (ib, &cb) in b.iter().enumerate() {
+                if cb == 0 {
+                    continue;
+                }
+                let vb = &self.vectors[ib];
+                // In-bounds digit sums never carry, so indexes just add.
+                if va
+                    .iter()
+                    .zip(vb)
+                    .zip(&self.sizes)
+                    .all(|((&x, &y), &s)| x + y <= s)
+                {
+                    out[ia + ib] = out[ia + ib].saturating_add(ca.saturating_mul(cb));
+                }
+            }
+        }
+        out
+    }
+
+    /// The power sum `f(x^i)`: exponents scaled by `i`, truncating.
+    fn power(&self, f: &[u128], i: usize) -> Vec<u128> {
+        let mut out = vec![0u128; self.len];
+        for (idx, &c) in f.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let v = &self.vectors[idx];
+            if v.iter().zip(&self.sizes).all(|(&x, &s)| x * i <= s) {
+                out[idx * i] = out[idx * i].saturating_add(c);
+            }
+        }
+        out
+    }
+
+    /// `MSET_k(f)`: the GF counting multisets of `k` colourings drawn from
+    /// the colouring family `f` counts — one multiset per canonical
+    /// assignment of a run of `k` identical sibling subtrees.
+    fn mset(&mut self, slice: &[usize], k: usize) -> Vec<u128> {
+        if let Some(g) = self.mset_memo.get(&(slice.to_vec(), k)) {
+            return g.clone();
+        }
+        let f = self.tree_gf(slice);
+        let powers: Vec<Vec<u128>> = (1..=k).map(|i| self.power(&f, i)).collect();
+        let mut h: Vec<Vec<u128>> = vec![self.one()];
+        for j in 1..=k {
+            let mut acc = vec![0u128; self.len];
+            for i in 1..=j {
+                let term = self.mul(&powers[i - 1], &h[j - i]);
+                for (slot, t) in acc.iter_mut().zip(term) {
+                    *slot = slot.saturating_add(t);
+                }
+            }
+            for slot in &mut acc {
+                debug_assert!(
+                    *slot == u128::MAX || slot.is_multiple_of(j as u128),
+                    "Newton recurrence yields integral multiset counts"
+                );
+                *slot /= j as u128;
+            }
+            h.push(acc);
+        }
+        let result = h.pop().expect("k >= 0");
+        self.mset_memo.insert((slice.to_vec(), k), result.clone());
+        result
+    }
+
+    /// GF of one subtree (normalised level slice, root at relative level 0):
+    /// the product over its child runs of their `MSET_k`, shifted by the
+    /// root's own colour choice.
+    fn tree_gf(&mut self, slice: &[usize]) -> Vec<u128> {
+        if let Some(g) = self.tree_memo.get(slice) {
+            return g.clone();
+        }
+        let product = self.children_product(slice);
+        // The root takes each colour with remaining budget: shift by `e_c`.
+        let mut out = vec![0u128; self.len];
+        for (c, &stride) in self.strides.iter().enumerate() {
+            if self.sizes[c] == 0 {
+                continue;
+            }
+            for (idx, &coeff) in product.iter().enumerate() {
+                if coeff != 0 && self.vectors[idx][c] < self.sizes[c] {
+                    out[idx + stride] = out[idx + stride].saturating_add(coeff);
+                }
+            }
+        }
+        self.tree_memo.insert(slice.to_vec(), out.clone());
+        out
+    }
+
+    /// Product over the child runs of the node at `slice[0]` (children are
+    /// the positions at relative level `slice[0] + 1`; canonical sequences
+    /// keep identical sibling subtrees adjacent, so runs suffice).
+    fn children_product(&mut self, slice: &[usize]) -> Vec<u128> {
+        let root_level = slice[0];
+        // Sibling spans as normalised slices, in order.
+        let mut result = self.one();
+        let mut child = 1;
+        let mut run_slice: Option<Vec<usize>> = None;
+        let mut run_len = 0usize;
+        while child < slice.len() {
+            debug_assert_eq!(slice[child], root_level + 1);
+            let mut next = child + 1;
+            while next < slice.len() && slice[next] > root_level + 1 {
+                next += 1;
+            }
+            let normalised: Vec<usize> = slice[child..next]
+                .iter()
+                .map(|&l| l - root_level - 1)
+                .collect();
+            if run_slice.as_deref() == Some(&normalised) {
+                run_len += 1;
+            } else {
+                if let Some(prev) = run_slice.take() {
+                    let run_gf = self.mset(&prev, run_len);
+                    result = self.mul(&result, &run_gf);
+                }
+                run_slice = Some(normalised);
+                run_len = 1;
+            }
+            child = next;
+        }
+        if let Some(prev) = run_slice.take() {
+            let run_gf = self.mset(&prev, run_len);
+            result = self.mul(&result, &run_gf);
+        }
+        result
+    }
+
+    /// Number of canonical colourings of one forest shape (super-tree level
+    /// sequence, virtual root at level 0 carrying no colour): the
+    /// full-budget coefficient of the root-run product.
+    fn forest_colorings(&mut self, levels: &[usize]) -> u128 {
+        let gf = self.children_product(levels);
+        let full: usize = self
+            .sizes
+            .iter()
+            .zip(&self.strides)
+            .map(|(&s, &stride)| s * stride)
+            .sum();
+        gf[full]
+    }
 }
 
 /// Enumerates the canonical colourings of one shape (super-tree `levels`):
@@ -563,6 +863,18 @@ fn subtree_automorphisms(levels: &[usize], start: usize, end: usize) -> u128 {
         child = next;
     }
     aut.saturating_mul(factorial_u128(run_len))
+}
+
+/// Order-sensitive FNV-1a fold over 64-bit words — the one digest routine
+/// shared by [`WeightClasses::signature`] and
+/// [`crate::fingerprint::AppFingerprint::digest`].
+pub(crate) fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for word in words {
+        hash ^= word;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 fn factorial(n: usize) -> u128 {
@@ -1049,6 +1361,97 @@ mod tests {
         // A colour multiset that does not match the partition is rejected.
         assert!(classes.service_assignment(&[0, 0, 0, 1]).is_none());
         assert!(classes.service_assignment(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn count_only_pass_matches_the_enumerated_class_count() {
+        for sizes in [
+            vec![5usize],
+            vec![2, 3],
+            vec![1, 1, 3],
+            vec![3, 3],
+            vec![1, 2, 2, 1],
+            vec![4, 2, 1],
+            vec![2, 2, 2],
+            vec![1, 1, 1, 1],
+            vec![8],
+            vec![4, 4],
+        ] {
+            let classes = WeightClasses::of(&classed_app(&sizes));
+            let reps = classed_forest_representatives(&classes, usize::MAX).unwrap();
+            assert_eq!(
+                classed_class_count(&classes, u128::MAX),
+                Some(reps.len() as u128),
+                "{sizes:?}"
+            );
+        }
+        // Uniform partitions degenerate to the A000081 shape count.
+        for n in 1..=9 {
+            let classes = WeightClasses::of(&classed_app(&[n]));
+            assert_eq!(
+                classed_class_count(&classes, u128::MAX),
+                Some(forest_classes(n)),
+                "uniform n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_only_pass_respects_the_cap_and_deadline() {
+        let classes = WeightClasses::of(&classed_app(&[2, 3]));
+        let exact = classed_class_count(&classes, u128::MAX).unwrap();
+        assert_eq!(classed_class_count(&classes, exact), Some(exact));
+        assert_eq!(classed_class_count(&classes, exact - 1), None);
+        assert_eq!(
+            classed_class_count_within(&classes, exact - 1, None),
+            ClassedCount::ExceedsCap
+        );
+        let expired = Some(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert_eq!(
+            classed_class_count_within(&classes, u128::MAX, expired),
+            ClassedCount::DeadlineExpired
+        );
+    }
+
+    #[test]
+    fn singleton_heavy_partitions_bypass_the_count_pass() {
+        // One duplicated weight plus sixteen distinct singletons: the dense
+        // exponent space (3 · 2^16) dwarfs COUNT_DENSE_LIMIT, so the count
+        // pass must refuse instantly and generation must fall back to the
+        // bounded materialise-until-cap behaviour instead of allocating
+        // gigabyte-scale polynomials.
+        let mut specs = vec![(1.0, 0.5), (1.0, 0.5)];
+        for k in 0..16 {
+            specs.push((2.0 + k as f64, 0.9));
+        }
+        let classes = WeightClasses::of(&Application::independent(&specs));
+        let started = std::time::Instant::now();
+        assert_eq!(
+            classed_class_count_within(&classes, u128::MAX, None),
+            ClassedCount::Intractable
+        );
+        assert!(classed_forest_representatives(&classes, 10_000).is_none());
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "wide partitions must not pay for the count pass"
+        );
+    }
+
+    #[test]
+    fn oversized_coloured_spaces_are_rejected_in_shape_time() {
+        // A 3-class space at n = 10 holds far more than 100k coloured
+        // classes; the count-only guard must reject the cap without
+        // materialising representatives (this test is fast *because* the
+        // pass is O(shapes) — the old behaviour allocated every
+        // representative up to the cap first).
+        let classes = WeightClasses::of(&classed_app(&[3, 3, 4]));
+        let started = std::time::Instant::now();
+        assert!(classed_forest_representatives(&classes, 100_000).is_none());
+        assert!(classed_class_count(&classes, 100_000).is_none());
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "count-only cap check must not walk the coloured space"
+        );
     }
 
     #[test]

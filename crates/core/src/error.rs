@@ -70,6 +70,13 @@ pub enum CoreError {
         /// Size actually found.
         found: usize,
     },
+    /// The input is valid but outside what the called operation supports
+    /// (e.g. a constrained application handed to the online re-planning
+    /// sessions, whose plan adaptation is forest-splice based).
+    Unsupported {
+        /// What the operation cannot handle.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -105,6 +112,7 @@ impl fmt::Display for CoreError {
                     "size mismatch: expected {expected} services, found {found}"
                 )
             }
+            CoreError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
         }
     }
 }

@@ -37,6 +37,7 @@
 
 pub mod canonical;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod metrics;
 pub mod model;
@@ -45,12 +46,14 @@ pub mod service;
 pub mod validate;
 
 pub use canonical::{
-    canonical_classed_form, canonical_classed_member, canonical_forest_form,
-    classed_forest_representatives, classed_forest_representatives_within, forest_classes,
-    labelled_forests, CanonicalForests, ClassedGeneration, ClassedRepresentative, ForestClass,
-    WeightClasses,
+    canonical_classed_form, canonical_classed_member, canonical_forest_form, classed_class_count,
+    classed_class_count_within, classed_forest_representatives,
+    classed_forest_representatives_within, forest_classes, labelled_forests, CanonicalForests,
+    ClassedCount, ClassedGeneration, ClassedRepresentative, ForestClass, WeightClasses,
+    COUNT_DENSE_LIMIT,
 };
 pub use error::{CoreError, CoreResult};
+pub use fingerprint::{AppFingerprint, CanonicalApplication};
 pub use graph::ExecutionGraph;
 pub use metrics::{in_edges, out_edges, plan_edges, PartialForestMetrics, PlanMetrics};
 pub use model::CommModel;

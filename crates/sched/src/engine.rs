@@ -347,6 +347,55 @@ impl CanonicalSpace {
         }
     }
 
+    /// `true` when the unconstrained forest plan search provably runs to
+    /// completion under a `cap`-sized enumeration budget for **every
+    /// labelling** of `app` — the premise behind any claim that two
+    /// permuted applications solve to bit-identical values (beyond the cap
+    /// the engine falls back to label-following local search, and an
+    /// interrupted enumeration depends on the walk order).
+    ///
+    /// Sufficient conditions only, each O(n²)-cheap so callers can gate per
+    /// request (the serving layer checks this on its hot path — the exact
+    /// [`fsw_core::classed_class_count`] answer costs milliseconds per
+    /// partition, too slow there): the raw `n^n` space fits, the uniform
+    /// canonical space fits, or a class-coloured space certainly fits
+    /// (`shapes × multinomial(n; sizes)` bounds the coloured class count
+    /// from above, so declining a borderline space is the worst case).
+    pub fn exhaustively_coverable(app: &Application, cap: usize) -> bool {
+        let n = app.n();
+        if n == 0 || app.has_constraints() {
+            return false;
+        }
+        let cap = cap as u128;
+        let mut raw = 1u128;
+        for _ in 0..n {
+            raw = raw.saturating_mul(n as u128);
+        }
+        if raw <= cap {
+            return true;
+        }
+        let classes = WeightClasses::of(app);
+        if classes.is_uniform() {
+            return fsw_core::forest_classes(n) <= cap;
+        }
+        if classes.has_symmetry() {
+            // Coloured classes <= shapes × colourings-per-shape <= shapes ×
+            // multinomial(n; sizes).  The multinomial is built as
+            // Π_c C(prefix, size_c) (multiply-then-divide keeps every
+            // intermediate an exact integer).
+            let mut multinomial = 1u128;
+            let mut prefix = 0u128;
+            for &size in classes.sizes() {
+                for k in 1..=size as u128 {
+                    prefix += 1;
+                    multinomial = multinomial.saturating_mul(prefix) / k;
+                }
+            }
+            return fsw_core::forest_classes(n).saturating_mul(multinomial) <= cap;
+        }
+        false
+    }
+
     /// The uniform-weight representatives of [`CanonicalSpace::forest_representatives`]
     /// in [`CanonicalRep`] form (identity weights), so both canonical spaces
     /// share one search driver.
@@ -518,9 +567,14 @@ enum CacheEntry {
 /// shape-plus-weights signatures (see the module docs for the merge rules).
 ///
 /// One instance serves one [`Application`]; `solve_all` shares an instance
-/// across a whole model × objective sweep.
-pub struct EvalCache<'a> {
-    app: &'a Application,
+/// across a whole model × objective sweep, the serving layer (`fsw_serve`)
+/// shares one per application fingerprint across a batch's cold solves,
+/// and its online sessions retain one across re-plans (rebuilt on
+/// mutation, since entries depend on the weights).  The cache **owns** a
+/// copy of its application (applications are a few dozen bytes), so
+/// long-lived holders need no self-referential lifetimes.
+pub struct EvalCache {
+    app: Application,
     /// Node relabellings exhaustive entries may be canonicalised over
     /// (always containing the identity, first): the full symmetric group on
     /// uniform instances, just the identity otherwise — multi-class merging
@@ -545,9 +599,9 @@ pub struct EvalCache<'a> {
 /// (7! — beyond that the signature falls back to the exact edge set).
 const MAX_CANONICAL_PERMS: usize = 5_040;
 
-impl<'a> EvalCache<'a> {
+impl EvalCache {
     /// A fresh cache for `app`.
-    pub fn new(app: &'a Application) -> Self {
+    pub fn new(app: &Application) -> Self {
         let n = app.n();
         let classes = WeightClasses::of(app);
         let group = classes.group_order();
@@ -568,7 +622,7 @@ impl<'a> EvalCache<'a> {
             vec![(0..n).collect()]
         };
         EvalCache {
-            app,
+            app: app.clone(),
             perms,
             class_sig: classes.signature(),
             classes,
@@ -579,8 +633,8 @@ impl<'a> EvalCache<'a> {
     }
 
     /// The application this cache serves.
-    pub fn app(&self) -> &'a Application {
-        self.app
+    pub fn app(&self) -> &Application {
+        &self.app
     }
 
     /// The application's weight-class partition (computed once at cache

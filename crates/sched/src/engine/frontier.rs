@@ -129,21 +129,29 @@ pub fn best_first_forest_search<F>(
     exec: Exec,
     prune: PartialPrune,
     frontier_cap: usize,
+    incumbent_seed: f64,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
-    best_first_forest_search_stats(app, exec, prune, frontier_cap, eval).0
+    best_first_forest_search_stats(app, exec, prune, frontier_cap, incumbent_seed, eval).0
 }
 
 /// [`best_first_forest_search`] with the run's [`FrontierStats`] (tests
 /// assert the cap is respected and the spill path fires).
+///
+/// `incumbent_seed` pre-loads the shared incumbent with a known upper bound
+/// on the space's optimum (`f64::INFINITY` for a cold search): pruning and
+/// the bound-clearance certificate stay strict, so the winner is unchanged
+/// while the hopeless region is skipped — the warm-start contract of
+/// `exhaustive_forest_search_seeded`.
 pub fn best_first_forest_search_stats<F>(
     app: &Application,
     exec: Exec,
     prune: PartialPrune,
     frontier_cap: usize,
+    incumbent_seed: f64,
     eval: &F,
 ) -> (Option<SearchOutcome>, FrontierStats)
 where
@@ -164,7 +172,7 @@ where
     let frontier_cap = frontier_cap.max(1);
     let threads = exec.effective_threads();
     let batch_len = (threads * 4).max(1);
-    let incumbent = Incumbent::new();
+    let incumbent = Incumbent::seeded(incumbent_seed);
     let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
     heap.push(Reverse(Node {
         bound: 0.0,
@@ -413,6 +421,7 @@ pub fn best_first_canonical_search<F>(
     reps: &[CanonicalRep],
     exec: Exec,
     prune: PartialPrune,
+    incumbent_seed: f64,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
@@ -429,7 +438,7 @@ where
         order.push((cursor.bound(&rep.parents, &rep.weights), idx));
     }
     order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-    let incumbent = Incumbent::new();
+    let incumbent = Incumbent::seeded(incumbent_seed);
     let threads = exec.effective_threads();
     let batch_len = (threads * 8).max(1);
     let mut best: Option<(f64, usize, ExecutionGraph)> = None;

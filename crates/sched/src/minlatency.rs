@@ -143,7 +143,7 @@ fn evaluate_latency_bounded(
     app: &Application,
     graph: &ExecutionGraph,
     options: &MinLatencyOptions,
-    cache: &EvalCache<'_>,
+    cache: &EvalCache,
     cutoff: f64,
     deadline: Option<Instant>,
 ) -> f64 {
@@ -324,12 +324,43 @@ pub(crate) fn minimize_latency_engine(
     app: &Application,
     options: &MinLatencyOptions,
     exec: Exec,
-    cache: &EvalCache<'_>,
+    cache: &EvalCache,
 ) -> CoreResult<MinLatencyResult> {
+    minimize_latency_engine_seeded(
+        app,
+        options,
+        exec,
+        cache,
+        f64::INFINITY,
+        &std::sync::atomic::AtomicUsize::new(0),
+    )
+}
+
+/// [`minimize_latency_engine`] with a warm-start incumbent seed and an
+/// evaluation counter (the latency twin of
+/// `minimize_period_engine_seeded`): `incumbent_seed` pre-loads the forest
+/// phase's incumbent and tightens the DAG phase's seed, `evals` counts full
+/// candidate evaluations.  Winners are bit-identical to the cold solve for
+/// any seed that upper-bounds the **forest** optimum (callers seed from
+/// forest plans only — `orchestrator::warm_seed` enforces this; a DAG value
+/// below every forest would starve the forest phase and flip the near-tie
+/// arbitration between the two phases).
+pub(crate) fn minimize_latency_engine_seeded(
+    app: &Application,
+    options: &MinLatencyOptions,
+    exec: Exec,
+    cache: &EvalCache,
+    incumbent_seed: f64,
+    evals: &std::sync::atomic::AtomicUsize,
+) -> CoreResult<MinLatencyResult> {
+    use std::sync::atomic::Ordering;
     let mut best: Option<MinLatencyResult> = None;
     if !app.has_constraints() {
-        let eval = |g: &ExecutionGraph, _cutoff: f64| forest_latency_eval(app, g);
-        if let Some(out) = exhaustive_forest_search(
+        let eval = |g: &ExecutionGraph, _cutoff: f64| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            forest_latency_eval(app, g)
+        };
+        if let Some(out) = crate::minperiod::exhaustive_forest_search_seeded(
             app,
             options.forest_enumeration_cap,
             exec,
@@ -338,6 +369,7 @@ pub(crate) fn minimize_latency_engine(
             // under class-preserving relabellings (the `Classes` gate).
             Symmetry::Classes,
             options.strategy,
+            incumbent_seed,
             &eval,
         ) {
             best = Some(MinLatencyResult {
@@ -348,11 +380,16 @@ pub(crate) fn minimize_latency_engine(
         }
     }
     if app.n() <= options.dag_enumeration_max_n {
-        // Seed the DAG phase's incumbent with the forest optimum: a DAG only
-        // matters when it strictly beats every forest, so candidates whose
-        // critical path already clears the seed skip their ordering search.
-        let seed = best.as_ref().map_or(f64::INFINITY, |b| b.latency);
+        // Seed the DAG phase's incumbent with the forest optimum (tightened
+        // by the warm-start seed): a DAG only matters when it strictly beats
+        // every forest, so candidates whose critical path already clears the
+        // seed skip their ordering search.
+        let seed = best
+            .as_ref()
+            .map_or(f64::INFINITY, |b| b.latency)
+            .min(incumbent_seed);
         let eval = |g: &ExecutionGraph, cutoff: f64| {
+            evals.fetch_add(1, Ordering::Relaxed);
             evaluate_latency_bounded(app, g, options, cache, cutoff, exec.deadline)
         };
         // The DAG evaluation is label-invariant only while every candidate's

@@ -222,6 +222,44 @@ pub fn exhaustive_forest_search<F>(
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
+    exhaustive_forest_search_seeded(
+        app,
+        cap,
+        exec,
+        prune,
+        symmetry,
+        strategy,
+        f64::INFINITY,
+        eval,
+    )
+}
+
+/// [`exhaustive_forest_search`] with the shared incumbent **seeded** with a
+/// known upper bound (the warm-start entry of the serving layer: the value
+/// of a previous plan adapted to the mutated instance).
+///
+/// Seeding preserves bit-identity as long as `seed` is an upper bound on
+/// the searched space's optimum (any feasible candidate's value is): both
+/// the subtree pruning and the bound-clearance certificate fire only on a
+/// *strict* clearance of the incumbent, so every candidate tying the
+/// optimum is still evaluated and the first-minimum winner is unchanged —
+/// the search merely skips the hopeless region it would otherwise have
+/// walked to re-discover the bound.  `f64::INFINITY` recovers the cold
+/// search exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn exhaustive_forest_search_seeded<F>(
+    app: &Application,
+    cap: usize,
+    exec: Exec,
+    prune: PartialPrune,
+    symmetry: Symmetry,
+    strategy: SearchStrategy,
+    incumbent_seed: f64,
+    eval: &F,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
     let n = app.n();
     if n == 0 {
         return None;
@@ -231,12 +269,20 @@ where
             return None;
         }
         let reps = CanonicalSpace::uniform_representatives(n);
-        return canonical_forest_search(app, &reps, exec, prune, strategy, eval);
+        return canonical_forest_search(app, &reps, exec, prune, strategy, incumbent_seed, eval);
     }
     if symmetry == Symmetry::Classes && CanonicalSpace::class_reducible(app) {
         match CanonicalSpace::classed_representatives_within(app, cap, exec.deadline) {
             crate::engine::ClassedGeneration::Generated(reps) => {
-                return canonical_forest_search(app, &reps, exec, prune, strategy, eval);
+                return canonical_forest_search(
+                    app,
+                    &reps,
+                    exec,
+                    prune,
+                    strategy,
+                    incumbent_seed,
+                    eval,
+                );
             }
             // Deadline passed before the space was even materialised: no
             // candidate was examined, so degrade to the heuristic fallback
@@ -251,9 +297,16 @@ where
         return None;
     }
     if strategy == SearchStrategy::BestFirst {
-        return best_first_forest_search(app, exec, prune, DEFAULT_FRONTIER_CAP, eval);
+        return best_first_forest_search(
+            app,
+            exec,
+            prune,
+            DEFAULT_FRONTIER_CAP,
+            incumbent_seed,
+            eval,
+        );
     }
-    let incumbent = Incumbent::new();
+    let incumbent = Incumbent::seeded(incumbent_seed);
     let prefixes = forest_task_prefixes(n, exec.effective_split_levels());
     let parts = par_chunks(exec.effective_threads(), &prefixes, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
@@ -334,6 +387,7 @@ fn canonical_forest_search<F>(
     exec: Exec,
     prune: PartialPrune,
     strategy: SearchStrategy,
+    incumbent_seed: f64,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
@@ -342,9 +396,9 @@ where
     if strategy != SearchStrategy::DepthFirst {
         // Auto resolves to best-first on canonical spaces: the stream is
         // small enough to hold, and bound-ordering pays off immediately.
-        return best_first_canonical_search(app, reps, exec, prune, eval);
+        return best_first_canonical_search(app, reps, exec, prune, incumbent_seed, eval);
     }
-    let incumbent = Incumbent::new();
+    let incumbent = Incumbent::seeded(incumbent_seed);
     let weight_of = |rep: &CanonicalRep| u64::try_from(rep.orbit).unwrap_or(u64::MAX);
     let parts = par_chunks_weighted(exec.effective_threads(), reps, weight_of, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
@@ -889,7 +943,7 @@ fn evaluate_period_bounded(
     graph: &ExecutionGraph,
     model: CommModel,
     evaluation: PeriodEvaluation,
-    cache: &EvalCache<'_>,
+    cache: &EvalCache,
     cutoff: f64,
     deadline: Option<Instant>,
 ) -> f64 {
@@ -1005,9 +1059,35 @@ pub(crate) fn minimize_period_engine(
     app: &Application,
     options: &MinPeriodOptions,
     exec: Exec,
-    cache: &EvalCache<'_>,
+    cache: &EvalCache,
+) -> CoreResult<MinPeriodResult> {
+    minimize_period_engine_seeded(
+        app,
+        options,
+        exec,
+        cache,
+        f64::INFINITY,
+        &std::sync::atomic::AtomicUsize::new(0),
+    )
+}
+
+/// [`minimize_period_engine`] with a warm-start incumbent seed and an
+/// evaluation counter: `incumbent_seed` pre-loads every exhaustive phase's
+/// incumbent (pass the value of a previous plan adapted to the instance;
+/// `∞` for a cold solve — winners are bit-identical either way, see
+/// [`exhaustive_forest_search_seeded`]), and `evals` is incremented once per
+/// full candidate evaluation, so callers can measure how much of the space a
+/// warm start skipped.
+pub(crate) fn minimize_period_engine_seeded(
+    app: &Application,
+    options: &MinPeriodOptions,
+    exec: Exec,
+    cache: &EvalCache,
+    incumbent_seed: f64,
+    evals: &std::sync::atomic::AtomicUsize,
 ) -> CoreResult<MinPeriodResult> {
     let eval = |g: &ExecutionGraph, cutoff: f64| -> f64 {
+        evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         evaluate_period_bounded(
             app,
             g,
@@ -1046,13 +1126,14 @@ pub(crate) fn minimize_period_engine(
                 CommModel::InOrder => Symmetry::Full,
             },
         };
-        if let Some(out) = exhaustive_forest_search(
+        if let Some(out) = exhaustive_forest_search_seeded(
             app,
             options.forest_enumeration_cap,
             exec,
             prune,
             symmetry,
             options.strategy,
+            incumbent_seed,
             &eval,
         ) {
             return Ok(MinPeriodResult {
@@ -1067,7 +1148,7 @@ pub(crate) fn minimize_period_engine(
         // reducibility, so the symmetry flag is moot here.)
         if app.n() <= 5 {
             if let Some(out) =
-                exhaustive_dag_search(app, 5, exec, f64::INFINITY, Symmetry::Full, &eval)
+                exhaustive_dag_search(app, 5, exec, incumbent_seed, Symmetry::Full, &eval)
             {
                 return Ok(MinPeriodResult {
                     period: out.value,

@@ -42,6 +42,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, OperationList, PlanMetrics};
@@ -50,8 +51,8 @@ use crate::engine::{EvalCache, SearchStrategy};
 use crate::latency::{
     latency_lower_bound, multiport_proportional_latency, oneport_latency_search_exec,
 };
-use crate::minlatency::{minimize_latency_engine, MinLatencyOptions};
-use crate::minperiod::{minimize_period_engine, MinPeriodOptions, PeriodEvaluation};
+use crate::minlatency::{minimize_latency_engine_seeded, MinLatencyOptions};
+use crate::minperiod::{minimize_period_engine_seeded, MinPeriodOptions, PeriodEvaluation};
 use crate::oneport::{inorder_oplist_for_orderings, oneport_period_search_exec, OnePortStyle};
 use crate::orderings::CommOrderings;
 use crate::outorder::{outorder_period_search_exec, OutOrderOptions};
@@ -125,7 +126,7 @@ impl<'a> Problem<'a> {
 /// (`MinPeriodOptions::default()`, `MinLatencyOptions::default()`,
 /// `OutOrderOptions::default()`), so `solve(&problem, &SearchBudget::default())`
 /// returns bit-identical values to the code it replaces.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SearchBudget {
     /// Bound on the communication-ordering space enumerated exhaustively;
     /// beyond it the ordering searches fall back to hill climbing.
@@ -331,22 +332,84 @@ pub fn solve_all(
         .collect()
 }
 
-fn solve_with_cache(
+/// [`solve`] with a caller-provided evaluation cache: the building block of
+/// every batch path (`solve_all` shares one cache across a model ×
+/// objective sweep; the serving layer `fsw_serve` shares one per
+/// application fingerprint across a batch's cold solves, and its online
+/// sessions retain one across re-plans of an unchanged instance).  Results
+/// are bit-identical to [`solve`].
+pub fn solve_with_cache(
     problem: &Problem<'_>,
     budget: &SearchBudget,
-    cache: &EvalCache<'_>,
+    cache: &EvalCache,
 ) -> CoreResult<Solution> {
+    solve_warm(problem, budget, cache, None).map(|(solution, _)| solution)
+}
+
+/// Telemetry of one plan solve, for the serving layer and its tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Number of candidate execution graphs fully evaluated by the plan
+    /// search (pruned candidates are not counted).  `0` for fixed-graph
+    /// orchestration problems.
+    pub evaluated: usize,
+    /// The warm-start upper bound the search's incumbent was seeded with
+    /// (the previous plan's value on the current instance), when one was
+    /// supplied and feasible.
+    pub warm_value: Option<f64>,
+}
+
+/// [`solve_with_cache`] with an optional **warm start**: `warm` is a
+/// previously optimal execution graph (e.g. the tenant's plan before a
+/// service arrived, adapted to the current service set).  Its value on the
+/// *current* instance is a feasible upper bound on the optimum, so the plan
+/// search's incumbent is seeded with it and the enumeration prunes the
+/// hopeless region from the first candidate on — the online re-planning
+/// entry point of the serving layer.
+///
+/// The returned solution is **bit-identical** to a cold
+/// [`solve_with_cache`]: seeding never prunes a candidate that ties the
+/// optimum (strict clearance only), so the first-minimum winner and its
+/// value are unchanged; only [`SolveStats::evaluated`] shrinks.  An
+/// infeasible or wrong-sized `warm` graph is ignored.
+pub fn solve_warm(
+    problem: &Problem<'_>,
+    budget: &SearchBudget,
+    cache: &EvalCache,
+    warm: Option<&ExecutionGraph>,
+) -> CoreResult<(Solution, SolveStats)> {
+    // The cache key carries the weight-class *partition signature*, not the
+    // weight bits themselves (two different applications with the same
+    // partition pattern collide), so a cache built for another application
+    // would silently serve its memoised evaluations here.  Enforce the
+    // pairing the private callers used to guarantee by construction.
+    if cache.app() != problem.app {
+        return Err(fsw_core::CoreError::Unsupported {
+            reason: "evaluation cache was built for a different application",
+        });
+    }
     let exec = budget.exec();
-    match (problem.graph, problem.objective) {
+    let evals = AtomicUsize::new(0);
+    let mut stats = SolveStats::default();
+    let solution = match (problem.graph, problem.objective) {
         (Some(graph), Objective::MinPeriod) => {
-            orchestrate_period(problem.app, problem.model, graph, budget, exec)
+            orchestrate_period(problem.app, problem.model, graph, budget, exec)?
         }
         (Some(graph), Objective::MinLatency) => {
-            orchestrate_latency(problem.app, problem.model, graph, budget, exec)
+            orchestrate_latency(problem.app, problem.model, graph, budget, exec)?
         }
         (None, Objective::MinPeriod) => {
             let options = budget.minperiod_options(problem.model);
-            let result = minimize_period_engine(problem.app, &options, exec, cache)?;
+            let seed = warm_seed(problem, budget, warm);
+            stats.warm_value = seed;
+            let result = minimize_period_engine_seeded(
+                problem.app,
+                &options,
+                exec,
+                cache,
+                seed.unwrap_or(f64::INFINITY),
+                &evals,
+            )?;
             let mut solution =
                 orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)?;
             // Report the search's own value (bit-identical to the legacy
@@ -354,18 +417,89 @@ fn solve_with_cache(
             // through `oplist`.
             solution.value = result.period;
             solution.exhaustive = result.exhaustive && solution.exhaustive;
-            Ok(solution)
+            solution
         }
         (None, Objective::MinLatency) => {
             let options = budget.minlatency_options(problem.model);
-            let result = minimize_latency_engine(problem.app, &options, exec, cache)?;
+            let seed = warm_seed(problem, budget, warm);
+            stats.warm_value = seed;
+            let result = minimize_latency_engine_seeded(
+                problem.app,
+                &options,
+                exec,
+                cache,
+                seed.unwrap_or(f64::INFINITY),
+                &evals,
+            )?;
             let mut solution =
                 orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)?;
             solution.value = result.latency;
             solution.exhaustive = result.exhaustive && solution.exhaustive;
-            Ok(solution)
+            solution
         }
+    };
+    stats.evaluated = evals.load(Ordering::Relaxed);
+    Ok((solution, stats))
+}
+
+/// The warm-start seed: the warm graph's value under the problem's own
+/// candidate evaluation, when the graph fits the instance.  Not counted in
+/// [`SolveStats::evaluated`] (it is a single re-pricing outside the search;
+/// `warm_value` records that it happened), so `evaluated` compares
+/// like-for-like against a cold search and a warm solve can never report
+/// more evaluations than the cold solve it shadows.
+fn warm_seed(
+    problem: &Problem<'_>,
+    budget: &SearchBudget,
+    warm: Option<&ExecutionGraph>,
+) -> Option<f64> {
+    let graph = warm?;
+    if graph.n() != problem.app.n() || graph.respects(problem.app).is_err() {
+        return None;
     }
+    // The orchestrated OUTORDER plan search values every orbit at its
+    // *canonical member's* backtracker value (see
+    // `minperiod::evaluate_period_bounded`), while `evaluate_period` below
+    // prices the warm graph on its raw labelling — the label-dependent
+    // backtracker does not guarantee the raw value upper-bounds the
+    // search's own measure, so refuse to seed that path.
+    if problem.objective == Objective::MinPeriod
+        && problem.model == CommModel::OutOrder
+        && matches!(
+            budget.period_evaluation,
+            PeriodEvaluation::Orchestrated { .. }
+        )
+    {
+        return None;
+    }
+    // Only **forest** warm graphs may seed.  A seed must never undercut a
+    // candidate the search would otherwise have kept: the unconstrained
+    // MINPERIOD plan space is forests (Proposition 4 makes any forest value
+    // a safe upper bound), and MINLATENCY seeds its *forest phase* with
+    // this value — a DAG's latency can undercut every forest and starve
+    // that phase, flipping the near-tie arbitration with the DAG phase
+    // (cold keeps the forest inside its 1e-12 acceptance band; a
+    // DAG-seeded warm solve would not), so non-forest graphs are ignored
+    // even where the DAG space is searched.
+    if !graph.is_forest() {
+        return None;
+    }
+    let value = match problem.objective {
+        Objective::MinPeriod => crate::minperiod::evaluate_period(
+            problem.app,
+            graph,
+            problem.model,
+            budget.period_evaluation,
+        )
+        .ok()?,
+        Objective::MinLatency => crate::minlatency::evaluate_latency(
+            problem.app,
+            graph,
+            &budget.minlatency_options(problem.model),
+        )
+        .ok()?,
+    };
+    value.is_finite().then_some(value)
 }
 
 /// Best schedule for a fixed graph, period objective.
@@ -604,5 +738,44 @@ mod tests {
         .unwrap();
         solution.graph.respects(&app).unwrap();
         assert!(solution.graph.ancestors(0).contains(&2));
+    }
+
+    #[test]
+    fn warm_solves_match_cold_solves_and_reject_out_of_space_seeds() {
+        let app = Application::independent(&[
+            (2.0, 0.5),
+            (1.0, 2.0),
+            (3.0, 0.8),
+            (1.0, 0.6),
+            (2.5, 0.7),
+            (0.5, 0.9),
+        ]);
+        let budget = SearchBudget::default(); // dag_enumeration_max_n = 5 < 6
+        let cache = EvalCache::new(&app);
+        for objective in [Objective::MinPeriod, Objective::MinLatency] {
+            let problem = Problem::new(&app, CommModel::Overlap, objective);
+            let (cold, cold_stats) = solve_warm(&problem, &budget, &cache, None).unwrap();
+            assert!(cold_stats.warm_value.is_none());
+            // A feasible forest warm graph: bit-identical result, no more
+            // evaluations than cold.
+            let (warm, warm_stats) =
+                solve_warm(&problem, &budget, &cache, Some(&cold.graph)).unwrap();
+            assert_eq!(warm.value.to_bits(), cold.value.to_bits(), "{objective}");
+            assert_eq!(warm.exhaustive, cold.exhaustive);
+            assert_eq!(warm_stats.warm_value, Some(cold.value));
+            assert!(warm_stats.evaluated <= cold_stats.evaluated);
+            // A non-forest warm graph sits outside the searched space at
+            // this size (forests only): its value must be ignored, not used
+            // as a seed that could undercut every searched candidate.
+            let dag = ExecutionGraph::from_edges(6, &[(0, 2), (1, 2)]).unwrap();
+            let (with_dag, dag_stats) = solve_warm(&problem, &budget, &cache, Some(&dag)).unwrap();
+            assert_eq!(
+                with_dag.value.to_bits(),
+                cold.value.to_bits(),
+                "{objective}"
+            );
+            assert_eq!(with_dag.exhaustive, cold.exhaustive);
+            assert!(dag_stats.warm_value.is_none(), "{objective}: seed refused");
+        }
     }
 }

@@ -1,0 +1,63 @@
+//! # fsw-serve — the multi-tenant planning service
+//!
+//! The serving layer above `fsw_sched::orchestrator`: a fleet of tenant
+//! applications sends planning requests, and most of them are the same
+//! problem wearing different labels.  This crate turns that observation into
+//! throughput with four pieces:
+//!
+//! * **fingerprinting** — every request is keyed by its
+//!   [`fsw_core::AppFingerprint`] plus model and objective (the canonical
+//!   weight multiset and constraint set, see [`store::PlanKey`]): tenants
+//!   identical after canonicalisation share one solve;
+//! * **a plan store** ([`store::PlanStore`]) — fingerprint-keyed cached
+//!   plans with *cost-aware eviction*: entries are weighed by the wall time
+//!   their solve cost, so a 0.2 s exhaustive result outlives a crowd of
+//!   millisecond tree solves;
+//! * **a batched request queue** ([`service::PlanService`]) — a batch is
+//!   canonicalised, answered from the store where possible, deduplicated
+//!   in flight (one solve per distinct fingerprint per batch) and the
+//!   remaining cold solves drain onto the `fsw_sched::par` thread pool,
+//!   each under its own [`SearchBudget`](fsw_sched::orchestrator::SearchBudget)
+//!   deadline;
+//! * **online re-planning** ([`online::TenantSession`]) — a tenant's
+//!   service set evolves (arrivals, departures, weight changes) and the
+//!   session re-plans *incrementally*: the previous plan is adapted to the
+//!   mutated instance, its value seeds the search incumbent
+//!   ([`fsw_sched::orchestrator::solve_warm`]), and a **plan-churn** metric
+//!   reports how many parent assignments moved, so stability is measurable.
+//!
+//! The request lifecycle, end to end:
+//!
+//! ```text
+//!   request (app, model, objective)
+//!        │ canonicalise                  fsw_core::CanonicalApplication
+//!        ▼
+//!   fingerprint ──► plan store ──hit──► relabel to tenant ──► response
+//!        │ miss                               ▲
+//!        ▼                                    │
+//!   in-flight dedup (one leader per key)      │
+//!        │ leaders                            │
+//!        ▼                                    │
+//!   par::Exec pool ── solve_with_cache ──► store insert ──► followers
+//! ```
+//!
+//! Every served value is **bit-identical** to a cold solve of the tenant's
+//! own application: the permutation collapse only engages on solve paths
+//! that are provably label-invariant (see
+//! [`service::permutation_collapse_allowed`]), and warm-started re-plans
+//! return the same winner as cold ones by the strict-clearance pruning
+//! contract.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod online;
+pub mod service;
+pub mod store;
+
+pub use online::{ReplanOutcome, TenantEvent, TenantSession};
+pub use service::{
+    permutation_collapse_allowed, solve_all, PlanRequest, PlanResponse, PlanService, ServeSource,
+    ServiceStats,
+};
+pub use store::{PlanKey, PlanStore, StoreStats, StoredPlan};

@@ -1,0 +1,644 @@
+//! The batched request queue: canonicalise → store → dedup → pool.
+//!
+//! [`PlanService::serve_batch`] is the service's front door.  A batch of
+//! tenant requests is processed in four stages:
+//!
+//! 1. every request is **canonicalised** ([`fsw_core::CanonicalApplication`])
+//!    and keyed by its [`PlanKey`] — the permutation collapse engages only
+//!    when the solve path is provably label-invariant
+//!    ([`permutation_collapse_allowed`]), so a served value is always
+//!    bit-identical to a cold solve of the tenant's own application;
+//! 2. keys already in the **plan store** are answered immediately
+//!    ([`ServeSource::Store`]);
+//! 3. the remaining requests are **deduplicated in flight**: the first
+//!    request of each distinct missing key becomes its *leader*
+//!    ([`ServeSource::Cold`]), later ones become *followers*
+//!    ([`ServeSource::Dedup`]) and wait for the leader's result;
+//! 4. the leaders drain onto the `fsw_sched::par` worker pool
+//!    ([`SearchBudget::threads`] workers, requests stay in submission
+//!    order), each cold solve running under its own
+//!    [`SearchBudget::time_limit`] deadline; results are inserted into the
+//!    store (weighted by their measured wall time) and fanned back out.
+//!
+//! Responses carry the plan relabelled into the tenant's own service ids.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fsw_core::{Application, CanonicalApplication, CommModel, CoreResult, ExecutionGraph};
+use fsw_sched::engine::EvalCache;
+use fsw_sched::orchestrator::{solve_with_cache, Objective, Problem, SearchBudget};
+use fsw_sched::par::par_chunks;
+
+use crate::store::{PlanKey, PlanStore, StoredPlan};
+
+/// One tenant request: plan this application under this model/objective.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// The tenant's application, in its own labelling.
+    pub app: Application,
+    /// The communication model to plan for.
+    pub model: CommModel,
+    /// The objective to optimise.
+    pub objective: Objective,
+}
+
+impl PlanRequest {
+    /// Convenience constructor.
+    pub fn new(app: Application, model: CommModel, objective: Objective) -> Self {
+        PlanRequest {
+            app,
+            model,
+            objective,
+        }
+    }
+}
+
+/// Where a response came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Solved cold in this batch (the leader of its fingerprint).
+    Cold,
+    /// Answered from the plan store (an earlier batch solved it).
+    Store,
+    /// Deduplicated in flight against a leader of the same batch.
+    Dedup,
+}
+
+/// The service's answer to one [`PlanRequest`], over tenant labels.
+#[derive(Clone, Debug)]
+pub struct PlanResponse {
+    /// The objective value — bit-identical to a cold solve of the tenant's
+    /// own application.
+    pub value: f64,
+    /// The winning execution graph, relabelled into the tenant's ids.
+    pub graph: ExecutionGraph,
+    /// Whether the underlying solve was exhaustive for its budget.
+    pub exhaustive: bool,
+    /// Where the answer came from.
+    pub source: ServeSource,
+    /// Wall time of the underlying cold solve in microseconds (`0` would
+    /// never be stored: served entries report their original solve cost).
+    pub solve_micros: u64,
+}
+
+/// Lifetime counters of a [`PlanService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests received.
+    pub requests: usize,
+    /// Cold solves performed (fingerprint leaders).
+    pub cold: usize,
+    /// Requests answered from the plan store.
+    pub store_hits: usize,
+    /// Requests deduplicated in flight against a same-batch leader.
+    pub dedup_hits: usize,
+}
+
+impl ServiceStats {
+    /// Fraction of requests served without a cold solve (store + dedup).
+    pub fn served_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.store_hits + self.dedup_hits) as f64 / self.requests as f64
+    }
+}
+
+/// `true` when the solve path for `(model, objective)` under `budget` is
+/// provably **label-invariant**, i.e. two applications that are service
+/// permutations of each other solve to bit-identical values — the gate for
+/// collapsing permuted tenants onto one canonical fingerprint.
+///
+/// The rules mirror the bit-safety story of `fsw_sched::engine::Symmetry`:
+///
+/// * constrained applications never collapse (constraints name services);
+/// * MINPERIOD with the [`LowerBound`](fsw_sched::minperiod::PeriodEvaluation)
+///   evaluation (or any evaluation under OVERLAP, where the bound is the
+///   value) is a pure function of the weighted plan structure — the plan
+///   search is over forests, whose metrics are path-order products with no
+///   cross-label sums;
+/// * MINLATENCY on the forest-only path (`n > dag_enumeration_max_n`) is
+///   exact Algorithm 1, again purely structural;
+/// * everything else (orchestrated one-port period evaluations, the
+///   MINLATENCY DAG phase) runs ordering searches whose accumulation order
+///   follows service ids and may drift by an ulp across relabellings —
+///   those requests key by their **exact** labelling instead (identical
+///   tenants still share; permuted ones do not);
+/// * the invariance claim covers the **exhaustive** searches only, so the
+///   collapse additionally requires that the solve provably stays
+///   exhaustive: the forest space must fit the enumeration budget
+///   ([`CanonicalSpace::exhaustively_coverable`], owned by the engine next
+///   to the gating it mirrors — the over-cap fallback is label-following
+///   hill climbing) and no `time_limit` may be set (an interrupted
+///   enumeration returns a best-so-far that depends on the walk order,
+///   hence on labels, and on the wall clock).
+pub fn permutation_collapse_allowed(
+    app: &Application,
+    model: CommModel,
+    objective: Objective,
+    budget: &SearchBudget,
+) -> bool {
+    use fsw_sched::engine::CanonicalSpace;
+    use fsw_sched::minperiod::PeriodEvaluation;
+    if app.has_constraints()
+        || budget.time_limit.is_some()
+        || !CanonicalSpace::exhaustively_coverable(app, budget.max_graphs)
+    {
+        return false;
+    }
+    match objective {
+        Objective::MinPeriod => {
+            model == CommModel::Overlap
+                || matches!(budget.period_evaluation, PeriodEvaluation::LowerBound)
+        }
+        Objective::MinLatency => app.n() > budget.dag_enumeration_max_n,
+    }
+}
+
+/// A request canonicalised and keyed, ready for the store.
+struct Prepared {
+    canon: CanonicalApplication,
+    key: PlanKey,
+}
+
+/// How one request of a batch is answered.
+enum Assignment {
+    /// Answered from the store.
+    Hit(StoredPlan),
+    /// Leader of its key: `solved[slot]` is this request's cold solve.
+    Leader(usize),
+    /// Follower of the leader filling `solved[slot]`.
+    Follower(usize),
+}
+
+/// The multi-tenant planning service: one plan store plus one search budget
+/// (see the module docs for the batch lifecycle).
+pub struct PlanService {
+    budget: SearchBudget,
+    store: PlanStore,
+    requests: AtomicUsize,
+    cold: AtomicUsize,
+    store_hits: AtomicUsize,
+    dedup_hits: AtomicUsize,
+}
+
+impl PlanService {
+    /// A service answering under `budget`, caching at most `store_capacity`
+    /// plans.
+    pub fn new(budget: SearchBudget, store_capacity: usize) -> Self {
+        PlanService {
+            budget,
+            store: PlanStore::new(store_capacity),
+            requests: AtomicUsize::new(0),
+            cold: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            dedup_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The budget every cold solve runs under.
+    pub fn budget(&self) -> &SearchBudget {
+        &self.budget
+    }
+
+    /// The underlying plan store.
+    pub fn store(&self) -> &PlanStore {
+        &self.store
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves one request (a batch of one).
+    pub fn serve_one(&self, request: &PlanRequest) -> CoreResult<PlanResponse> {
+        Ok(self
+            .serve_batch(std::slice::from_ref(request))?
+            .pop()
+            .expect("one request, one response"))
+    }
+
+    /// Serves a batch: store lookups, in-flight dedup, cold solves on the
+    /// worker pool (see the module docs).  Responses come back in request
+    /// order, and every value is bit-identical to a cold solve of the
+    /// tenant's own application under the service's budget.
+    ///
+    /// Every application is **validated before anything is keyed or
+    /// solved**: an invalid tenant (NaN cost, negative selectivity, cyclic
+    /// constraints, …) fails the whole batch up front rather than poisoning
+    /// the fingerprint store with a garbage plan other tenants could then
+    /// be served.
+    pub fn serve_batch(&self, requests: &[PlanRequest]) -> CoreResult<Vec<PlanResponse>> {
+        for request in requests {
+            request.app.validate()?;
+        }
+        self.requests.fetch_add(requests.len(), Ordering::Relaxed);
+        // 1. Canonicalise and key.
+        let prepared: Vec<Prepared> = requests
+            .iter()
+            .map(|r| {
+                let collapse =
+                    permutation_collapse_allowed(&r.app, r.model, r.objective, &self.budget);
+                let canon = CanonicalApplication::with_collapse(&r.app, collapse);
+                let key = PlanKey {
+                    fingerprint: canon.fingerprint.clone(),
+                    model: r.model,
+                    objective: r.objective,
+                };
+                Prepared { canon, key }
+            })
+            .collect();
+        // 2. + 3. Store lookups and in-flight dedup (leader per missing key).
+        let mut assignments: Vec<Assignment> = Vec::with_capacity(requests.len());
+        let mut leaders: Vec<usize> = Vec::new();
+        let mut in_flight: std::collections::HashMap<&PlanKey, usize> =
+            std::collections::HashMap::new();
+        for (idx, prep) in prepared.iter().enumerate() {
+            if let Some(slot) = in_flight.get(&prep.key) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                assignments.push(Assignment::Follower(*slot));
+            } else if let Some(plan) = self.store.get(&prep.key) {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                assignments.push(Assignment::Hit(plan));
+            } else {
+                let slot = leaders.len();
+                leaders.push(idx);
+                in_flight.insert(&prep.key, slot);
+                self.cold.fetch_add(1, Ordering::Relaxed);
+                assignments.push(Assignment::Leader(slot));
+            }
+        }
+        // 4. Drain the leaders onto the pool.  Each cold solve runs serial
+        // inside (the fan-out is across requests) under its own deadline,
+        // which `solve` arms from `budget.time_limit` at call time.
+        let threads = match self.budget.threads {
+            0 => std::thread::available_parallelism().map_or(1, |t| t.get()),
+            t => t,
+        };
+        let inner_budget = SearchBudget {
+            threads: 1,
+            ..self.budget
+        };
+        // One evaluation cache per distinct fingerprint in the batch: the
+        // fingerprint determines the canonical application, so leaders of
+        // the same application under different models/objectives share the
+        // memoised ordering searches, exactly like `solve_all`'s per-app
+        // sweep.  (`EvalCache` is `Sync`; the workers only read the map.)
+        let mut caches: std::collections::HashMap<&fsw_core::AppFingerprint, EvalCache> =
+            std::collections::HashMap::new();
+        for &idx in &leaders {
+            caches
+                .entry(&prepared[idx].key.fingerprint)
+                .or_insert_with(|| EvalCache::new(&prepared[idx].canon.app));
+        }
+        let solved: Vec<StoredPlan> = par_chunks(threads, &leaders, |_base, chunk| {
+            chunk
+                .iter()
+                .map(|&idx| {
+                    let cache = &caches[&prepared[idx].key.fingerprint];
+                    cold_solve(&prepared[idx], requests[idx].model, &inner_budget, cache)
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        // Publish in leader order (deterministic store contents).
+        for (slot, &idx) in leaders.iter().enumerate() {
+            self.store
+                .insert(prepared[idx].key.clone(), solved[slot].clone());
+        }
+        // Fan the answers back out, relabelled per tenant.
+        Ok(assignments
+            .into_iter()
+            .enumerate()
+            .map(|(idx, assignment)| {
+                let (plan, source) = match assignment {
+                    Assignment::Hit(plan) => (plan, ServeSource::Store),
+                    Assignment::Leader(slot) => (solved[slot].clone(), ServeSource::Cold),
+                    Assignment::Follower(slot) => (solved[slot].clone(), ServeSource::Dedup),
+                };
+                let graph = prepared[idx]
+                    .canon
+                    .graph_to_tenant(&plan.graph)
+                    .expect("canonical plans relabel cleanly");
+                PlanResponse {
+                    value: plan.value,
+                    graph,
+                    exhaustive: plan.exhaustive,
+                    source,
+                    solve_micros: plan.solve_micros,
+                }
+            })
+            .collect())
+    }
+
+    /// Publishes an externally solved plan (an online re-plan from a
+    /// [`crate::online::TenantSession`]) into the store, so later requests
+    /// for the same fingerprint are served without a solve.  `graph` and
+    /// `value` are in tenant labels; the entry is stored canonically.
+    ///
+    /// `solved_under` is the budget that produced the plan: a store hit
+    /// promises the value a cold solve under *the service's* budget would
+    /// return, so plans solved under any other budget (different caps,
+    /// evaluation, or a time limit) are silently dropped instead of
+    /// poisoning the store with a value the service itself would not
+    /// compute.  Returns `true` when the plan was stored.
+    #[allow(clippy::too_many_arguments)] // one flat record, not a call protocol
+    pub fn publish(
+        &self,
+        app: &Application,
+        model: CommModel,
+        objective: Objective,
+        solved_under: &SearchBudget,
+        value: f64,
+        graph: &ExecutionGraph,
+        exhaustive: bool,
+        solve_micros: u64,
+    ) -> bool {
+        if *solved_under != self.budget {
+            return false;
+        }
+        let collapse = permutation_collapse_allowed(app, model, objective, &self.budget);
+        let canon = CanonicalApplication::with_collapse(app, collapse);
+        let Ok(canonical_graph) = canon.graph_to_canonical(graph) else {
+            return false;
+        };
+        let key = PlanKey {
+            fingerprint: canon.fingerprint.clone(),
+            model,
+            objective,
+        };
+        self.store.insert(
+            key,
+            StoredPlan {
+                value,
+                graph: canonical_graph,
+                exhaustive,
+                solve_micros,
+            },
+        );
+        true
+    }
+}
+
+/// One cold solve over the canonical application, timed for the store.
+fn cold_solve(
+    prep: &Prepared,
+    model: CommModel,
+    budget: &SearchBudget,
+    cache: &EvalCache,
+) -> StoredPlan {
+    let problem = Problem::new(&prep.canon.app, model, prep.key.objective);
+    let started = Instant::now();
+    let solution = solve_with_cache(&problem, budget, cache)
+        .expect("serving requests are validated applications");
+    let solve_micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    StoredPlan {
+        value: solution.value,
+        graph: solution.graph,
+        exhaustive: solution.exhaustive,
+        solve_micros,
+    }
+}
+
+/// The store-aware batch entry point over a **fleet** of applications: every
+/// `(application, model, objective)` combination becomes one request, the
+/// whole fleet goes through a transient [`PlanService`] batch (so
+/// applications identical after canonicalisation are solved **once**), and
+/// the responses come back grouped per application in request order.
+///
+/// This supersedes looping `fsw_sched::orchestrator::solve_all` over the
+/// fleet, which solved every tenant separately even when all twelve were
+/// the same canonical problem.
+pub fn solve_all(
+    apps: &[Application],
+    requests: &[(CommModel, Objective)],
+    budget: &SearchBudget,
+) -> CoreResult<Vec<Vec<PlanResponse>>> {
+    let service = PlanService::new(*budget, (apps.len() * requests.len()).max(1));
+    let batch: Vec<PlanRequest> = apps
+        .iter()
+        .flat_map(|app| {
+            requests
+                .iter()
+                .map(|&(model, objective)| PlanRequest::new(app.clone(), model, objective))
+        })
+        .collect();
+    let mut responses = service.serve_batch(&batch)?.into_iter();
+    Ok(apps
+        .iter()
+        .map(|_| responses.by_ref().take(requests.len()).collect())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsw_sched::orchestrator::solve;
+
+    fn budget() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    #[test]
+    fn identical_tenants_dedup_in_flight_and_hit_the_store_across_batches() {
+        let service = PlanService::new(budget(), 16);
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8)]);
+        let request = PlanRequest::new(app.clone(), CommModel::Overlap, Objective::MinPeriod);
+        let batch = vec![request.clone(), request.clone(), request.clone()];
+        let responses = service.serve_batch(&batch).unwrap();
+        assert_eq!(responses[0].source, ServeSource::Cold);
+        assert_eq!(responses[1].source, ServeSource::Dedup);
+        assert_eq!(responses[2].source, ServeSource::Dedup);
+        // All three answers are the same bits.
+        let cold = solve(
+            &Problem::new(&app, CommModel::Overlap, Objective::MinPeriod),
+            &budget(),
+        )
+        .unwrap();
+        for r in &responses {
+            assert_eq!(r.value, cold.value);
+            assert_eq!(r.exhaustive, cold.exhaustive);
+        }
+        // A later batch is served from the store.
+        let again = service.serve_one(&request).unwrap();
+        assert_eq!(again.source, ServeSource::Store);
+        assert_eq!(again.value, cold.value);
+        let stats = service.stats();
+        assert_eq!((stats.cold, stats.dedup_hits, stats.store_hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn permuted_tenants_share_one_solve_on_invariant_paths() {
+        let a = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8)]);
+        let b = Application::independent(&[(3.0, 0.8), (2.0, 0.5), (1.0, 2.0)]);
+        let service = PlanService::new(budget(), 16);
+        let responses = service
+            .serve_batch(&[
+                PlanRequest::new(a.clone(), CommModel::InOrder, Objective::MinPeriod),
+                PlanRequest::new(b.clone(), CommModel::InOrder, Objective::MinPeriod),
+            ])
+            .unwrap();
+        assert_eq!(responses[0].source, ServeSource::Cold);
+        assert_eq!(responses[1].source, ServeSource::Dedup);
+        // Each tenant's served value equals its own cold solve, bit for bit
+        // (the LowerBound MINPERIOD path is label-invariant).
+        for (app, response) in [(&a, &responses[0]), (&b, &responses[1])] {
+            let cold = solve(
+                &Problem::new(app, CommModel::InOrder, Objective::MinPeriod),
+                &budget(),
+            )
+            .unwrap();
+            assert_eq!(response.value, cold.value);
+            // The served graph is valid for the tenant and achieves the value.
+            response.graph.respects(app).unwrap();
+        }
+    }
+
+    #[test]
+    fn publish_refuses_plans_solved_under_a_foreign_budget() {
+        let service = PlanService::new(budget(), 8);
+        let app = Application::independent(&[(1.0, 0.5), (2.0, 0.6)]);
+        let graph = fsw_core::ExecutionGraph::new(2);
+        // A starved budget produces values the service's own cold solves
+        // would not return: the store must not accept them.
+        let starved = SearchBudget {
+            max_graphs: 1,
+            ..budget()
+        };
+        assert!(!service.publish(
+            &app,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            &starved,
+            9.0,
+            &graph,
+            false,
+            10
+        ));
+        assert_eq!(service.store().stats().len, 0);
+        // The service's own budget is accepted.
+        assert!(service.publish(
+            &app,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            &budget(),
+            9.0,
+            &graph,
+            true,
+            10
+        ));
+        assert_eq!(service.store().stats().len, 1);
+    }
+
+    #[test]
+    fn invalid_applications_are_rejected_before_solving_or_caching() {
+        let service = PlanService::new(budget(), 8);
+        let bad = Application::independent(&[(f64::NAN, 0.5), (2.0, 0.6), (1.0, -3.0)]);
+        let request = PlanRequest::new(bad, CommModel::Overlap, Objective::MinPeriod);
+        assert!(service.serve_one(&request).is_err());
+        // Nothing was counted, solved or cached — the store cannot be
+        // poisoned with a garbage plan other tenants could be served.
+        let stats = service.stats();
+        assert_eq!((stats.requests, stats.cold), (0, 0));
+        assert_eq!(service.store().stats().len, 0);
+    }
+
+    #[test]
+    fn collapse_gate_requires_exhaustive_coverage_and_no_deadline() {
+        // n = 10 with all-distinct weights: the labelled forest space
+        // (10^10) dwarfs max_graphs and no symmetry reduction applies, so
+        // the solve would fall back to label-following local search —
+        // permuted tenants must not collapse there.
+        let specs: Vec<(f64, f64)> = (0..10)
+            .map(|k| (1.0 + k as f64, 0.5 + 0.01 * k as f64))
+            .collect();
+        let wide = Application::independent(&specs);
+        for objective in [Objective::MinPeriod, Objective::MinLatency] {
+            assert!(!permutation_collapse_allowed(
+                &wide,
+                CommModel::Overlap,
+                objective,
+                &budget()
+            ));
+        }
+        // A uniform n = 10 instance is covered through the canonical space.
+        let uniform = Application::independent(&[(2.0, 0.5); 10]);
+        assert!(permutation_collapse_allowed(
+            &uniform,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            &budget()
+        ));
+        // A time limit makes any interrupted enumeration walk-order (and
+        // wall-clock) dependent: no collapse, however small the instance.
+        let small = Application::independent(&[(1.0, 0.5), (2.0, 0.6), (3.0, 0.7)]);
+        assert!(permutation_collapse_allowed(
+            &small,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            &budget()
+        ));
+        let limited = budget().with_time_limit(std::time::Duration::from_secs(1));
+        assert!(!permutation_collapse_allowed(
+            &small,
+            CommModel::Overlap,
+            Objective::MinPeriod,
+            &limited
+        ));
+    }
+
+    #[test]
+    fn label_following_paths_do_not_collapse_permutations() {
+        // MINLATENCY at n <= dag_enumeration_max_n runs ordering searches:
+        // permuted tenants must keep distinct fingerprints there.
+        let a = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8)]);
+        let b = Application::independent(&[(3.0, 0.8), (2.0, 0.5), (1.0, 2.0)]);
+        assert!(!permutation_collapse_allowed(
+            &a,
+            CommModel::InOrder,
+            Objective::MinLatency,
+            &budget()
+        ));
+        let service = PlanService::new(budget(), 16);
+        let responses = service
+            .serve_batch(&[
+                PlanRequest::new(a, CommModel::InOrder, Objective::MinLatency),
+                PlanRequest::new(b, CommModel::InOrder, Objective::MinLatency),
+            ])
+            .unwrap();
+        assert_eq!(responses[0].source, ServeSource::Cold);
+        assert_eq!(responses[1].source, ServeSource::Cold);
+    }
+
+    #[test]
+    fn fleet_solve_all_groups_responses_per_application() {
+        let apps = vec![
+            Application::independent(&[(1.0, 0.5), (2.0, 0.8)]),
+            Application::independent(&[(2.0, 0.8), (1.0, 0.5)]), // permutation of the first
+        ];
+        let requests = [
+            (CommModel::Overlap, Objective::MinPeriod),
+            (CommModel::InOrder, Objective::MinPeriod),
+        ];
+        let grouped = solve_all(&apps, &requests, &budget()).unwrap();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].len(), 2);
+        // The permuted twin is fully deduplicated.
+        assert!(grouped[1].iter().all(|r| r.source == ServeSource::Dedup));
+        for (app, responses) in apps.iter().zip(&grouped) {
+            for (&(model, objective), response) in requests.iter().zip(responses) {
+                let cold = solve(&Problem::new(app, model, objective), &budget()).unwrap();
+                assert_eq!(response.value, cold.value, "{model} {objective}");
+            }
+        }
+    }
+}

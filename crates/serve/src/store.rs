@@ -1,0 +1,250 @@
+//! The fingerprint-keyed plan store with cost-aware eviction.
+//!
+//! A serving tier's cache is only as good as its eviction policy: plans are
+//! wildly unequal in what they cost to recompute (a canonical-space
+//! exhaustive MINPERIOD solve takes five orders of magnitude longer than a
+//! tree-latency evaluation), so plain LRU happily evicts the one entry
+//! worth keeping.  [`PlanStore`] therefore weighs every entry by the **wall
+//! time its solve cost** and evicts cheapest-first, breaking ties by
+//! recency — a 0.2 s exhaustive result outlives any number of millisecond
+//! solves, and among equals the least recently used goes first.
+//!
+//! The store is keyed by [`PlanKey`]: the application's canonical
+//! fingerprint ([`fsw_core::AppFingerprint`], content-complete — equal keys
+//! *are* equal problems) plus communication model and objective.  Entries
+//! hold plans over **canonical labels**; the service relabels them per
+//! tenant on the way out.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fsw_core::{AppFingerprint, CommModel, ExecutionGraph};
+use fsw_sched::orchestrator::Objective;
+
+/// The identity of a planning problem: *what* is solved for *whom*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical identity of the application (content-complete; see
+    /// [`fsw_core::AppFingerprint`]).
+    pub fingerprint: AppFingerprint,
+    /// The communication model of the request.
+    pub model: CommModel,
+    /// The objective of the request.
+    pub objective: Objective,
+}
+
+/// A cached plan, over the canonical labelling of its fingerprint.
+#[derive(Clone, Debug)]
+pub struct StoredPlan {
+    /// The objective value (bit-identical to a cold solve of any
+    /// application sharing the fingerprint, by the collapse gate).
+    pub value: f64,
+    /// The winning execution graph over canonical labels.
+    pub graph: ExecutionGraph,
+    /// Whether the solve was exhaustive for its budget.
+    pub exhaustive: bool,
+    /// Wall time the solve cost, in microseconds — the eviction weight.
+    pub solve_micros: u64,
+}
+
+struct Entry {
+    plan: StoredPlan,
+    /// Logical time of the last hit (eviction tie-break).
+    last_used: u64,
+    /// Logical time of insertion (deterministic final tie-break).
+    stamp: u64,
+}
+
+/// Counters of one [`PlanStore`]'s lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: usize,
+    /// Lookups that missed.
+    pub misses: usize,
+    /// Entries evicted by the cost-aware policy.
+    pub evictions: usize,
+    /// Entries currently held.
+    pub len: usize,
+}
+
+/// A bounded, concurrent, fingerprint-keyed plan cache (see the module
+/// docs for the eviction policy).
+pub struct PlanStore {
+    capacity: usize,
+    inner: Mutex<HashMap<PlanKey, Entry>>,
+    clock: AtomicU64,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl PlanStore {
+    /// A fresh store holding at most `capacity` plans (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        PlanStore {
+            capacity: capacity.max(1),
+            inner: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of plans the store holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &PlanKey) -> Option<StoredPlan> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.lock().expect("plan store poisoned");
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a plan, then evicts down to capacity:
+    /// smallest `solve_micros` first, least recently used among equals,
+    /// oldest insertion as the deterministic final tie-break.  The freshly
+    /// inserted entry competes like any other — a cheap plan does not
+    /// displace an expensive one even when it is newer.  Refreshing an
+    /// existing key keeps the **larger** of the old and new eviction
+    /// weights: a warm re-plan that re-derives a fingerprint in a
+    /// millisecond must not demote the 0.2 s cold solve whose recomputation
+    /// cost the weight stands for.
+    pub fn insert(&self, key: PlanKey, mut plan: StoredPlan) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.lock().expect("plan store poisoned");
+        if let Some(existing) = map.get(&key) {
+            plan.solve_micros = plan.solve_micros.max(existing.plan.solve_micros);
+        }
+        map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: now,
+                stamp: now,
+            },
+        );
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| (e.plan.solve_micros, e.last_used, e.stamp))
+                .map(|(k, _)| k.clone())
+                .expect("store over capacity implies non-empty");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime counters plus the current size.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.inner.lock().expect("plan store poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsw_core::{Application, CanonicalApplication};
+
+    fn key_of(specs: &[(f64, f64)]) -> PlanKey {
+        let app = Application::independent(specs);
+        PlanKey {
+            fingerprint: CanonicalApplication::of(&app).fingerprint,
+            model: CommModel::Overlap,
+            objective: Objective::MinPeriod,
+        }
+    }
+
+    fn plan(value: f64, micros: u64) -> StoredPlan {
+        StoredPlan {
+            value,
+            graph: ExecutionGraph::new(2),
+            exhaustive: true,
+            solve_micros: micros,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_stats() {
+        let store = PlanStore::new(4);
+        let key = key_of(&[(1.0, 0.5), (2.0, 0.5)]);
+        assert!(store.get(&key).is_none());
+        store.insert(key.clone(), plan(7.0, 100));
+        let hit = store.get(&key).expect("inserted");
+        assert_eq!(hit.value, 7.0);
+        assert_eq!(hit.solve_micros, 100);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_cost_aware() {
+        // Capacity 2: one expensive entry plus a stream of cheap ones — the
+        // expensive entry must survive every eviction round, even though it
+        // is the oldest and least recently used.
+        let store = PlanStore::new(2);
+        let expensive = key_of(&[(9.0, 0.9), (9.0, 0.9)]);
+        store.insert(expensive.clone(), plan(1.0, 200_000));
+        for i in 0..5u32 {
+            let cheap = key_of(&[(1.0 + f64::from(i), 0.5)]);
+            store.insert(cheap, plan(2.0, 50 + u64::from(i)));
+        }
+        assert!(store.get(&expensive).is_some(), "expensive entry evicted");
+        let stats = store.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 4);
+    }
+
+    #[test]
+    fn refreshing_a_key_never_demotes_its_eviction_weight() {
+        let store = PlanStore::new(2);
+        let expensive = key_of(&[(9.0, 0.9), (9.0, 0.9)]);
+        store.insert(expensive.clone(), plan(1.0, 200_000));
+        // A cheap re-publish of the same fingerprint (e.g. a warm re-plan
+        // that re-derived it in a millisecond) keeps the cold-solve weight.
+        store.insert(expensive.clone(), plan(1.0, 1_500));
+        for i in 0..4u32 {
+            store.insert(key_of(&[(1.0 + f64::from(i), 0.5)]), plan(2.0, 50));
+        }
+        assert!(
+            store.get(&expensive).is_some(),
+            "a cheap refresh must not demote the entry under eviction"
+        );
+    }
+
+    #[test]
+    fn recency_breaks_cost_ties() {
+        let store = PlanStore::new(2);
+        let a = key_of(&[(1.0, 0.1)]);
+        let b = key_of(&[(2.0, 0.2)]);
+        let c = key_of(&[(3.0, 0.3)]);
+        store.insert(a.clone(), plan(1.0, 100));
+        store.insert(b.clone(), plan(2.0, 100));
+        // Touch `a`: `b` becomes the least recently used of the equal-cost
+        // pair and must be the victim.
+        assert!(store.get(&a).is_some());
+        store.insert(c.clone(), plan(3.0, 100));
+        assert!(store.get(&a).is_some());
+        assert!(store.get(&b).is_none());
+        assert!(store.get(&c).is_some());
+    }
+}

@@ -11,6 +11,10 @@
 //!   stream of data sets, re-checks every resource constraint on the absolute
 //!   timeline (including multi-port bandwidth sharing) and reports the
 //!   achieved completion times.
+//! * [`replay_trace`] — replays a *serving trace* (tenants, requests and
+//!   service-set mutations arriving over time) through the `fsw_serve`
+//!   planning service, with optional shadow cold solves cross-validating
+//!   every served value bit-for-bit.
 //!
 //! ```
 //! use fsw_core::{Application, CommModel, ExecutionGraph};
@@ -30,7 +34,9 @@
 pub mod measure;
 pub mod oneport;
 pub mod replay;
+pub mod serve_replay;
 
 pub use measure::SimReport;
 pub use oneport::simulate_inorder;
 pub use replay::replay_oplist;
+pub use serve_replay::{replay_trace, RequestOutcome, RequestPath, ServeReplayConfig, TraceReport};

@@ -1,0 +1,435 @@
+//! Replay of a serving trace through the multi-tenant planning service.
+//!
+//! The analytic twin of the op-list replay: where [`crate::replay_oplist`]
+//! executes one *schedule* against the resource rules, this harness
+//! executes a whole *serving timeline*
+//! ([`fsw_workloads::streaming::ArrivalTrace`]) against the `fsw_serve`
+//! stack — tenants are admitted into [`TenantSession`]s, request batches
+//! flow through a [`PlanService`] (fingerprint store + in-flight dedup +
+//! worker pool), and service-set mutations trigger warm-started online
+//! re-plans whose results are published back into the store.
+//!
+//! With [`ServeReplayConfig::verify`] on, every request additionally runs a
+//! **shadow cold solve** of the tenant's current application outside the
+//! serving path: the report then carries, per request, the ground-truth
+//! value (served values must match it bit-for-bit) and the cold evaluation
+//! count (warm re-plans must not evaluate more).  Shadow solves are
+//! excluded from the serving wall time.
+
+use std::time::{Duration, Instant};
+
+use fsw_core::{Application, CommModel, CoreError, CoreResult};
+use fsw_sched::engine::EvalCache;
+use fsw_sched::orchestrator::{solve_warm, Objective, Problem, SearchBudget};
+use fsw_serve::{PlanRequest, PlanService, ServeSource, ServiceStats, StoreStats, TenantSession};
+use fsw_workloads::streaming::{ArrivalTrace, TraceEventKind};
+
+/// How a request was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestPath {
+    /// Cold solve (the leader of its fingerprint in its batch).
+    Cold,
+    /// Served from the plan store.
+    Store,
+    /// Deduplicated in flight against a same-batch leader.
+    Dedup,
+    /// Warm-started online re-plan after a service-set mutation.
+    Replan,
+}
+
+/// One request's outcome in the replay.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// The step the request fired at.
+    pub step: usize,
+    /// The requesting tenant.
+    pub tenant: usize,
+    /// How it was answered.
+    pub path: RequestPath,
+    /// The served objective value.
+    pub value: f64,
+    /// Whether the underlying solve was exhaustive.
+    pub exhaustive: bool,
+    /// Plan churn of a re-plan (moved parent assignments); `None` off the
+    /// replan path.
+    pub churn: Option<usize>,
+    /// The warm-start seed of a re-plan.
+    pub warm_value: Option<f64>,
+    /// Candidates evaluated by a re-plan's search (0 off the replan path).
+    pub evaluated: usize,
+    /// Ground-truth value from the shadow cold solve (verify mode).
+    pub cold_value: Option<f64>,
+    /// Candidates the shadow cold solve evaluated (verify mode).
+    pub cold_evaluated: Option<usize>,
+}
+
+/// Aggregate report of one trace replay.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Per-request outcomes, in timeline order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Tenants admitted.
+    pub tenants: usize,
+    /// Wall time spent *serving* (batches + re-plans; shadow solves and
+    /// bookkeeping excluded).
+    pub serve_wall: Duration,
+    /// The plan store's final counters.
+    pub store: StoreStats,
+    /// The service's final counters (replans are not service requests).
+    pub service: ServiceStats,
+}
+
+impl TraceReport {
+    /// Total requests answered (serving paths + re-plans).
+    pub fn requests(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Requests served without any solve (store + dedup).
+    pub fn served(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.path, RequestPath::Store | RequestPath::Dedup))
+            .count()
+    }
+
+    /// Fraction of requests served from cache or dedup.
+    pub fn served_ratio(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.served() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Number of re-plan outcomes.
+    pub fn replans(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.path == RequestPath::Replan)
+            .count()
+    }
+
+    /// Sum of plan churn over all re-plans.
+    pub fn total_churn(&self) -> usize {
+        self.outcomes.iter().filter_map(|o| o.churn).sum()
+    }
+
+    /// `(warm, cold)` evaluation totals over the re-plans that carry shadow
+    /// counts (verify mode): the warm side must never exceed the cold side.
+    pub fn replan_evaluations(&self) -> (usize, usize) {
+        self.outcomes
+            .iter()
+            .filter(|o| o.path == RequestPath::Replan && o.cold_evaluated.is_some())
+            .fold((0, 0), |(w, c), o| {
+                (w + o.evaluated, c + o.cold_evaluated.unwrap_or(0))
+            })
+    }
+
+    /// Requests whose served value differs (bitwise) from the shadow cold
+    /// solve's value — must be `0` in verify mode.
+    pub fn value_mismatches(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                o.cold_value
+                    .is_some_and(|cold| cold.to_bits() != o.value.to_bits())
+            })
+            .count()
+    }
+
+    /// Serving throughput in requests per second.
+    pub fn requests_per_second(&self) -> f64 {
+        let secs = self.serve_wall.as_secs_f64();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.outcomes.len() as f64 / secs
+    }
+
+    /// A thread-count-independent digest of the replay for determinism
+    /// tests: `(step, tenant, path, value bits, churn)` per request.
+    /// Evaluation counts are excluded — parallel searches return identical
+    /// *results* but may probe more candidates against a staler incumbent.
+    pub fn digest(&self) -> Vec<(usize, usize, RequestPath, u64, Option<usize>)> {
+        self.outcomes
+            .iter()
+            .map(|o| (o.step, o.tenant, o.path, o.value.to_bits(), o.churn))
+            .collect()
+    }
+}
+
+/// Parameters of a trace replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeReplayConfig {
+    /// Budget of every solve (serving and re-planning); its `time_limit` is
+    /// armed per request.
+    pub budget: SearchBudget,
+    /// Plan-store capacity.  Note that eviction weighs entries by measured
+    /// wall time, so an over-subscribed store makes replays timing
+    /// dependent; determinism tests size it above the fingerprint count.
+    pub store_capacity: usize,
+    /// Run a shadow cold solve per request (ground truth + node counts).
+    pub verify: bool,
+    /// The communication model every request plans for.
+    pub model: CommModel,
+    /// The objective every request optimises.
+    pub objective: Objective,
+}
+
+impl Default for ServeReplayConfig {
+    fn default() -> Self {
+        ServeReplayConfig {
+            budget: SearchBudget::default(),
+            store_capacity: 256,
+            verify: false,
+            model: CommModel::Overlap,
+            objective: Objective::MinPeriod,
+        }
+    }
+}
+
+/// Replays `trace` through a fresh [`PlanService`] (see the module docs).
+/// Events of one step form one service batch; mutations precede the step's
+/// requests.  Returns the per-request outcomes and aggregate counters.
+pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreResult<TraceReport> {
+    let service = PlanService::new(config.budget, config.store_capacity);
+    let mut sessions: Vec<Option<TenantSession>> = (0..trace.tenants).map(|_| None).collect();
+    // A tenant is dirty between a mutation and its next request: that
+    // request re-plans online instead of going through the batch.
+    let mut dirty = vec![false; trace.tenants];
+    let mut outcomes = Vec::new();
+    let mut serve_wall = Duration::ZERO;
+    let mut at = 0;
+    while at < trace.events.len() {
+        let step = trace.events[at].step;
+        let mut end = at;
+        while end < trace.events.len() && trace.events[end].step == step {
+            end += 1;
+        }
+        let events = &trace.events[at..end];
+        at = end;
+        // 1. Admissions and mutations of the step.
+        for event in events {
+            match &event.kind {
+                TraceEventKind::Admit { services } => {
+                    let app = Application::independent(services);
+                    sessions[event.tenant] = Some(TenantSession::new(
+                        app,
+                        config.model,
+                        config.objective,
+                        config.budget,
+                    )?);
+                }
+                TraceEventKind::Arrive { cost, selectivity } => {
+                    session_mut(&mut sessions, event.tenant)?.apply(
+                        fsw_serve::TenantEvent::Arrive {
+                            cost: *cost,
+                            selectivity: *selectivity,
+                        },
+                    )?;
+                    dirty[event.tenant] = true;
+                }
+                TraceEventKind::Depart { service: departed } => {
+                    session_mut(&mut sessions, event.tenant)?
+                        .apply(fsw_serve::TenantEvent::Depart { service: *departed })?;
+                    dirty[event.tenant] = true;
+                }
+                TraceEventKind::Reweight {
+                    service: target,
+                    cost,
+                    selectivity,
+                } => {
+                    session_mut(&mut sessions, event.tenant)?.apply(
+                        fsw_serve::TenantEvent::Reweight {
+                            service: *target,
+                            cost: *cost,
+                            selectivity: *selectivity,
+                        },
+                    )?;
+                    dirty[event.tenant] = true;
+                }
+                TraceEventKind::Request => {}
+            }
+        }
+        // 2. The step's requests: dirty tenants re-plan online (and publish
+        // the result), the rest form one service batch.
+        let mut batch_tenants: Vec<usize> = Vec::new();
+        for event in events {
+            if !matches!(event.kind, TraceEventKind::Request) {
+                continue;
+            }
+            let tenant = event.tenant;
+            if dirty[tenant] {
+                dirty[tenant] = false;
+                let session = session_mut(&mut sessions, tenant)?;
+                let started = Instant::now();
+                let replan = session.replan()?;
+                let elapsed = started.elapsed();
+                serve_wall += elapsed;
+                // Sessions and service run under the same config budget, so
+                // the budget-equality gate of `publish` always accepts here.
+                service.publish(
+                    session.app(),
+                    config.model,
+                    config.objective,
+                    &config.budget,
+                    replan.value,
+                    &replan.graph,
+                    replan.exhaustive,
+                    elapsed.as_micros().min(u64::MAX as u128) as u64,
+                );
+                let (cold_value, cold_evaluated) = if config.verify {
+                    let (value, evaluated) = shadow_cold_solve(
+                        session.app(),
+                        config.model,
+                        config.objective,
+                        &config.budget,
+                    )?;
+                    (Some(value), Some(evaluated))
+                } else {
+                    (None, None)
+                };
+                outcomes.push(RequestOutcome {
+                    step,
+                    tenant,
+                    path: RequestPath::Replan,
+                    value: replan.value,
+                    exhaustive: replan.exhaustive,
+                    churn: Some(replan.churn),
+                    warm_value: replan.warm_value,
+                    evaluated: replan.evaluated,
+                    cold_value,
+                    cold_evaluated,
+                });
+            } else {
+                batch_tenants.push(tenant);
+            }
+        }
+        if !batch_tenants.is_empty() {
+            let requests: Vec<PlanRequest> = batch_tenants
+                .iter()
+                .map(|&tenant| {
+                    let session = sessions[tenant].as_ref().expect("admitted before request");
+                    PlanRequest::new(session.app().clone(), config.model, config.objective)
+                })
+                .collect();
+            let started = Instant::now();
+            let responses = service.serve_batch(&requests)?;
+            serve_wall += started.elapsed();
+            for (&tenant, response) in batch_tenants.iter().zip(responses) {
+                let session = session_mut(&mut sessions, tenant)?;
+                session.adopt(response.graph.clone())?;
+                let (cold_value, cold_evaluated) = if config.verify {
+                    let (value, evaluated) = shadow_cold_solve(
+                        session.app(),
+                        config.model,
+                        config.objective,
+                        &config.budget,
+                    )?;
+                    (Some(value), Some(evaluated))
+                } else {
+                    (None, None)
+                };
+                outcomes.push(RequestOutcome {
+                    step,
+                    tenant,
+                    path: match response.source {
+                        ServeSource::Cold => RequestPath::Cold,
+                        ServeSource::Store => RequestPath::Store,
+                        ServeSource::Dedup => RequestPath::Dedup,
+                    },
+                    value: response.value,
+                    exhaustive: response.exhaustive,
+                    churn: None,
+                    warm_value: None,
+                    evaluated: 0,
+                    cold_value,
+                    cold_evaluated,
+                });
+            }
+        }
+    }
+    Ok(TraceReport {
+        outcomes,
+        tenants: trace.tenants,
+        serve_wall,
+        store: service.store().stats(),
+        service: service.stats(),
+    })
+}
+
+fn session_mut(
+    sessions: &mut [Option<TenantSession>],
+    tenant: usize,
+) -> CoreResult<&mut TenantSession> {
+    sessions
+        .get_mut(tenant)
+        .and_then(|s| s.as_mut())
+        .ok_or(CoreError::Unsupported {
+            reason: "trace event for a tenant that was never admitted",
+        })
+}
+
+/// A from-scratch solve of `app` outside the serving path: the ground-truth
+/// value and the number of candidates a cold search evaluates.
+fn shadow_cold_solve(
+    app: &Application,
+    model: CommModel,
+    objective: Objective,
+    budget: &SearchBudget,
+) -> CoreResult<(f64, usize)> {
+    let cache = EvalCache::new(app);
+    let (solution, stats) = solve_warm(&Problem::new(app, model, objective), budget, &cache, None)?;
+    Ok((solution.value, stats.evaluated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsw_workloads::streaming::{serving_trace, TraceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_trace() -> ArrivalTrace {
+        serving_trace(
+            &TraceConfig {
+                tenants: 6,
+                steps: 8,
+                templates: 2,
+                services_per_tenant: 4,
+                mutation_rate: 0.5,
+                requests_per_step: 3,
+                ..TraceConfig::default()
+            },
+            &mut StdRng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn replay_serves_every_request_and_matches_ground_truth() {
+        let trace = small_trace();
+        let config = ServeReplayConfig {
+            verify: true,
+            ..ServeReplayConfig::default()
+        };
+        let report = replay_trace(&trace, &config).unwrap();
+        assert_eq!(report.requests(), trace.request_count());
+        assert_eq!(report.value_mismatches(), 0, "served != ground truth");
+        assert!(report.served() > 0, "store/dedup never fired");
+        let (warm, cold) = report.replan_evaluations();
+        if report.replans() > 0 {
+            assert!(warm <= cold, "warm re-plans evaluated more than cold");
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_for_one_thread_count() {
+        let trace = small_trace();
+        let config = ServeReplayConfig::default();
+        let a = replay_trace(&trace, &config).unwrap();
+        let b = replay_trace(&trace, &config).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.store, b.store);
+        assert_eq!(a.service, b.service);
+    }
+}

@@ -8,7 +8,9 @@
 //! * [`random`] — seeded random applications and execution graphs for scaling
 //!   studies, benches and property tests;
 //! * [`scenarios`] — realistic workloads from the two application domains the
-//!   paper motivates (query optimisation over web services, media pipelines).
+//!   paper motivates (query optimisation over web services, media pipelines);
+//! * [`streaming`] — serving traces: tenants, requests and service-set
+//!   mutations arriving over time, for the `fsw_serve` layer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,6 +18,7 @@
 pub mod paper;
 pub mod random;
 pub mod scenarios;
+pub mod streaming;
 
 pub use paper::{
     counterexample_b1, counterexample_b2, counterexample_b3, fork_join, section23, PaperInstance,
@@ -28,3 +31,4 @@ pub use scenarios::{
     media_pipeline, query_optimization, sensor_fusion, skewed_query_optimization,
     tiered_query_optimization, uniform_query_optimization,
 };
+pub use streaming::{serving_trace, ArrivalTrace, TraceConfig, TraceEvent, TraceEventKind};

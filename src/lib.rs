@@ -12,6 +12,8 @@
 //!   (`fsw-eventgraph`);
 //! * [`sched`] — the paper's algorithms: orchestration and plan optimisation
 //!   for the period and the latency under the three models (`fsw-sched`);
+//! * [`serve`] — the multi-tenant planning service: fingerprint-keyed plan
+//!   store, batched request queue and online re-planning (`fsw-serve`);
 //! * [`sim`] — discrete-event simulation and schedule replay (`fsw-sim`);
 //! * [`rn3dm`] — the RN3DM problem and the NP-hardness gadgets (`fsw-rn3dm`);
 //! * [`workloads`] — paper instances, random generators and realistic
@@ -33,5 +35,6 @@ pub use fsw_core as core;
 pub use fsw_eventgraph as eventgraph;
 pub use fsw_rn3dm as rn3dm;
 pub use fsw_sched as sched;
+pub use fsw_serve as serve;
 pub use fsw_sim as sim;
 pub use fsw_workloads as workloads;

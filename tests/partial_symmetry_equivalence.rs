@@ -253,6 +253,7 @@ fn best_first_spill_path_respects_the_frontier_cap() {
                     Exec::threaded(threads),
                     PartialPrune::Period(CommModel::Overlap),
                     cap,
+                    f64::INFINITY,
                     &eval,
                 );
                 let outcome = outcome.unwrap();

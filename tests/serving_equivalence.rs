@@ -1,0 +1,265 @@
+//! Property tests of the serving layer (`fsw_serve`), guarding the PR-5
+//! acceptance criteria:
+//!
+//! * a cache-hit response is **byte-identical** to a cold solve of the same
+//!   request (value, winning graph and exhaustiveness flag);
+//! * an online re-plan's value equals a from-scratch solve of the mutated
+//!   instance, bit for bit, while evaluating **no more** candidates (and
+//!   strictly fewer in aggregate across a trace);
+//! * the plan store's eviction respects the solve-cost weighting;
+//! * a trace replay is deterministic across worker-thread counts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw::core::{Application, CommModel};
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
+use fsw::serve::{
+    PlanRequest, PlanService, PlanStore, ServeSource, StoredPlan, TenantEvent, TenantSession,
+};
+use fsw::sim::{replay_trace, RequestPath, ServeReplayConfig};
+use fsw::workloads::streaming::{serving_trace, TraceConfig};
+use fsw::workloads::{random_application, RandomAppConfig};
+
+fn graph_edges(graph: &fsw::core::ExecutionGraph) -> Vec<(usize, usize)> {
+    graph.edges().collect()
+}
+
+#[test]
+fn cache_hits_are_byte_identical_to_cold_solves() {
+    let mut rng = StdRng::seed_from_u64(0x5e01);
+    let budget = SearchBudget::default();
+    for case in 0..6 {
+        let app = random_application(&RandomAppConfig::independent(4 + case % 3), &mut rng);
+        for (model, objective) in [
+            (CommModel::Overlap, Objective::MinPeriod),
+            (CommModel::InOrder, Objective::MinPeriod),
+            (CommModel::Overlap, Objective::MinLatency),
+        ] {
+            let service = PlanService::new(budget, 8);
+            let request = PlanRequest::new(app.clone(), model, objective);
+            let cold_response = service.serve_one(&request).unwrap();
+            assert_eq!(cold_response.source, ServeSource::Cold);
+            let hit = service.serve_one(&request).unwrap();
+            assert_eq!(hit.source, ServeSource::Store, "case {case} {model}");
+            // Byte identity between the hit and the cold response…
+            assert_eq!(hit.value.to_bits(), cold_response.value.to_bits());
+            assert_eq!(graph_edges(&hit.graph), graph_edges(&cold_response.graph));
+            assert_eq!(hit.exhaustive, cold_response.exhaustive);
+            // …and between both and a direct orchestrator solve.
+            let direct = solve(&Problem::new(&app, model, objective), &budget).unwrap();
+            assert_eq!(hit.value.to_bits(), direct.value.to_bits());
+            assert_eq!(hit.exhaustive, direct.exhaustive);
+        }
+    }
+}
+
+#[test]
+fn permuted_tenants_served_from_one_solve_match_their_own_cold_solves() {
+    let mut rng = StdRng::seed_from_u64(0x5e02);
+    let budget = SearchBudget::default();
+    for case in 0..6 {
+        let app = random_application(&RandomAppConfig::independent(5), &mut rng);
+        // A rotated twin of the same weight multiset.
+        let n = app.n();
+        let rotated = Application::independent(
+            &(0..n)
+                .map(|k| {
+                    let src = (k + 1 + case % (n - 1)) % n;
+                    (app.cost(src), app.selectivity(src))
+                })
+                .collect::<Vec<_>>(),
+        );
+        let service = PlanService::new(budget, 8);
+        let responses = service
+            .serve_batch(&[
+                PlanRequest::new(app.clone(), CommModel::Overlap, Objective::MinPeriod),
+                PlanRequest::new(rotated.clone(), CommModel::Overlap, Objective::MinPeriod),
+            ])
+            .unwrap();
+        assert_eq!(responses[0].source, ServeSource::Cold, "case {case}");
+        assert_eq!(responses[1].source, ServeSource::Dedup, "case {case}");
+        for (tenant_app, response) in [(&app, &responses[0]), (&rotated, &responses[1])] {
+            let cold = solve(
+                &Problem::new(tenant_app, CommModel::Overlap, Objective::MinPeriod),
+                &budget,
+            )
+            .unwrap();
+            assert_eq!(
+                response.value.to_bits(),
+                cold.value.to_bits(),
+                "case {case}"
+            );
+            response.graph.respects(tenant_app).unwrap();
+        }
+    }
+}
+
+#[test]
+fn online_replan_equals_from_scratch_solve_on_the_mutated_instance() {
+    let mut rng = StdRng::seed_from_u64(0x5e03);
+    let budget = SearchBudget::default();
+    for case in 0..5 {
+        let app = random_application(&RandomAppConfig::independent(5), &mut rng);
+        let mut session =
+            TenantSession::new(app, CommModel::Overlap, Objective::MinPeriod, budget).unwrap();
+        let first = session.replan().unwrap();
+        let events = [
+            TenantEvent::Arrive {
+                cost: 2.5 + case as f64,
+                selectivity: 0.4,
+            },
+            TenantEvent::Reweight {
+                service: case % 5,
+                cost: 1.5,
+                selectivity: 0.8,
+            },
+            TenantEvent::Depart { service: case % 5 },
+        ];
+        for (step, event) in events.into_iter().enumerate() {
+            session.apply(event).unwrap();
+            let outcome = session.replan().unwrap();
+            assert!(outcome.warm_value.is_some(), "case {case} step {step}");
+            let cold = solve(
+                &Problem::new(session.app(), CommModel::Overlap, Objective::MinPeriod),
+                &budget,
+            )
+            .unwrap();
+            assert_eq!(
+                outcome.value.to_bits(),
+                cold.value.to_bits(),
+                "case {case} step {step}: warm re-plan must equal a cold solve"
+            );
+            assert_eq!(outcome.exhaustive, cold.exhaustive);
+        }
+        let _ = first;
+    }
+}
+
+#[test]
+fn eviction_respects_the_cost_weighting() {
+    use fsw::core::{CanonicalApplication, ExecutionGraph};
+    use fsw::serve::PlanKey;
+    // Two slots: one expensive plan and a parade of cheap ones.  The
+    // expensive plan must survive; among the cheap ones the most recently
+    // used stays.
+    let store = PlanStore::new(2);
+    let key = |cost: f64| PlanKey {
+        fingerprint: CanonicalApplication::of(&Application::independent(&[(cost, 0.5)]))
+            .fingerprint,
+        model: CommModel::Overlap,
+        objective: Objective::MinPeriod,
+    };
+    let plan = |micros: u64| StoredPlan {
+        value: 1.0,
+        graph: ExecutionGraph::new(1),
+        exhaustive: true,
+        solve_micros: micros,
+    };
+    let expensive = key(100.0);
+    store.insert(expensive.clone(), plan(1_000_000));
+    for i in 0..10 {
+        store.insert(key(1.0 + i as f64), plan(10 + i));
+    }
+    let stats = store.stats();
+    assert_eq!(stats.len, 2);
+    assert_eq!(stats.evictions, 9);
+    assert!(
+        store.get(&expensive).is_some(),
+        "cost weighting must keep the expensive plan"
+    );
+    assert!(store.get(&key(10.0)).is_some(), "newest cheap plan stays");
+}
+
+#[test]
+fn trace_replay_is_deterministic_across_thread_counts() {
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants: 8,
+            steps: 12,
+            templates: 3,
+            services_per_tenant: 5,
+            mutation_rate: 0.5,
+            requests_per_step: 3,
+            ..TraceConfig::default()
+        },
+        &mut StdRng::seed_from_u64(0x5e04),
+    );
+    let reference = replay_trace(
+        &trace,
+        &ServeReplayConfig {
+            budget: SearchBudget::default().with_threads(1),
+            ..ServeReplayConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(reference.served() > 0);
+    for threads in [2, 4] {
+        let other = replay_trace(
+            &trace,
+            &ServeReplayConfig {
+                budget: SearchBudget::default().with_threads(threads),
+                ..ServeReplayConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            reference.digest(),
+            other.digest(),
+            "x{threads}: replay outcomes must not depend on the thread count"
+        );
+        assert_eq!(reference.store, other.store, "x{threads}: store counters");
+        assert_eq!(
+            reference.service, other.service,
+            "x{threads}: service counters"
+        );
+    }
+}
+
+#[test]
+fn warm_replans_never_evaluate_more_than_cold_and_save_in_aggregate() {
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants: 10,
+            steps: 20,
+            templates: 4,
+            services_per_tenant: 6,
+            mutation_rate: 0.5,
+            requests_per_step: 3,
+            ..TraceConfig::default()
+        },
+        &mut StdRng::seed_from_u64(0x5e05),
+    );
+    let report = replay_trace(
+        &trace,
+        &ServeReplayConfig {
+            verify: true,
+            ..ServeReplayConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        report.value_mismatches(),
+        0,
+        "served values != ground truth"
+    );
+    assert!(report.replans() > 0, "trace produced no re-plans");
+    for outcome in &report.outcomes {
+        if outcome.path == RequestPath::Replan {
+            let cold = outcome.cold_evaluated.expect("verify mode");
+            assert!(
+                outcome.evaluated <= cold,
+                "step {} tenant {}: warm evaluated {} > cold {}",
+                outcome.step,
+                outcome.tenant,
+                outcome.evaluated,
+                cold
+            );
+        }
+    }
+    let (warm, cold) = report.replan_evaluations();
+    assert!(
+        warm < cold,
+        "warm starts must prune in aggregate: warm {warm} vs cold {cold}"
+    );
+}
