@@ -15,7 +15,9 @@ use fsw_sched::baseline::{nocomm_minperiod_plan, nocomm_period};
 use fsw_sched::chain::{
     chain_graph, chain_latency, chain_minlatency_order, chain_minperiod_order, chain_period,
 };
+use fsw_sched::engine::frontier::DEFAULT_FRONTIER_CAP;
 use fsw_sched::engine::CanonicalSpace;
+use fsw_sched::engine::EvalCache;
 use fsw_sched::engine::SearchStrategy;
 use fsw_sched::latency::{multiport_proportional_latency, oneport_latency_search};
 use fsw_sched::minperiod::{
@@ -23,7 +25,7 @@ use fsw_sched::minperiod::{
     PeriodEvaluation,
 };
 use fsw_sched::oneport::{oneport_period_search, OnePortStyle};
-use fsw_sched::orchestrator::{solve, solve_all, Objective, Problem, SearchBudget};
+use fsw_sched::orchestrator::{solve, solve_all, solve_warm, Objective, Problem, SearchBudget};
 use fsw_sched::outorder::OutOrderOptions;
 use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
@@ -548,6 +550,75 @@ pub fn e13_partial_symmetry_scaling() -> Vec<ExperimentRow> {
             ));
         }
     }
+    // Lazy streamed reach — n = 12 and 13, uniform and tiered: the regime
+    // the materialised path cannot touch (the tiered n = 13 coloured space
+    // holds tens of millions of orbits against the 2M default cap; the
+    // stream keeps only the A000081 shape plan plus one in-flight
+    // representative per worker).  Solved through the default-budget
+    // orchestrator path; the lazy walk's telemetry surfaces through
+    // `SolveStats::stream`, and exhaustiveness is *asserted* — the PR-6
+    // acceptance criterion, not just a printed flag.
+    for n in [12usize, 13] {
+        let sizes = [n - 6, 6];
+        let variants = [
+            (
+                "uniform".to_string(),
+                uniform_query_optimization(n, &mut rng),
+            ),
+            (
+                format!("tiered {sizes:?}"),
+                tiered_query_optimization(&sizes, &mut rng),
+            ),
+        ];
+        for (name, app) in variants {
+            for model in [CommModel::Overlap, CommModel::InOrder] {
+                let started = std::time::Instant::now();
+                let (solution, stats) = solve_warm(
+                    &Problem::new(&app, model, Objective::MinPeriod),
+                    &budget,
+                    &EvalCache::new(&app),
+                    None,
+                )
+                .expect("streamed instance");
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                assert!(
+                    solution.exhaustive,
+                    "streamed MINPERIOD {model} {name} n={n} must stay exhaustive \
+                     under the default budget"
+                );
+                let stream = stats
+                    .stream
+                    .expect("the default budget routes these instances through the lazy stream");
+                rows.push(ExperimentRow::new(
+                    format!("lazy {name} MINPERIOD {model} n={n}: optimum (exhaustive, asserted)"),
+                    None,
+                    solution.value,
+                ));
+                rows.push(ExperimentRow::new(
+                    format!(
+                        "lazy {name} {model} n={n}: representatives expanded \
+                         (paper column = coloured orbits, {} shapes)",
+                        stream.shapes
+                    ),
+                    stream.orbits.map(|o| o as f64),
+                    stream.expanded as f64,
+                ));
+                rows.push(ExperimentRow::new(
+                    format!(
+                        "lazy {name} {model} n={n}: peak resident representatives \
+                         (paper column = frontier cap)"
+                    ),
+                    Some(DEFAULT_FRONTIER_CAP as f64),
+                    stream.peak_resident as f64,
+                ));
+                rows.push(ExperimentRow::new(
+                    format!("lazy {name} {model} n={n}: wall milliseconds"),
+                    None,
+                    wall_ms,
+                ));
+            }
+        }
+    }
     rows
 }
 
@@ -776,6 +847,38 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
         "MINPERIOD OVERLAP n=9 tiered 5+4: best-first strategy (paper column = depth-first value)",
         Some(depth_first.value),
         best_first.value,
+    ));
+    // Lazy-classed smoke (PR-6): the same tiered instance driven through the
+    // streamed bound-ordered generator, its value *asserted* equal to the
+    // materialised depth-first walk and its telemetry pinned as a row — so a
+    // regression in the lazy path (wrong winner, runaway expansion, broken
+    // telemetry) fails CI inside the existing smoke timeout.
+    let (lazy, stats) = solve_warm(
+        &Problem::new(&tiered, CommModel::Overlap, Objective::MinPeriod),
+        &budget,
+        &EvalCache::new(&tiered),
+        None,
+    )
+    .expect("solver");
+    assert_eq!(
+        lazy.value, depth_first.value,
+        "lazy streamed walk must reproduce the materialised depth-first value bit-for-bit"
+    );
+    let stream = stats
+        .stream
+        .expect("the default budget routes tiered n=9 through the lazy stream");
+    assert!(
+        stream.peak_resident <= DEFAULT_FRONTIER_CAP,
+        "resident representatives must stay under the frontier cap"
+    );
+    rows.push(ExperimentRow::new(
+        format!(
+            "MINPERIOD OVERLAP n=9 tiered 5+4: lazy stream expanded ({} shapes; \
+             paper column = coloured orbits)",
+            stream.shapes
+        ),
+        stream.orbits.map(|o| o as f64),
+        stream.expanded as f64,
     ));
     // Serving-throughput smoke: 12 tenants from 3 templates hit the plan
     // service twice — the first round pays the cold solves (deduplicated by

@@ -55,6 +55,7 @@
 
 use crate::error::{CoreError, CoreResult};
 use crate::graph::ExecutionGraph;
+use crate::model::CommModel;
 use crate::service::{Application, ServiceId};
 
 /// The partition of an application's services into weight classes: two
@@ -487,6 +488,267 @@ pub fn classed_class_count_within(
     ClassedCount::Exact(total)
 }
 
+/// Objective a [`ShapeBounder`] lower-bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShapeObjective {
+    /// `PlanMetrics::period_lower_bound(model)` of every representative.
+    Period(CommModel),
+    /// The optimal one-port latency of every representative.
+    Latency,
+}
+
+/// Shape-level admissible bounds for the lazy bound-ordered enumeration:
+/// given only a forest *shape* (super-tree level sequence), a lower bound on
+/// the objective of **every** representative carrying that shape, under any
+/// colouring and any class-preserving labelling.
+///
+/// The bound combines three communication-aware floors, all computed from
+/// structure alone:
+///
+/// * a node at depth `d` (level `d + 1`) has input factor at least
+///   `anc_floor(d)` — the product of the `d` smallest `min(1, σ)` values
+///   (ancestors are distinct services and factors > 1 never shrink data);
+/// * its execution time is then floored with the globally cheapest weights
+///   (`c_lo`, `σ_lo`) and its structural fan-out;
+/// * every distinct weight kind present in the application must occupy
+///   *some* position, so the bound also covers each kind's cheapest
+///   placement with its **exact** weights.
+///
+/// Floats are multiplied in a fixed sorted order, so the bound is a pure
+/// function of the shape and the weight multiset; rounding drift against
+/// the chain-ordered evaluation products is far below the strict-clearance
+/// epsilon the searches prune with.
+#[derive(Clone, Debug)]
+pub struct ShapeBounder {
+    /// `anc_floor[d]`: product of the `d` smallest `min(1, σ)` values.
+    anc_floor: Vec<f64>,
+    /// Distinct `(cost, selectivity)` kinds, deduplicated by bits.
+    kinds: Vec<(f64, f64)>,
+    cost_lo: f64,
+    sel_lo: f64,
+    objective: ShapeObjective,
+}
+
+impl ShapeBounder {
+    /// Builds the bounder for `app` under the given objective.
+    pub fn new(app: &Application, objective: ShapeObjective) -> Self {
+        let n = app.n();
+        let mut shrink: Vec<f64> = (0..n).map(|k| app.selectivity(k).min(1.0)).collect();
+        shrink.sort_by(f64::total_cmp); // ascending: smallest factors first
+        let mut anc_floor = vec![1.0f64; n + 1];
+        for d in 0..n {
+            anc_floor[d + 1] = anc_floor[d] * shrink[d];
+        }
+        let mut kinds: Vec<(f64, f64)> =
+            (0..n).map(|k| (app.cost(k), app.selectivity(k))).collect();
+        kinds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        kinds.dedup_by(|a, b| a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits());
+        let cost_lo = kinds.iter().map(|k| k.0).fold(f64::INFINITY, f64::min);
+        let sel_lo = kinds.iter().map(|k| k.1).fold(f64::INFINITY, f64::min);
+        ShapeBounder {
+            anc_floor,
+            kinds,
+            cost_lo,
+            sel_lo,
+            objective,
+        }
+    }
+
+    /// Floor of one node: depth `d` ancestors, structural fan-out, weights.
+    fn node_floor(&self, depth: usize, fanout: usize, cost: f64, sel: f64) -> f64 {
+        let fac = self.anc_floor[depth];
+        let cin = if depth == 0 { 1.0 } else { fac };
+        let comp = fac * cost;
+        let cout = fanout.max(1) as f64 * (fac * sel);
+        match self.objective {
+            ShapeObjective::Period(CommModel::Overlap) => cin.max(comp).max(cout),
+            ShapeObjective::Period(CommModel::InOrder | CommModel::OutOrder) => cin + comp + cout,
+            ShapeObjective::Latency => 1.0 + fac * (cost + sel),
+        }
+    }
+
+    /// Lower bound on the objective of every representative of the shape
+    /// described by super-tree `levels` (as streamed by [`CanonicalForests`]).
+    pub fn shape_bound(&self, levels: &[usize]) -> f64 {
+        let len = levels.len();
+        let mut fanout = vec![0usize; len];
+        let mut last_at_level = vec![usize::MAX; len + 1];
+        last_at_level[0] = 0;
+        for (i, &level) in levels.iter().enumerate().skip(1) {
+            if level >= 2 {
+                fanout[last_at_level[level - 1]] += 1;
+            }
+            last_at_level[level] = i;
+        }
+        let mut bound = 0.0f64;
+        for i in 1..len {
+            bound = bound.max(self.node_floor(levels[i] - 1, fanout[i], self.cost_lo, self.sel_lo));
+        }
+        for &(cost, sel) in &self.kinds {
+            let mut cheapest = f64::INFINITY;
+            for i in 1..len {
+                cheapest = cheapest.min(self.node_floor(levels[i] - 1, fanout[i], cost, sel));
+            }
+            bound = bound.max(cheapest);
+        }
+        bound
+    }
+}
+
+/// One shape of the lazy bound-ordered classed enumeration: everything
+/// needed to (re)start the shape's colouring walk on demand — the packed
+/// level sequence **is** the resumable cursor, no representative is held.
+#[derive(Clone, Debug)]
+pub struct ShapePlan {
+    /// Packed super-tree level sequence (one byte per node, virtual root
+    /// included as level 0), decoded on demand.
+    pub levels: Box<[u8]>,
+    /// Position of the shape in canonical enumeration order.
+    pub ordinal: u64,
+    /// Number of canonical colourings (coloured orbits) of this shape, `0`
+    /// when the counting pass is intractable for the partition.
+    pub colorings: u128,
+    /// Admissible lower bound on every representative of this shape
+    /// ([`ShapeBounder::shape_bound`]; `0` when no bounder was supplied).
+    pub bound: f64,
+}
+
+impl ShapePlan {
+    /// The decoded super-tree level sequence.
+    pub fn decode_levels(&self) -> Vec<usize> {
+        self.levels.iter().map(|&l| l as usize).collect()
+    }
+}
+
+/// Outcome of a [`bound_ordered_shape_plan`] scan.
+#[derive(Clone, Debug)]
+pub enum ShapeScan {
+    /// All shapes of the space, sorted by `(bound, ordinal)`.
+    Planned {
+        /// The shapes, bound-sorted (ties in canonical order).
+        shapes: Vec<ShapePlan>,
+        /// Total coloured-orbit count when the counting pass is tractable
+        /// for the partition (`None` beyond [`COUNT_DENSE_LIMIT`]).
+        orbits: Option<u128>,
+    },
+    /// The deadline passed mid-scan; callers degrade like an interrupted
+    /// search (heuristic fallback, flagged non-exhaustive).
+    DeadlineExpired,
+}
+
+/// The count-only prelude of the lazy classed enumeration: streams every
+/// canonical shape once, counts its canonical colourings off the memoised
+/// generating functions (no representative is materialised), attaches the
+/// shape-level admissible bound, and returns the shapes **bound-sorted** so
+/// a best-first consumer expands promising shapes first and stops at the
+/// first shape whose bound clears the incumbent — the sort order makes that
+/// a certificate for every remaining shape.
+///
+/// Memory is O(shapes) (A000081: 32 973 at `n = 13`) against the coloured
+/// space's potentially tens of millions of representatives.
+pub fn bound_ordered_shape_plan(
+    classes: &WeightClasses,
+    bounder: Option<&ShapeBounder>,
+    deadline: Option<std::time::Instant>,
+) -> ShapeScan {
+    let n = classes.n();
+    assert!(n >= 1, "classed enumeration needs at least one node");
+    assert!(
+        n < u8::MAX as usize,
+        "packed level codes hold byte-sized levels"
+    );
+    let dense_len = classes
+        .sizes()
+        .iter()
+        .try_fold(1usize, |acc, &s| acc.checked_mul(s + 1))
+        .unwrap_or(usize::MAX);
+    // Uniform partitions have exactly one canonical colouring per shape, so
+    // the generating-function pass would only recompute the constant 1.
+    let uniform = classes.is_uniform();
+    let mut counter =
+        (!uniform && dense_len <= COUNT_DENSE_LIMIT).then(|| ColourCounter::new(classes));
+    let mut stream = CanonicalForests::new(n);
+    let mut shapes: Vec<ShapePlan> = Vec::new();
+    let mut orbits: u128 = 0;
+    while stream.next().is_some() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return ShapeScan::DeadlineExpired;
+        }
+        let colorings = if uniform {
+            1
+        } else {
+            counter
+                .as_mut()
+                .map(|c| c.forest_colorings(&stream.levels))
+                .unwrap_or(0)
+        };
+        orbits = orbits.saturating_add(colorings);
+        shapes.push(ShapePlan {
+            levels: stream.levels.iter().map(|&l| l as u8).collect(),
+            ordinal: shapes.len() as u64,
+            colorings,
+            bound: bounder
+                .map(|b| b.shape_bound(&stream.levels))
+                .unwrap_or(0.0),
+        });
+    }
+    shapes.sort_by(|a, b| a.bound.total_cmp(&b.bound).then(a.ordinal.cmp(&b.ordinal)));
+    ShapeScan::Planned {
+        shapes,
+        orbits: (uniform || counter.is_some()).then_some(orbits),
+    }
+}
+
+/// Packs a preorder forest (parent vector plus one byte-sized tag per node)
+/// into a level-sequence code: `n` bytes of 1-based node levels followed by
+/// `n` bytes of tags (weight classes or service ids).  The level sequence
+/// alone reconstructs the parent vector ([`unpack_level_code`]), because in
+/// preorder every node's parent is the most recent earlier node one level
+/// up — the same rule [`CanonicalForests`] rebuilds parents with.
+///
+/// Requires preorder parents (`parents[k] < Some(k)`), which every canonical
+/// representative satisfies by construction.
+pub fn pack_level_code(parents: &[Option<ServiceId>], tags: &[usize]) -> Box<[u8]> {
+    let n = parents.len();
+    assert_eq!(n, tags.len(), "one tag per node");
+    assert!(n < u8::MAX as usize, "packed codes hold byte-sized levels");
+    let mut level = vec![0u8; n];
+    let mut code = Vec::with_capacity(2 * n);
+    for (k, &p) in parents.iter().enumerate() {
+        level[k] = match p {
+            None => 1,
+            Some(pp) => {
+                assert!(pp < k, "packed codes require preorder parents");
+                level[pp] + 1
+            }
+        };
+        code.push(level[k]);
+    }
+    for &t in tags {
+        debug_assert!(t < u8::MAX as usize, "tags must be byte-sized");
+        code.push(t as u8);
+    }
+    code.into_boxed_slice()
+}
+
+/// Decodes a [`pack_level_code`] code back into `(parents, tags)`.
+pub fn unpack_level_code(code: &[u8]) -> (Vec<Option<ServiceId>>, Vec<usize>) {
+    let n = code.len() / 2;
+    debug_assert_eq!(code.len(), 2 * n, "codes are levels followed by tags");
+    let mut parents = vec![None; n];
+    let mut last_at_level = vec![usize::MAX; n + 2];
+    for (k, &level) in code[..n].iter().enumerate() {
+        let level = level as usize;
+        parents[k] = if level == 1 {
+            None
+        } else {
+            Some(last_at_level[level - 1])
+        };
+        last_at_level[level] = k;
+    }
+    (parents, code[n..].iter().map(|&t| t as usize).collect())
+}
+
 /// Memoised per-shape counter of canonical colourings: generating functions
 /// over colour-count vectors, represented densely over the mixed-radix
 /// exponent space `Π_c (|class c| + 1)` (truncating products — an exponent
@@ -695,16 +957,37 @@ impl ColourCounter {
     }
 }
 
-/// Enumerates the canonical colourings of one shape (super-tree `levels`):
+/// Per-node hooks of [`walk_canonical_colorings`]: lazy searches carry
+/// incremental bound state down the colour assignment and prune whole
+/// colour subtrees without ever materialising a representative.
+pub trait ColoringVisitor {
+    /// Real position `pos` (preorder, 0-based) receives class `class`; its
+    /// shape parent is `parent` (a smaller real position, `None` for
+    /// roots).  Only *canonical* prefixes are offered — the sortedness
+    /// constraints among identical siblings are checked first.  Return
+    /// `false` to skip every colouring extending this prefix; the walker
+    /// then tries the next class without calling
+    /// [`ColoringVisitor::ascend`], so a refusing implementation must leave
+    /// its own state unchanged.
+    fn descend(&mut self, pos: usize, parent: Option<usize>, class: usize) -> bool;
+    /// Undoes an accepted [`ColoringVisitor::descend`].
+    fn ascend(&mut self, pos: usize, class: usize);
+    /// A complete canonical colouring (`colors[p]` = class of real position
+    /// `p`, preorder) with its coloured automorphism count.  Return `false`
+    /// to abort the walk entirely (propagated out as `false`, without
+    /// unwinding `ascend` hooks).
+    fn complete(&mut self, colors: &[usize], aut: u128) -> bool;
+}
+
+/// Walks the canonical colourings of one shape (super-tree `levels`) in the
+/// exact order [`classed_forest_representatives`] materialises them:
 /// assignments of the class multiset to the real positions such that within
 /// every run of identical sibling subtrees the coloured subtree encodings
-/// are non-increasing.  `emit(colors, aut)` receives the colour of each
-/// *real* position (preorder) and the coloured automorphism count; returning
-/// `false` aborts the enumeration (propagated as `false`).
-fn enumerate_canonical_colorings(
+/// are non-increasing.  Returns `false` iff the visitor aborted.
+pub fn walk_canonical_colorings(
     levels: &[usize],
     classes: &WeightClasses,
-    emit: &mut impl FnMut(&[usize], u128) -> bool,
+    visitor: &mut impl ColoringVisitor,
 ) -> bool {
     let len = levels.len();
     // Subtree span ends: end[i] = first j > i with levels[j] <= levels[i].
@@ -740,24 +1023,37 @@ fn enumerate_canonical_colorings(
             child = next;
         }
     }
+    // Preorder parent (as a *real* position) of every super-tree position.
+    let mut parent_of: Vec<Option<usize>> = vec![None; len];
+    let mut last_at_level = vec![usize::MAX; len + 2];
+    last_at_level[0] = 0;
+    for i in 1..len {
+        let level = levels[i];
+        if level >= 2 {
+            parent_of[i] = Some(last_at_level[level - 1] - 1);
+        }
+        last_at_level[level] = i;
+    }
     // Depth-first colour assignment over real positions 1..=n, with the
     // remaining per-class budget; a completed run member is compared with
     // its predecessor the moment its last position is coloured.
     let class_count = classes.class_count();
     let mut remaining: Vec<usize> = (0..class_count).map(|c| classes.class_size(c)).collect();
     let mut colors = vec![usize::MAX; len];
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         pos: usize,
         len: usize,
         levels: &[usize],
         checks_at: &[Vec<(usize, usize, usize)>],
+        parent_of: &[Option<usize>],
         remaining: &mut [usize],
         colors: &mut [usize],
-        emit: &mut impl FnMut(&[usize], u128) -> bool,
+        visitor: &mut impl ColoringVisitor,
     ) -> bool {
         if pos == len {
             let aut = colored_subtree_automorphisms(levels, colors, 0, len);
-            return emit(&colors[1..], aut);
+            return visitor.complete(&colors[1..], aut);
         }
         for c in 0..remaining.len() {
             if remaining[c] == 0 {
@@ -768,8 +1064,20 @@ fn enumerate_canonical_colorings(
             let sorted = checks_at[pos]
                 .iter()
                 .all(|&(p, s, l)| colors[p..p + l] >= colors[s..s + l]);
-            if sorted && !walk(pos + 1, len, levels, checks_at, remaining, colors, emit) {
-                return false;
+            if sorted && visitor.descend(pos - 1, parent_of[pos], c) {
+                if !walk(
+                    pos + 1,
+                    len,
+                    levels,
+                    checks_at,
+                    parent_of,
+                    remaining,
+                    colors,
+                    visitor,
+                ) {
+                    return false;
+                }
+                visitor.ascend(pos - 1, c);
             }
             remaining[c] += 1;
             colors[pos] = usize::MAX;
@@ -781,10 +1089,37 @@ fn enumerate_canonical_colorings(
         len,
         levels,
         &checks_at,
+        &parent_of,
         &mut remaining,
         &mut colors,
-        emit,
+        visitor,
     )
+}
+
+/// Emit-only adapter over [`walk_canonical_colorings`]: every canonical
+/// prefix is accepted, complete colourings go to the closure.
+struct EmitAll<F>(F);
+
+impl<F: FnMut(&[usize], u128) -> bool> ColoringVisitor for EmitAll<F> {
+    fn descend(&mut self, _pos: usize, _parent: Option<usize>, _class: usize) -> bool {
+        true
+    }
+    fn ascend(&mut self, _pos: usize, _class: usize) {}
+    fn complete(&mut self, colors: &[usize], aut: u128) -> bool {
+        (self.0)(colors, aut)
+    }
+}
+
+/// Enumerates the canonical colourings of one shape (super-tree `levels`):
+/// `emit(colors, aut)` receives the colour of each *real* position
+/// (preorder) and the coloured automorphism count; returning `false` aborts
+/// the enumeration (propagated as `false`).
+fn enumerate_canonical_colorings(
+    levels: &[usize],
+    classes: &WeightClasses,
+    emit: &mut impl FnMut(&[usize], u128) -> bool,
+) -> bool {
+    walk_canonical_colorings(levels, classes, &mut EmitAll(emit))
 }
 
 /// `|Aut|` of the **coloured** subtree spanning `levels[start..end)`: as
@@ -1233,6 +1568,145 @@ mod tests {
                 i += 1;
             }
             assert_eq!(i, reps.len(), "n={n}: same class count");
+        }
+    }
+
+    #[test]
+    fn level_codes_round_trip_through_canonical_classed_form() {
+        // Canonicalise labelled forests of a 2+2+2 partition, pack the
+        // representative as a level-sequence code, and decode: parents and
+        // classes must survive, and the decoded member must re-canonicalise
+        // to the same representative (idempotence through the codec).
+        let app = classed_app(&[2, 2, 2]);
+        let classes = WeightClasses::of(&app);
+        let n = classes.n();
+        let cases: [&[Option<ServiceId>]; 4] = [
+            &[None, Some(0), Some(0), Some(2), None, Some(4)],
+            &[None, None, None, Some(0), Some(1), Some(2)],
+            &[Some(1), None, Some(1), Some(5), None, Some(4)],
+            &[None, Some(0), Some(1), Some(2), Some(3), Some(4)],
+        ];
+        for parents in cases {
+            let graph = ExecutionGraph::from_parents(parents).unwrap();
+            let rep = canonical_classed_form(&classes, &graph).unwrap();
+            let code = pack_level_code(&rep.parents, &rep.classes);
+            assert_eq!(code.len(), 2 * n);
+            let (decoded_parents, decoded_classes) = unpack_level_code(&code);
+            assert_eq!(decoded_parents, rep.parents, "{parents:?}: parents");
+            assert_eq!(decoded_classes, rep.classes, "{parents:?}: classes");
+            let member = ClassedRepresentative {
+                parents: decoded_parents,
+                classes: decoded_classes,
+                orbit: rep.orbit,
+            }
+            .member_graph(&classes)
+            .unwrap();
+            let again = canonical_classed_form(&classes, &member).unwrap();
+            assert_eq!(again, rep, "{parents:?}: codec breaks idempotence");
+        }
+    }
+
+    #[test]
+    fn bound_ordered_shape_plan_covers_every_shape_and_counts_orbits() {
+        for sizes in [vec![5usize], vec![3, 2], vec![2, 2, 2]] {
+            let n: usize = sizes.iter().sum();
+            let classes = WeightClasses::of(&classed_app(&sizes));
+            let ShapeScan::Planned { shapes, orbits } =
+                bound_ordered_shape_plan(&classes, None, None)
+            else {
+                panic!("{sizes:?}: no deadline was set");
+            };
+            assert_eq!(shapes.len() as u128, forest_classes(n), "{sizes:?}: shapes");
+            assert_eq!(
+                orbits,
+                classed_class_count(&classes, u128::MAX),
+                "{sizes:?}: orbit total matches the count pass"
+            );
+            // Ordinals are a permutation, and every decoded shape matches the
+            // Beyer–Hedetniemi stream at its ordinal.
+            let mut streamed: Vec<Vec<usize>> = Vec::new();
+            let mut stream = CanonicalForests::new(n);
+            while stream.next().is_some() {
+                streamed.push(stream.levels.clone());
+            }
+            let mut seen = vec![false; shapes.len()];
+            for shape in &shapes {
+                assert!(!seen[shape.ordinal as usize], "{sizes:?}: dup ordinal");
+                seen[shape.ordinal as usize] = true;
+                assert_eq!(
+                    shape.decode_levels(),
+                    streamed[shape.ordinal as usize],
+                    "{sizes:?}: packed levels at ordinal {}",
+                    shape.ordinal
+                );
+            }
+            // With no bounder, the sort degenerates to canonical order.
+            assert!(shapes.windows(2).all(|w| w[0].ordinal < w[1].ordinal));
+        }
+    }
+
+    #[test]
+    fn shape_bounds_lower_bound_every_representative_of_the_shape() {
+        let app = classed_app(&[3, 2]);
+        let classes = WeightClasses::of(&app);
+        let reps = classed_forest_representatives(&classes, usize::MAX).unwrap();
+        for model in [CommModel::Overlap, CommModel::InOrder, CommModel::OutOrder] {
+            let bounder = ShapeBounder::new(&app, ShapeObjective::Period(model));
+            let ShapeScan::Planned { shapes, .. } =
+                bound_ordered_shape_plan(&classes, Some(&bounder), None)
+            else {
+                panic!("no deadline was set");
+            };
+            assert!(
+                shapes.windows(2).all(|w| w[0].bound <= w[1].bound),
+                "{model}: shapes are bound-sorted"
+            );
+            for rep in &reps {
+                let code = pack_level_code(&rep.parents, &rep.classes);
+                let shape = shapes
+                    .iter()
+                    .find(|s| s.levels[1..] == code[..classes.n()])
+                    .expect("every representative's shape is planned");
+                let graph = rep.member_graph(&classes).unwrap();
+                let value = crate::metrics::PlanMetrics::compute(&app, &graph)
+                    .unwrap()
+                    .period_lower_bound(model);
+                assert!(
+                    shape.bound <= value * (1.0 + 1e-9),
+                    "{model}: shape bound {} exceeds representative value {value}",
+                    shape.bound
+                );
+            }
+        }
+        // Latency: the partial-metrics latency bound of the full assignment
+        // lower-bounds the true optimal latency, so the shape bound must sit
+        // below even that.
+        let bounder = ShapeBounder::new(&app, ShapeObjective::Latency);
+        let ShapeScan::Planned { shapes, .. } =
+            bound_ordered_shape_plan(&classes, Some(&bounder), None)
+        else {
+            panic!("no deadline was set");
+        };
+        for rep in &reps {
+            let code = pack_level_code(&rep.parents, &rep.classes);
+            let shape = shapes
+                .iter()
+                .find(|s| s.levels[1..] == code[..classes.n()])
+                .expect("planned shape");
+            let graph = rep.member_graph(&classes).unwrap();
+            let mut pm = crate::metrics::PartialForestMetrics::new(&app);
+            let parents: Vec<_> = (0..classes.n())
+                .map(|k| graph.preds(k).first().copied())
+                .collect();
+            for &p in &parents {
+                pm.push(p);
+            }
+            let value = pm.latency_bound();
+            assert!(
+                shape.bound <= value * (1.0 + 1e-9),
+                "latency shape bound {} exceeds {value}",
+                shape.bound
+            );
         }
     }
 

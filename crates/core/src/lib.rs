@@ -46,10 +46,12 @@ pub mod service;
 pub mod validate;
 
 pub use canonical::{
-    canonical_classed_form, canonical_classed_member, canonical_forest_form, classed_class_count,
-    classed_class_count_within, classed_forest_representatives,
-    classed_forest_representatives_within, forest_classes, labelled_forests, CanonicalForests,
-    ClassedCount, ClassedGeneration, ClassedRepresentative, ForestClass, WeightClasses,
+    bound_ordered_shape_plan, canonical_classed_form, canonical_classed_member,
+    canonical_forest_form, classed_class_count, classed_class_count_within,
+    classed_forest_representatives, classed_forest_representatives_within, forest_classes,
+    labelled_forests, pack_level_code, unpack_level_code, walk_canonical_colorings,
+    CanonicalForests, ClassedCount, ClassedGeneration, ClassedRepresentative, ColoringVisitor,
+    ForestClass, ShapeBounder, ShapeObjective, ShapePlan, ShapeScan, WeightClasses,
     COUNT_DENSE_LIMIT,
 };
 pub use error::{CoreError, CoreResult};

@@ -226,6 +226,27 @@ enum ChainState {
 ///
 /// Both bounds return `f64::INFINITY` when the prefix contains a cycle —
 /// every completion is then infeasible and the whole subtree can be pruned.
+///
+/// ### Communication-aware floors for unplaced services
+///
+/// Beyond the decided prefix, every service whose weights are not yet carried
+/// by any position must still appear somewhere in each completion, where its
+/// input factor is at least `fmin(k) = Π_{j≠k} min(1, σ_j)` (extra ancestors
+/// can only shrink the data by factors ≤ 1, and any ancestor set is a subset
+/// of the other services).  That yields per-service *execution floors* that
+/// hold in every completion:
+///
+/// * overlap period: `fmin · max(1, c_k, σ_k)` (`Cin ≥ fmin`, `Ccomp ≥
+///   fmin·c_k`, `Cout ≥ fmin·σ_k`);
+/// * one-port period: `fmin · (1 + c_k + σ_k)`;
+/// * latency: `1 + fmin · (c_k + σ_k)` (every chain prefix costs at least the
+///   initial data set, plus the node's own computation and one emission).
+///
+/// `fmin` is multiplied in a fixed (sorted) order so its bits depend only on
+/// the weight *multiset* and `k`'s own weights — class-preserving
+/// relabellings leave the floors bit-identical, which the symmetry-reduced
+/// searches rely on.  Float rounding of the reordered product is absorbed by
+/// the strict-clearance epsilon the search engines prune with.
 #[derive(Clone, Debug)]
 pub struct PartialForestMetrics<'a> {
     app: &'a Application,
@@ -241,12 +262,50 @@ pub struct PartialForestMetrics<'a> {
     memo_gen: Vec<u64>,
     memo: Vec<ChainState>,
     scratch: Vec<ServiceId>,
+    /// Whether each service's weights are carried by some assigned position
+    /// (the membership mask of `weight[..assigned]`).
+    placed: Vec<bool>,
+    /// Admissible execution floors for not-yet-placed services, sorted by
+    /// decreasing floor so a query is the first unplaced entry.
+    floor_overlap: Vec<(f64, ServiceId)>,
+    floor_oneport: Vec<(f64, ServiceId)>,
+    floor_latency: Vec<(f64, ServiceId)>,
 }
 
 impl<'a> PartialForestMetrics<'a> {
     /// An empty prefix (no parent assigned yet) over `app`'s services.
     pub fn new(app: &'a Application) -> Self {
         let n = app.n();
+        // fmin(k) = Π_{j≠k} min(1, σ_j), multiplied in sorted order so the
+        // bits are a function of (multiset, σ_k) alone — see the type docs.
+        let mut shrink: Vec<f64> = (0..n).map(|j| app.selectivity(j).min(1.0)).collect();
+        shrink.sort_by(|a, b| b.total_cmp(a));
+        let mut prefix = vec![1.0f64; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] * shrink[i];
+        }
+        let mut suffix = vec![1.0f64; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = shrink[i] * suffix[i + 1];
+        }
+        let mut floor_overlap = Vec::with_capacity(n);
+        let mut floor_oneport = Vec::with_capacity(n);
+        let mut floor_latency = Vec::with_capacity(n);
+        for k in 0..n {
+            let own = app.selectivity(k).min(1.0);
+            let i = shrink
+                .iter()
+                .position(|v| v.to_bits() == own.to_bits())
+                .expect("every shrink factor is in the sorted list");
+            let fmin = prefix[i] * suffix[i + 1];
+            let (cost, sel) = (app.cost(k), app.selectivity(k));
+            floor_overlap.push((fmin * 1.0f64.max(cost).max(sel), k));
+            floor_oneport.push((fmin * (1.0 + cost + sel), k));
+            floor_latency.push((1.0 + fmin * (cost + sel), k));
+        }
+        for list in [&mut floor_overlap, &mut floor_oneport, &mut floor_latency] {
+            list.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        }
         PartialForestMetrics {
             app,
             parent: vec![None; n],
@@ -257,6 +316,10 @@ impl<'a> PartialForestMetrics<'a> {
             memo_gen: vec![0; n],
             memo: vec![ChainState::Undecided; n],
             scratch: Vec::with_capacity(n),
+            placed: vec![false; n],
+            floor_overlap,
+            floor_oneport,
+            floor_latency,
         }
     }
 
@@ -285,8 +348,13 @@ impl<'a> PartialForestMetrics<'a> {
         debug_assert!(k < self.parent.len());
         debug_assert!(parent != Some(k), "self-loops are never enumerated");
         debug_assert!(weight_of < self.parent.len());
+        debug_assert!(
+            !self.placed[weight_of],
+            "every position must carry a distinct service's weights"
+        );
         self.parent[k] = parent;
         self.weight[k] = weight_of;
+        self.placed[weight_of] = true;
         if let Some(p) = parent {
             self.children[p] += 1;
         }
@@ -301,9 +369,23 @@ impl<'a> PartialForestMetrics<'a> {
         if let Some(p) = self.parent[self.assigned] {
             self.children[p] -= 1;
         }
+        self.placed[self.weight[self.assigned]] = false;
         self.parent[self.assigned] = None;
         self.weight[self.assigned] = self.assigned;
         self.gen += 1;
+    }
+
+    /// Largest floor among services not yet placed (0 when all are placed).
+    /// Lists are sorted descending, so the first unplaced entry is the max;
+    /// the value depends only on the unplaced weight *multiset*, keeping it
+    /// bit-identical across class-preserving relabellings.
+    fn unplaced_floor(&self, list: &[(f64, ServiceId)]) -> f64 {
+        for &(lb, k) in list {
+            if !self.placed[k] {
+                return lb;
+            }
+        }
+        0.0
     }
 
     /// Resolves the chain state of `j`, memoised for the current generation.
@@ -371,9 +453,14 @@ impl<'a> PartialForestMetrics<'a> {
     }
 
     /// Lower bound on `PlanMetrics::period_lower_bound(model)` of every
-    /// completion of the current prefix (`∞` when the prefix is cyclic).
+    /// completion of the current prefix (`∞` when the prefix is cyclic):
+    /// the decided prefix terms combined with the communication-aware floor
+    /// of the services still to be placed.
     pub fn period_bound(&mut self, model: CommModel) -> f64 {
-        let mut bound = 0.0f64;
+        let mut bound = match model {
+            CommModel::Overlap => self.unplaced_floor(&self.floor_overlap),
+            CommModel::InOrder | CommModel::OutOrder => self.unplaced_floor(&self.floor_oneport),
+        };
         for j in 0..self.assigned {
             match self.resolve(j) {
                 ChainState::Cycle => return f64::INFINITY,
@@ -399,9 +486,10 @@ impl<'a> PartialForestMetrics<'a> {
     }
 
     /// Lower bound on the optimal one-port latency (`tree_latency`) of every
-    /// feasible completion of the current prefix (`∞` when cyclic).
+    /// feasible completion of the current prefix (`∞` when cyclic), including
+    /// the floor of the services still to be placed.
     pub fn latency_bound(&mut self) -> f64 {
-        let mut bound = 0.0f64;
+        let mut bound = self.unplaced_floor(&self.floor_latency);
         for j in 0..self.assigned {
             match self.resolve(j) {
                 ChainState::Cycle => return f64::INFINITY,
@@ -638,6 +726,76 @@ mod tests {
         assert!(bound.is_finite());
         // Node 1 is a decided root: Cin + Ccomp + Cout = 1 + 1 + 1.
         assert!((bound - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unplaced_floors_lower_bound_every_completion() {
+        // The empty-prefix floor must lower-bound the full-assignment bound of
+        // every forest over the application, for each model and for latency.
+        let app = Application::independent(&[(2.0, 0.5), (1.0, 2.0), (3.0, 0.8), (1.0, 0.6)]);
+        let n = app.n();
+        let mut empty = PartialForestMetrics::new(&app);
+        let floors = [
+            empty.period_bound(CommModel::Overlap),
+            empty.period_bound(CommModel::InOrder),
+            empty.latency_bound(),
+        ];
+        assert!(floors.iter().all(|f| *f > 0.0), "floors fire on {floors:?}");
+        let mut checked = 0;
+        for code in 0..(n + 1).pow(n as u32) {
+            let mut parents = Vec::with_capacity(n);
+            let mut c = code;
+            for k in 0..n {
+                let choice = c % (n + 1);
+                c /= n + 1;
+                parents.push(if choice == n || choice == k {
+                    None
+                } else {
+                    Some(choice)
+                });
+            }
+            let Ok(graph) = ExecutionGraph::from_parents(&parents) else {
+                continue;
+            };
+            let metrics = PlanMetrics::compute(&app, &graph).unwrap();
+            let mut pm = PartialForestMetrics::new(&app);
+            for &p in &parents {
+                pm.push(p);
+            }
+            let eps = 1e-9;
+            for (floor, full) in [
+                (floors[0], metrics.period_lower_bound(CommModel::Overlap)),
+                (floors[1], metrics.period_lower_bound(CommModel::InOrder)),
+                (floors[2], pm.latency_bound()),
+            ] {
+                assert!(
+                    floor <= full * (1.0 + eps),
+                    "floor {floor} exceeds full bound {full} for {parents:?}"
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 50, "enumerated {checked} forests only");
+    }
+
+    #[test]
+    fn unplaced_floors_are_identical_across_class_relabellings() {
+        // Two services of one class, two of another: pushing either member of
+        // a class must leave bit-identical bounds.
+        let app = Application::independent(&[(2.0, 0.5), (2.0, 0.5), (1.0, 0.8), (1.0, 0.8)]);
+        let mut a = PartialForestMetrics::new(&app);
+        a.push_weighted(None, 0);
+        a.push_weighted(Some(0), 2);
+        let mut b = PartialForestMetrics::new(&app);
+        b.push_weighted(None, 1);
+        b.push_weighted(Some(0), 3);
+        for model in [CommModel::Overlap, CommModel::InOrder, CommModel::OutOrder] {
+            assert_eq!(
+                a.period_bound(model).to_bits(),
+                b.period_bound(model).to_bits()
+            );
+        }
+        assert_eq!(a.latency_bound().to_bits(), b.latency_bound().to_bits());
     }
 
     #[test]

@@ -336,11 +336,7 @@ impl CanonicalSpace {
                         let weights = classes
                             .service_assignment(&rep.classes)
                             .expect("generator colourings match the partition");
-                        CanonicalRep {
-                            parents: rep.parents,
-                            weights,
-                            orbit: rep.orbit,
-                        }
+                        CanonicalRep::new(&rep.parents, &weights, rep.orbit)
                     })
                     .collect(),
             ),
@@ -400,13 +396,10 @@ impl CanonicalSpace {
     /// in [`CanonicalRep`] form (identity weights), so both canonical spaces
     /// share one search driver.
     pub fn uniform_representatives(n: usize) -> Vec<CanonicalRep> {
+        let identity: Vec<ServiceId> = (0..n).collect();
         CanonicalSpace::forest_representatives(n)
             .into_iter()
-            .map(|(parents, orbit)| CanonicalRep {
-                weights: (0..n).collect(),
-                parents,
-                orbit,
-            })
+            .map(|(parents, orbit)| CanonicalRep::new(&parents, &identity, orbit))
             .collect()
     }
 }
@@ -425,29 +418,60 @@ pub enum ClassedGeneration {
     DeadlineExpired,
 }
 
-/// One canonical orbit representative ready for evaluation: the shape's
-/// parent vector over preorder *positions*, the concrete service id each
-/// position carries the weights of (identity on uniform instances, a
-/// class-consistent assignment on multi-class ones), and the orbit size.
+/// One canonical orbit representative ready for evaluation, stored as a
+/// **packed level-sequence code** (`fsw_core::pack_level_code`: `n` bytes of
+/// preorder levels — which alone reconstruct the shape's parent vector — and
+/// `n` bytes of concrete service ids, identity on uniform instances).  Cold
+/// representatives cost `2n` bytes each and are decoded on demand, so a
+/// materialised list holds no `Vec`-of-`Option` structures.
 #[derive(Clone, Debug)]
 pub struct CanonicalRep {
-    /// Parent vector over preorder positions (`parents[p] < Some(p)`).
-    pub parents: Vec<Option<ServiceId>>,
-    /// The concrete service each position stands for.
-    pub weights: Vec<ServiceId>,
+    code: Box<[u8]>,
     /// Number of labelled forests this representative stands for.
     pub orbit: u128,
 }
 
 impl CanonicalRep {
-    /// The representative as a labelled execution graph over the concrete
-    /// services (position `p` becomes service `weights[p]`).
-    pub fn graph(&self) -> ExecutionGraph {
-        let mut parents = vec![None; self.parents.len()];
-        for (pos, &p) in self.parents.iter().enumerate() {
-            parents[self.weights[pos]] = p.map(|pp| self.weights[pp]);
+    /// Packs a representative from its parent vector over preorder positions
+    /// (`parents[p] < Some(p)`) and the concrete service each position
+    /// stands for.
+    pub fn new(parents: &[Option<ServiceId>], weights: &[ServiceId], orbit: u128) -> Self {
+        CanonicalRep {
+            code: fsw_core::pack_level_code(parents, weights),
+            orbit,
         }
-        ExecutionGraph::from_parents(&parents).expect("canonical parent vectors are acyclic")
+    }
+
+    /// Decodes `(parents, weights)` from the packed code.
+    pub fn decode(&self) -> (Vec<Option<ServiceId>>, Vec<ServiceId>) {
+        fsw_core::unpack_level_code(&self.code)
+    }
+
+    /// The parent vector over preorder positions.
+    pub fn parents(&self) -> Vec<Option<ServiceId>> {
+        self.decode().0
+    }
+
+    /// The concrete service each position stands for.
+    pub fn weights(&self) -> Vec<ServiceId> {
+        self.decode().1
+    }
+
+    /// The labelled execution graph of a decoded representative (position
+    /// `p` becomes service `weights[p]`).
+    pub fn labelled_graph(parents: &[Option<ServiceId>], weights: &[ServiceId]) -> ExecutionGraph {
+        let mut labelled = vec![None; parents.len()];
+        for (pos, &p) in parents.iter().enumerate() {
+            labelled[weights[pos]] = p.map(|pp| weights[pp]);
+        }
+        ExecutionGraph::from_parents(&labelled).expect("canonical parent vectors are acyclic")
+    }
+
+    /// The representative as a labelled execution graph over the concrete
+    /// services.
+    pub fn graph(&self) -> ExecutionGraph {
+        let (parents, weights) = self.decode();
+        CanonicalRep::labelled_graph(&parents, &weights)
     }
 }
 
@@ -507,12 +531,14 @@ impl<'a> ForestCursor<'a> {
 
     /// Advances the cursor to a (possibly class-coloured) representative and
     /// returns its **service-labelled** execution graph — or `None` when the
-    /// partial bound proves no member of the orbit can beat `cutoff`.
+    /// partial bound proves no member of the orbit can beat `cutoff`.  The
+    /// packed representative is decoded once, here.
     pub fn advance_rep(&mut self, rep: &CanonicalRep, cutoff: f64) -> Option<ExecutionGraph> {
-        if self.advance_pruned(&rep.parents, &rep.weights, cutoff) {
+        let (parents, weights) = rep.decode();
+        if self.advance_pruned(&parents, &weights, cutoff) {
             return None;
         }
-        Some(rep.graph())
+        Some(CanonicalRep::labelled_graph(&parents, &weights))
     }
 
     /// Replays and returns `true` when the bound prunes against `cutoff`.

@@ -33,19 +33,29 @@
 //! best-first walk reproduces it exactly by minimising `(value, rank)`
 //! lexicographically, where `rank` is that same enumeration order (the
 //! node's choice sequence for labelled spaces, the canonical stream index
-//! for orbit spaces).  `tests/partial_symmetry_equivalence.rs` asserts the
-//! equality on every equivalence suite, serial and parallel, including the
-//! spill path.
+//! for orbit spaces).  On top of the strict rule the streamed walk adds a
+//! **tie-dominance** prune: a subtree whose bound already *reaches* the
+//! walker's local best value and whose completions are all canonically
+//! later than the local best's rank is discarded non-strictly — every
+//! candidate in it loses the `(value, rank)` comparison outright, so the
+//! winner is untouched while optimum-tying plateaus (common when the
+//! optimum sits on the input-rate floor) stop being walked.
+//! `tests/partial_symmetry_equivalence.rs` asserts the equality on every
+//! equivalence suite, serial and parallel, including the spill path.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use fsw_core::{Application, ExecutionGraph, PartialForestMetrics, ServiceId};
+use fsw_core::{
+    bound_ordered_shape_plan, walk_canonical_colorings, Application, ColoringVisitor,
+    ExecutionGraph, PartialForestMetrics, ServiceId, ShapeBounder, ShapeObjective, ShapePlan,
+    ShapeScan, WeightClasses,
+};
 
-use crate::engine::{prune_threshold, CanonicalRep, ForestCursor, Incumbent, PartialPrune};
+use crate::engine::{prune_threshold, CanonicalRep, Incumbent, PartialPrune};
 use crate::minperiod::SearchOutcome;
-use crate::par::{par_chunks, Exec};
+use crate::par::{par_chunks, par_chunks_weighted, Exec};
 
 /// Hard cap on the number of partial forests held in the priority frontier
 /// (~a few MB of prefixes at the deepest useful instance sizes); beyond it
@@ -407,85 +417,296 @@ where
     true
 }
 
-/// Best-first walk of a canonical orbit space: the representatives are
-/// ordered by their structural lower bound (computed incrementally with a
-/// [`ForestCursor`] in stream order, then sorted with the stream index as
-/// the deterministic tie-break) and evaluated most-promising-first in
-/// parallel batches.  Because the order is bound-ascending, the first
-/// representative whose bound clears the incumbent certifies all remaining
-/// ones prunable and ends the search — the optimum's bound-clearance
-/// certificate is reached after evaluating a handful of orbits instead of
-/// the whole stream.
-pub fn best_first_canonical_search<F>(
+/// Telemetry of one streamed canonical run, for tests, tuning and the
+/// benchmark rows.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Number of shapes (forest-isomorphism classes) in the plan.
+    pub shapes: usize,
+    /// Total coloured-orbit count, when the counting pass was tractable for
+    /// the weight partition.
+    pub orbits: Option<u128>,
+    /// Number of representatives materialised and evaluated.
+    pub expanded: u64,
+    /// Peak number of representatives concurrently materialised (one per
+    /// active worker, never more than the frontier cap).
+    pub peak_resident: usize,
+    /// Number of shapes discarded wholesale by the final bound-clearance
+    /// certificate, without expanding a single representative.
+    pub certified_shapes: usize,
+}
+
+/// A write-once sink for the [`StreamStats`] of the streamed walk buried
+/// inside a solve: the orchestrator threads one through its engine calls so
+/// telemetry surfaces in `SolveStats` without widening every search
+/// signature on the way down.
+#[derive(Debug, Default)]
+pub struct StreamProbe(std::sync::Mutex<Option<StreamStats>>);
+
+impl StreamProbe {
+    /// Records the stats of a streamed run (the last run wins when a solve
+    /// performs several, e.g. a forest phase followed by a DAG phase).
+    pub fn record(&self, stats: StreamStats) {
+        *self.0.lock().expect("stream probe poisoned") = Some(stats);
+    }
+
+    /// The recorded stats, if a streamed walk ran.
+    pub fn snapshot(&self) -> Option<StreamStats> {
+        *self.0.lock().expect("stream probe poisoned")
+    }
+}
+
+/// Prune-aware [`ColoringVisitor`]: replays the colour assignment of one
+/// shape against an incrementally maintained [`PartialForestMetrics`],
+/// pinning each position to a concrete service of its class (smallest
+/// unused id — bit-identical to `WeightClasses::service_assignment`), and
+/// refuses every prefix whose admissible bound strictly clears the shared
+/// incumbent, so whole colour subtrees die without a representative ever
+/// being materialised.
+struct StreamWalker<'a, F> {
+    metrics: PartialForestMetrics<'a>,
+    prune: PartialPrune,
+    incumbent: &'a Incumbent,
+    eval: &'a F,
+    deadline: Option<Instant>,
+    /// Ascending service ids per weight class; `pool[c][used[c]]` is the
+    /// next id handed out, replaying `service_assignment` incrementally.
+    pool: &'a [Vec<ServiceId>],
+    used: Vec<usize>,
+    parents: Vec<Option<ServiceId>>,
+    weights: Vec<ServiceId>,
+    shape_ordinal: u64,
+    /// Completions reached so far within the current shape: pruned
+    /// colourings are strictly worse than the incumbent so they never tie
+    /// for the minimum, and reached completions keep their relative walk
+    /// order in every run — `(value, idx)` minimisation therefore
+    /// reproduces the materialised first-minimum winner exactly.
+    reached: u64,
+    ticks: u32,
+    interrupted: bool,
+    expanded: u64,
+    local: Option<(f64, u128, ExecutionGraph)>,
+}
+
+impl<F> ColoringVisitor for StreamWalker<'_, F>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64,
+{
+    fn descend(&mut self, _pos: usize, parent: Option<usize>, class: usize) -> bool {
+        if self.interrupted {
+            return false;
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & 0x3FF == 0 && self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.interrupted = true;
+            return false;
+        }
+        let service = self.pool[class][self.used[class]];
+        self.metrics.push_weighted(parent, service);
+        if self.prune != PartialPrune::Off {
+            let bound = match self.prune {
+                PartialPrune::Off => unreachable!(),
+                PartialPrune::Period(model) => self.metrics.period_bound(model),
+                PartialPrune::Latency => self.metrics.latency_bound(),
+            };
+            // Strict clearance only, so optimum-tying colourings always
+            // survive — the rule every other walker prunes with.
+            if bound > prune_threshold(self.incumbent.get()) {
+                self.metrics.pop();
+                return false;
+            }
+            // Tie dominance: once this walker holds a local best `(v, i)`,
+            // a subtree whose admissible bound already reaches `v` and whose
+            // every completion is canonically later than `i` cannot contain
+            // the `(value, idx)` minimum — each candidate in it has
+            // `value ≥ bound ≥ v` and `idx > i`, so it loses the
+            // lexicographic comparison even on an exact value tie.  This is
+            // what collapses the tie plateau of instances whose optimum sits
+            // on the input-rate floor: after the first optimal completion,
+            // the millions of orbits tying it die here without being
+            // materialised.  (Local best only: it never races with other
+            // workers, and the cross-worker merge still minimises
+            // `(value, idx)`.)
+            if let Some((bv, bi, _)) = self.local.as_ref() {
+                let floor = ((self.shape_ordinal as u128) << 64) | self.reached as u128;
+                if bound >= *bv && floor > *bi {
+                    self.metrics.pop();
+                    return false;
+                }
+            }
+        }
+        self.used[class] += 1;
+        self.parents.push(parent);
+        self.weights.push(service);
+        true
+    }
+
+    fn ascend(&mut self, _pos: usize, class: usize) {
+        self.metrics.pop();
+        self.used[class] -= 1;
+        self.parents.pop();
+        self.weights.pop();
+    }
+
+    fn complete(&mut self, _colors: &[usize], _aut: u128) -> bool {
+        if self.interrupted || self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.interrupted = true;
+            return false;
+        }
+        let idx = ((self.shape_ordinal as u128) << 64) | self.reached as u128;
+        self.reached += 1;
+        self.expanded += 1;
+        let graph = CanonicalRep::labelled_graph(&self.parents, &self.weights);
+        let value = (self.eval)(&graph, self.incumbent.get());
+        let improves = self
+            .local
+            .as_ref()
+            .is_none_or(|&(bv, bi, _)| value < bv || (value == bv && idx < bi));
+        if improves {
+            self.incumbent.offer(value);
+            self.local = Some((value, idx, graph));
+        }
+        true
+    }
+}
+
+/// Best-first walk of a canonical orbit space **without materialising it**:
+/// a count-only prelude streams every shape once
+/// ([`fsw_core::bound_ordered_shape_plan`]), attaches a shape-level
+/// admissible bound ([`ShapeBounder`]) and sorts the shapes bound-ascending;
+/// the expansion loop then walks the canonical colourings of each shape on
+/// demand ([`walk_canonical_colorings`]), pruning colour prefixes against
+/// the shared incumbent, so memory holds the O(shapes) plan plus at most
+/// one representative per worker — never the coloured space.  Because the
+/// shape order is bound-ascending, the first shape whose bound clears the
+/// incumbent certifies every remaining shape prunable and ends the search
+/// in one step.
+///
+/// The winner is the `(value, global index)` lexicographic minimum, where
+/// the global index orders candidates by `(canonical shape ordinal, walk
+/// order within the shape)` — exactly the materialised enumeration order —
+/// so complete runs are bit-identical to the depth-first scan of the
+/// materialised stream, serial or parallel.  `frontier_cap` bounds the
+/// number of shapes expanded per batch (hence the resident representative
+/// count); the packed level sequence in each [`ShapePlan`] is the resumable
+/// cursor, so throttling never re-materialises anything.
+pub fn streamed_canonical_search<F>(
     app: &Application,
-    reps: &[CanonicalRep],
+    classes: &WeightClasses,
     exec: Exec,
     prune: PartialPrune,
+    frontier_cap: usize,
     incumbent_seed: f64,
     eval: &F,
-) -> Option<SearchOutcome>
+) -> (Option<SearchOutcome>, StreamStats)
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
-    let mut cursor = ForestCursor::new(app, prune);
-    let mut order: Vec<(f64, usize)> = Vec::with_capacity(reps.len());
-    for (idx, rep) in reps.iter().enumerate() {
-        // The bound prelude walks the whole stream; honour the deadline at a
-        // coarse granularity so a tight `time_limit` cannot block on it.
-        if idx & 0xFFF == 0 && exec.deadline.is_some_and(|d| Instant::now() >= d) {
-            return None; // nothing evaluated yet: degrade to the fallback
+    let mut stats = StreamStats::default();
+    let objective = match prune {
+        PartialPrune::Off => None,
+        PartialPrune::Period(model) => Some(ShapeObjective::Period(model)),
+        PartialPrune::Latency => Some(ShapeObjective::Latency),
+    };
+    let bounder = objective.map(|o| ShapeBounder::new(app, o));
+    let plan = match bound_ordered_shape_plan(classes, bounder.as_ref(), exec.deadline) {
+        // Nothing evaluated yet: degrade to the fallback like any
+        // interrupted search.
+        ShapeScan::DeadlineExpired => return (None, stats),
+        ShapeScan::Planned { shapes, orbits } => {
+            stats.shapes = shapes.len();
+            stats.orbits = orbits;
+            shapes
         }
-        order.push((cursor.bound(&rep.parents, &rep.weights), idx));
+    };
+    let mut pool: Vec<Vec<ServiceId>> = vec![Vec::new(); classes.class_count()];
+    for k in 0..classes.n() {
+        pool[classes.class_of(k)].push(k);
     }
-    order.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     let incumbent = Incumbent::seeded(incumbent_seed);
     let threads = exec.effective_threads();
-    let batch_len = (threads * 8).max(1);
-    let mut best: Option<(f64, usize, ExecutionGraph)> = None;
+    let batch_len = (threads * 2).max(1).min(frontier_cap.max(1));
+    let weight_of = |s: &ShapePlan| u64::try_from(s.colorings.max(1)).unwrap_or(u64::MAX);
+    let mut best: Option<(f64, u128, ExecutionGraph)> = None;
     let mut complete = true;
     let mut at = 0;
-    while at < order.len() {
+    while at < plan.len() {
         if exec.deadline.is_some_and(|d| Instant::now() >= d) {
             complete = false;
             break;
         }
         // Bound-ascending order: the head clearing the incumbent is the
-        // certificate that every remaining representative is prunable.
-        if order[at].0 > prune_threshold(incumbent.get()) {
+        // certificate that every remaining shape is prunable.
+        if plan[at].bound > prune_threshold(incumbent.get()) {
+            stats.certified_shapes = plan.len() - at;
             break;
         }
-        let hi = (at + batch_len).min(order.len());
-        let parts = par_chunks(threads, &order[at..hi], |_base, items| {
-            let mut local: Option<(f64, usize, ExecutionGraph)> = None;
-            for &(bound, idx) in items {
-                if bound > prune_threshold(incumbent.get()) {
+        let hi = (at + batch_len).min(plan.len());
+        let batch = &plan[at..hi];
+        stats.peak_resident = stats.peak_resident.max(threads.min(batch.len()));
+        let parts = par_chunks_weighted(threads, batch, weight_of, |_base, chunk| {
+            let mut walker = StreamWalker {
+                metrics: PartialForestMetrics::new(app),
+                prune,
+                incumbent: &incumbent,
+                eval,
+                deadline: exec.deadline,
+                pool: &pool,
+                used: vec![0; pool.len()],
+                parents: Vec::with_capacity(classes.n()),
+                weights: Vec::with_capacity(classes.n()),
+                shape_ordinal: 0,
+                reached: 0,
+                ticks: 0,
+                interrupted: false,
+                expanded: 0,
+                local: None,
+            };
+            for shape in chunk {
+                // Re-check against the live incumbent: shapes admitted when
+                // the batch was cut may have become hopeless since.
+                if shape.bound > prune_threshold(incumbent.get()) {
                     continue;
                 }
-                let graph = reps[idx].graph();
-                let value = eval(&graph, incumbent.get());
-                let improves = local
+                // Shape-level tie dominance (the same rule the walker
+                // applies per colour prefix): every completion of a
+                // later-ordinal shape is canonically later than the local
+                // best, so a bound reaching its value certifies the whole
+                // shape a lexicographic loser.
+                if walker.local.as_ref().is_some_and(|(bv, bi, _)| {
+                    shape.bound >= *bv && ((shape.ordinal as u128) << 64) > *bi
+                }) {
+                    continue;
+                }
+                walker.shape_ordinal = shape.ordinal;
+                walker.reached = 0;
+                if !walk_canonical_colorings(&shape.decode_levels(), classes, &mut walker) {
+                    break; // deadline interrupted mid-walk
+                }
+            }
+            (walker.local, walker.expanded, walker.interrupted)
+        });
+        for (local, expanded, part_interrupted) in parts {
+            stats.expanded += expanded;
+            if let Some((value, idx, graph)) = local {
+                let improves = best
                     .as_ref()
                     .is_none_or(|&(bv, bi, _)| value < bv || (value == bv && idx < bi));
                 if improves {
-                    incumbent.offer(value);
-                    local = Some((value, idx, graph));
+                    best = Some((value, idx, graph));
                 }
             }
-            local
-        });
-        for part in parts.into_iter().flatten() {
-            let improves = best
-                .as_ref()
-                .is_none_or(|&(bv, bi, _)| part.0 < bv || (part.0 == bv && part.1 < bi));
-            if improves {
-                best = Some(part);
-            }
+            complete &= !part_interrupted;
+        }
+        if !complete {
+            break;
         }
         at = hi;
     }
-    best.map(|(value, _, graph)| SearchOutcome {
+    let outcome = best.map(|(value, _, graph)| SearchOutcome {
         value,
         graph,
         complete,
-    })
+    });
+    (outcome, stats)
 }

@@ -19,6 +19,7 @@ use std::time::Instant;
 use fsw_core::{Application, CommModel, CoreResult, ExecutionGraph, PlanMetrics, ServiceId};
 
 use crate::chain::{chain_graph, chain_minlatency_order};
+use crate::engine::frontier::StreamProbe;
 use crate::engine::{
     prune_threshold, tags, CanonicalSpace, EvalCache, PartialPrune, SearchStrategy, Symmetry,
 };
@@ -333,6 +334,7 @@ pub(crate) fn minimize_latency_engine(
         cache,
         f64::INFINITY,
         &std::sync::atomic::AtomicUsize::new(0),
+        None,
     )
 }
 
@@ -345,6 +347,7 @@ pub(crate) fn minimize_latency_engine(
 /// forest plans only — `orchestrator::warm_seed` enforces this; a DAG value
 /// below every forest would starve the forest phase and flip the near-tie
 /// arbitration between the two phases).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_latency_engine_seeded(
     app: &Application,
     options: &MinLatencyOptions,
@@ -352,6 +355,7 @@ pub(crate) fn minimize_latency_engine_seeded(
     cache: &EvalCache,
     incumbent_seed: f64,
     evals: &std::sync::atomic::AtomicUsize,
+    probe: Option<&StreamProbe>,
 ) -> CoreResult<MinLatencyResult> {
     use std::sync::atomic::Ordering;
     let mut best: Option<MinLatencyResult> = None;
@@ -360,7 +364,7 @@ pub(crate) fn minimize_latency_engine_seeded(
             evals.fetch_add(1, Ordering::Relaxed);
             forest_latency_eval(app, g)
         };
-        if let Some(out) = crate::minperiod::exhaustive_forest_search_seeded(
+        if let Some(out) = crate::minperiod::exhaustive_forest_search_probed(
             app,
             options.forest_enumeration_cap,
             exec,
@@ -371,6 +375,7 @@ pub(crate) fn minimize_latency_engine_seeded(
             options.strategy,
             incumbent_seed,
             &eval,
+            probe,
         ) {
             best = Some(MinLatencyResult {
                 latency: out.value,

@@ -20,12 +20,12 @@ use std::time::Instant;
 
 use fsw_core::{
     canonical_classed_member, Application, CommModel, CoreResult, ExecutionGraph,
-    PartialForestMetrics, PlanMetrics, ServiceId,
+    PartialForestMetrics, PlanMetrics, ServiceId, WeightClasses,
 };
 
 use crate::chain::{chain_graph, chain_minperiod_order};
 use crate::engine::frontier::{
-    best_first_canonical_search, best_first_forest_search, DEFAULT_FRONTIER_CAP,
+    best_first_forest_search, streamed_canonical_search, StreamProbe, DEFAULT_FRONTIER_CAP,
 };
 use crate::engine::{
     prune_threshold, tags, CanonicalRep, CanonicalSpace, EvalCache, ForestCursor, Incumbent,
@@ -260,6 +260,38 @@ pub fn exhaustive_forest_search_seeded<F>(
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
+    exhaustive_forest_search_probed(
+        app,
+        cap,
+        exec,
+        prune,
+        symmetry,
+        strategy,
+        incumbent_seed,
+        eval,
+        None,
+    )
+}
+
+/// [`exhaustive_forest_search_seeded`] with an optional [`StreamProbe`]
+/// recording the lazy walk's [`StreamStats`](crate::engine::frontier::StreamStats)
+/// when the search resolves to the streamed canonical path — the telemetry
+/// channel behind `SolveStats::stream`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exhaustive_forest_search_probed<F>(
+    app: &Application,
+    cap: usize,
+    exec: Exec,
+    prune: PartialPrune,
+    symmetry: Symmetry,
+    strategy: SearchStrategy,
+    incumbent_seed: f64,
+    eval: &F,
+    probe: Option<&StreamProbe>,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
     let n = app.n();
     if n == 0 {
         return None;
@@ -268,29 +300,66 @@ where
         if CanonicalSpace::forest_class_count(n) > cap as u128 {
             return None;
         }
-        let reps = CanonicalSpace::uniform_representatives(n);
-        return canonical_forest_search(app, &reps, exec, prune, strategy, incumbent_seed, eval);
+        if strategy == SearchStrategy::DepthFirst {
+            let reps = CanonicalSpace::uniform_representatives(n);
+            return canonical_forest_search(app, &reps, exec, prune, incumbent_seed, eval);
+        }
+        // Auto resolves to the streamed best-first walk on canonical spaces
+        // (the uniform space is the single-class special case: one canonical
+        // colouring per shape, identity service assignment).
+        let classes = WeightClasses::of(app);
+        let (outcome, stats) = streamed_canonical_search(
+            app,
+            &classes,
+            exec,
+            prune,
+            DEFAULT_FRONTIER_CAP,
+            incumbent_seed,
+            eval,
+        );
+        if let Some(p) = probe {
+            p.record(stats);
+        }
+        return outcome;
     }
     if symmetry == Symmetry::Classes && CanonicalSpace::class_reducible(app) {
-        match CanonicalSpace::classed_representatives_within(app, cap, exec.deadline) {
-            crate::engine::ClassedGeneration::Generated(reps) => {
-                return canonical_forest_search(
-                    app,
-                    &reps,
-                    exec,
-                    prune,
-                    strategy,
-                    incumbent_seed,
-                    eval,
-                );
+        if strategy == SearchStrategy::DepthFirst {
+            match CanonicalSpace::classed_representatives_within(app, cap, exec.deadline) {
+                crate::engine::ClassedGeneration::Generated(reps) => {
+                    return canonical_forest_search(app, &reps, exec, prune, incumbent_seed, eval);
+                }
+                // Deadline passed before the space was even materialised: no
+                // candidate was examined, so degrade to the heuristic
+                // fallback (flagged non-exhaustive by the caller) instead of
+                // blocking.
+                crate::engine::ClassedGeneration::DeadlineExpired => return None,
+                // Coloured class space over the cap: fall through to the raw
+                // space, which may still fit.
+                crate::engine::ClassedGeneration::CapExceeded => {}
             }
-            // Deadline passed before the space was even materialised: no
-            // candidate was examined, so degrade to the heuristic fallback
-            // (flagged non-exhaustive by the caller) instead of blocking.
-            crate::engine::ClassedGeneration::DeadlineExpired => return None,
-            // Coloured class space over the cap: fall through to the raw
-            // space, which may still fit.
-            crate::engine::ClassedGeneration::CapExceeded => {}
+        } else if CanonicalSpace::forest_class_count(n) <= cap as u128 {
+            // The streamed best-first walk never materialises the coloured
+            // space, so its budget gate is the *shape* count (A000081,
+            // 32 973 at n = 13) rather than the coloured class count that
+            // bounds the depth-first materialisation — tiered spaces whose
+            // coloured count dwarfs the cap stay exhaustively searchable.
+            // Beyond the shape cap, fall through to the raw-space gates.
+            let classes = WeightClasses::of(app);
+            let (outcome, stats) = streamed_canonical_search(
+                app,
+                &classes,
+                exec,
+                prune,
+                DEFAULT_FRONTIER_CAP,
+                incumbent_seed,
+                eval,
+            );
+            if let Some(p) = probe {
+                p.record(stats);
+            }
+            // `None` means the deadline expired before any candidate was
+            // examined: degrade to the heuristic fallback, not the raw walk.
+            return outcome;
         }
     }
     if forest_space_size(n)? > cap {
@@ -367,37 +436,31 @@ fn forest_task_prefixes(n: usize, levels: usize) -> Vec<Vec<Option<ServiceId>>> 
     }
 }
 
-/// The symmetry-reduced forest search over a materialised canonical orbit
-/// stream (uniform or class-coloured): one evaluation per representative,
-/// with the partial-assignment bound applied by a [`ForestCursor`] *before*
-/// a representative is materialised.
+/// The depth-first symmetry-reduced forest search over a **materialised**
+/// canonical orbit stream (uniform or class-coloured): one evaluation per
+/// representative, with the partial-assignment bound applied by a
+/// [`ForestCursor`] *before* a representative is materialised.
 ///
-/// Under [`SearchStrategy::DepthFirst`] the stream is scanned in canonical
-/// order, chunked by **orbit weight** ([`par_chunks_weighted`]) so that
-/// representatives standing for huge orbits — which cluster early in the
-/// stream — stop load-imbalancing the workers; chunks keep the enumeration
-/// order, so the fold is deterministic for every thread count and the
-/// winner is the first optimum in canonical order.  Under `Auto` /
-/// `BestFirst` the stream is walked most-promising-bound-first
-/// ([`best_first_canonical_search`]), which reaches the same winner (the
-/// `(value, stream index)` minimum) after evaluating far fewer orbits.
+/// The stream is scanned in canonical order, chunked by **orbit weight**
+/// ([`par_chunks_weighted`]) so that representatives standing for huge
+/// orbits — which cluster early in the stream — stop load-imbalancing the
+/// workers; chunks keep the enumeration order, so the fold is deterministic
+/// for every thread count and the winner is the first optimum in canonical
+/// order.  The `Auto` / `BestFirst` strategies never materialise the stream
+/// at all — they walk it lazily bound-first ([`streamed_canonical_search`]),
+/// which reaches the same winner (the `(value, enumeration index)` minimum)
+/// after expanding far fewer orbits.
 fn canonical_forest_search<F>(
     app: &Application,
     reps: &[CanonicalRep],
     exec: Exec,
     prune: PartialPrune,
-    strategy: SearchStrategy,
     incumbent_seed: f64,
     eval: &F,
 ) -> Option<SearchOutcome>
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
-    if strategy != SearchStrategy::DepthFirst {
-        // Auto resolves to best-first on canonical spaces: the stream is
-        // small enough to hold, and bound-ordering pays off immediately.
-        return best_first_canonical_search(app, reps, exec, prune, incumbent_seed, eval);
-    }
     let incumbent = Incumbent::seeded(incumbent_seed);
     let weight_of = |rep: &CanonicalRep| u64::try_from(rep.orbit).unwrap_or(u64::MAX);
     let parts = par_chunks_weighted(exec.effective_threads(), reps, weight_of, |_base, chunk| {
@@ -646,6 +709,12 @@ where
     let parts = par_chunks(exec.effective_threads(), &prefixes, |_base, chunk| {
         let mut best: Option<(f64, ExecutionGraph)> = None;
         let mut complete = true;
+        // Per-worker duplicate filter over labelled edge sets: a DAG is
+        // generated once per linear extension (≈4× over-visitation at
+        // n = 5), and a repeat visit of a deterministic `eval` can never
+        // displace a first-strict-minimum, so skipping repeats inside one
+        // worker's enumeration-ordered chunk is bit-safe.
+        let mut seen = std::collections::HashSet::new();
         for prefix in chunk {
             let mut order: Vec<ServiceId> = (0..n).collect();
             for (level, &pos) in prefix.iter().enumerate() {
@@ -659,6 +728,7 @@ where
                     &incumbent,
                     eval,
                     exec.deadline,
+                    &mut seen,
                 )
             });
             if !ok {
@@ -740,6 +810,7 @@ fn visit_dags_of_permutation_pruned<F>(
     incumbent: &Incumbent,
     eval: &F,
     deadline: Option<Instant>,
+    seen: &mut std::collections::HashSet<u64>,
 ) -> bool
 where
     F: Fn(&ExecutionGraph, f64) -> f64,
@@ -750,6 +821,26 @@ where
     for mask in 0u64..(1u64 << m) {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return false;
+        }
+        // A labelled edge set reappears once per linear extension; key it
+        // by directed label pairs (two bits per unordered pair) and skip
+        // repeats before paying for graph construction and evaluation.
+        let mut key = 0u64;
+        let mut bit = 0u32;
+        for a in 0..n {
+            for c in (a + 1)..n {
+                if mask & (1u64 << bit) != 0 {
+                    let (u, v) = (perm[a], perm[c]);
+                    let (lo, hi, dir) = if u < v { (u, v, 0) } else { (v, u, 1) };
+                    // Unordered pair index in the a < c triangular order.
+                    let pair = lo * (2 * n - lo - 1) / 2 + (hi - lo - 1);
+                    key |= 1u64 << (2 * pair as u32 + dir);
+                }
+                bit += 1;
+            }
+        }
+        if !seen.insert(key) {
+            continue;
         }
         let graph = ExecutionGraph::from_permutation_mask(perm, mask);
         if graph.respects(app).is_err() {
@@ -1068,6 +1159,7 @@ pub(crate) fn minimize_period_engine(
         cache,
         f64::INFINITY,
         &std::sync::atomic::AtomicUsize::new(0),
+        None,
     )
 }
 
@@ -1078,6 +1170,7 @@ pub(crate) fn minimize_period_engine(
 /// [`exhaustive_forest_search_seeded`]), and `evals` is incremented once per
 /// full candidate evaluation, so callers can measure how much of the space a
 /// warm start skipped.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_period_engine_seeded(
     app: &Application,
     options: &MinPeriodOptions,
@@ -1085,6 +1178,7 @@ pub(crate) fn minimize_period_engine_seeded(
     cache: &EvalCache,
     incumbent_seed: f64,
     evals: &std::sync::atomic::AtomicUsize,
+    probe: Option<&StreamProbe>,
 ) -> CoreResult<MinPeriodResult> {
     let eval = |g: &ExecutionGraph, cutoff: f64| -> f64 {
         evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -1126,7 +1220,7 @@ pub(crate) fn minimize_period_engine_seeded(
                 CommModel::InOrder => Symmetry::Full,
             },
         };
-        if let Some(out) = exhaustive_forest_search_seeded(
+        if let Some(out) = exhaustive_forest_search_probed(
             app,
             options.forest_enumeration_cap,
             exec,
@@ -1135,6 +1229,7 @@ pub(crate) fn minimize_period_engine_seeded(
             options.strategy,
             incumbent_seed,
             &eval,
+            probe,
         ) {
             return Ok(MinPeriodResult {
                 period: out.value,

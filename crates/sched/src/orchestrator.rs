@@ -131,9 +131,14 @@ pub struct SearchBudget {
     /// Bound on the communication-ordering space enumerated exhaustively;
     /// beyond it the ordering searches fall back to hill climbing.
     pub max_orderings: usize,
-    /// Bound on the execution-graph space (parent functions) enumerated
-    /// exhaustively; beyond it the plan search falls back to seeded local
-    /// search.
+    /// Bound on the execution-graph space enumerated exhaustively; beyond
+    /// it the plan search falls back to seeded local search.  The space it
+    /// measures depends on the walk the search resolves to: parent
+    /// functions on the raw labelled space, coloured orbit classes on the
+    /// materialised depth-first canonical path, and **shapes** (A000081
+    /// forest-isomorphism classes — 32 973 at `n = 13`) on the lazy
+    /// streamed path, which never materialises the coloured space and so
+    /// stays exhaustive where the coloured count dwarfs the cap.
     pub max_graphs: usize,
     /// Optional wall-clock limit.  When it expires, the graph and ordering
     /// enumerations stop and the best candidate found so far is returned with
@@ -353,6 +358,13 @@ pub struct SolveStats {
     /// search (pruned candidates are not counted).  `0` for fixed-graph
     /// orchestration problems.
     pub evaluated: usize,
+    /// Telemetry of the lazy bound-ordered canonical walk, when the plan
+    /// search resolved to the streamed path (`None` for fixed-graph,
+    /// labelled-space or materialised depth-first solves): shape/orbit
+    /// counts, representatives actually expanded, the peak number of
+    /// concurrently resident representatives and the shapes discarded by the
+    /// final bound-clearance certificate.
+    pub stream: Option<crate::engine::frontier::StreamStats>,
     /// The warm-start upper bound the search's incumbent was seeded with
     /// (the previous plan's value on the current instance), when one was
     /// supplied and feasible.
@@ -390,6 +402,7 @@ pub fn solve_warm(
     }
     let exec = budget.exec();
     let evals = AtomicUsize::new(0);
+    let probe = crate::engine::frontier::StreamProbe::default();
     let mut stats = SolveStats::default();
     let solution = match (problem.graph, problem.objective) {
         (Some(graph), Objective::MinPeriod) => {
@@ -409,6 +422,7 @@ pub fn solve_warm(
                 cache,
                 seed.unwrap_or(f64::INFINITY),
                 &evals,
+                Some(&probe),
             )?;
             let mut solution =
                 orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)?;
@@ -430,6 +444,7 @@ pub fn solve_warm(
                 cache,
                 seed.unwrap_or(f64::INFINITY),
                 &evals,
+                Some(&probe),
             )?;
             let mut solution =
                 orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)?;
@@ -439,6 +454,7 @@ pub fn solve_warm(
         }
     };
     stats.evaluated = evals.load(Ordering::Relaxed);
+    stats.stream = probe.snapshot();
     Ok((solution, stats))
 }
 

@@ -22,10 +22,14 @@
 //!
 //! Responses carry the plan relabelled into the tenant's own service ids.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use fsw_core::{Application, CanonicalApplication, CommModel, CoreResult, ExecutionGraph};
+use fsw_core::{
+    AppFingerprint, Application, CanonicalApplication, CommModel, CoreResult, ExecutionGraph,
+};
 use fsw_sched::engine::EvalCache;
 use fsw_sched::orchestrator::{solve_with_cache, Objective, Problem, SearchBudget};
 use fsw_sched::par::par_chunks;
@@ -177,6 +181,18 @@ enum Assignment {
 pub struct PlanService {
     budget: SearchBudget,
     store: PlanStore,
+    /// Evaluation caches **retained across batches**, one per canonical
+    /// application fingerprint: a fingerprint that falls out of the plan
+    /// store (capacity eviction) and comes back cold re-solves against its
+    /// previously memoised ordering searches instead of recomputing every
+    /// one.  Entries depend only on the canonical application (which the
+    /// fingerprint determines), never on the model/objective — the tags
+    /// partition the key space — so retention is always value-safe.
+    caches: Mutex<HashMap<AppFingerprint, Arc<EvalCache>>>,
+    /// Bound on the number of retained caches; on overflow the map is
+    /// cleared wholesale (caches are pure memos, so dropping them costs
+    /// recomputation, never correctness).
+    cache_capacity: usize,
     requests: AtomicUsize,
     cold: AtomicUsize,
     store_hits: AtomicUsize,
@@ -185,16 +201,37 @@ pub struct PlanService {
 
 impl PlanService {
     /// A service answering under `budget`, caching at most `store_capacity`
-    /// plans.
+    /// plans (and retaining at most `store_capacity` per-fingerprint
+    /// evaluation caches).
     pub fn new(budget: SearchBudget, store_capacity: usize) -> Self {
         PlanService {
             budget,
             store: PlanStore::new(store_capacity),
+            caches: Mutex::new(HashMap::new()),
+            cache_capacity: store_capacity.max(1),
             requests: AtomicUsize::new(0),
             cold: AtomicUsize::new(0),
             store_hits: AtomicUsize::new(0),
             dedup_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// `(hits, misses)` of the retained evaluation cache that `request`'s
+    /// fingerprint resolves to, `None` when no cold solve has created one
+    /// yet.  Tests assert cache retention across batches with this.
+    pub fn eval_cache_stats(&self, request: &PlanRequest) -> Option<(usize, usize)> {
+        let collapse = permutation_collapse_allowed(
+            &request.app,
+            request.model,
+            request.objective,
+            &self.budget,
+        );
+        let canon = CanonicalApplication::with_collapse(&request.app, collapse);
+        self.caches
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(&canon.fingerprint)
+            .map(|cache| cache.stats())
     }
 
     /// The budget every cold solve runs under.
@@ -286,23 +323,38 @@ impl PlanService {
             threads: 1,
             ..self.budget
         };
-        // One evaluation cache per distinct fingerprint in the batch: the
-        // fingerprint determines the canonical application, so leaders of
-        // the same application under different models/objectives share the
-        // memoised ordering searches, exactly like `solve_all`'s per-app
-        // sweep.  (`EvalCache` is `Sync`; the workers only read the map.)
-        let mut caches: std::collections::HashMap<&fsw_core::AppFingerprint, EvalCache> =
-            std::collections::HashMap::new();
-        for &idx in &leaders {
-            caches
-                .entry(&prepared[idx].key.fingerprint)
-                .or_insert_with(|| EvalCache::new(&prepared[idx].canon.app));
-        }
-        let solved: Vec<StoredPlan> = par_chunks(threads, &leaders, |_base, chunk| {
-            chunk
+        // One evaluation cache per distinct fingerprint, **retained across
+        // batches**: the fingerprint determines the canonical application,
+        // so leaders of the same application — in this batch under other
+        // models/objectives, or in a later batch after the plan store
+        // evicted the fingerprint — share the memoised ordering searches,
+        // exactly like `solve_all`'s per-app sweep.  (`EvalCache` is `Sync`;
+        // the workers only read their `Arc`s.)
+        let caches: Vec<Arc<EvalCache>> = {
+            let mut retained = self.caches.lock().expect("cache mutex poisoned");
+            leaders
                 .iter()
                 .map(|&idx| {
-                    let cache = &caches[&prepared[idx].key.fingerprint];
+                    let fingerprint = &prepared[idx].key.fingerprint;
+                    if !retained.contains_key(fingerprint) {
+                        if retained.len() >= self.cache_capacity {
+                            retained.clear();
+                        }
+                        retained.insert(
+                            fingerprint.clone(),
+                            Arc::new(EvalCache::new(&prepared[idx].canon.app)),
+                        );
+                    }
+                    retained[fingerprint].clone()
+                })
+                .collect()
+        };
+        let solved: Vec<StoredPlan> = par_chunks(threads, &leaders, |base, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, &idx)| {
+                    let cache = &caches[base + offset];
                     cold_solve(&prepared[idx], requests[idx].model, &inner_budget, cache)
                 })
                 .collect::<Vec<_>>()

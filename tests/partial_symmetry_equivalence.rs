@@ -12,13 +12,20 @@
 //!   spill-to-DFS path, whose hard memory cap is asserted;
 //! * the classed orbit accounting must tile the labelled space exactly;
 //! * the OUTORDER canonical-form memoisation must equal a brute force that
-//!   evaluates every candidate's canonical member.
+//!   evaluates every candidate's canonical member;
+//! * the **lazy bound-ordered stream** must cover exactly the materialised
+//!   classed space (same representatives, same orbit weights), its frontier
+//!   cap must govern the resident representative count without changing the
+//!   bit-identical winner, and `time_limit` must bound the generator's
+//!   count-only prelude at `n = 13`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use fsw::core::{Application, CommModel, ExecutionGraph, PlanMetrics, WeightClasses};
-use fsw::sched::engine::frontier::{best_first_forest_search_stats, FrontierStats};
+use fsw::sched::engine::frontier::{
+    best_first_forest_search_stats, streamed_canonical_search, FrontierStats, DEFAULT_FRONTIER_CAP,
+};
 use fsw::sched::engine::{CanonicalSpace, PartialPrune, SearchStrategy, Symmetry};
 use fsw::sched::minlatency::{minimize_latency, MinLatencyOptions};
 use fsw::sched::minperiod::{
@@ -29,7 +36,10 @@ use fsw::sched::outorder::{outorder_period_search, OutOrderOptions};
 use fsw::sched::tree::tree_latency;
 use fsw::sched::Exec;
 use fsw::workloads::{random_application, tiered_query_optimization, RandomAppConfig};
-use fsw_core::canonical_classed_member;
+use fsw_core::{
+    bound_ordered_shape_plan, canonical_classed_member, walk_canonical_colorings, ColoringVisitor,
+    ShapeBounder, ShapeObjective, ShapeScan,
+};
 
 const CASES: usize = 6;
 
@@ -486,7 +496,7 @@ fn classed_orbit_accounting_covers_the_labelled_space() {
         for rep in reps.iter().take(50) {
             let graph = rep.graph();
             assert!(graph.is_forest());
-            for (pos, &service) in rep.weights.iter().enumerate() {
+            for (pos, &service) in rep.weights().iter().enumerate() {
                 // `rep.weights[pos]`'s weights are those of the class the
                 // generator assigned to the position.
                 let _ = pos;
@@ -494,4 +504,202 @@ fn classed_orbit_accounting_covers_the_labelled_space() {
             }
         }
     }
+}
+
+/// Accept-everything [`ColoringVisitor`] that pins each position to a
+/// concrete service of its class exactly like the streamed walker does
+/// (ascending ids — `WeightClasses::service_assignment` replayed
+/// incrementally) and records every completed representative with its orbit
+/// weight.
+struct CollectAll<'a> {
+    classes: &'a WeightClasses,
+    pool: Vec<Vec<usize>>,
+    used: Vec<usize>,
+    parents: Vec<Option<usize>>,
+    weights: Vec<usize>,
+    reps: Vec<(Vec<Option<usize>>, Vec<usize>, u128)>,
+}
+
+impl<'a> CollectAll<'a> {
+    fn new(classes: &'a WeightClasses) -> Self {
+        let mut pool: Vec<Vec<usize>> = vec![Vec::new(); classes.class_count()];
+        for k in 0..classes.n() {
+            pool[classes.class_of(k)].push(k);
+        }
+        CollectAll {
+            classes,
+            used: vec![0; pool.len()],
+            pool,
+            parents: Vec::new(),
+            weights: Vec::new(),
+            reps: Vec::new(),
+        }
+    }
+}
+
+impl ColoringVisitor for CollectAll<'_> {
+    fn descend(&mut self, _pos: usize, parent: Option<usize>, class: usize) -> bool {
+        let service = self.pool[class][self.used[class]];
+        self.used[class] += 1;
+        self.parents.push(parent);
+        self.weights.push(service);
+        true
+    }
+    fn ascend(&mut self, _pos: usize, class: usize) {
+        self.used[class] -= 1;
+        self.parents.pop();
+        self.weights.pop();
+    }
+    fn complete(&mut self, _colors: &[usize], aut: u128) -> bool {
+        self.reps.push((
+            self.parents.clone(),
+            self.weights.clone(),
+            self.classes.group_order() / aut,
+        ));
+        true
+    }
+}
+
+/// The lazy bound-ordered stream covers **exactly** the materialised classed
+/// space: walking the canonical colourings of every planned shape yields the
+/// same representative set with the same orbit weights as
+/// `classed_representatives`, and the plan's orbit total equals both counts.
+/// (The bound-sorted shape order differs from canonical order, so the lists
+/// are compared as sorted multisets.)
+#[test]
+fn lazy_stream_covers_the_materialised_classed_space() {
+    let mut rng = StdRng::seed_from_u64(0x500B);
+    for case in 0..CASES / 2 {
+        let app = random_multiclass_app(6 + case % 2, &mut rng);
+        let classes = WeightClasses::of(&app);
+        let bounder = ShapeBounder::new(&app, ShapeObjective::Period(CommModel::Overlap));
+        let ShapeScan::Planned { shapes, orbits } =
+            bound_ordered_shape_plan(&classes, Some(&bounder), None)
+        else {
+            panic!("case {case}: no deadline, the scan must complete");
+        };
+        // The plan is genuinely bound-sorted (the stream's expansion order).
+        for pair in shapes.windows(2) {
+            assert!(pair[0].bound <= pair[1].bound, "case {case}: bound order");
+        }
+        let mut collector = CollectAll::new(&classes);
+        let mut planned_orbits = 0u128;
+        for shape in &shapes {
+            planned_orbits += shape.colorings;
+            assert!(walk_canonical_colorings(
+                &shape.decode_levels(),
+                &classes,
+                &mut collector
+            ));
+        }
+        let mut streamed = collector.reps;
+        let reps = CanonicalSpace::classed_representatives(&app, 2_000_000).unwrap();
+        assert_eq!(orbits, Some(planned_orbits), "case {case}: plan totals");
+        assert_eq!(streamed.len(), reps.len(), "case {case}: orbit count");
+        let mut materialised: Vec<(Vec<Option<usize>>, Vec<usize>, u128)> = reps
+            .iter()
+            .map(|r| {
+                let (parents, weights) = r.decode();
+                (parents, weights, r.orbit)
+            })
+            .collect();
+        streamed.sort();
+        materialised.sort();
+        assert_eq!(streamed, materialised, "case {case}: representative sets");
+    }
+}
+
+/// The frontier cap governs the streamed walk's resident representative
+/// count without changing the answer: a tiny cap and the default cap return
+/// bit-identical winners, both equal to the depth-first scan of the
+/// materialised stream, and the tiny-cap run's peak stays under its cap.
+#[test]
+fn streamed_cap_governs_peak_resident_and_keeps_the_winner_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0x500C);
+    let app = tiered_query_optimization(&[5, 4], &mut rng);
+    let classes = WeightClasses::of(&app);
+    let model = CommModel::Overlap;
+    let eval = |g: &ExecutionGraph, _c: f64| {
+        PlanMetrics::compute(&app, g)
+            .map(|m| m.period_lower_bound(model))
+            .unwrap_or(f64::INFINITY)
+    };
+    let dfs = exhaustive_forest_search(
+        &app,
+        10_000_000,
+        Exec::serial(),
+        PartialPrune::Period(model),
+        Symmetry::Classes,
+        SearchStrategy::DepthFirst,
+        &eval,
+    )
+    .unwrap();
+    for (cap, threads) in [(2usize, 4usize), (DEFAULT_FRONTIER_CAP, 4), (1, 1)] {
+        let (outcome, stats) = streamed_canonical_search(
+            &app,
+            &classes,
+            Exec::threaded(threads),
+            PartialPrune::Period(model),
+            cap,
+            f64::INFINITY,
+            &eval,
+        );
+        let outcome = outcome.unwrap();
+        assert!(outcome.complete, "cap {cap} x{threads}");
+        assert_eq!(dfs.value, outcome.value, "cap {cap} x{threads}: value");
+        assert_eq!(
+            graph_edges(&dfs.graph),
+            graph_edges(&outcome.graph),
+            "cap {cap} x{threads}: winner"
+        );
+        assert!(
+            stats.peak_resident <= cap,
+            "cap {cap} x{threads}: peak {} residents",
+            stats.peak_resident
+        );
+        assert_eq!(
+            stats.shapes as u128,
+            CanonicalSpace::forest_class_count(9),
+            "cap {cap} x{threads}: plan covers every shape"
+        );
+        assert_eq!(
+            stats.orbits,
+            fsw_core::classed_class_count(&classes, u128::MAX),
+            "cap {cap} x{threads}: plan counts every coloured orbit"
+        );
+        assert!(
+            stats.expanded <= stats.orbits.unwrap() as u64,
+            "cap {cap} x{threads}: pruning never expands beyond the space"
+        );
+    }
+}
+
+/// A 20 ms `time_limit` bounds the **lazy generator** end to end on the
+/// n = 13 tiered instance — the deadline fires inside the count-only shape
+/// prelude (`bound_ordered_shape_plan`) long before the coloured space
+/// (26.4M orbits) could stream, and the solve degrades to the heuristic
+/// fallback instead of running the generator dry.
+#[test]
+fn time_limit_bounds_the_lazy_generator_at_n13() {
+    let mut rng = StdRng::seed_from_u64(0x500D);
+    let app = tiered_query_optimization(&[7, 6], &mut rng);
+    let budget = fsw::sched::orchestrator::SearchBudget::default()
+        .with_time_limit(std::time::Duration::from_millis(20));
+    let started = std::time::Instant::now();
+    let solution = fsw::sched::orchestrator::solve(
+        &fsw::sched::orchestrator::Problem::new(
+            &app,
+            CommModel::Overlap,
+            fsw::sched::orchestrator::Objective::MinPeriod,
+        ),
+        &budget,
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    assert!(!solution.exhaustive, "a 20 ms budget cannot be exhaustive");
+    assert!(solution.value.is_finite(), "fallback still yields a plan");
+    assert!(
+        elapsed < std::time::Duration::from_millis(500),
+        "time_limit overshoot: {elapsed:?} for a 20 ms budget"
+    );
 }

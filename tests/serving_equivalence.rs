@@ -7,7 +7,11 @@
 //!   instance, bit for bit, while evaluating **no more** candidates (and
 //!   strictly fewer in aggregate across a trace);
 //! * the plan store's eviction respects the solve-cost weighting;
-//! * a trace replay is deterministic across worker-thread counts.
+//! * a trace replay is deterministic across worker-thread counts;
+//! * the per-fingerprint evaluation caches are **retained across cold
+//!   solves**: a fingerprint evicted from the plan store re-solves against
+//!   its memoised ordering searches, strictly cheaper than the first cold
+//!   solve and byte-identical to it.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -169,6 +173,79 @@ fn eviction_respects_the_cost_weighting() {
         "cost weighting must keep the expensive plan"
     );
     assert!(store.get(&key(10.0)).is_some(), "newest cheap plan stays");
+}
+
+/// Evaluation caches survive plan-store eviction.  With a capacity-1 store
+/// and two models on one application, the store can hold only one of the
+/// two plans (eviction is weighed by measured solve wall time, so *which*
+/// one survives depends on timing) — re-serving both keys therefore always
+/// produces exactly one genuine repeat cold-miss.  That repeat cold solve
+/// must answer from the retained per-fingerprint `EvalCache`: strictly
+/// fewer fresh evaluations than the cold-cache baseline, with memo hits,
+/// and byte-identical to its own first response.  (MINLATENCY routes its
+/// non-forest one-port ordering searches through the cache under the
+/// default budget; MINPERIOD's default lower-bound evaluation never
+/// consults it.)
+#[test]
+fn eval_caches_are_retained_across_repeat_cold_misses() {
+    let mut rng = StdRng::seed_from_u64(0x5e06);
+    for case in 0..3 {
+        // n = 5 keeps the DAG phase (the cache-routed evaluations) active.
+        let app = random_application(&RandomAppConfig::independent(5), &mut rng);
+        let service = PlanService::new(SearchBudget::default(), 1);
+        let warm_up = PlanRequest::new(app.clone(), CommModel::Overlap, Objective::MinLatency);
+        let target = PlanRequest::new(app.clone(), CommModel::InOrder, Objective::MinLatency);
+        assert!(
+            service.eval_cache_stats(&warm_up).is_none(),
+            "case {case}: no cache before the first cold solve"
+        );
+        let first = service.serve_one(&warm_up).unwrap();
+        assert_eq!(first.source, ServeSource::Cold, "case {case}");
+        let (_, cold_baseline) = service.eval_cache_stats(&warm_up).unwrap();
+        assert!(cold_baseline > 0, "case {case}: a cold solve must evaluate");
+        let second = service.serve_one(&target).unwrap();
+        assert_eq!(second.source, ServeSource::Cold, "case {case}");
+        // Exactly one of the two keys is resident in the capacity-1 store;
+        // a store hit never touches the evaluation cache, so the stats
+        // snapshot stays valid across the probing re-serve.
+        let (hits_before, misses_before) = service.eval_cache_stats(&target).unwrap();
+        let probe = service.serve_one(&target).unwrap();
+        let (repeat, original) = if probe.source == ServeSource::Cold {
+            (probe, &second)
+        } else {
+            assert_eq!(probe.source, ServeSource::Store, "case {case}");
+            let other = service.serve_one(&warm_up).unwrap();
+            assert_eq!(
+                other.source,
+                ServeSource::Cold,
+                "case {case}: one of the two plans must have been evicted"
+            );
+            (other, &first)
+        };
+        let (hits_after, misses_after) = service.eval_cache_stats(&target).unwrap();
+        assert!(
+            misses_after - misses_before < cold_baseline,
+            "case {case}: repeat cold solve ran {} fresh searches, the \
+             cold-cache baseline ran {cold_baseline} — retention saved nothing",
+            misses_after - misses_before
+        );
+        assert!(
+            hits_after > hits_before,
+            "case {case}: repeat cold solve must hit the retained memo"
+        );
+        // Retention is a pure memo: the repeat answer is byte-identical.
+        assert_eq!(
+            repeat.value.to_bits(),
+            original.value.to_bits(),
+            "case {case}"
+        );
+        assert_eq!(
+            graph_edges(&repeat.graph),
+            graph_edges(&original.graph),
+            "case {case}"
+        );
+        assert_eq!(repeat.exhaustive, original.exhaustive, "case {case}");
+    }
 }
 
 #[test]
