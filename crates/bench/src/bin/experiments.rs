@@ -4,10 +4,11 @@
 //!   cargo run --release -p fsw-bench --bin experiments            # all experiments
 //!   cargo run --release -p fsw-bench --bin experiments -- e1 e3   # a subset
 //!
-//! Wall-clock acceptance bounds (PR-6): `e10 ≤ 0.25 s` and
-//! `e13 ≤ 4.84 s` (the PR-5 e13 baseline, now covering n = 12–13 rows) are
-//! asserted after the run; set `FSW_BENCH_NO_WALL_ASSERT=1` to print the
-//! timings without failing on slower hardware.
+//! Wall-clock acceptance bounds: `e10 ≤ 0.25 s` (now including the uniform
+//! MINLATENCY critical-path-floor case) and `e13 ≤ 4.84 s` (the PR-5 e13
+//! baseline, now covering the n = 12–13 rows *and* the exhaustive uniform
+//! n = 14 rows) are asserted after the run; set `FSW_BENCH_NO_WALL_ASSERT=1`
+//! to print the timings without failing on slower hardware.
 
 use std::time::Instant;
 

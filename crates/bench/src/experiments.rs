@@ -392,6 +392,57 @@ pub fn e10_scaling() -> Vec<ExperimentRow> {
         Some(natural),
         searched.period,
     ));
+    // Critical-path shape bound (PR-7): on a uniform MINLATENCY instance the
+    // per-shape one-port chain recurrence is *exact*, so the bound-ordered
+    // stream's clearance certificate fires almost immediately — the floor
+    // must certify at least 2× fewer expanded orbits than the shape plan
+    // holds (asserted, alongside the binary's e10 wall bound).
+    let uniform = uniform_query_optimization(10, &mut rng);
+    let started = std::time::Instant::now();
+    let (solution, stats) = solve_warm(
+        &Problem::new(&uniform, CommModel::Overlap, Objective::MinLatency),
+        &budget,
+        &EvalCache::new(&uniform),
+        None,
+    )
+    .expect("solver");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        solution.exhaustive,
+        "uniform MINLATENCY n=10 must stay exhaustive under the default budget"
+    );
+    let stream = stats
+        .stream
+        .expect("the uniform path always routes through the lazy stream");
+    let orbits = stream
+        .orbits
+        .expect("uniform plans always carry the orbit total");
+    assert!(
+        stream.expanded as u128 * 2 <= orbits,
+        "the critical-path latency floor must certify >= 2x fewer expanded \
+         orbits: {} expanded vs {} orbits",
+        stream.expanded,
+        orbits
+    );
+    rows.push(ExperimentRow::new(
+        format!(
+            "MINLATENCY n=10 uniform: orbits expanded under the critical-path \
+             floor (paper column = total orbits; certified {})",
+            stream.certified_shapes
+        ),
+        Some(orbits as f64),
+        stream.expanded as f64,
+    ));
+    rows.push(ExperimentRow::new(
+        "MINLATENCY n=10 uniform: optimum (exhaustive, asserted)",
+        None,
+        solution.value,
+    ));
+    rows.push(ExperimentRow::new(
+        "MINLATENCY n=10 uniform: wall milliseconds",
+        None,
+        wall_ms,
+    ));
     let _ = PeriodEvaluation::LowerBound;
     rows
 }
@@ -471,7 +522,7 @@ pub fn e12_symmetry_scaling() -> Vec<ExperimentRow> {
         ));
         let covered: u128 = CanonicalSpace::forest_representatives(n)
             .iter()
-            .map(|(_, orbit)| orbit)
+            .map(|rep| rep.orbit)
             .sum();
         rows.push(ExperimentRow::new(
             format!("n={n}: labelled forests covered by the orbits (paper column = (n+1)^(n-1))"),
@@ -617,6 +668,75 @@ pub fn e13_partial_symmetry_scaling() -> Vec<ExperimentRow> {
                     wall_ms,
                 ));
             }
+        }
+    }
+    // Exhaustive n = 14, uniform (PR-7): 87 811 A000081 shapes against a
+    // raw 14^14 ≈ 1.1e16 parent-function space.  The unified streamed path
+    // is the *only* uniform path now — the materialise-then-scan entry
+    // point is gone — so this row is the acceptance bar: exhaustive under
+    // the default budget, with peak residency O(workers) rather than
+    // O(classes).
+    {
+        let n = 14usize;
+        let app = uniform_query_optimization(n, &mut rng);
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        for model in [CommModel::Overlap, CommModel::InOrder] {
+            let started = std::time::Instant::now();
+            let (solution, stats) = solve_warm(
+                &Problem::new(&app, model, Objective::MinPeriod),
+                &budget,
+                &EvalCache::new(&app),
+                None,
+            )
+            .expect("streamed instance");
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                solution.exhaustive,
+                "uniform MINPERIOD {model} n=14 must stay exhaustive under the \
+                 default budget (the PR-7 acceptance criterion)"
+            );
+            let stream = stats
+                .stream
+                .expect("the uniform path always routes through the lazy stream");
+            assert_eq!(
+                stream.shapes,
+                CanonicalSpace::forest_class_count(n) as usize,
+                "the plan must cover every A000081 shape at n=14"
+            );
+            assert!(
+                stream.peak_resident <= workers,
+                "uniform residency must be O(workers): {} resident vs {workers} workers",
+                stream.peak_resident
+            );
+            rows.push(ExperimentRow::new(
+                format!("lazy uniform MINPERIOD {model} n={n}: optimum (exhaustive, asserted)"),
+                None,
+                solution.value,
+            ));
+            rows.push(ExperimentRow::new(
+                format!(
+                    "lazy uniform {model} n={n}: representatives expanded \
+                     (paper column = A000081 shapes)"
+                ),
+                Some(stream.shapes as f64),
+                stream.expanded as f64,
+            ));
+            rows.push(ExperimentRow::new(
+                format!(
+                    "lazy uniform {model} n={n}: peak resident representatives \
+                     (paper column = worker threads; classes = {})",
+                    stream.shapes
+                ),
+                Some(workers as f64),
+                stream.peak_resident as f64,
+            ));
+            rows.push(ExperimentRow::new(
+                format!("lazy uniform {model} n={n}: wall milliseconds"),
+                None,
+                wall_ms,
+            ));
         }
     }
     rows
@@ -934,6 +1054,49 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
         "serving smoke: cached-path throughput, req/s (floor 200)",
         Some(200.0),
         cached_rps,
+    ));
+    // Uniform streamed smoke (PR-7): the materialise-then-scan uniform entry
+    // point is gone, so the streamed value is *asserted* against a manual
+    // depth-first scan over the materialised canonical representatives
+    // (1 842 classes at n = 10) — the winner must stay bit-identical, and
+    // the stream telemetry must be populated on the uniform fast path.
+    let uniform10 = uniform_query_optimization(10, &mut rng);
+    let depth_first_value = CanonicalSpace::forest_representatives(10)
+        .iter()
+        .map(|rep| {
+            PlanMetrics::compute(&uniform10, &rep.graph())
+                .map(|m| m.period_lower_bound(CommModel::Overlap))
+                .unwrap_or(f64::INFINITY)
+        })
+        .fold(f64::INFINITY, f64::min);
+    let (streamed, stats) = solve_warm(
+        &Problem::new(&uniform10, CommModel::Overlap, Objective::MinPeriod),
+        &budget,
+        &EvalCache::new(&uniform10),
+        None,
+    )
+    .expect("solver");
+    assert!(streamed.exhaustive, "uniform n=10 fits the default budget");
+    assert_eq!(
+        streamed.value, depth_first_value,
+        "streamed uniform walk must reproduce the materialised depth-first \
+         scan's value bit-for-bit"
+    );
+    let stream = stats
+        .stream
+        .expect("the uniform path always routes through the lazy stream");
+    assert!(
+        stream.peak_resident >= 1 && stream.peak_resident <= DEFAULT_FRONTIER_CAP,
+        "uniform stream telemetry must be populated and bounded"
+    );
+    rows.push(ExperimentRow::new(
+        format!(
+            "MINPERIOD OVERLAP n=10 uniform: streamed value ({} shapes, {} \
+             expanded; paper column = materialised depth-first scan)",
+            stream.shapes, stream.expanded
+        ),
+        Some(depth_first_value),
+        streamed.value,
     ));
     rows
 }

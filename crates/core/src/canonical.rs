@@ -591,7 +591,54 @@ impl ShapeBounder {
             }
             bound = bound.max(cheapest);
         }
+        if self.objective == ShapeObjective::Latency {
+            bound = bound.max(self.latency_critical_path(levels));
+        }
         bound
+    }
+
+    /// Critical-path latency floor of the shape: Algorithm 1's one-port
+    /// chain recurrence run over the super-tree with **every** node floored
+    /// to the globally cheapest weights — leaf `1 + c_lo + σ_lo`, internal
+    /// `1 + c_lo + σ_lo · max_p (p + L_p)` with children fed by
+    /// non-increasing residual latency.  Admissible because the recurrence
+    /// is monotone non-decreasing in every node's `(c, σ)` (costs add, each
+    /// `σ` multiplies a tail ≥ 1, and a larger child latency never shrinks
+    /// the parent's), so the cheapest-weight value lower-bounds every
+    /// colouring and labelling of the shape — and on *uniform* instances it
+    /// is **exact**, firing the bound-clearance certificate the moment an
+    /// optimal shape has been expanded.  Children are combined in sorted
+    /// order, so the floor is a pure function of the shape and
+    /// `(c_lo, σ_lo)`.
+    fn latency_critical_path(&self, levels: &[usize]) -> f64 {
+        fn subtree(levels: &[usize], at: usize, cost: f64, sel: f64) -> (f64, usize) {
+            let level = levels[at];
+            let mut subs: Vec<f64> = Vec::new();
+            let mut next = at + 1;
+            while next < levels.len() && levels[next] == level + 1 {
+                let (latency, after) = subtree(levels, next, cost, sel);
+                subs.push(latency);
+                next = after;
+            }
+            if subs.is_empty() {
+                return (1.0 + cost + sel, next);
+            }
+            subs.sort_by(|a, b| b.total_cmp(a));
+            let tail = subs
+                .iter()
+                .enumerate()
+                .map(|(p, l)| p as f64 + l)
+                .fold(0.0f64, f64::max);
+            (1.0 + cost + sel * tail, next)
+        }
+        let mut best = 0.0f64;
+        let mut at = 1;
+        while at < levels.len() {
+            let (latency, next) = subtree(levels, at, self.cost_lo, self.sel_lo);
+            best = best.max(latency);
+            at = next;
+        }
+        best
     }
 }
 
@@ -623,13 +670,19 @@ impl ShapePlan {
 /// Outcome of a [`bound_ordered_shape_plan`] scan.
 #[derive(Clone, Debug)]
 pub enum ShapeScan {
-    /// All shapes of the space, sorted by `(bound, ordinal)`.
+    /// All surviving shapes of the space, sorted by `(bound, ordinal)`.
     Planned {
         /// The shapes, bound-sorted (ties in canonical order).
         shapes: Vec<ShapePlan>,
         /// Total coloured-orbit count when the counting pass is tractable
-        /// for the partition (`None` beyond [`COUNT_DENSE_LIMIT`]).
+        /// for the partition (`None` beyond [`COUNT_DENSE_LIMIT`]), cutoff
+        /// casualties included — the count describes the *space*, not the
+        /// emitted plan.
         orbits: Option<u128>,
+        /// Number of shapes whose admissible bound already cleared the
+        /// caller's cutoff at emission time: certified hopeless without ever
+        /// being stored, sorted or expanded.
+        pruned: u64,
     },
     /// The deadline passed mid-scan; callers degrade like an interrupted
     /// search (heuristic fallback, flagged non-exhaustive).
@@ -646,9 +699,19 @@ pub enum ShapeScan {
 ///
 /// Memory is O(shapes) (A000081: 32 973 at `n = 13`) against the coloured
 /// space's potentially tens of millions of representatives.
+///
+/// `cutoff` threads a warm incumbent's prune threshold into the prelude
+/// (Bounded-Dijkstra-style cutoff reuse): a shape whose admissible bound
+/// strictly exceeds it is certified hopeless at emission — counted into
+/// `orbits` and `pruned` but never stored, so warm re-solves terminate the
+/// generator's *storage* as soon as the floor clears the incumbent.
+/// `f64::INFINITY` keeps every shape (the cold-search behaviour); ordinals
+/// always index the full canonical stream, so winner tie-breaks are
+/// unchanged by the cutoff.
 pub fn bound_ordered_shape_plan(
     classes: &WeightClasses,
     bounder: Option<&ShapeBounder>,
+    cutoff: f64,
     deadline: Option<std::time::Instant>,
 ) -> ShapeScan {
     let n = classes.n();
@@ -670,6 +733,8 @@ pub fn bound_ordered_shape_plan(
     let mut stream = CanonicalForests::new(n);
     let mut shapes: Vec<ShapePlan> = Vec::new();
     let mut orbits: u128 = 0;
+    let mut ordinal: u64 = 0;
+    let mut pruned: u64 = 0;
     while stream.next().is_some() {
         if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
             return ShapeScan::DeadlineExpired;
@@ -683,19 +748,26 @@ pub fn bound_ordered_shape_plan(
                 .unwrap_or(0)
         };
         orbits = orbits.saturating_add(colorings);
-        shapes.push(ShapePlan {
-            levels: stream.levels.iter().map(|&l| l as u8).collect(),
-            ordinal: shapes.len() as u64,
-            colorings,
-            bound: bounder
-                .map(|b| b.shape_bound(&stream.levels))
-                .unwrap_or(0.0),
-        });
+        let bound = bounder
+            .map(|b| b.shape_bound(&stream.levels))
+            .unwrap_or(0.0);
+        if bound > cutoff {
+            pruned += 1;
+        } else {
+            shapes.push(ShapePlan {
+                levels: stream.levels.iter().map(|&l| l as u8).collect(),
+                ordinal,
+                colorings,
+                bound,
+            });
+        }
+        ordinal += 1;
     }
     shapes.sort_by(|a, b| a.bound.total_cmp(&b.bound).then(a.ordinal.cmp(&b.ordinal)));
     ShapeScan::Planned {
         shapes,
         orbits: (uniform || counter.is_some()).then_some(orbits),
+        pruned,
     }
 }
 
@@ -989,6 +1061,9 @@ pub fn walk_canonical_colorings(
     classes: &WeightClasses,
     visitor: &mut impl ColoringVisitor,
 ) -> bool {
+    if classes.class_count() == 1 {
+        return walk_uniform_coloring(levels, visitor);
+    }
     let len = levels.len();
     // Subtree span ends: end[i] = first j > i with levels[j] <= levels[i].
     let mut end = vec![len; len];
@@ -1094,6 +1169,42 @@ pub fn walk_canonical_colorings(
         &mut colors,
         visitor,
     )
+}
+
+/// Single-class specialisation of [`walk_canonical_colorings`]: a uniform
+/// partition has exactly one canonical colouring per shape, so the span
+/// ends, sibling sortedness checks and the recursive class assignment all
+/// degenerate — the walk is one linear preorder pass over the level
+/// sequence, with parents read off the last-at-level rule the decoder uses.
+/// Visitor hooks fire in exactly the order (and with exactly the arguments,
+/// automorphism count included) the generic walker produces for a
+/// single-class partition, so a visitor cannot observe which walker ran; a
+/// refused prefix ends the shape outright, there being no alternative class
+/// to try.
+fn walk_uniform_coloring(levels: &[usize], visitor: &mut impl ColoringVisitor) -> bool {
+    let len = levels.len();
+    let mut last_at_level = vec![usize::MAX; len + 2];
+    last_at_level[0] = 0;
+    for (pos, &level) in levels.iter().enumerate().skip(1) {
+        let parent = (level >= 2).then(|| last_at_level[level - 1] - 1);
+        if !visitor.descend(pos - 1, parent, 0) {
+            for p in (1..pos).rev() {
+                visitor.ascend(p - 1, 0);
+            }
+            return true;
+        }
+        last_at_level[level] = pos;
+    }
+    let mut colors = vec![0usize; len];
+    colors[0] = usize::MAX; // the virtual root carries no colour
+    let aut = colored_subtree_automorphisms(levels, &colors, 0, len);
+    if !visitor.complete(&colors[1..], aut) {
+        return false;
+    }
+    for p in (1..len).rev() {
+        visitor.ascend(p - 1, 0);
+    }
+    true
 }
 
 /// Emit-only adapter over [`walk_canonical_colorings`]: every canonical
@@ -1611,11 +1722,15 @@ mod tests {
         for sizes in [vec![5usize], vec![3, 2], vec![2, 2, 2]] {
             let n: usize = sizes.iter().sum();
             let classes = WeightClasses::of(&classed_app(&sizes));
-            let ShapeScan::Planned { shapes, orbits } =
-                bound_ordered_shape_plan(&classes, None, None)
+            let ShapeScan::Planned {
+                shapes,
+                orbits,
+                pruned,
+            } = bound_ordered_shape_plan(&classes, None, f64::INFINITY, None)
             else {
                 panic!("{sizes:?}: no deadline was set");
             };
+            assert_eq!(pruned, 0, "{sizes:?}: an infinite cutoff keeps all");
             assert_eq!(shapes.len() as u128, forest_classes(n), "{sizes:?}: shapes");
             assert_eq!(
                 orbits,
@@ -1645,6 +1760,52 @@ mod tests {
         }
     }
 
+    /// A finite cutoff drops exactly the shapes whose bound strictly
+    /// exceeds it, keeps the orbit total describing the full space, and
+    /// leaves the ordinals of the survivors untouched (they index the
+    /// canonical stream, not the emitted plan).
+    #[test]
+    fn shape_plan_cutoff_prunes_at_emission_without_renumbering() {
+        let app = classed_app(&[3, 2]);
+        let classes = WeightClasses::of(&app);
+        let bounder = ShapeBounder::new(&app, ShapeObjective::Period(CommModel::InOrder));
+        let ShapeScan::Planned {
+            shapes: all,
+            orbits: all_orbits,
+            pruned: none_pruned,
+        } = bound_ordered_shape_plan(&classes, Some(&bounder), f64::INFINITY, None)
+        else {
+            panic!("no deadline was set");
+        };
+        assert_eq!(none_pruned, 0);
+        let cutoff = all[all.len() / 2].bound;
+        let ShapeScan::Planned {
+            shapes,
+            orbits,
+            pruned,
+        } = bound_ordered_shape_plan(&classes, Some(&bounder), cutoff, None)
+        else {
+            panic!("no deadline was set");
+        };
+        assert_eq!(orbits, all_orbits, "orbit totals describe the space");
+        assert_eq!(
+            shapes.len() as u64 + pruned,
+            all.len() as u64,
+            "survivors and casualties tile the shape space"
+        );
+        assert!(pruned > 0, "the midpoint cutoff must cut something");
+        let survivors: Vec<(u64, u64)> = shapes
+            .iter()
+            .map(|s| (s.ordinal, s.bound.to_bits()))
+            .collect();
+        let expected: Vec<(u64, u64)> = all
+            .iter()
+            .filter(|s| s.bound <= cutoff)
+            .map(|s| (s.ordinal, s.bound.to_bits()))
+            .collect();
+        assert_eq!(survivors, expected, "cutoff = filter of the full plan");
+    }
+
     #[test]
     fn shape_bounds_lower_bound_every_representative_of_the_shape() {
         let app = classed_app(&[3, 2]);
@@ -1653,7 +1814,7 @@ mod tests {
         for model in [CommModel::Overlap, CommModel::InOrder, CommModel::OutOrder] {
             let bounder = ShapeBounder::new(&app, ShapeObjective::Period(model));
             let ShapeScan::Planned { shapes, .. } =
-                bound_ordered_shape_plan(&classes, Some(&bounder), None)
+                bound_ordered_shape_plan(&classes, Some(&bounder), f64::INFINITY, None)
             else {
                 panic!("no deadline was set");
             };
@@ -1678,12 +1839,39 @@ mod tests {
                 );
             }
         }
-        // Latency: the partial-metrics latency bound of the full assignment
-        // lower-bounds the true optimal latency, so the shape bound must sit
-        // below even that.
+        // Latency: the critical-path floor may exceed the partial-metrics
+        // latency bound of a full assignment (that bound omits sibling
+        // serialisation offsets), so admissibility is asserted against the
+        // exact optimal one-port tree latency — Algorithm 1's recurrence,
+        // implemented locally since fsw_core cannot see the scheduler.
+        fn optimal_tree_latency(app: &Application, graph: &ExecutionGraph) -> f64 {
+            fn sub(app: &Application, graph: &ExecutionGraph, node: usize) -> f64 {
+                let sigma = app.selectivity(node);
+                let mut subs: Vec<f64> = graph
+                    .succs(node)
+                    .iter()
+                    .map(|&c| sub(app, graph, c))
+                    .collect();
+                if subs.is_empty() {
+                    return 1.0 + app.cost(node) + sigma;
+                }
+                subs.sort_by(|a, b| b.total_cmp(a));
+                let tail = subs
+                    .iter()
+                    .enumerate()
+                    .map(|(p, l)| p as f64 + l)
+                    .fold(0.0f64, f64::max);
+                1.0 + app.cost(node) + sigma * tail
+            }
+            let mut best = 0.0f64;
+            for root in graph.entry_nodes() {
+                best = best.max(sub(app, graph, root));
+            }
+            best
+        }
         let bounder = ShapeBounder::new(&app, ShapeObjective::Latency);
         let ShapeScan::Planned { shapes, .. } =
-            bound_ordered_shape_plan(&classes, Some(&bounder), None)
+            bound_ordered_shape_plan(&classes, Some(&bounder), f64::INFINITY, None)
         else {
             panic!("no deadline was set");
         };
@@ -1694,17 +1882,10 @@ mod tests {
                 .find(|s| s.levels[1..] == code[..classes.n()])
                 .expect("planned shape");
             let graph = rep.member_graph(&classes).unwrap();
-            let mut pm = crate::metrics::PartialForestMetrics::new(&app);
-            let parents: Vec<_> = (0..classes.n())
-                .map(|k| graph.preds(k).first().copied())
-                .collect();
-            for &p in &parents {
-                pm.push(p);
-            }
-            let value = pm.latency_bound();
+            let value = optimal_tree_latency(&app, &graph);
             assert!(
                 shape.bound <= value * (1.0 + 1e-9),
-                "latency shape bound {} exceeds {value}",
+                "latency shape bound {} exceeds optimal latency {value}",
                 shape.bound
             );
         }

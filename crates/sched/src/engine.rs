@@ -276,15 +276,19 @@ impl CanonicalSpace {
     }
 
     /// Materialises the canonical forest representatives on `n` nodes, in
-    /// canonical enumeration order, each with its orbit size.  The list is
-    /// tiny (1 842 entries at `n = 10`), so collecting it up front lets the
-    /// search fan the stream out over worker threads while keeping the
-    /// serial reduction order.
-    pub fn forest_representatives(n: usize) -> Vec<(Vec<Option<ServiceId>>, u128)> {
+    /// canonical enumeration order, each with its orbit size, packed as
+    /// `2n`-byte level-sequence codes with identity weights — the same
+    /// [`CanonicalRep`] contract the classed space uses, so buffers holding
+    /// uniform representatives (equivalence tests, orbit audits, spilled
+    /// depth-first completions) cost bytes, not `Vec`-of-`Option`
+    /// structures.  The searches themselves no longer call this: uniform
+    /// solves stream the shape plan lazily and materialise nothing.
+    pub fn forest_representatives(n: usize) -> Vec<CanonicalRep> {
+        let identity: Vec<ServiceId> = (0..n).collect();
         let mut stream = CanonicalForests::new(n);
         let mut reps = Vec::new();
         while let Some(class) = stream.next() {
-            reps.push((class.parents.to_vec(), class.orbit));
+            reps.push(CanonicalRep::new(class.parents, &identity, class.orbit));
         }
         reps
     }
@@ -390,17 +394,6 @@ impl CanonicalSpace {
             return fsw_core::forest_classes(n).saturating_mul(multinomial) <= cap;
         }
         false
-    }
-
-    /// The uniform-weight representatives of [`CanonicalSpace::forest_representatives`]
-    /// in [`CanonicalRep`] form (identity weights), so both canonical spaces
-    /// share one search driver.
-    pub fn uniform_representatives(n: usize) -> Vec<CanonicalRep> {
-        let identity: Vec<ServiceId> = (0..n).collect();
-        CanonicalSpace::forest_representatives(n)
-            .into_iter()
-            .map(|(parents, orbit)| CanonicalRep::new(&parents, &identity, orbit))
-            .collect()
     }
 }
 

@@ -609,13 +609,25 @@ where
         PartialPrune::Latency => Some(ShapeObjective::Latency),
     };
     let bounder = objective.map(|o| ShapeBounder::new(app, o));
-    let plan = match bound_ordered_shape_plan(classes, bounder.as_ref(), exec.deadline) {
+    // Bounded-Dijkstra-style cutoff reuse: a warm incumbent seed is an upper
+    // bound on the optimum, so its prune threshold can already certify
+    // shapes at *emission* — they are counted, never stored or sorted.  A
+    // cold search (infinite seed) keeps every shape, and the threshold is
+    // the same strict-clearance rule every walker prunes with, so winners
+    // are bit-identical either way.
+    let cutoff = prune_threshold(incumbent_seed);
+    let plan = match bound_ordered_shape_plan(classes, bounder.as_ref(), cutoff, exec.deadline) {
         // Nothing evaluated yet: degrade to the fallback like any
         // interrupted search.
         ShapeScan::DeadlineExpired => return (None, stats),
-        ShapeScan::Planned { shapes, orbits } => {
-            stats.shapes = shapes.len();
+        ShapeScan::Planned {
+            shapes,
+            orbits,
+            pruned,
+        } => {
+            stats.shapes = shapes.len() + pruned as usize;
             stats.orbits = orbits;
+            stats.certified_shapes = pruned as usize;
             shapes
         }
     };
@@ -638,12 +650,11 @@ where
         // Bound-ascending order: the head clearing the incumbent is the
         // certificate that every remaining shape is prunable.
         if plan[at].bound > prune_threshold(incumbent.get()) {
-            stats.certified_shapes = plan.len() - at;
+            stats.certified_shapes += plan.len() - at;
             break;
         }
         let hi = (at + batch_len).min(plan.len());
         let batch = &plan[at..hi];
-        stats.peak_resident = stats.peak_resident.max(threads.min(batch.len()));
         let parts = par_chunks_weighted(threads, batch, weight_of, |_base, chunk| {
             let mut walker = StreamWalker {
                 metrics: PartialForestMetrics::new(app),
@@ -686,6 +697,16 @@ where
             }
             (walker.local, walker.expanded, walker.interrupted)
         });
+        // Peak residency is measured, not estimated: each walker holds at
+        // most one materialised representative at a time, so the batch's
+        // residency is the number of workers that expanded anything — the
+        // same accounting on the classed walk and the single-class fast
+        // path, so `SolveStats::stream` is trustworthy for uniform solves.
+        let resident = parts
+            .iter()
+            .filter(|(_, expanded, _)| *expanded > 0)
+            .count();
+        stats.peak_resident = stats.peak_resident.max(resident);
         for (local, expanded, part_interrupted) in parts {
             stats.expanded += expanded;
             if let Some((value, idx, graph)) = local {

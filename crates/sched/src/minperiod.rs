@@ -300,13 +300,14 @@ where
         if CanonicalSpace::forest_class_count(n) > cap as u128 {
             return None;
         }
-        if strategy == SearchStrategy::DepthFirst {
-            let reps = CanonicalSpace::uniform_representatives(n);
-            return canonical_forest_search(app, &reps, exec, prune, incumbent_seed, eval);
-        }
-        // Auto resolves to the streamed best-first walk on canonical spaces
-        // (the uniform space is the single-class special case: one canonical
-        // colouring per shape, identity service assignment).
+        // Every strategy resolves to the streamed walk on the uniform
+        // canonical space: the single-class partition degenerates the
+        // colouring walk to a linear pass with one canonical colouring per
+        // shape, so nothing is ever materialised (the old depth-first path
+        // collected the full representative list up front), telemetry lands
+        // on every uniform solve, and the `(value, canonical index)` winner
+        // is bit-identical to the retired materialised scan — serial,
+        // parallel, depth-first or best-first alike.
         let classes = WeightClasses::of(app);
         let (outcome, stats) = streamed_canonical_search(
             app,

@@ -273,7 +273,7 @@ fn orbit_accounting_covers_the_labelled_space() {
     for n in [6usize, 9, 10] {
         let covered: u128 = CanonicalSpace::forest_representatives(n)
             .iter()
-            .map(|(_, orbit)| orbit)
+            .map(|rep| rep.orbit)
             .sum();
         assert_eq!(covered, fsw_core::labelled_forests(n), "n={n}");
         assert_eq!(

@@ -17,7 +17,13 @@
 //!   classed space (same representatives, same orbit weights), its frontier
 //!   cap must govern the resident representative count without changing the
 //!   bit-identical winner, and `time_limit` must bound the generator's
-//!   count-only prelude at `n = 13`.
+//!   count-only prelude at `n = 13`;
+//! * the **uniform** space now streams through the same generator
+//!   (colourings = 1 per shape): the lazy walk must cover exactly the
+//!   materialised uniform representative set (A000081 count included), and
+//!   its winner must be bit-identical to the retired materialise-then-scan
+//!   path under frontier caps {1, 2, default}, serial and parallel, up to
+//!   n = 12.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -573,8 +579,8 @@ fn lazy_stream_covers_the_materialised_classed_space() {
         let app = random_multiclass_app(6 + case % 2, &mut rng);
         let classes = WeightClasses::of(&app);
         let bounder = ShapeBounder::new(&app, ShapeObjective::Period(CommModel::Overlap));
-        let ShapeScan::Planned { shapes, orbits } =
-            bound_ordered_shape_plan(&classes, Some(&bounder), None)
+        let ShapeScan::Planned { shapes, orbits, .. } =
+            bound_ordered_shape_plan(&classes, Some(&bounder), f64::INFINITY, None)
         else {
             panic!("case {case}: no deadline, the scan must complete");
         };
@@ -671,6 +677,140 @@ fn streamed_cap_governs_peak_resident_and_keeps_the_winner_bit_identical() {
             stats.expanded <= stats.orbits.unwrap() as u64,
             "cap {cap} x{threads}: pruning never expands beyond the space"
         );
+    }
+}
+
+/// The lazy stream covers **exactly** the materialised uniform canonical
+/// space: the single-class plan holds one colouring per shape (A000081 of
+/// them), and walking every planned shape reproduces the representative set
+/// of `CanonicalSpace::forest_representatives` — same parent vectors, same
+/// identity service assignment, same orbit sizes.
+#[test]
+fn uniform_lazy_stream_covers_the_materialised_canonical_space() {
+    for n in [6usize, 8, 10] {
+        let app = Application::independent(&vec![(2.0, 0.7); n]);
+        let classes = WeightClasses::of(&app);
+        assert_eq!(classes.class_count(), 1, "n={n}: uniform partition");
+        let bounder = ShapeBounder::new(&app, ShapeObjective::Period(CommModel::Overlap));
+        let ShapeScan::Planned { shapes, orbits, .. } =
+            bound_ordered_shape_plan(&classes, Some(&bounder), f64::INFINITY, None)
+        else {
+            panic!("n={n}: no deadline, the scan must complete");
+        };
+        let class_count = CanonicalSpace::forest_class_count(n);
+        assert_eq!(shapes.len() as u128, class_count, "n={n}: A000081 shapes");
+        assert_eq!(orbits, Some(class_count), "n={n}: one colouring per shape");
+        assert!(
+            shapes.iter().all(|s| s.colorings == 1),
+            "n={n}: uniform shapes are their own colouring"
+        );
+        let mut collector = CollectAll::new(&classes);
+        for shape in &shapes {
+            assert!(walk_canonical_colorings(
+                &shape.decode_levels(),
+                &classes,
+                &mut collector
+            ));
+        }
+        let mut streamed = collector.reps;
+        let mut materialised: Vec<(Vec<Option<usize>>, Vec<usize>, u128)> =
+            CanonicalSpace::forest_representatives(n)
+                .iter()
+                .map(|r| {
+                    let (parents, weights) = r.decode();
+                    (parents, weights, r.orbit)
+                })
+                .collect();
+        assert_eq!(streamed.len(), materialised.len(), "n={n}: counts");
+        streamed.sort();
+        materialised.sort();
+        assert_eq!(streamed, materialised, "n={n}: representative sets");
+    }
+}
+
+/// The streamed uniform walk returns the **bit-identical** winner of the
+/// retired materialise-then-scan path — the first canonical-order minimum —
+/// under frontier caps {1, 2, default}, serial and parallel, and its
+/// telemetry is populated on the colourings = 1 fast path: the plan covers
+/// every shape, and `peak_resident` reports the workers that actually held
+/// a representative.
+#[test]
+fn uniform_streamed_winner_matches_the_materialised_scan_up_to_n12() {
+    let mut rng = StdRng::seed_from_u64(0x500E);
+    for (n, models) in [
+        (9usize, &[CommModel::Overlap, CommModel::InOrder][..]),
+        (12, &[CommModel::Overlap][..]),
+    ] {
+        let cost = rng.gen_range(0.5..6.0);
+        let sel = rng.gen_range(0.2..1.4);
+        let app = Application::independent(&vec![(cost, sel); n]);
+        let classes = WeightClasses::of(&app);
+        for &model in models {
+            let eval = |g: &ExecutionGraph, _c: f64| {
+                PlanMetrics::compute(&app, g)
+                    .map(|m| m.period_lower_bound(model))
+                    .unwrap_or(f64::INFINITY)
+            };
+            // The materialised scan the stream replaced: evaluate every
+            // canonical representative in enumeration order, first minimum
+            // wins.
+            let mut scan: Option<(f64, ExecutionGraph)> = None;
+            for rep in CanonicalSpace::forest_representatives(n) {
+                let graph = rep.graph();
+                let value = eval(&graph, f64::INFINITY);
+                if scan.as_ref().is_none_or(|(best, _)| value < *best) {
+                    scan = Some((value, graph));
+                }
+            }
+            let (scan_value, scan_graph) = scan.unwrap();
+            for (cap, threads) in [
+                (1usize, 1usize),
+                (1, 4),
+                (2, 1),
+                (2, 4),
+                (DEFAULT_FRONTIER_CAP, 1),
+                (DEFAULT_FRONTIER_CAP, 4),
+            ] {
+                let (outcome, stats) = streamed_canonical_search(
+                    &app,
+                    &classes,
+                    Exec::threaded(threads),
+                    PartialPrune::Period(model),
+                    cap,
+                    f64::INFINITY,
+                    &eval,
+                );
+                let outcome = outcome.unwrap();
+                assert!(outcome.complete, "n={n} {model} cap {cap} x{threads}");
+                assert_eq!(
+                    scan_value, outcome.value,
+                    "n={n} {model} cap {cap} x{threads}: value"
+                );
+                assert_eq!(
+                    graph_edges(&scan_graph),
+                    graph_edges(&outcome.graph),
+                    "n={n} {model} cap {cap} x{threads}: winner"
+                );
+                assert_eq!(
+                    stats.shapes as u128,
+                    CanonicalSpace::forest_class_count(n),
+                    "n={n} {model} cap {cap} x{threads}: plan covers every shape"
+                );
+                assert!(
+                    stats.expanded >= 1,
+                    "n={n} {model} cap {cap} x{threads}: something expanded"
+                );
+                assert!(
+                    stats.peak_resident >= 1,
+                    "n={n} {model} cap {cap} x{threads}: residency telemetry empty"
+                );
+                assert!(
+                    stats.peak_resident <= cap.max(1).min(threads.max(1)),
+                    "n={n} {model} cap {cap} x{threads}: peak {} residents",
+                    stats.peak_resident
+                );
+            }
+        }
     }
 }
 
