@@ -4,6 +4,8 @@
 //! value) so the `experiments` binary can print them and the integration tests
 //! can assert on them.
 
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,7 +33,9 @@ use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
 use fsw_sched::CommOrderings;
 use fsw_serve::{PlanRequest, PlanService, ServeSource};
-use fsw_sim::{replay_oplist, replay_trace, simulate_inorder, ServeReplayConfig};
+use fsw_sim::{
+    replay_oplist, replay_trace, simulate_inorder, Disposition, FaultPlan, ServeReplayConfig,
+};
 use fsw_workloads::streaming::{serving_trace, TraceConfig};
 use fsw_workloads::{
     counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
@@ -860,6 +864,157 @@ pub fn e14_serving() -> Vec<ExperimentRow> {
     ]
 }
 
+/// E15 — serving under overload and faults: a 100 000+-request trace with
+/// oversized (jumbo) tenants and an injected fault schedule replayed through
+/// the hardened `PlanService`.  The driver asserts the robustness contract
+/// end to end: every request is answered (no hangs), no panic escapes the
+/// worker pool, the plan store never holds a non-exhaustive plan, every
+/// `Exact` answer is bit-identical to a fault-free cold solve, and the
+/// admit/degrade/reject mix plus p50/p99 latency are reported as rows.
+pub fn e15_overload() -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(15);
+    // 32 tenants over 4 templates; every 8th tenant is a 24-service jumbo
+    // whose raw plan space (24^24) defeats every symmetry reduction, so all
+    // of its requests must be rejected by admission control in O(1).
+    // 12 500 steady steps x 8 requests + 32 admissions = 100 032 requests.
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants: 32,
+            admissions_per_step: 8,
+            steps: 12_500,
+            templates: 4,
+            services_per_tenant: 6,
+            max_services: 7,
+            mutation_rate: 0.0,
+            requests_per_step: 8,
+            jumbo_every: 8,
+            jumbo_services: 24,
+        },
+        &mut rng,
+    );
+    // The first batch admits tenants 0..8 (ordinals 0..8): four template
+    // leaders at ordinals 0..4.  Panic the template-0 leader (its follower
+    // is rejected with it and the fingerprint is quarantined, recovering
+    // after the backoff), blow the deadline of the template-1 leader (its
+    // batch degrades to the deterministic fallback and is never cached) and
+    // stall the template-2 leader to stretch the latency tail.
+    let config = ServeReplayConfig {
+        verify: true,
+        faults: FaultPlan::new()
+            .panic_at(0)
+            .blowout_at(1)
+            .slow_at(2, Duration::from_millis(2)),
+        ..ServeReplayConfig::default()
+    };
+    // The injected panic is caught by the pool; keep its backtrace out of
+    // the experiment table.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = replay_trace(&trace, &config).expect("trace replays cleanly");
+    std::panic::set_hook(quiet);
+    // Acceptance criteria — hard assertions.
+    assert!(report.requests() >= 100_000, "trace too small");
+    assert_eq!(
+        report.requests(),
+        trace.request_count(),
+        "every request must be answered — a missing outcome is a hang"
+    );
+    assert_eq!(
+        report.value_mismatches(),
+        0,
+        "an Exact answer deviated from its fault-free cold-solve ground truth"
+    );
+    assert_eq!(
+        report.store_non_exhaustive, 0,
+        "a non-exhaustive plan entered the store"
+    );
+    let (exact, degraded, rejected) = report.mix();
+    assert!(exact > 0 && degraded > 0 && rejected > 0, "degenerate mix");
+    assert_eq!(report.service.panics, 1, "exactly one injected panic fires");
+    assert_eq!(report.service.recovered, 1, "the quarantined key recovers");
+    assert!(
+        report.service.quarantine_rejects > 0,
+        "no backoff exercised"
+    );
+    assert!(
+        report.service.admission_rejects as f64 >= 0.1 * report.requests() as f64,
+        "jumbo tenants are 1/8 of the request cycle; admission must reject them all"
+    );
+    for outcome in &report.outcomes {
+        if outcome.disposition == Disposition::Degraded {
+            let floor = outcome
+                .lower_bound
+                .expect("degraded answers carry a certified floor");
+            assert!(
+                outcome.value >= floor,
+                "degraded value beat its admissible lower bound"
+            );
+        }
+    }
+    let p50 = report.latency_percentile(50.0);
+    let p99 = report.latency_percentile(99.0);
+    assert!(Duration::ZERO < p50 && p50 <= p99, "latency tail inverted");
+    vec![
+        ExperimentRow::new(
+            "requests replayed under faults (floor = acceptance minimum)",
+            Some(100_000.0),
+            report.requests() as f64,
+        ),
+        ExperimentRow::new("exact answers (bit-identical to cold)", None, exact as f64),
+        ExperimentRow::new(
+            "degraded answers (deadline blowout, value >= certified floor)",
+            None,
+            degraded as f64,
+        ),
+        ExperimentRow::new("rejected requests (no plan served)", None, rejected as f64),
+        ExperimentRow::new(
+            "admission rejections (priced before any solve)",
+            None,
+            report.service.admission_rejects as f64,
+        ),
+        ExperimentRow::new(
+            "quarantine rejections (backoff after the injected panic)",
+            None,
+            report.service.quarantine_rejects as f64,
+        ),
+        ExperimentRow::new(
+            "solver panics caught by the pool (must equal injected = 1)",
+            Some(1.0),
+            report.service.panics as f64,
+        ),
+        ExperimentRow::new(
+            "quarantined fingerprints recovered after backoff",
+            Some(1.0),
+            report.service.recovered as f64,
+        ),
+        ExperimentRow::new(
+            "p50 request latency, microseconds",
+            None,
+            p50.as_secs_f64() * 1e6,
+        ),
+        ExperimentRow::new(
+            "p99 request latency, microseconds",
+            None,
+            p99.as_secs_f64() * 1e6,
+        ),
+        ExperimentRow::new(
+            "non-exhaustive plans in the store (must be 0)",
+            Some(0.0),
+            report.store_non_exhaustive as f64,
+        ),
+        ExperimentRow::new(
+            "Exact answers deviating from cold ground truth (must be 0)",
+            Some(0.0),
+            report.value_mismatches() as f64,
+        ),
+        ExperimentRow::new(
+            "serving throughput under overload, requests/s",
+            None,
+            report.requests_per_second(),
+        ),
+    ]
+}
+
 /// E10s — a seconds-not-minutes smoke version of the E10 scaling study
 /// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
 /// performance regressions in the prune-and-memoise search engine: the run
@@ -1027,7 +1182,7 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
     let first_round = service.serve_batch(&batch).expect("validated tenants");
     let cold_solves = first_round
         .iter()
-        .filter(|r| r.source == ServeSource::Cold)
+        .filter(|r| r.expect_exact().source == ServeSource::Cold)
         .count();
     assert!(
         cold_solves <= 3,
@@ -1037,7 +1192,9 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
     let repeat = service.serve_batch(&batch).expect("validated tenants");
     let elapsed = started.elapsed().as_secs_f64();
     assert!(
-        repeat.iter().all(|r| r.source == ServeSource::Store),
+        repeat
+            .iter()
+            .all(|r| r.expect_exact().source == ServeSource::Store),
         "repeat round must be served from the store"
     );
     let cached_rps = repeat.len() as f64 / elapsed.max(1e-9);
@@ -1054,6 +1211,72 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
         "serving smoke: cached-path throughput, req/s (floor 200)",
         Some(200.0),
         cached_rps,
+    ));
+    // Overload smoke (PR-8): admission control must price an oversized
+    // instance (n = 24, all-distinct weights — raw space 24^24, no symmetry
+    // to reduce it) and reject it in well under 10 ms, with the structural
+    // count surfaced in the rejection; and a degrade-band instance (n = 8
+    // all-distinct) must come back Degraded with `value >= lower_bound > 0`.
+    let jumbo_specs: Vec<(f64, f64)> = (0..24)
+        .map(|k| (1.0 + k as f64, 0.3 + 0.02 * k as f64))
+        .collect();
+    let jumbo = PlanRequest::new(
+        fsw_core::Application::independent(&jumbo_specs),
+        CommModel::Overlap,
+        Objective::MinPeriod,
+    );
+    let started = std::time::Instant::now();
+    let verdict = service.serve_one(&jumbo).expect("validated request");
+    let reject_millis = started.elapsed().as_secs_f64() * 1e3;
+    let rejection = verdict
+        .rejection()
+        .expect("n=24 all-distinct must be rejected");
+    let estimate = rejection
+        .estimate
+        .expect("admission rejections carry the structural price");
+    assert!(
+        estimate.cost > service.admission().reject_cost,
+        "the quoted cost must explain the rejection"
+    );
+    assert!(
+        reject_millis < 10.0,
+        "overload rejection took {reject_millis:.2} ms (cap 10 ms)"
+    );
+    rows.push(ExperimentRow::new(
+        "overload smoke: n=24 reject latency, ms (cap 10)",
+        Some(10.0),
+        reject_millis,
+    ));
+    let degrade_specs: Vec<(f64, f64)> = (0..8)
+        .map(|k| (1.0 + k as f64, 0.4 + 0.05 * k as f64))
+        .collect();
+    let degrade_req = PlanRequest::new(
+        fsw_core::Application::independent(&degrade_specs),
+        CommModel::Overlap,
+        Objective::MinPeriod,
+    );
+    let outcome = service.serve_one(&degrade_req).expect("validated request");
+    let fsw_serve::ServeOutcome::Degraded {
+        response,
+        lower_bound,
+        gap,
+    } = &outcome
+    else {
+        panic!("n=8 all-distinct must enter the degrade band, got {outcome:?}");
+    };
+    assert!(
+        *lower_bound > 0.0 && response.value >= *lower_bound && *gap >= 0.0,
+        "degraded answers must carry an admissible floor"
+    );
+    assert_eq!(
+        service.store().non_exhaustive_len(),
+        0,
+        "degraded plans must never enter the store"
+    );
+    rows.push(ExperimentRow::new(
+        "overload smoke: degraded value / certified floor (>= 1)",
+        Some(1.0),
+        response.value / lower_bound,
     ));
     // Uniform streamed smoke (PR-7): the materialise-then-scan uniform entry
     // point is gone, so the streamed value is *asserted* against a manual
@@ -1101,7 +1324,7 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
     rows
 }
 
-/// Runs one experiment by id (`"e1"` … `"e11"`, plus the `"e10s"` CI smoke).
+/// Runs one experiment by id (`"e1"` … `"e15"`, plus the `"e10s"` CI smoke).
 pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
     match id {
         "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
@@ -1158,6 +1381,10 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E14 — serving throughput: fingerprint store, dedup and online re-planning",
             e14_serving(),
         )),
+        "e15" => Some((
+            "E15 — hardened serving under overload: admission, degradation, fault injection",
+            e15_overload(),
+        )),
         _ => None,
     }
 }
@@ -1166,6 +1393,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

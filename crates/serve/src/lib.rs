@@ -26,38 +26,63 @@
 //!   ([`fsw_sched::orchestrator::solve_warm`]), and a **plan-churn** metric
 //!   reports how many parent assignments moved, so stability is measurable.
 //!
+//! Since the hardening pass, the service also **prices every request
+//! before solving it** ([`admission`]): an O(shapes) structural cost
+//! estimate decides Admit / AdmitWithDeadline / Reject before any
+//! enumeration starts, responses are a three-way
+//! [`ServeOutcome`](service::ServeOutcome) (`Exact` / `Degraded` /
+//! `Rejected`), solver panics are caught and quarantined instead of
+//! poisoning the queue, and a deterministic fault hook
+//! ([`PlanService::with_fault_injection`](service::PlanService::with_fault_injection))
+//! makes all of it testable under replay.
+//!
 //! The request lifecycle, end to end:
 //!
 //! ```text
 //!   request (app, model, objective)
 //!        │ canonicalise                  fsw_core::CanonicalApplication
 //!        ▼
-//!   fingerprint ──► plan store ──hit──► relabel to tenant ──► response
-//!        │ miss                               ▲
-//!        ▼                                    │
-//!   in-flight dedup (one leader per key)      │
-//!        │ leaders                            │
-//!        ▼                                    │
-//!   par::Exec pool ── solve_with_cache ──► store insert ──► followers
+//!   fingerprint ──► plan store ──hit──────► relabel ──► Exact
+//!        │ miss                                ▲
+//!        ▼                                     │
+//!   quarantine gate ──backoff/permanent──► Rejected
+//!        │ clear                               │
+//!        ▼                                     │
+//!   admission pricing (O(shapes))              │
+//!        │    │            └─over reject_cost► Rejected{estimate}
+//!        │    └─degrade band: arm deadline     │
+//!        ▼                                     │
+//!   in-flight dedup (one leader per key)       │
+//!        │ leaders                             │
+//!        ▼                                     │
+//!   par::Exec pool ── catch_unwind ┬─ exhaustive ─► store insert ─► Exact
+//!     (solve_with_cache)           ├─ interrupted ─► Degraded{floor, gap}
+//!                                  └─ panic ─► quarantine ─► Rejected
+//!                                              (followers woken with the
+//!                                               leader's error — no hangs)
 //! ```
 //!
-//! Every served value is **bit-identical** to a cold solve of the tenant's
-//! own application: the permutation collapse only engages on solve paths
-//! that are provably label-invariant (see
-//! [`service::permutation_collapse_allowed`]), and warm-started re-plans
+//! Every served **`Exact`** value is bit-identical to a cold solve of the
+//! tenant's own application: the permutation collapse only engages on
+//! solve paths that are provably label-invariant (see
+//! [`service::permutation_collapse_allowed`]), warm-started re-plans
 //! return the same winner as cold ones by the strict-clearance pruning
-//! contract.
+//! contract, and the plan store never holds a non-exhaustive entry (store
+//! writes and [`PlanService::publish`](service::PlanService::publish) are
+//! both gated on exhaustiveness).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod online;
 pub mod service;
 pub mod store;
 
+pub use admission::{AdmissionDecision, AdmissionPolicy, CostEstimate};
 pub use online::{ReplanOutcome, TenantEvent, TenantSession};
 pub use service::{
-    permutation_collapse_allowed, solve_all, PlanRequest, PlanResponse, PlanService, ServeSource,
-    ServiceStats,
+    permutation_collapse_allowed, solve_all, InjectedFault, PlanRequest, PlanResponse, PlanService,
+    RejectReason, Rejection, ServeOutcome, ServeSource, ServiceStats,
 };
 pub use store::{PlanKey, PlanStore, StoreStats, StoredPlan};

@@ -149,6 +149,18 @@ impl PlanStore {
         }
     }
 
+    /// Number of held entries whose plan is **not** exhaustive.  The
+    /// service's store-purity invariant says this is always zero (degraded
+    /// plans are never cached); the fault-injection harness asserts it.
+    pub fn non_exhaustive_len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan store poisoned")
+            .values()
+            .filter(|entry| !entry.plan.exhaustive)
+            .count()
+    }
+
     /// Lifetime counters plus the current size.
     pub fn stats(&self) -> StoreStats {
         StoreStats {

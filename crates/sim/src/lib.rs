@@ -39,4 +39,7 @@ pub mod serve_replay;
 pub use measure::SimReport;
 pub use oneport::simulate_inorder;
 pub use replay::replay_oplist;
-pub use serve_replay::{replay_trace, RequestOutcome, RequestPath, ServeReplayConfig, TraceReport};
+pub use serve_replay::{
+    replay_trace, Disposition, FaultPlan, RequestOutcome, RequestPath, ServeReplayConfig,
+    TraceReport,
+};

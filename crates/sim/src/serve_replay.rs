@@ -5,23 +5,38 @@
 //! executes a whole *serving timeline*
 //! ([`fsw_workloads::streaming::ArrivalTrace`]) against the `fsw_serve`
 //! stack — tenants are admitted into [`TenantSession`]s, request batches
-//! flow through a [`PlanService`] (fingerprint store + in-flight dedup +
-//! worker pool), and service-set mutations trigger warm-started online
-//! re-plans whose results are published back into the store.
+//! flow through a [`PlanService`] (admission control + fingerprint store +
+//! in-flight dedup + worker pool), and service-set mutations trigger
+//! warm-started online re-plans whose results are published back into the
+//! store.
 //!
-//! With [`ServeReplayConfig::verify`] on, every request additionally runs a
-//! **shadow cold solve** of the tenant's current application outside the
-//! serving path: the report then carries, per request, the ground-truth
-//! value (served values must match it bit-for-bit) and the cold evaluation
-//! count (warm re-plans must not evaluate more).  Shadow solves are
-//! excluded from the serving wall time.
+//! With [`ServeReplayConfig::verify`] on, every **exactly answered** request
+//! additionally runs a **shadow cold solve** of the tenant's current
+//! application outside the serving path: the report then carries, per
+//! request, the ground-truth value (served `Exact` values must match it
+//! bit-for-bit) and the cold evaluation count (warm re-plans must not
+//! evaluate more).  Shadow solves are memoised by the tenant's exact
+//! service list — a 100 000-request trace over a handful of templates costs
+//! a handful of shadow solves — and are excluded from the serving wall
+//! time.
+//!
+//! With a non-empty [`FaultPlan`], the replay drives the service's
+//! deterministic fault hook: solver panics, artificial slowdowns and
+//! deadline blowouts are injected by **request ordinal** (arrival order at
+//! the service), so a faulted replay takes the same admit/degrade/reject
+//! path whatever the worker thread count — the foundation of the
+//! robustness digests asserted in tests and the E15 overload experiment.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use fsw_core::{Application, CommModel, CoreError, CoreResult};
 use fsw_sched::engine::EvalCache;
 use fsw_sched::orchestrator::{solve_warm, Objective, Problem, SearchBudget};
-use fsw_serve::{PlanRequest, PlanService, ServeSource, ServiceStats, StoreStats, TenantSession};
+use fsw_serve::{
+    InjectedFault, PlanRequest, PlanService, ServeOutcome, ServeSource, ServiceStats, StoreStats,
+    TenantSession,
+};
 use fsw_workloads::streaming::{ArrivalTrace, TraceEventKind};
 
 /// How a request was answered.
@@ -35,6 +50,20 @@ pub enum RequestPath {
     Dedup,
     /// Warm-started online re-plan after a service-set mutation.
     Replan,
+    /// No plan served: rejected by admission, quarantine, or a caught
+    /// solver panic.
+    Rejected,
+}
+
+/// The quality tier of a request's answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Disposition {
+    /// Exhaustive answer, bit-identical to a cold solve.
+    Exact,
+    /// Best incumbent under a fired deadline or breached cap.
+    Degraded,
+    /// No plan at all.
+    Rejected,
 }
 
 /// One request's outcome in the replay.
@@ -46,10 +75,18 @@ pub struct RequestOutcome {
     pub tenant: usize,
     /// How it was answered.
     pub path: RequestPath,
-    /// The served objective value.
+    /// The answer's quality tier.
+    pub disposition: Disposition,
+    /// The served objective value (`NaN` on the rejected path).
     pub value: f64,
     /// Whether the underlying solve was exhaustive.
     pub exhaustive: bool,
+    /// Certified admissible lower bound of a degraded answer (or the floor
+    /// quoted with a rejection), when one was priced.
+    pub lower_bound: Option<f64>,
+    /// Wall-clock latency attributed to the request: its batch's serving
+    /// time (shared across the batch) or its re-plan's solve time.
+    pub latency: Duration,
     /// Plan churn of a re-plan (moved parent assignments); `None` off the
     /// replan path.
     pub churn: Option<usize>,
@@ -57,7 +94,8 @@ pub struct RequestOutcome {
     pub warm_value: Option<f64>,
     /// Candidates evaluated by a re-plan's search (0 off the replan path).
     pub evaluated: usize,
-    /// Ground-truth value from the shadow cold solve (verify mode).
+    /// Ground-truth value from the shadow cold solve (verify mode, exact
+    /// answers only).
     pub cold_value: Option<f64>,
     /// Candidates the shadow cold solve evaluated (verify mode).
     pub cold_evaluated: Option<usize>,
@@ -77,6 +115,9 @@ pub struct TraceReport {
     pub store: StoreStats,
     /// The service's final counters (replans are not service requests).
     pub service: ServiceStats,
+    /// Plan-store entries holding a non-exhaustive plan at the end of the
+    /// replay — the store-purity invariant says this is always `0`.
+    pub store_non_exhaustive: usize,
 }
 
 impl TraceReport {
@@ -109,6 +150,28 @@ impl TraceReport {
             .count()
     }
 
+    /// `(exact, degraded, rejected)` — the answer-quality mix.
+    pub fn mix(&self) -> (usize, usize, usize) {
+        self.outcomes
+            .iter()
+            .fold((0, 0, 0), |(e, d, r), o| match o.disposition {
+                Disposition::Exact => (e + 1, d, r),
+                Disposition::Degraded => (e, d + 1, r),
+                Disposition::Rejected => (e, d, r + 1),
+            })
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of per-request latency.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut latencies: Vec<Duration> = self.outcomes.iter().map(|o| o.latency).collect();
+        latencies.sort_unstable();
+        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    }
+
     /// Sum of plan churn over all re-plans.
     pub fn total_churn(&self) -> usize {
         self.outcomes.iter().filter_map(|o| o.churn).sum()
@@ -126,7 +189,8 @@ impl TraceReport {
     }
 
     /// Requests whose served value differs (bitwise) from the shadow cold
-    /// solve's value — must be `0` in verify mode.
+    /// solve's value — must be `0` in verify mode (only `Exact` answers
+    /// carry a ground truth; degraded and rejected ones promise none).
     pub fn value_mismatches(&self) -> usize {
         self.outcomes
             .iter()
@@ -147,19 +211,83 @@ impl TraceReport {
     }
 
     /// A thread-count-independent digest of the replay for determinism
-    /// tests: `(step, tenant, path, value bits, churn)` per request.
-    /// Evaluation counts are excluded — parallel searches return identical
-    /// *results* but may probe more candidates against a staler incumbent.
-    pub fn digest(&self) -> Vec<(usize, usize, RequestPath, u64, Option<usize>)> {
+    /// tests: `(step, tenant, path, disposition, value bits, churn)` per
+    /// request.  Latencies and evaluation counts are excluded — parallel
+    /// searches return identical *results* but different timings, and may
+    /// probe more candidates against a staler incumbent.
+    #[allow(clippy::type_complexity)] // a flat digest row, named by its doc
+    pub fn digest(&self) -> Vec<(usize, usize, RequestPath, Disposition, u64, Option<usize>)> {
         self.outcomes
             .iter()
-            .map(|o| (o.step, o.tenant, o.path, o.value.to_bits(), o.churn))
+            .map(|o| {
+                (
+                    o.step,
+                    o.tenant,
+                    o.path,
+                    o.disposition,
+                    o.value.to_bits(),
+                    o.churn,
+                )
+            })
             .collect()
     }
 }
 
+/// A deterministic fault schedule for a replay: faults are keyed by the
+/// **request ordinal** at the service (arrival order across the replay),
+/// so the same plan replayed under any worker thread count injects the
+/// same faults into the same requests.  A fault fires when its request
+/// leads a cold solve; ordinals answered from the store, deduplicated, or
+/// rejected before the pool leave their fault unused.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, InjectedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a solver panic at request `ordinal`.
+    pub fn panic_at(mut self, ordinal: u64) -> Self {
+        self.faults.insert(ordinal, InjectedFault::Panic);
+        self
+    }
+
+    /// Schedules an artificial `stall` before the solve at `ordinal`.
+    pub fn slow_at(mut self, ordinal: u64, stall: Duration) -> Self {
+        self.faults.insert(ordinal, InjectedFault::Slow(stall));
+        self
+    }
+
+    /// Schedules a deadline blowout (the solve starts with its deadline
+    /// already expired and degrades to the deterministic fallback) at
+    /// `ordinal`.
+    pub fn blowout_at(mut self, ordinal: u64) -> Self {
+        self.faults.insert(ordinal, InjectedFault::DeadlineBlowout);
+        self
+    }
+
+    /// The fault scheduled at `ordinal`, if any.
+    pub fn at(&self, ordinal: u64) -> Option<InjectedFault> {
+        self.faults.get(&ordinal).copied()
+    }
+
+    /// `true` when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+}
+
 /// Parameters of a trace replay.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeReplayConfig {
     /// Budget of every solve (serving and re-planning); its `time_limit` is
     /// armed per request.
@@ -168,12 +296,15 @@ pub struct ServeReplayConfig {
     /// wall time, so an over-subscribed store makes replays timing
     /// dependent; determinism tests size it above the fingerprint count.
     pub store_capacity: usize,
-    /// Run a shadow cold solve per request (ground truth + node counts).
+    /// Run a shadow cold solve per exactly-answered request (ground truth
+    /// + node counts).
     pub verify: bool,
     /// The communication model every request plans for.
     pub model: CommModel,
     /// The objective every request optimises.
     pub objective: Objective,
+    /// Faults to inject, by request ordinal (empty = fault-free).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeReplayConfig {
@@ -184,6 +315,7 @@ impl Default for ServeReplayConfig {
             verify: false,
             model: CommModel::Overlap,
             objective: Objective::MinPeriod,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -191,12 +323,24 @@ impl Default for ServeReplayConfig {
 /// Replays `trace` through a fresh [`PlanService`] (see the module docs).
 /// Events of one step form one service batch; mutations precede the step's
 /// requests.  Returns the per-request outcomes and aggregate counters.
+///
+/// Rejected requests (admission, quarantine, injected panics) are reported
+/// like any other outcome — the tenant keeps its previous plan, nothing is
+/// adopted and no shadow solve runs.
 pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreResult<TraceReport> {
-    let service = PlanService::new(config.budget, config.store_capacity);
+    let mut service = PlanService::new(config.budget, config.store_capacity);
+    if !config.faults.is_empty() {
+        let faults = config.faults.clone();
+        service = service.with_fault_injection(move |ordinal| faults.at(ordinal));
+    }
+    let service = service;
     let mut sessions: Vec<Option<TenantSession>> = (0..trace.tenants).map(|_| None).collect();
     // A tenant is dirty between a mutation and its next request: that
     // request re-plans online instead of going through the batch.
     let mut dirty = vec![false; trace.tenants];
+    // Shadow ground truths memoised by the tenant's exact service list (in
+    // label order — only an *identical* application may share a shadow).
+    let mut shadow_memo: HashMap<Vec<(u64, u64)>, (f64, usize)> = HashMap::new();
     let mut outcomes = Vec::new();
     let mut serve_wall = Duration::ZERO;
     let mut at = 0;
@@ -267,7 +411,9 @@ pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreRes
                 let elapsed = started.elapsed();
                 serve_wall += elapsed;
                 // Sessions and service run under the same config budget, so
-                // the budget-equality gate of `publish` always accepts here.
+                // the budget-equality gate of `publish` accepts here (the
+                // exhaustiveness gate still applies: an interrupted re-plan
+                // is served to the tenant but never cached).
                 service.publish(
                     session.app(),
                     config.model,
@@ -278,8 +424,9 @@ pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreRes
                     replan.exhaustive,
                     elapsed.as_micros().min(u64::MAX as u128) as u64,
                 );
-                let (cold_value, cold_evaluated) = if config.verify {
+                let (cold_value, cold_evaluated) = if config.verify && replan.exhaustive {
                     let (value, evaluated) = shadow_cold_solve(
+                        &mut shadow_memo,
                         session.app(),
                         config.model,
                         config.objective,
@@ -293,8 +440,15 @@ pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreRes
                     step,
                     tenant,
                     path: RequestPath::Replan,
+                    disposition: if replan.exhaustive {
+                        Disposition::Exact
+                    } else {
+                        Disposition::Degraded
+                    },
                     value: replan.value,
                     exhaustive: replan.exhaustive,
+                    lower_bound: None,
+                    latency: elapsed,
                     churn: Some(replan.churn),
                     warm_value: replan.warm_value,
                     evaluated: replan.evaluated,
@@ -314,38 +468,82 @@ pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreRes
                 })
                 .collect();
             let started = Instant::now();
-            let responses = service.serve_batch(&requests)?;
-            serve_wall += started.elapsed();
-            for (&tenant, response) in batch_tenants.iter().zip(responses) {
-                let session = session_mut(&mut sessions, tenant)?;
-                session.adopt(response.graph.clone())?;
-                let (cold_value, cold_evaluated) = if config.verify {
-                    let (value, evaluated) = shadow_cold_solve(
-                        session.app(),
-                        config.model,
-                        config.objective,
-                        &config.budget,
-                    )?;
-                    (Some(value), Some(evaluated))
-                } else {
-                    (None, None)
-                };
-                outcomes.push(RequestOutcome {
-                    step,
-                    tenant,
-                    path: match response.source {
-                        ServeSource::Cold => RequestPath::Cold,
-                        ServeSource::Store => RequestPath::Store,
-                        ServeSource::Dedup => RequestPath::Dedup,
+            let served = service.serve_batch(&requests)?;
+            let batch_elapsed = started.elapsed();
+            serve_wall += batch_elapsed;
+            for (&tenant, served_outcome) in batch_tenants.iter().zip(served) {
+                let outcome = match served_outcome {
+                    ServeOutcome::Rejected(rejection) => RequestOutcome {
+                        step,
+                        tenant,
+                        path: RequestPath::Rejected,
+                        disposition: Disposition::Rejected,
+                        value: f64::NAN,
+                        exhaustive: false,
+                        lower_bound: rejection.estimate.and_then(|e| e.value_floor),
+                        latency: batch_elapsed,
+                        churn: None,
+                        warm_value: None,
+                        evaluated: 0,
+                        cold_value: None,
+                        cold_evaluated: None,
                     },
-                    value: response.value,
-                    exhaustive: response.exhaustive,
-                    churn: None,
-                    warm_value: None,
-                    evaluated: 0,
-                    cold_value,
-                    cold_evaluated,
-                });
+                    ServeOutcome::Exact(response) => {
+                        let session = session_mut(&mut sessions, tenant)?;
+                        session.adopt(response.graph.clone())?;
+                        let (cold_value, cold_evaluated) = if config.verify {
+                            let (value, evaluated) = shadow_cold_solve(
+                                &mut shadow_memo,
+                                session.app(),
+                                config.model,
+                                config.objective,
+                                &config.budget,
+                            )?;
+                            (Some(value), Some(evaluated))
+                        } else {
+                            (None, None)
+                        };
+                        RequestOutcome {
+                            step,
+                            tenant,
+                            path: path_of(response.source),
+                            disposition: Disposition::Exact,
+                            value: response.value,
+                            exhaustive: true,
+                            lower_bound: None,
+                            latency: batch_elapsed,
+                            churn: None,
+                            warm_value: None,
+                            evaluated: 0,
+                            cold_value,
+                            cold_evaluated,
+                        }
+                    }
+                    ServeOutcome::Degraded {
+                        response,
+                        lower_bound,
+                        ..
+                    } => {
+                        let session = session_mut(&mut sessions, tenant)?;
+                        session.adopt(response.graph.clone())?;
+                        RequestOutcome {
+                            step,
+                            tenant,
+                            path: path_of(response.source),
+                            disposition: Disposition::Degraded,
+                            value: response.value,
+                            exhaustive: false,
+                            lower_bound: (lower_bound > 0.0).then_some(lower_bound),
+                            latency: batch_elapsed,
+                            churn: None,
+                            warm_value: None,
+                            evaluated: 0,
+                            cold_value: None,
+                            cold_evaluated: None,
+                        }
+                    }
+                };
+                outcomes.push(outcome);
             }
         }
     }
@@ -354,8 +552,17 @@ pub fn replay_trace(trace: &ArrivalTrace, config: &ServeReplayConfig) -> CoreRes
         tenants: trace.tenants,
         serve_wall,
         store: service.store().stats(),
+        store_non_exhaustive: service.store().non_exhaustive_len(),
         service: service.stats(),
     })
+}
+
+fn path_of(source: ServeSource) -> RequestPath {
+    match source {
+        ServeSource::Cold => RequestPath::Cold,
+        ServeSource::Store => RequestPath::Store,
+        ServeSource::Dedup => RequestPath::Dedup,
+    }
 }
 
 fn session_mut(
@@ -371,15 +578,27 @@ fn session_mut(
 }
 
 /// A from-scratch solve of `app` outside the serving path: the ground-truth
-/// value and the number of candidates a cold search evaluates.
+/// value and the number of candidates a cold search evaluates.  Memoised by
+/// the exact service list (label order included), so identical applications
+/// pay for one shadow solve however many requests they issue.
 fn shadow_cold_solve(
+    memo: &mut HashMap<Vec<(u64, u64)>, (f64, usize)>,
     app: &Application,
     model: CommModel,
     objective: Objective,
     budget: &SearchBudget,
 ) -> CoreResult<(f64, usize)> {
+    let key: Vec<(u64, u64)> = app
+        .services()
+        .iter()
+        .map(|s| (s.cost.to_bits(), s.selectivity.to_bits()))
+        .collect();
+    if let Some(&cached) = memo.get(&key) {
+        return Ok(cached);
+    }
     let cache = EvalCache::new(app);
     let (solution, stats) = solve_warm(&Problem::new(app, model, objective), budget, &cache, None)?;
+    memo.insert(key, (solution.value, stats.evaluated));
     Ok((solution.value, stats.evaluated))
 }
 
@@ -416,6 +635,10 @@ mod tests {
         assert_eq!(report.requests(), trace.request_count());
         assert_eq!(report.value_mismatches(), 0, "served != ground truth");
         assert!(report.served() > 0, "store/dedup never fired");
+        let (exact, degraded, rejected) = report.mix();
+        assert_eq!(exact, report.requests(), "fault-free small trace is exact");
+        assert_eq!((degraded, rejected), (0, 0));
+        assert_eq!(report.store_non_exhaustive, 0);
         let (warm, cold) = report.replan_evaluations();
         if report.replans() > 0 {
             assert!(warm <= cold, "warm re-plans evaluated more than cold");
@@ -431,5 +654,37 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.store, b.store);
         assert_eq!(a.service, b.service);
+    }
+
+    #[test]
+    fn injected_panics_reject_deterministically_and_keep_the_store_pure() {
+        let trace = small_trace();
+        // Panic the very first cold solve and blow the deadline of a later
+        // one; the replay must complete with every request answered.
+        let config = ServeReplayConfig {
+            faults: FaultPlan::new().panic_at(0).blowout_at(7),
+            ..ServeReplayConfig::default()
+        };
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = replay_trace(&trace, &config).unwrap();
+        let again = replay_trace(&trace, &config).unwrap();
+        std::panic::set_hook(quiet);
+        assert_eq!(report.requests(), trace.request_count(), "nothing hangs");
+        let (_, _, rejected) = report.mix();
+        assert!(rejected > 0, "the injected panic rejected its request");
+        assert_eq!(report.service.panics, 1);
+        assert_eq!(report.store_non_exhaustive, 0, "store purity");
+        assert_eq!(report.digest(), again.digest(), "faulted replays replay");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let trace = small_trace();
+        let report = replay_trace(&trace, &ServeReplayConfig::default()).unwrap();
+        let p50 = report.latency_percentile(50.0);
+        let p99 = report.latency_percentile(99.0);
+        assert!(p50 <= p99);
+        assert!(p99 > Duration::ZERO);
     }
 }

@@ -137,6 +137,15 @@ pub struct TraceConfig {
     pub mutation_rate: f64,
     /// Tenants issuing a request per step (cycled deterministically).
     pub requests_per_step: usize,
+    /// Every `jumbo_every`-th tenant (0 = none) is admitted as a **jumbo**:
+    /// an oversized application of [`Self::jumbo_services`] all-distinct
+    /// weights, whose raw plan space defeats every symmetry reduction —
+    /// overload-scenario fodder for the serving layer's admission control.
+    /// Jumbo tenants are never mutated (their size is the point).
+    pub jumbo_every: usize,
+    /// Service count of jumbo tenants (weights generated all-distinct and
+    /// deterministic per tenant, so each jumbo is its own fingerprint).
+    pub jumbo_services: usize,
 }
 
 impl Default for TraceConfig {
@@ -150,6 +159,8 @@ impl Default for TraceConfig {
             max_services: 7,
             mutation_rate: 0.3,
             requests_per_step: 4,
+            jumbo_every: 0,
+            jumbo_services: 24,
         }
     }
 }
@@ -172,6 +183,12 @@ pub fn serving_trace<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Arri
     assert!(config.tenants >= 1 && config.templates >= 1);
     assert!(config.services_per_tenant >= 3, "need room for departures");
     assert!(config.max_services >= config.services_per_tenant);
+    assert!(
+        config.jumbo_every == 0 || config.jumbo_services >= 3,
+        "jumbo tenants need at least 3 services"
+    );
+    let is_jumbo =
+        |tenant: usize| config.jumbo_every > 0 && (tenant + 1).is_multiple_of(config.jumbo_every);
     // Template pool: per-service independent draws, cheap/selective head
     // and expensive/permissive tail.
     let templates: Vec<Vec<(f64, f64)>> = (0..config.templates)
@@ -196,11 +213,25 @@ pub fn serving_trace<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Arri
     // first requests in one batch (the in-flight dedup path).
     let mut sizes = Vec::with_capacity(config.tenants);
     for tenant in 0..config.tenants {
-        let template = &templates[tenant % config.templates];
-        let rotation = tenant / config.templates;
-        let services: Vec<(f64, f64)> = (0..template.len())
-            .map(|k| template[(k + rotation) % template.len()])
-            .collect();
+        // Jumbo tenants deploy an oversized all-distinct service set
+        // (deterministic per tenant, no RNG consumed — adding jumbos to a
+        // config never perturbs the other tenants' draws).
+        let services: Vec<(f64, f64)> = if is_jumbo(tenant) {
+            (0..config.jumbo_services)
+                .map(|k| {
+                    (
+                        10.0 + k as f64 + tenant as f64 * 1e-3,
+                        0.30 + 0.6 * k as f64 / config.jumbo_services as f64,
+                    )
+                })
+                .collect()
+        } else {
+            let template = &templates[tenant % config.templates];
+            let rotation = tenant / config.templates;
+            (0..template.len())
+                .map(|k| template[(k + rotation) % template.len()])
+                .collect()
+        };
         sizes.push(services.len());
         let step = tenant / admissions_per_step;
         events.push(TraceEvent {
@@ -217,10 +248,13 @@ pub fn serving_trace<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Arri
     // Steady phase: per step, maybe one mutation (followed by the mutated
     // tenant's request), then a deterministic cycle of tenant requests.
     let base = config.tenants.div_ceil(admissions_per_step);
+    // Mutations only ever hit non-jumbo tenants (with no jumbos configured
+    // this is the identity mapping, so existing seeds replay unchanged).
+    let mutable: Vec<usize> = (0..config.tenants).filter(|&t| !is_jumbo(t)).collect();
     for round in 0..config.steps {
         let step = base + round;
-        if rng.gen::<f64>() < config.mutation_rate {
-            let tenant = rng.gen_range(0..config.tenants);
+        if !mutable.is_empty() && rng.gen::<f64>() < config.mutation_rate {
+            let tenant = mutable[rng.gen_range(0..mutable.len())];
             let n = sizes[tenant];
             let kind = match rng.gen_range(0..3u32) {
                 0 if n < config.max_services => {
@@ -321,6 +355,65 @@ mod tests {
             let a = CanonicalApplication::of(&apps[k]).fingerprint;
             let b = CanonicalApplication::of(&apps[k + 4]).fingerprint;
             assert_eq!(a, b, "template {k}: rotated twins must collapse");
+        }
+    }
+
+    #[test]
+    fn jumbo_tenants_are_oversized_distinct_and_never_mutated() {
+        let config = TraceConfig {
+            tenants: 8,
+            templates: 4,
+            steps: 100,
+            mutation_rate: 0.9,
+            jumbo_every: 4,
+            jumbo_services: 24,
+            ..TraceConfig::default()
+        };
+        let trace = serving_trace(&config, &mut StdRng::seed_from_u64(11));
+        let jumbos = [3usize, 7];
+        for event in &trace.events {
+            match &event.kind {
+                TraceEventKind::Admit { services } if jumbos.contains(&event.tenant) => {
+                    assert_eq!(services.len(), 24);
+                    // All-distinct weights: no symmetry class to collapse.
+                    let mut costs: Vec<u64> = services.iter().map(|s| s.0.to_bits()).collect();
+                    costs.sort_unstable();
+                    costs.dedup();
+                    assert_eq!(costs.len(), 24);
+                }
+                TraceEventKind::Arrive { .. }
+                | TraceEventKind::Depart { .. }
+                | TraceEventKind::Reweight { .. } => {
+                    assert!(
+                        !jumbos.contains(&event.tenant),
+                        "jumbo tenants never mutate"
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Distinct jumbo tenants have distinct fingerprints.
+        let apps = trace.admitted_apps();
+        assert_ne!(
+            CanonicalApplication::of(&apps[3]).fingerprint,
+            CanonicalApplication::of(&apps[7]).fingerprint
+        );
+        // Adding jumbos must not perturb the non-jumbo tenants' draws: the
+        // same seed without jumbos admits the same template deployments.
+        let plain = serving_trace(
+            &TraceConfig {
+                jumbo_every: 0,
+                ..config
+            },
+            &mut StdRng::seed_from_u64(11),
+        );
+        let plain_apps = plain.admitted_apps();
+        for tenant in (0..8).filter(|t| !jumbos.contains(t)) {
+            assert_eq!(
+                CanonicalApplication::of(&apps[tenant]).fingerprint,
+                CanonicalApplication::of(&plain_apps[tenant]).fingerprint,
+                "tenant {tenant} drifted when jumbos were added"
+            );
         }
     }
 

@@ -59,8 +59,9 @@ fn main() {
 
     println!("act 1 — cold batch: 12 tenants, 4 templates, one request each");
     let started = Instant::now();
-    let responses = service.serve_batch(&batch).expect("valid tenants");
+    let outcomes = service.serve_batch(&batch).expect("valid tenants");
     let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    let responses: Vec<_> = outcomes.iter().map(|o| o.expect_exact()).collect();
     for (i, r) in responses.iter().enumerate() {
         println!(
             "  tenant-{i:02} [{}] period {:>8.4}  (fingerprint {:016x})",
@@ -81,12 +82,14 @@ fn main() {
     let started = Instant::now();
     let repeat = service.serve_batch(&batch).expect("valid tenants");
     let warm_ms = started.elapsed().as_secs_f64() * 1e3;
-    let all_store = repeat.iter().all(|r| r.source == ServeSource::Store);
+    let all_store = repeat
+        .iter()
+        .all(|r| r.expect_exact().source == ServeSource::Store);
     println!(
         "  => {}/{} served from the store in {warm_ms:.2} ms (all-store: {all_store})\n",
         repeat
             .iter()
-            .filter(|r| r.source == ServeSource::Store)
+            .filter(|r| r.expect_exact().source == ServeSource::Store)
             .count(),
         repeat.len(),
     );
@@ -140,4 +143,29 @@ fn main() {
     }
     let (replans, total_churn) = session.stability();
     println!("  => {replans} re-plans, total churn {total_churn}");
+
+    println!("\nact 4 — overload: a 24-service all-distinct tenant walks in");
+    let jumbo_specs: Vec<(f64, f64)> = (0..24)
+        .map(|k| (1.0 + k as f64, 0.3 + 0.02 * k as f64))
+        .collect();
+    let jumbo = PlanRequest::new(
+        Application::independent(&jumbo_specs),
+        CommModel::Overlap,
+        Objective::MinPeriod,
+    );
+    let started = Instant::now();
+    let verdict = service.serve_one(&jumbo).expect("valid application");
+    let reject_ms = started.elapsed().as_secs_f64() * 1e3;
+    match verdict {
+        fsw::serve::ServeOutcome::Rejected(rejection) => {
+            let estimate = rejection.estimate.expect("admission rejections price");
+            println!(
+                "  => rejected in {reject_ms:.2} ms: {:.2e} candidate evaluations \
+                 estimated (threshold {:.2e}) — the solve pool was never touched",
+                estimate.cost as f64,
+                service.admission().reject_cost as f64,
+            );
+        }
+        other => println!("  => unexpected outcome: {other:?}"),
+    }
 }

@@ -1,0 +1,158 @@
+//! Robustness tests of the hardened serving layer (PR-8 acceptance
+//! criteria):
+//!
+//! * the MINLATENCY DAG phase honours `SearchBudget::time_limit` *inside*
+//!   the per-worker walk — a 20 ms deadline on an instance whose DAG
+//!   ordering space is astronomically large must return promptly with a
+//!   non-exhaustive incumbent, not run to completion;
+//! * a fault-injected replay (solver panics, deadline blowouts) produces
+//!   the **same digest under any worker-thread count** — faults are keyed
+//!   by request ordinal, not by scheduling accidents;
+//! * a panicking cold-solve leader rejects its in-flight followers through
+//!   the public API (nobody hangs), quarantines the fingerprint with
+//!   exponential backoff, and recovers once the fault clears.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use fsw::core::CommModel;
+use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
+use fsw::serve::{InjectedFault, PlanRequest, PlanService, RejectReason, ServeOutcome};
+use fsw::sim::{replay_trace, FaultPlan, ServeReplayConfig};
+use fsw::workloads::streaming::{serving_trace, TraceConfig};
+use fsw::workloads::{random_application, RandomAppConfig};
+
+/// Runs `body` with panic backtraces suppressed (the tests below inject
+/// panics that the pool is expected to catch).
+fn quietly<T>(body: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = body();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn minlatency_dag_phase_honours_a_short_deadline() {
+    // n = 7 with all-distinct weights: the DAG ordering space is ~6e14, so
+    // an un-deadlined walk would run (far) beyond any test budget.  The
+    // 20 ms limit must be observed inside the walk itself, between masks —
+    // not just between shapes — so the solve returns promptly.
+    let mut rng = StdRng::seed_from_u64(0x0b07);
+    let app = random_application(&RandomAppConfig::independent(7), &mut rng);
+    let budget = SearchBudget {
+        dag_enumeration_max_n: 7,
+        time_limit: Some(Duration::from_millis(20)),
+        ..SearchBudget::default()
+    };
+    let started = Instant::now();
+    let solution = solve(
+        &Problem::new(&app, CommModel::InOrder, Objective::MinLatency),
+        &budget,
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "a 20 ms deadline took {elapsed:?} to fire — the DAG walk is not \
+         checking the budget deadline"
+    );
+    assert!(
+        !solution.exhaustive,
+        "an interrupted DAG enumeration must not claim exhaustiveness"
+    );
+    assert!(solution.value.is_finite(), "the incumbent is still a plan");
+}
+
+#[test]
+fn faulted_replay_digests_are_thread_count_independent() {
+    // Panic the first cold leader and blow a later deadline; every eighth
+    // tenant is an oversized jumbo that admission must reject.  The digest
+    // (path, disposition, value bits per request) must not depend on the
+    // worker-thread count, because faults key on arrival ordinals.
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants: 8,
+            steps: 12,
+            templates: 3,
+            services_per_tenant: 5,
+            mutation_rate: 0.5,
+            requests_per_step: 3,
+            jumbo_every: 4,
+            ..TraceConfig::default()
+        },
+        &mut StdRng::seed_from_u64(0x0b08),
+    );
+    let config_for = |threads: usize| ServeReplayConfig {
+        budget: SearchBudget::default().with_threads(threads),
+        faults: FaultPlan::new().panic_at(0).blowout_at(5),
+        ..ServeReplayConfig::default()
+    };
+    let reference = quietly(|| replay_trace(&trace, &config_for(1)).unwrap());
+    assert_eq!(reference.requests(), trace.request_count(), "nothing hangs");
+    assert_eq!(reference.service.panics, 1, "the injected panic fired");
+    let (_, _, rejected) = reference.mix();
+    assert!(rejected > 0, "panics and jumbo tenants produce rejections");
+    assert_eq!(reference.store_non_exhaustive, 0, "store purity");
+    for threads in [2, 4] {
+        let other = quietly(|| replay_trace(&trace, &config_for(threads)).unwrap());
+        assert_eq!(
+            reference.digest(),
+            other.digest(),
+            "x{threads}: a faulted replay must not depend on the thread count"
+        );
+        assert_eq!(
+            reference.service, other.service,
+            "x{threads}: service counters"
+        );
+    }
+}
+
+#[test]
+fn a_panicking_leader_rejects_its_followers_and_the_key_recovers() {
+    let mut rng = StdRng::seed_from_u64(0x0b09);
+    let app = random_application(&RandomAppConfig::independent(5), &mut rng);
+    let request = PlanRequest::new(app, CommModel::Overlap, Objective::MinPeriod);
+    let service = PlanService::new(SearchBudget::default(), 8)
+        .with_fault_injection(|ordinal| (ordinal == 0).then_some(InjectedFault::Panic));
+    // Three same-fingerprint requests in one batch: the leader's injected
+    // panic must reject the whole group — followers are woken with the
+    // error, not left hanging on the in-flight dedup.
+    let batch = vec![request.clone(), request.clone(), request.clone()];
+    let outcomes = quietly(|| service.serve_batch(&batch).unwrap());
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        let rejection = outcome.rejection().expect("the panic rejects the batch");
+        assert!(
+            matches!(rejection.reason, RejectReason::SolverPanic { .. }),
+            "got {rejection:?}"
+        );
+    }
+    assert_eq!(service.stats().panics, 1);
+    // Quarantine backoff: two requests drain the cooldown…
+    for attempt in 0..2 {
+        let outcome = service.serve_one(&request).unwrap();
+        let rejection = outcome.rejection().expect("quarantined while cooling");
+        assert!(
+            matches!(
+                rejection.reason,
+                RejectReason::Quarantined { permanent: false }
+            ),
+            "attempt {attempt}: got {rejection:?}"
+        );
+    }
+    // …then the retry solves cleanly (the fault only hit ordinal 0) and the
+    // fingerprint leaves quarantine for good.
+    let recovered = service.serve_one(&request).unwrap();
+    assert!(
+        matches!(recovered, ServeOutcome::Exact(_)),
+        "the retry after backoff must serve exactly, got {recovered:?}"
+    );
+    assert_eq!(service.stats().recovered, 1);
+    assert!(matches!(
+        service.serve_one(&request).unwrap(),
+        ServeOutcome::Exact(_)
+    ));
+}

@@ -42,9 +42,11 @@ fn cache_hits_are_byte_identical_to_cold_solves() {
         ] {
             let service = PlanService::new(budget, 8);
             let request = PlanRequest::new(app.clone(), model, objective);
-            let cold_response = service.serve_one(&request).unwrap();
+            let cold_outcome = service.serve_one(&request).unwrap();
+            let cold_response = cold_outcome.expect_exact();
             assert_eq!(cold_response.source, ServeSource::Cold);
-            let hit = service.serve_one(&request).unwrap();
+            let hit_outcome = service.serve_one(&request).unwrap();
+            let hit = hit_outcome.expect_exact();
             assert_eq!(hit.source, ServeSource::Store, "case {case} {model}");
             // Byte identity between the hit and the cold response…
             assert_eq!(hit.value.to_bits(), cold_response.value.to_bits());
@@ -75,15 +77,16 @@ fn permuted_tenants_served_from_one_solve_match_their_own_cold_solves() {
                 .collect::<Vec<_>>(),
         );
         let service = PlanService::new(budget, 8);
-        let responses = service
+        let outcomes = service
             .serve_batch(&[
                 PlanRequest::new(app.clone(), CommModel::Overlap, Objective::MinPeriod),
                 PlanRequest::new(rotated.clone(), CommModel::Overlap, Objective::MinPeriod),
             ])
             .unwrap();
+        let responses: Vec<_> = outcomes.iter().map(|o| o.expect_exact()).collect();
         assert_eq!(responses[0].source, ServeSource::Cold, "case {case}");
         assert_eq!(responses[1].source, ServeSource::Dedup, "case {case}");
-        for (tenant_app, response) in [(&app, &responses[0]), (&rotated, &responses[1])] {
+        for (tenant_app, response) in [(&app, responses[0]), (&rotated, responses[1])] {
             let cold = solve(
                 &Problem::new(tenant_app, CommModel::Overlap, Objective::MinPeriod),
                 &budget,
@@ -199,22 +202,22 @@ fn eval_caches_are_retained_across_repeat_cold_misses() {
             service.eval_cache_stats(&warm_up).is_none(),
             "case {case}: no cache before the first cold solve"
         );
-        let first = service.serve_one(&warm_up).unwrap();
+        let first = service.serve_one(&warm_up).unwrap().expect_exact().clone();
         assert_eq!(first.source, ServeSource::Cold, "case {case}");
         let (_, cold_baseline) = service.eval_cache_stats(&warm_up).unwrap();
         assert!(cold_baseline > 0, "case {case}: a cold solve must evaluate");
-        let second = service.serve_one(&target).unwrap();
+        let second = service.serve_one(&target).unwrap().expect_exact().clone();
         assert_eq!(second.source, ServeSource::Cold, "case {case}");
         // Exactly one of the two keys is resident in the capacity-1 store;
         // a store hit never touches the evaluation cache, so the stats
         // snapshot stays valid across the probing re-serve.
         let (hits_before, misses_before) = service.eval_cache_stats(&target).unwrap();
-        let probe = service.serve_one(&target).unwrap();
+        let probe = service.serve_one(&target).unwrap().expect_exact().clone();
         let (repeat, original) = if probe.source == ServeSource::Cold {
             (probe, &second)
         } else {
             assert_eq!(probe.source, ServeSource::Store, "case {case}");
-            let other = service.serve_one(&warm_up).unwrap();
+            let other = service.serve_one(&warm_up).unwrap().expect_exact().clone();
             assert_eq!(
                 other.source,
                 ServeSource::Cold,
