@@ -32,9 +32,10 @@ use fsw_sched::outorder::OutOrderOptions;
 use fsw_sched::overlap::overlap_period_lower_bound;
 use fsw_sched::tree::tree_latency;
 use fsw_sched::CommOrderings;
-use fsw_serve::{PlanRequest, PlanService, ServeSource};
+use fsw_serve::{FrontendConfig, PlanRequest, PlanService, ServeSource};
 use fsw_sim::{
-    replay_oplist, replay_trace, simulate_inorder, Disposition, FaultPlan, ServeReplayConfig,
+    replay_oplist, replay_trace, replay_trace_async, simulate_inorder, Disposition, FaultPlan,
+    FrontendReplayConfig, ServeReplayConfig,
 };
 use fsw_workloads::streaming::{serving_trace, TraceConfig};
 use fsw_workloads::{
@@ -1015,6 +1016,244 @@ pub fn e15_overload() -> Vec<ExperimentRow> {
     ]
 }
 
+/// Shared driver of E16 and its CI smoke `e16s`: replays an overload trace
+/// through the **async front end** at every worker count in
+/// `worker_counts`, asserts the overload contracts on the first run —
+/// every ticket resolves, the per-tenant queue stays under its bound, the
+/// shed rate rises under the injected burst and returns to baseline after
+/// the drain, the hysteresis relaxes, the injected stall is timed out and
+/// its fingerprint recovers through the quarantine — and asserts the
+/// decision digest of every further worker count bit-identical to the
+/// first.  Returns the first run's rows.
+fn async_overload_rows(
+    tenants: usize,
+    steps: usize,
+    burst_ordinal: u64,
+    burst_extra: usize,
+    stall_timeout: Duration,
+    floor_requests: usize,
+    worker_counts: &[usize],
+) -> Vec<ExperimentRow> {
+    let mut rng = StdRng::seed_from_u64(16);
+    // Same template structure as the E15 overload trace: 4 templates of 6
+    // distinct-weight services (the steady state is store hits), every
+    // 16th tenant a 24-service jumbo whose requests admission must reject
+    // in O(1), no mutations (the async path never re-plans).
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants,
+            admissions_per_step: 8,
+            steps,
+            templates: 4,
+            services_per_tenant: 6,
+            max_services: 7,
+            mutation_rate: 0.0,
+            requests_per_step: 8,
+            jumbo_every: 16,
+            jumbo_services: 24,
+        },
+        &mut rng,
+    );
+    // Dispatch outruns the steady arrival rate (8 per tick), so backlog
+    // only builds under the burst; the low watermarks make the hysteresis
+    // visible, and the 4-tick deadline cancels the burst tail that waits
+    // longer than a full queue drain.
+    let frontend = FrontendConfig {
+        workers: worker_counts[0],
+        queue_capacity: 64,
+        dispatch_per_tick: 16,
+        backlog_high: 8,
+        backlog_low: 4,
+        max_shed_level: 8,
+        cost_per_tick: 1 << 18,
+        deadline_ticks: Some(4),
+        stall_timeout,
+    };
+    // Ordinal 0 is tenant 0's first request — always the cold leader of
+    // template 0 — so the injected stall (10x the watchdog) deterministically
+    // times out exactly one solve and quarantines the fingerprint; the slow
+    // shard stretches wall latency without touching any decision.
+    let faults = FaultPlan::new()
+        .stall_worker_at(0, stall_timeout * 10)
+        .slow_shard_at(100, Duration::from_millis(1))
+        .burst_at(burst_ordinal, burst_extra);
+    let run = |workers: usize| {
+        let config = FrontendReplayConfig {
+            frontend: FrontendConfig {
+                workers,
+                ..frontend
+            },
+            faults: faults.clone(),
+            ..FrontendReplayConfig::default()
+        };
+        replay_trace_async(&trace, &config).expect("async replay")
+    };
+    let report = run(worker_counts[0]);
+    let digest = report.digest();
+    for &workers in &worker_counts[1..] {
+        let other = run(workers);
+        assert_eq!(
+            digest,
+            other.digest(),
+            "replay decisions diverged at workers={workers}"
+        );
+    }
+    // Acceptance criteria — hard assertions.
+    assert!(report.requests() >= floor_requests, "trace too small");
+    assert_eq!(
+        report.requests(),
+        trace.request_count() + burst_extra,
+        "every ticket must resolve to a ServeOutcome — a missing completion is a hang"
+    );
+    assert_eq!(
+        report.frontend.submitted, report.frontend.completed,
+        "tickets left outstanding after the drain"
+    );
+    assert!(
+        report.frontend.peak_tenant_queue <= frontend.queue_capacity,
+        "per-tenant queue memory exceeded its configured bound"
+    );
+    assert_eq!(
+        report.store_non_exhaustive, 0,
+        "a non-exhaustive plan entered the store"
+    );
+    assert_eq!(
+        report.frontend.stalls, 1,
+        "exactly one injected stall fires"
+    );
+    assert!(
+        report.frontend.quarantine_rejects > 0,
+        "the stalled fingerprint must back off through the quarantine"
+    );
+    assert_eq!(
+        report.frontend.recovered, 1,
+        "the stalled fingerprint recovers after the backoff"
+    );
+    // The shed-rate curve: zero at steady state, sharply up in the burst
+    // window (the 64-slot queue absorbs only a sliver of the burst), and
+    // back to zero well after the drain.
+    let burst_tick = report
+        .outcomes
+        .iter()
+        .find(|o| o.burst_extra)
+        .expect("the injected burst must fire")
+        .submitted_tick;
+    let before_rate = report.shed_rate_between(burst_tick.saturating_sub(64), burst_tick);
+    let burst_rate = report.shed_rate_between(burst_tick, burst_tick + 8);
+    let calm_rate = report.shed_rate_between(burst_tick + 64, burst_tick + 128);
+    assert_eq!(before_rate, 0.0, "sheds before the burst");
+    assert!(
+        burst_rate > 0.5,
+        "shed rate must spike under the burst (got {burst_rate:.3})"
+    );
+    assert_eq!(calm_rate, 0.0, "shed rate must return to baseline");
+    assert!(
+        report.frontend.peak_shed_level > 0,
+        "the backlog must tighten the admission thresholds"
+    );
+    assert_eq!(
+        report.frontend.shed_level, 0,
+        "hysteresis must relax once the backlog drains"
+    );
+    assert!(
+        report.frontend.deadline_cancels > 0,
+        "the burst tail must be cancelled at dequeue"
+    );
+    let (exact, degraded, rejected) = report.mix();
+    assert!(exact > 0 && rejected > 0, "degenerate outcome mix");
+    let p50 = report.latency_tick_percentile(50.0);
+    let p99 = report.latency_tick_percentile(99.0);
+    assert!(p50 <= p99, "latency tail inverted");
+    vec![
+        ExperimentRow::new(
+            "tickets resolved under async faults (floor = acceptance minimum)",
+            Some(floor_requests as f64),
+            report.requests() as f64,
+        ),
+        ExperimentRow::new("exact answers (store, dedup, cold)", None, exact as f64),
+        ExperimentRow::new("degraded answers", None, degraded as f64),
+        ExperimentRow::new("rejected tickets (no plan served)", None, rejected as f64),
+        ExperimentRow::new(
+            "ingress sheds: bounded tenant queue full at submit",
+            None,
+            report.frontend.queue_full_sheds as f64,
+        ),
+        ExperimentRow::new(
+            "backpressure sheds at backlog-scaled thresholds",
+            None,
+            report.frontend.backpressure_sheds as f64,
+        ),
+        ExperimentRow::new(
+            "deadline cancellations at dequeue (burst tail)",
+            None,
+            report.frontend.deadline_cancels as f64,
+        ),
+        ExperimentRow::new(
+            "peak shed level (adaptive hysteresis, cap 8)",
+            Some(8.0),
+            report.frontend.peak_shed_level as f64,
+        ),
+        ExperimentRow::new(
+            "peak per-tenant queue depth (bound = 64)",
+            Some(64.0),
+            report.frontend.peak_tenant_queue as f64,
+        ),
+        ExperimentRow::new(
+            "worker stalls timed out by the watchdog (must equal injected = 1)",
+            Some(1.0),
+            report.frontend.stalls as f64,
+        ),
+        ExperimentRow::new(
+            "stalled fingerprints recovered through the quarantine",
+            Some(1.0),
+            report.frontend.recovered as f64,
+        ),
+        ExperimentRow::new(
+            "worker counts with bit-identical decision digests",
+            Some(worker_counts.len() as f64),
+            worker_counts.len() as f64,
+        ),
+        ExperimentRow::new("p50 ticket latency, logical ticks", None, p50 as f64),
+        ExperimentRow::new("p99 ticket latency, logical ticks", None, p99 as f64),
+        ExperimentRow::new(
+            "async serving throughput, requests/s",
+            None,
+            report.requests() as f64 / report.serve_wall.as_secs_f64().max(1e-9),
+        ),
+    ]
+}
+
+/// E16 — a million-request overload trace through the async front end with
+/// injected worker-stall / slow-shard / ingress-burst faults, replayed at
+/// 1, 2 and 4 workers (decision digests must match bit-for-bit).  See
+/// [`async_overload_rows`] for the asserted contracts.
+pub fn e16_async_overload() -> Vec<ExperimentRow> {
+    async_overload_rows(
+        32,
+        125_000,
+        500_000,
+        2_000,
+        Duration::from_millis(80),
+        1_000_000,
+        &[1, 2, 4],
+    )
+}
+
+/// E16s — the seconds-not-minutes CI smoke of E16: a ~12 000-request
+/// overload replay with the same injected stall, slow shard and burst,
+/// digest-checked at 1 and 2 workers under the workflow's hard timeout.
+pub fn e16s_smoke() -> Vec<ExperimentRow> {
+    async_overload_rows(
+        16,
+        1_500,
+        6_000,
+        300,
+        Duration::from_millis(40),
+        12_000,
+        &[1, 2],
+    )
+}
+
 /// E10s — a seconds-not-minutes smoke version of the E10 scaling study
 /// (`n = 4`, full-DAG MINLATENCY enumeration included), used by CI to catch
 /// performance regressions in the prune-and-memoise search engine: the run
@@ -1324,7 +1563,8 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
     rows
 }
 
-/// Runs one experiment by id (`"e1"` … `"e15"`, plus the `"e10s"` CI smoke).
+/// Runs one experiment by id (`"e1"` … `"e16"`, plus the `"e10s"` and
+/// `"e16s"` CI smokes).
 pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
     match id {
         "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
@@ -1385,6 +1625,14 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E15 — hardened serving under overload: admission, degradation, fault injection",
             e15_overload(),
         )),
+        "e16" => Some((
+            "E16 — async front end under a million-request overload with injected faults",
+            e16_async_overload(),
+        )),
+        "e16s" => Some((
+            "E16s — async overload smoke benchmark (CI, seconds not minutes)",
+            e16s_smoke(),
+        )),
         _ => None,
     }
 }
@@ -1393,7 +1641,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15",
+        "e15", "e16",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

@@ -1,0 +1,1197 @@
+//! The async serving front end: a deterministic event loop over bounded
+//! per-tenant ingress queues.
+//!
+//! [`PlanService::serve_batch`](crate::service::PlanService::serve_batch)
+//! is synchronous: callers block while a batch drains, queue depth is
+//! invisible to the admission policy, and one stalled worker stalls the
+//! fleet.  [`AsyncFrontend`] closes that gap with a small event-driven
+//! runtime (no async executor — the container is offline and the loop is
+//! deterministic by construction, the same replay-equals-live shape as
+//! event-driven backtesting engines):
+//!
+//! * **bounded ingress** — [`submit`](AsyncFrontend::submit) never blocks:
+//!   it enqueues into the tenant's bounded queue and returns a [`Ticket`];
+//!   a full queue sheds the request *at ingress*
+//!   ([`RejectReason::QueueFull`]) so queue memory stays under the
+//!   configured bound whatever the arrival rate;
+//! * **logical time** — the loop advances in ticks
+//!   ([`tick`](AsyncFrontend::tick)).  Each tick applies due completion
+//!   events in dispatch order, then dequeues up to
+//!   [`dispatch_per_tick`](FrontendConfig::dispatch_per_tick) requests
+//!   round-robin across tenants, then updates the shed level.  Every
+//!   decision (admission, shedding, deadlines, dedup, store/quarantine
+//!   bookkeeping) happens on the loop thread in logical time, so outcomes
+//!   are **identical across worker-thread counts** — only wall latency
+//!   varies;
+//! * **adaptive backpressure** — the backlog (queued requests) feeds back
+//!   into the [`AdmissionPolicy`](crate::admission::AdmissionPolicy)
+//!   thresholds: each shed level halves the admit/reject costs, levels
+//!   move one step per tick between the
+//!   [`backlog_high`](FrontendConfig::backlog_high)/
+//!   [`backlog_low`](FrontendConfig::backlog_low) watermarks
+//!   (hysteresis — no flapping), and a request shed *only because* of the
+//!   tightened threshold reports [`RejectReason::Shed`] with the level
+//!   that shed it;
+//! * **deadline propagation** — a request may carry a deadline in ticks;
+//!   one that has already expired when dequeued is cancelled
+//!   ([`RejectReason::DeadlineExpired`]) instead of solved uselessly, and
+//!   one *predicted* to miss (dequeue tick + modelled solve latency past
+//!   the deadline) is degraded — solved under the admission policy's
+//!   degrade deadline rather than at full budget;
+//! * **stall detection** — workers heartbeat by recording when they pick a
+//!   job up; the loop's completion wait times a started solve out after
+//!   [`stall_timeout`](FrontendConfig::stall_timeout), hands the
+//!   fingerprint to the existing panic quarantine, resolves the ticket
+//!   (and its dedup followers) as [`RejectReason::WorkerStall`], spawns a
+//!   replacement worker, and the abandoned solve's late result is
+//!   discarded — a wedged solve costs one worker, never the fleet.
+//!
+//! The shared state — plan store, quarantine, retained evaluation caches,
+//! request ordinals — is the owning [`PlanService`]'s, so the sync batch
+//! path and the async path see one serving tier.  Completion events are
+//! applied in dispatch order (due ticks are monotone in dispatch order),
+//! which makes store and quarantine contents a pure function of the
+//! submission sequence: the fault-replay digests in `fsw_sim` assert
+//! byte-equality across 1/2/4 workers on exactly this property.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fsw_core::{CommModel, CoreResult};
+use fsw_sched::engine::EvalCache;
+use fsw_sched::orchestrator::SearchBudget;
+
+use crate::service::{
+    cold_solve, panic_message, InjectedFault, PlanRequest, PlanResponse, PlanService, Prepared,
+    RejectReason, Rejection, ServeOutcome, ServeSource,
+};
+use crate::store::{PlanKey, StoredPlan};
+
+/// Hard cap on the modelled solve latency, in ticks (keeps due ticks from
+/// running away on jumbo estimates; the cap is the degrade band anyway).
+const MAX_LATENCY_TICKS: u64 = 8;
+/// Replacement workers the pool may spawn over its lifetime when stalls
+/// consume the original ones.
+const MAX_REPLACEMENT_WORKERS: usize = 16;
+
+/// Tuning of one [`AsyncFrontend`] (all thresholds in logical units; see
+/// the module docs for how each feeds the loop).
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    /// Worker threads solving dispatched requests (wall parallelism only —
+    /// outcomes are identical for any value ≥ 1).
+    pub workers: usize,
+    /// Bound on each tenant's ingress queue; arrivals beyond it are shed
+    /// at ingress with [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Requests dequeued (round-robin across tenants) per tick.
+    pub dispatch_per_tick: usize,
+    /// Backlog at or above which the shed level rises (one step per tick).
+    pub backlog_high: usize,
+    /// Backlog at or below which the shed level falls (one step per tick).
+    pub backlog_low: usize,
+    /// Ceiling on the shed level (each level halves the admission
+    /// thresholds).
+    pub max_shed_level: u32,
+    /// Structural cost per logical tick — the latency model dividing an
+    /// admission estimate into a scheduled completion tick.
+    pub cost_per_tick: u128,
+    /// Default deadline (in ticks from submission) stamped on every
+    /// request; `None` leaves requests deadline-free unless
+    /// [`submit_with_deadline`](AsyncFrontend::submit_with_deadline) is
+    /// used.
+    pub deadline_ticks: Option<u64>,
+    /// Wall-clock watchdog: a solve still running this long after a worker
+    /// picked it up is declared stalled.
+    pub stall_timeout: Duration,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            workers: 1,
+            queue_capacity: 64,
+            dispatch_per_tick: 8,
+            backlog_high: 48,
+            backlog_low: 16,
+            max_shed_level: 8,
+            cost_per_tick: 1 << 18,
+            deadline_ticks: None,
+            stall_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A claim on one submitted request; resolves to exactly one
+/// [`Completion`] from [`AsyncFrontend::tick`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The ticket's id (issue order within its front end).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One resolved ticket: the completion event the loop emits.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The ticket being resolved.
+    pub ticket: Ticket,
+    /// The tenant that submitted it.
+    pub tenant: usize,
+    /// The request's lifetime arrival ordinal (the fault-injection key,
+    /// shared with the owning service's sync path).
+    pub ordinal: u64,
+    /// Tick at which the request was submitted.
+    pub submitted_tick: u64,
+    /// Tick at which the ticket resolved (logical latency =
+    /// `completed_tick - submitted_tick`).
+    pub completed_tick: u64,
+    /// The outcome, same three-way contract as the sync path.
+    pub outcome: ServeOutcome,
+}
+
+/// A deterministic async-layer fault injected by the replay harness,
+/// keyed by request ordinal (see
+/// [`AsyncFrontend::with_fault_injection`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontendFault {
+    /// The worker solving this request stalls for the duration before
+    /// doing any work — longer than the watchdog, it exercises stall
+    /// detection end to end.
+    StallWorker(Duration),
+    /// The store shard holding this request's fingerprint responds slowly:
+    /// the dequeue path sleeps before the lookup.  Wall-clock only — the
+    /// decision sequence (and hence the digest) is unaffected.
+    SlowShard(Duration),
+}
+
+/// Lifetime counters of one [`AsyncFrontend`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Tickets issued (including those resolved at ingress).
+    pub submitted: usize,
+    /// Tickets resolved.
+    pub completed: usize,
+    /// Requests shed at ingress because the tenant queue was full.
+    pub queue_full_sheds: usize,
+    /// Requests shed by adaptive backpressure (admitted at baseline,
+    /// rejected at the tightened threshold).
+    pub backpressure_sheds: usize,
+    /// Requests rejected by the baseline admission policy.
+    pub admission_rejects: usize,
+    /// Requests rejected by the quarantine.
+    pub quarantine_rejects: usize,
+    /// Requests cancelled at dequeue because their deadline had expired.
+    pub deadline_cancels: usize,
+    /// Requests demoted to the degrade band because they were predicted to
+    /// miss their deadline at full budget.
+    pub deadline_degrades: usize,
+    /// Requests answered from the plan store at dequeue.
+    pub store_hits: usize,
+    /// Requests that joined an in-flight solve of their key.
+    pub dedup_joins: usize,
+    /// Cold solves dispatched to the worker pool.
+    pub dispatches: usize,
+    /// Degraded responses served.
+    pub degraded: usize,
+    /// Solver panics caught.
+    pub panics: usize,
+    /// Solves timed out by the stall watchdog.
+    pub stalls: usize,
+    /// Quarantined fingerprints that completed a retry successfully.
+    pub recovered: usize,
+    /// Current shed level.
+    pub shed_level: u32,
+    /// Highest shed level reached.
+    pub peak_shed_level: u32,
+    /// Largest backlog (total queued requests) observed at a tick end.
+    pub peak_backlog: usize,
+    /// Largest single-tenant queue depth observed (≤ the configured
+    /// capacity, by the ingress bound).
+    pub peak_tenant_queue: usize,
+}
+
+/// A ticket's identity while it waits: everything needed to resolve it.
+struct TicketInfo {
+    ticket: Ticket,
+    tenant: usize,
+    ordinal: u64,
+    submitted_tick: u64,
+    request: PlanRequest,
+    prep: Arc<Prepared>,
+}
+
+/// One request sitting in a tenant's ingress queue.
+struct QueuedRequest {
+    ticket: Ticket,
+    tenant: usize,
+    ordinal: u64,
+    submitted_tick: u64,
+    deadline_tick: Option<u64>,
+    request: PlanRequest,
+}
+
+/// One dispatched solve the loop is waiting on.
+struct PendingJob {
+    job: u64,
+    key: PlanKey,
+    due_tick: u64,
+    degrade_floor: Option<f64>,
+    leader: TicketInfo,
+    followers: Vec<TicketInfo>,
+}
+
+/// A unit of work handed to the pool.
+struct WorkItem {
+    job: u64,
+    prep: Arc<Prepared>,
+    model: CommModel,
+    budget: SearchBudget,
+    cache: Arc<EvalCache>,
+    fault: Option<InjectedFault>,
+}
+
+/// State shared between the loop and the workers.
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+struct PoolQueue {
+    items: VecDeque<WorkItem>,
+    /// Heartbeats: when each in-flight job was picked up.
+    started: HashMap<u64, Instant>,
+    /// Finished solves awaiting the loop.
+    results: HashMap<u64, Result<StoredPlan, String>>,
+    shutdown: bool,
+}
+
+/// The fixed-size worker pool behind the loop (std threads; the loop is
+/// the only consumer of results, so ordering lives entirely on its side).
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    replacements: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                items: VecDeque::new(),
+                started: HashMap::new(),
+                results: HashMap::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let mut pool = WorkerPool {
+            shared,
+            handles: Vec::new(),
+            replacements: 0,
+        };
+        for _ in 0..workers.max(1) {
+            pool.spawn_worker();
+        }
+        pool
+    }
+
+    fn spawn_worker(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        self.handles.push(std::thread::spawn(move || loop {
+            let item = {
+                let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if queue.shutdown {
+                        return;
+                    }
+                    if let Some(item) = queue.items.pop_front() {
+                        queue.started.insert(item.job, Instant::now());
+                        break item;
+                    }
+                    queue = shared.ready.wait(queue).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                match item.fault {
+                    Some(InjectedFault::Panic) => {
+                        panic!("injected solver panic (request ordinal unknown to worker)")
+                    }
+                    Some(InjectedFault::Slow(stall)) => std::thread::sleep(stall),
+                    _ => {}
+                }
+                cold_solve(&item.prep, item.model, &item.budget, &item.cache)
+            }))
+            .map_err(panic_message);
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.started.remove(&item.job);
+            queue.results.insert(item.job, result);
+            shared.ready.notify_all();
+        }));
+    }
+
+    fn submit(&self, item: WorkItem) {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        queue.items.push_back(item);
+        self.shared.ready.notify_all();
+    }
+
+    /// Blocks until `job` finishes or its heartbeat exceeds
+    /// `stall_timeout`; `Err(())` declares a stall.  Due ticks are
+    /// monotone in dispatch order, so every earlier job has already been
+    /// applied when this is called — a job that has not started yet is
+    /// about to be picked up by a free worker, never blocked behind
+    /// unhandled work.
+    fn wait(
+        &mut self,
+        job: u64,
+        stall_timeout: Duration,
+    ) -> Result<Result<StoredPlan, String>, ()> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = queue.results.remove(&job) {
+                return Ok(result);
+            }
+            let wait_for = match queue.started.get(&job) {
+                Some(started) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= stall_timeout {
+                        drop(queue);
+                        // The worker is wedged: restore pool capacity so
+                        // queued jobs keep flowing (the abandoned worker
+                        // rejoins whenever its solve finally returns).
+                        if self.replacements < MAX_REPLACEMENT_WORKERS {
+                            self.replacements += 1;
+                            self.spawn_worker();
+                        }
+                        return Err(());
+                    }
+                    stall_timeout - elapsed
+                }
+                None => stall_timeout,
+            };
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(queue, wait_for)
+                .unwrap_or_else(|p| p.into_inner());
+            queue = guard;
+        }
+    }
+
+    /// Forgets a late result of an abandoned (stalled) job, if present.
+    fn discard(&self, job: u64) -> bool {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .results
+            .remove(&job)
+            .is_some()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.shutdown = true;
+            queue.items.clear();
+        }
+        self.shared.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The deterministic event loop (see the module docs).  Single ownership:
+/// the loop itself is not `Sync` — submissions and ticks happen on one
+/// driver thread, parallelism lives in the worker pool behind it.
+pub struct AsyncFrontend {
+    service: Arc<PlanService>,
+    config: FrontendConfig,
+    fault_hook: Option<Box<dyn Fn(u64) -> Option<FrontendFault> + Send + Sync>>,
+    tick: u64,
+    next_ticket: u64,
+    next_job: u64,
+    last_due: u64,
+    shed_level: u32,
+    /// Per-tenant bounded ingress queues (BTreeMap: deterministic
+    /// round-robin order over tenant ids).
+    queues: BTreeMap<usize, VecDeque<QueuedRequest>>,
+    /// Round-robin position: the next dequeue starts *after* this tenant.
+    rr_after: Option<usize>,
+    /// Dispatched jobs in dispatch order (due ticks are monotone, so the
+    /// front is always the next completion to apply).
+    pending: VecDeque<PendingJob>,
+    /// Job id currently in flight per key (dedup joins attach here).
+    in_flight: HashMap<PlanKey, u64>,
+    /// Jobs abandoned by the stall watchdog whose late results must be
+    /// discarded when they eventually surface.
+    abandoned: HashSet<u64>,
+    /// Completions produced since the last `tick`/`drain` returned.
+    ready: Vec<Completion>,
+    pool: WorkerPool,
+    stats: FrontendStats,
+}
+
+impl AsyncFrontend {
+    /// A front end over `service` (whose store, quarantine, caches and
+    /// budget are shared with the sync path) under `config`.
+    pub fn new(service: Arc<PlanService>, config: FrontendConfig) -> Self {
+        AsyncFrontend {
+            pool: WorkerPool::new(config.workers),
+            service,
+            config,
+            fault_hook: None,
+            tick: 0,
+            next_ticket: 0,
+            next_job: 0,
+            last_due: 0,
+            shed_level: 0,
+            queues: BTreeMap::new(),
+            rr_after: None,
+            pending: VecDeque::new(),
+            in_flight: HashMap::new(),
+            abandoned: HashSet::new(),
+            ready: Vec::new(),
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Installs a deterministic async-layer fault hook keyed by request
+    /// ordinal (stalls and slow shards; solver-level faults — panics,
+    /// slowdowns, deadline blowouts — come from the owning service's own
+    /// [`with_fault_injection`](PlanService::with_fault_injection) hook,
+    /// keyed by the same ordinals).
+    pub fn with_fault_injection<F>(mut self, hook: F) -> Self
+    where
+        F: Fn(u64) -> Option<FrontendFault> + Send + Sync + 'static,
+    {
+        self.fault_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// The current logical tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// Tickets not yet resolved (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.stats.submitted - self.stats.completed
+    }
+
+    /// Submits one request under the configured default deadline.  Never
+    /// blocks: the ticket resolves through [`tick`](Self::tick) (a full
+    /// tenant queue resolves it immediately as
+    /// [`RejectReason::QueueFull`]).  Validation errors fail the submit
+    /// itself — an invalid application never earns a ticket.
+    pub fn submit(&mut self, tenant: usize, request: PlanRequest) -> CoreResult<Ticket> {
+        let deadline = self.config.deadline_ticks;
+        self.submit_inner(tenant, request, deadline)
+    }
+
+    /// Submits one request with an explicit deadline `deadline_ticks`
+    /// ticks from now (overriding the configured default).
+    pub fn submit_with_deadline(
+        &mut self,
+        tenant: usize,
+        request: PlanRequest,
+        deadline_ticks: u64,
+    ) -> CoreResult<Ticket> {
+        self.submit_inner(tenant, request, Some(deadline_ticks))
+    }
+
+    fn submit_inner(
+        &mut self,
+        tenant: usize,
+        request: PlanRequest,
+        deadline_ticks: Option<u64>,
+    ) -> CoreResult<Ticket> {
+        request.app.validate()?;
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let ordinal = self.service.next_ordinals(1);
+        self.stats.submitted += 1;
+        let queue = self.queues.entry(tenant).or_default();
+        if queue.len() >= self.config.queue_capacity {
+            self.stats.queue_full_sheds += 1;
+            self.ready.push(Completion {
+                ticket,
+                tenant,
+                ordinal,
+                submitted_tick: self.tick,
+                completed_tick: self.tick,
+                outcome: ServeOutcome::Rejected(Rejection {
+                    reason: RejectReason::QueueFull,
+                    estimate: None,
+                }),
+            });
+            self.stats.completed += 1;
+            return Ok(ticket);
+        }
+        queue.push_back(QueuedRequest {
+            ticket,
+            tenant,
+            ordinal,
+            submitted_tick: self.tick,
+            deadline_tick: deadline_ticks.map(|d| self.tick + d),
+            request,
+        });
+        self.stats.peak_tenant_queue = self.stats.peak_tenant_queue.max(queue.len());
+        Ok(ticket)
+    }
+
+    /// Advances one logical tick: applies due completion events, dequeues
+    /// up to `dispatch_per_tick` requests, updates the shed level, and
+    /// returns every completion produced since the last call.
+    pub fn tick(&mut self) -> Vec<Completion> {
+        self.tick += 1;
+        self.apply_due_completions();
+        self.dispatch_phase();
+        self.update_shed_level();
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Ticks until every outstanding ticket has resolved, returning all
+    /// completions produced along the way.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        while self.outstanding() > 0 || !self.ready.is_empty() {
+            all.extend(self.tick());
+        }
+        all
+    }
+
+    /// Applies every pending completion whose due tick has arrived, in
+    /// dispatch order.  Blocks on the worker's actual result (bounded by
+    /// the stall watchdog): parallelism is preserved — later jobs keep
+    /// solving while the loop waits — but store and quarantine effects
+    /// land in deterministic order.
+    fn apply_due_completions(&mut self) {
+        // Purge late results of previously abandoned jobs.
+        self.abandoned.retain(|&job| !self.pool.discard(job));
+        while self
+            .pending
+            .front()
+            .is_some_and(|job| job.due_tick <= self.tick)
+        {
+            let job = self.pending.pop_front().expect("front checked");
+            self.in_flight.remove(&job.key);
+            match self.pool.wait(job.job, self.config.stall_timeout) {
+                Ok(Ok(plan)) => {
+                    if self.service.quarantine().record_success(&job.key) {
+                        self.stats.recovered += 1;
+                    }
+                    if plan.exhaustive {
+                        self.service.store().insert(job.key.clone(), plan.clone());
+                    } else {
+                        self.service
+                            .store()
+                            .record_attempt_cost(&job.key, plan.solve_micros);
+                    }
+                    self.resolve_solved(job, plan);
+                }
+                Ok(Err(message)) => {
+                    self.stats.panics += 1;
+                    self.service.quarantine().record_failure(&job.key);
+                    self.service.drop_cache(&job.key.fingerprint);
+                    self.resolve_rejected(
+                        job,
+                        RejectReason::SolverPanic {
+                            message: message.clone(),
+                        },
+                    );
+                }
+                Err(()) => {
+                    self.stats.stalls += 1;
+                    self.abandoned.insert(job.job);
+                    self.service.quarantine().record_failure(&job.key);
+                    self.service.drop_cache(&job.key.fingerprint);
+                    self.resolve_rejected(job, RejectReason::WorkerStall);
+                }
+            }
+        }
+    }
+
+    fn resolve_solved(&mut self, job: PendingJob, plan: StoredPlan) {
+        // Degraded results admitted without a priced floor get one
+        // certified now (slow path; same post-hoc pass as the sync path).
+        let floor = if plan.exhaustive {
+            None
+        } else {
+            job.degrade_floor.or_else(|| {
+                let r = &job.leader.request;
+                self.service.admission().certified_floor(
+                    &r.app,
+                    r.model,
+                    r.objective,
+                    self.service.budget(),
+                )
+            })
+        };
+        let completed_tick = self.tick;
+        let leader = job.leader;
+        let followers = job.followers;
+        self.emit_response(leader, &plan, ServeSource::Cold, floor, completed_tick);
+        for follower in followers {
+            self.emit_response(follower, &plan, ServeSource::Dedup, floor, completed_tick);
+        }
+    }
+
+    fn emit_response(
+        &mut self,
+        info: TicketInfo,
+        plan: &StoredPlan,
+        source: ServeSource,
+        floor: Option<f64>,
+        completed_tick: u64,
+    ) {
+        let graph = info
+            .prep
+            .canon
+            .graph_to_tenant(&plan.graph)
+            .expect("canonical plans relabel cleanly");
+        let response = PlanResponse {
+            value: plan.value,
+            graph,
+            exhaustive: plan.exhaustive,
+            source,
+            solve_micros: plan.solve_micros,
+        };
+        let outcome = if response.exhaustive {
+            ServeOutcome::Exact(response)
+        } else {
+            self.stats.degraded += 1;
+            let lower_bound = floor.unwrap_or(0.0);
+            let gap = if lower_bound > 0.0 {
+                (response.value - lower_bound) / lower_bound
+            } else {
+                f64::INFINITY
+            };
+            ServeOutcome::Degraded {
+                response,
+                lower_bound,
+                gap,
+            }
+        };
+        self.complete(info, completed_tick, outcome);
+    }
+
+    fn resolve_rejected(&mut self, job: PendingJob, reason: RejectReason) {
+        let completed_tick = self.tick;
+        let leader = job.leader;
+        let followers = job.followers;
+        self.complete(
+            leader,
+            completed_tick,
+            ServeOutcome::Rejected(Rejection {
+                reason: reason.clone(),
+                estimate: None,
+            }),
+        );
+        for follower in followers {
+            self.complete(
+                follower,
+                completed_tick,
+                ServeOutcome::Rejected(Rejection {
+                    reason: reason.clone(),
+                    estimate: None,
+                }),
+            );
+        }
+    }
+
+    fn complete(&mut self, info: TicketInfo, completed_tick: u64, outcome: ServeOutcome) {
+        self.stats.completed += 1;
+        self.ready.push(Completion {
+            ticket: info.ticket,
+            tenant: info.tenant,
+            ordinal: info.ordinal,
+            submitted_tick: info.submitted_tick,
+            completed_tick,
+            outcome,
+        });
+    }
+
+    /// Dequeues up to `dispatch_per_tick` requests, one per tenant per
+    /// round-robin pass starting after the last tick's position.
+    fn dispatch_phase(&mut self) {
+        let mut budget = self.config.dispatch_per_tick;
+        while budget > 0 {
+            let Some(item) = self.next_queued() else {
+                break;
+            };
+            budget -= 1;
+            self.decide_one(item);
+        }
+    }
+
+    /// The next queued request in round-robin tenant order, if any.
+    fn next_queued(&mut self) -> Option<QueuedRequest> {
+        let tenants: Vec<usize> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        if tenants.is_empty() {
+            return None;
+        }
+        let start = match self.rr_after {
+            None => 0,
+            Some(after) => tenants.iter().position(|&t| t > after).unwrap_or(0),
+        };
+        let tenant = tenants[start];
+        self.rr_after = Some(tenant);
+        self.queues
+            .get_mut(&tenant)
+            .and_then(|queue| queue.pop_front())
+    }
+
+    /// The full dequeue decision pipeline for one request: deadline →
+    /// (slow-shard fault) → store → dedup → quarantine → backlog-scaled
+    /// admission → dispatch.
+    fn decide_one(&mut self, item: QueuedRequest) {
+        let QueuedRequest {
+            ticket,
+            tenant,
+            ordinal,
+            submitted_tick,
+            deadline_tick,
+            request,
+        } = item;
+        // 1. Cancellation: an expired deadline is not worth a lookup.
+        if deadline_tick.is_some_and(|deadline| self.tick > deadline) {
+            self.stats.deadline_cancels += 1;
+            self.reject_now(
+                ticket,
+                tenant,
+                ordinal,
+                submitted_tick,
+                RejectReason::DeadlineExpired,
+                None,
+            );
+            return;
+        }
+        let prep = Arc::new(Prepared::of(&request, self.service.budget()));
+        let info = TicketInfo {
+            ticket,
+            tenant,
+            ordinal,
+            submitted_tick,
+            request,
+            prep,
+        };
+        // 2. Injected slow shard: wall-clock stall before the lookup, no
+        // effect on any decision.
+        if let Some(FrontendFault::SlowShard(delay)) = self.frontend_fault(ordinal) {
+            std::thread::sleep(delay);
+        }
+        // 3. Store hit: resolved this tick.
+        if let Some(plan) = self.service.store().get(&info.prep.key) {
+            self.stats.store_hits += 1;
+            let completed_tick = self.tick;
+            self.emit_response(info, &plan, ServeSource::Store, None, completed_tick);
+            return;
+        }
+        // 4. Dedup join: ride the in-flight solve of the same key.
+        if let Some(&job) = self.in_flight.get(&info.prep.key) {
+            self.stats.dedup_joins += 1;
+            if let Some(pending) = self.pending.iter_mut().find(|p| p.job == job) {
+                pending.followers.push(info);
+            }
+            return;
+        }
+        // 5. Quarantine gate.
+        if let Err(permanent) = self.service.quarantine().admit(&info.prep.key) {
+            self.stats.quarantine_rejects += 1;
+            let TicketInfo {
+                ticket,
+                tenant,
+                ordinal,
+                submitted_tick,
+                ..
+            } = info;
+            self.reject_now(
+                ticket,
+                tenant,
+                ordinal,
+                submitted_tick,
+                RejectReason::Quarantined { permanent },
+                None,
+            );
+            return;
+        }
+        // 6. Admission under backlog-scaled thresholds.
+        let service = Arc::clone(&self.service);
+        let policy = service.admission();
+        let mut time_limit: Option<Duration> = None;
+        let mut floor: Option<f64> = None;
+        let mut latency: u64 = 1;
+        if !policy.is_open() {
+            let estimate = policy.estimate(
+                &info.request.app,
+                info.request.model,
+                info.request.objective,
+                service.budget(),
+            );
+            let level = self.shed_level.min(127);
+            let effective_admit = policy.admit_cost >> level;
+            let effective_reject = policy.reject_cost >> level;
+            latency = 1
+                + (estimate.cost / self.config.cost_per_tick.max(1))
+                    .min(u128::from(MAX_LATENCY_TICKS)) as u64;
+            if estimate.cost > effective_reject {
+                let (reason, estimate) = if estimate.cost > policy.reject_cost {
+                    self.stats.admission_rejects += 1;
+                    (RejectReason::AdmissionCost, Some(estimate))
+                } else {
+                    self.stats.backpressure_sheds += 1;
+                    (RejectReason::Shed { level }, Some(estimate))
+                };
+                let TicketInfo {
+                    ticket,
+                    tenant,
+                    ordinal,
+                    submitted_tick,
+                    ..
+                } = info;
+                self.reject_now(ticket, tenant, ordinal, submitted_tick, reason, estimate);
+                return;
+            }
+            if estimate.cost > effective_admit {
+                time_limit = Some(policy.degrade_time_limit);
+                floor = policy.certified_floor(
+                    &info.request.app,
+                    info.request.model,
+                    info.request.objective,
+                    service.budget(),
+                );
+            }
+        }
+        // 7. Deadline propagation: predicted to miss at full budget →
+        // degrade instead of solving uselessly.
+        if let Some(deadline) = deadline_tick {
+            if time_limit.is_none() && self.tick + latency > deadline {
+                self.stats.deadline_degrades += 1;
+                time_limit = Some(policy.degrade_time_limit);
+            }
+        }
+        // 8. Dispatch.
+        self.dispatch(info, time_limit, floor, latency);
+    }
+
+    fn frontend_fault(&self, ordinal: u64) -> Option<FrontendFault> {
+        self.fault_hook.as_ref().and_then(|hook| hook(ordinal))
+    }
+
+    fn dispatch(
+        &mut self,
+        info: TicketInfo,
+        time_limit: Option<Duration>,
+        floor: Option<f64>,
+        latency: u64,
+    ) {
+        let job = self.next_job;
+        self.next_job += 1;
+        self.stats.dispatches += 1;
+        let mut budget = SearchBudget {
+            threads: 1,
+            ..*self.service.budget()
+        };
+        if let Some(limit) = time_limit {
+            budget.time_limit = Some(budget.time_limit.map_or(limit, |own| own.min(limit)));
+        }
+        let mut fault = self.service.injected_fault(info.ordinal);
+        if fault == Some(InjectedFault::DeadlineBlowout) {
+            budget.time_limit = Some(Duration::ZERO);
+            fault = None;
+        }
+        if let Some(FrontendFault::StallWorker(stall)) = self.frontend_fault(info.ordinal) {
+            // A stall is a slowdown from the worker's point of view; the
+            // loop-side watchdog is what turns it into a WorkerStall.
+            fault = Some(InjectedFault::Slow(stall));
+        }
+        let cache = self.service.retained_cache(&info.prep.canon);
+        // Due ticks are monotone in dispatch order (completion events are
+        // applied FIFO), which is what makes the loop's store/quarantine
+        // effects — and the fault-replay digests — thread-count
+        // independent.
+        let due_tick = (self.tick + latency).max(self.last_due);
+        self.last_due = due_tick;
+        self.pool.submit(WorkItem {
+            job,
+            prep: Arc::clone(&info.prep),
+            model: info.request.model,
+            budget,
+            cache,
+            fault,
+        });
+        self.in_flight.insert(info.prep.key.clone(), job);
+        self.pending.push_back(PendingJob {
+            job,
+            key: info.prep.key.clone(),
+            due_tick,
+            degrade_floor: floor,
+            leader: info,
+            followers: Vec::new(),
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)] // one flat completion record
+    fn reject_now(
+        &mut self,
+        ticket: Ticket,
+        tenant: usize,
+        ordinal: u64,
+        submitted_tick: u64,
+        reason: RejectReason,
+        estimate: Option<crate::admission::CostEstimate>,
+    ) {
+        self.stats.completed += 1;
+        self.ready.push(Completion {
+            ticket,
+            tenant,
+            ordinal,
+            submitted_tick,
+            completed_tick: self.tick,
+            outcome: ServeOutcome::Rejected(Rejection { reason, estimate }),
+        });
+    }
+
+    /// One hysteresis step: the backlog after this tick's dispatches
+    /// moves the shed level at most one notch.
+    fn update_shed_level(&mut self) {
+        let backlog: usize = self.queues.values().map(VecDeque::len).sum();
+        self.stats.peak_backlog = self.stats.peak_backlog.max(backlog);
+        if backlog >= self.config.backlog_high {
+            self.shed_level = (self.shed_level + 1).min(self.config.max_shed_level);
+        } else if backlog <= self.config.backlog_low && self.shed_level > 0 {
+            self.shed_level -= 1;
+        }
+        self.stats.shed_level = self.shed_level;
+        self.stats.peak_shed_level = self.stats.peak_shed_level.max(self.shed_level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use fsw_core::Application;
+    use fsw_sched::orchestrator::Objective;
+
+    fn service() -> Arc<PlanService> {
+        Arc::new(PlanService::new(SearchBudget::default(), 64))
+    }
+
+    fn small_request(seed: u32) -> PlanRequest {
+        PlanRequest::new(
+            Application::independent(&[(1.0 + f64::from(seed), 0.5), (2.0, 0.25)]),
+            CommModel::Overlap,
+            Objective::MinPeriod,
+        )
+    }
+
+    #[test]
+    fn tickets_resolve_without_blocking_submission() {
+        let mut frontend = AsyncFrontend::new(service(), FrontendConfig::default());
+        let t0 = frontend.submit(0, small_request(0)).unwrap();
+        let t1 = frontend.submit(1, small_request(0)).unwrap();
+        assert_eq!(frontend.outstanding(), 2, "submit never blocks");
+        let completions = frontend.drain();
+        assert_eq!(completions.len(), 2);
+        let by_ticket: HashMap<Ticket, &Completion> =
+            completions.iter().map(|c| (c.ticket, c)).collect();
+        // Same fingerprint: one cold solve, one dedup/store ride-along.
+        let a = by_ticket[&t0].outcome.expect_exact();
+        let b = by_ticket[&t1].outcome.expect_exact();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        let stats = frontend.stats();
+        assert_eq!(stats.dispatches, 1, "identical keys share one solve");
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn full_tenant_queues_shed_at_ingress() {
+        let config = FrontendConfig {
+            queue_capacity: 2,
+            ..FrontendConfig::default()
+        };
+        let mut frontend = AsyncFrontend::new(service(), config);
+        for i in 0..4u32 {
+            frontend.submit(7, small_request(i)).unwrap();
+        }
+        // Two queued, two shed immediately.
+        let stats = frontend.stats();
+        assert_eq!(stats.queue_full_sheds, 2);
+        assert_eq!(stats.peak_tenant_queue, 2);
+        let completions = frontend.drain();
+        let shed = completions
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome.rejection().map(|r| &r.reason),
+                    Some(RejectReason::QueueFull)
+                )
+            })
+            .count();
+        assert_eq!(shed, 2);
+        assert_eq!(completions.len(), 4, "every ticket resolves");
+    }
+
+    #[test]
+    fn expired_deadlines_cancel_at_dequeue() {
+        let config = FrontendConfig {
+            dispatch_per_tick: 1,
+            ..FrontendConfig::default()
+        };
+        let mut frontend = AsyncFrontend::new(service(), config);
+        // Three distinct requests, deadline 1 tick: with one dequeue per
+        // tick, the third is dequeued at tick 3 — past its deadline.
+        for i in 0..3u32 {
+            frontend
+                .submit_with_deadline(0, small_request(i), 1)
+                .unwrap();
+        }
+        let completions = frontend.drain();
+        let cancelled = completions
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome.rejection().map(|r| &r.reason),
+                    Some(RejectReason::DeadlineExpired)
+                )
+            })
+            .count();
+        assert!(cancelled >= 1, "late dequeues must cancel");
+        assert_eq!(frontend.stats().deadline_cancels, cancelled);
+        assert_eq!(completions.len(), 3);
+    }
+
+    #[test]
+    fn stalled_workers_are_timed_out_and_quarantined() {
+        let config = FrontendConfig {
+            workers: 2,
+            stall_timeout: Duration::from_millis(40),
+            ..FrontendConfig::default()
+        };
+        let service = service();
+        let mut frontend =
+            AsyncFrontend::new(Arc::clone(&service), config).with_fault_injection(|ordinal| {
+                (ordinal == 0).then_some(FrontendFault::StallWorker(Duration::from_millis(400)))
+            });
+        let stalled = frontend.submit(0, small_request(0)).unwrap();
+        let fine = frontend.submit(1, small_request(1)).unwrap();
+        let completions = frontend.drain();
+        let by_ticket: HashMap<Ticket, &Completion> =
+            completions.iter().map(|c| (c.ticket, c)).collect();
+        assert_eq!(
+            by_ticket[&stalled].outcome.rejection().map(|r| &r.reason),
+            Some(&RejectReason::WorkerStall)
+        );
+        assert!(by_ticket[&fine].outcome.is_exact());
+        assert_eq!(frontend.stats().stalls, 1);
+        // The stalled fingerprint is now in the shared quarantine: the
+        // sync path rejects it too.
+        let next = service.serve_one(&small_request(0)).unwrap();
+        assert_eq!(
+            next.rejection().map(|r| &r.reason),
+            Some(&RejectReason::Quarantined { permanent: false })
+        );
+    }
+
+    #[test]
+    fn backpressure_tightens_and_relaxes_with_hysteresis() {
+        // Degrade-band requests (admitted at baseline) must be shed while
+        // the backlog holds the shed level up, and admitted again after
+        // the queues drain.
+        let config = FrontendConfig {
+            queue_capacity: 256,
+            dispatch_per_tick: 4,
+            backlog_high: 8,
+            backlog_low: 2,
+            max_shed_level: 8,
+            ..FrontendConfig::default()
+        };
+        let mut frontend = AsyncFrontend::new(service(), config);
+        // A burst of cheap distinct requests builds the backlog…
+        for i in 0..64u32 {
+            frontend.submit(i as usize % 4, small_request(i)).unwrap();
+        }
+        // …the level climbs one notch per tick while the backlog holds…
+        let mut completions = Vec::new();
+        for _ in 0..6 {
+            completions.extend(frontend.tick());
+        }
+        assert!(
+            frontend.stats().shed_level >= 5,
+            "backlog must raise the level"
+        );
+        // …and a degrade-band request (n = 8 distinct, admitted with a
+        // deadline at baseline) arriving mid-burst is shed at the
+        // tightened threshold.
+        let specs: Vec<(f64, f64)> = (0..8).map(|k| (1.0 + k as f64, 0.4)).collect();
+        let degrade_band = PlanRequest::new(
+            Application::independent(&specs),
+            CommModel::Overlap,
+            Objective::MinPeriod,
+        );
+        frontend.submit(9, degrade_band.clone()).unwrap();
+        completions.extend(frontend.drain());
+        // Idle ticks after the drain decay the level back to baseline.
+        for _ in 0..10 {
+            completions.extend(frontend.tick());
+        }
+        let stats = frontend.stats();
+        assert!(stats.peak_shed_level > 0, "burst must raise the level");
+        assert_eq!(stats.shed_level, 0, "drain must relax the level");
+        let shed = completions
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome.rejection().map(|r| &r.reason),
+                    Some(RejectReason::Shed { .. })
+                )
+            })
+            .count();
+        assert_eq!(shed, stats.backpressure_sheds);
+        assert!(
+            shed >= 1,
+            "the degrade-band request under load must be shed (levels {})",
+            stats.peak_shed_level
+        );
+        // After the drain the same request is admitted (degrade band).
+        let mut calm = AsyncFrontend::new(service(), config);
+        calm.submit(9, degrade_band).unwrap();
+        let outcome = &calm.drain()[0].outcome;
+        assert!(
+            matches!(outcome, ServeOutcome::Degraded { .. }),
+            "baseline must still degrade-admit, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn open_admission_skips_pricing_but_still_flows() {
+        let service = Arc::new(
+            PlanService::new(SearchBudget::default(), 16).with_admission(AdmissionPolicy::open()),
+        );
+        let mut frontend = AsyncFrontend::new(service, FrontendConfig::default());
+        frontend.submit(0, small_request(3)).unwrap();
+        let completions = frontend.drain();
+        assert!(completions[0].outcome.is_exact());
+    }
+}

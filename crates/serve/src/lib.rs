@@ -36,6 +36,35 @@
 //! ([`PlanService::with_fault_injection`](service::PlanService::with_fault_injection))
 //! makes all of it testable under replay.
 //!
+//! Since the async pass, an optional **event-loop front end**
+//! ([`frontend::AsyncFrontend`]) sits above `serve_batch`: callers get a
+//! [`Ticket`](frontend::Ticket) from a bounded per-tenant ingress queue
+//! instead of blocking on a batch, the live backlog feeds back into the
+//! admission thresholds (adaptive load shedding with hysteresis),
+//! deadlines propagate to dequeue-time cancellation, and worker
+//! heartbeats time out stalled solves into the quarantine — all decisions
+//! on one loop thread in logical ticks, so replays are deterministic
+//! across worker counts.  The async request lifecycle:
+//!
+//! ```text
+//!   submit(tenant, request) ──► ticket        (never blocks)
+//!        │ bounded tenant queue ──full──► Rejected{QueueFull}
+//!        ▼ dequeue (round-robin, ≤ dispatch_per_tick per tick)
+//!   deadline check ──expired──► Rejected{DeadlineExpired}
+//!        ▼
+//!   store hit ──► Exact (same tick)
+//!        ▼ miss
+//!   quarantine ──► Rejected{Quarantined}
+//!        ▼ clear
+//!   admission @ thresholds >> shed_level      (backlog feedback)
+//!        │        └─over scaled reject──► Rejected{Shed{level}}
+//!        ▼ admit / degrade-band / predicted-deadline-miss
+//!   dispatch ──► worker pool ──► completion event (due-tick order)
+//!        │                           │ heartbeat timeout
+//!        ▼                           ▼
+//!   Exact / Degraded            Rejected{WorkerStall} ─► quarantine
+//! ```
+//!
 //! The request lifecycle, end to end:
 //!
 //! ```text
@@ -75,14 +104,18 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod frontend;
 pub mod online;
 pub mod service;
 pub mod store;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy, CostEstimate};
+pub use frontend::{
+    AsyncFrontend, Completion, FrontendConfig, FrontendFault, FrontendStats, Ticket,
+};
 pub use online::{ReplanOutcome, TenantEvent, TenantSession};
 pub use service::{
     permutation_collapse_allowed, solve_all, InjectedFault, PlanRequest, PlanResponse, PlanService,
-    RejectReason, Rejection, ServeOutcome, ServeSource, ServiceStats,
+    RejectReason, Rejection, ServeOutcome, ServeSource, ServeStats, ServiceStats,
 };
 pub use store::{PlanKey, PlanStore, StoreStats, StoredPlan};

@@ -127,6 +127,22 @@ pub enum RejectReason {
         /// The panic payload, when it carried a message.
         message: String,
     },
+    /// The tenant's bounded ingress queue was full when the request
+    /// arrived (async front end only): shed at ingress, nothing queued.
+    QueueFull,
+    /// Shed by adaptive backpressure: the request would have been admitted
+    /// at baseline thresholds, but the front end's backlog had tightened
+    /// them by `level` halvings when it was dequeued.
+    Shed {
+        /// The shed level in force at the decision (≥ 1).
+        level: u32,
+    },
+    /// The request's deadline had already expired when it was dequeued
+    /// (async front end): cancelled instead of solved uselessly.
+    DeadlineExpired,
+    /// The worker solving this fingerprint stalled past the watchdog and
+    /// was timed out; the fingerprint goes to the quarantine.
+    WorkerStall,
 }
 
 /// A rejected request: the reason, plus the structural price when the
@@ -252,6 +268,27 @@ impl ServiceStats {
     }
 }
 
+/// One public snapshot of the whole serving tier: the request counters
+/// ([`ServiceStats`]), the store counters ([`crate::store::StoreStats`]),
+/// and the **quarantine occupancy** — how many fingerprints are currently
+/// held in backoff and how many are permanently banned.  Before this
+/// snapshot the quarantine and in-flight-dedup state were only observable
+/// indirectly (through which outcomes a replay produced); robustness
+/// harnesses assert on it directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Request-path lifetime counters (includes `dedup_hits`, the
+    /// in-flight dedup counter, and `quarantine_rejects`).
+    pub service: ServiceStats,
+    /// Plan-store lifetime counters.
+    pub store: crate::store::StoreStats,
+    /// Fingerprints currently quarantined (in a backoff window or
+    /// permanent) — live occupancy, not a lifetime count.
+    pub quarantine_active: usize,
+    /// Fingerprints whose quarantine is permanent (failure budget spent).
+    pub quarantine_permanent: usize,
+}
+
 /// A deterministic fault injected into one cold solve (robustness
 /// harness; see [`PlanService::with_fault_injection`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -319,9 +356,25 @@ pub fn permutation_collapse_allowed(
 }
 
 /// A request canonicalised and keyed, ready for the store.
-struct Prepared {
-    canon: CanonicalApplication,
-    key: PlanKey,
+pub(crate) struct Prepared {
+    pub(crate) canon: CanonicalApplication,
+    pub(crate) key: PlanKey,
+}
+
+impl Prepared {
+    /// Canonicalises and keys one request under `budget` (the collapse
+    /// gate engages only on provably label-invariant paths).
+    pub(crate) fn of(request: &PlanRequest, budget: &SearchBudget) -> Prepared {
+        let collapse =
+            permutation_collapse_allowed(&request.app, request.model, request.objective, budget);
+        let canon = CanonicalApplication::with_collapse(&request.app, collapse);
+        let key = PlanKey {
+            fingerprint: canon.fingerprint.clone(),
+            model: request.model,
+            objective: request.objective,
+        };
+        Prepared { canon, key }
+    }
 }
 
 /// How one request of a batch is answered.
@@ -368,7 +421,7 @@ struct QuarantineState {
 /// [`QUARANTINE_MAX_FAILURES`] the fingerprint is rejected permanently.  A
 /// successful retry clears the entry.  Time is counted in **requests**,
 /// not wall clock, so replays are deterministic.
-struct Quarantine {
+pub(crate) struct Quarantine {
     entries: Mutex<HashMap<PlanKey, QuarantineState>>,
 }
 
@@ -382,7 +435,7 @@ impl Quarantine {
     /// Gate one arriving request for `key`: `Ok` to attempt a solve,
     /// `Err(permanent)` to reject.  Each rejected request drains one tick
     /// of the backoff window.
-    fn admit(&self, key: &PlanKey) -> Result<(), bool> {
+    pub(crate) fn admit(&self, key: &PlanKey) -> Result<(), bool> {
         let mut entries = self.entries.lock().expect("quarantine mutex poisoned");
         match entries.get_mut(key) {
             None => Ok(()),
@@ -395,8 +448,8 @@ impl Quarantine {
         }
     }
 
-    /// Records a solver panic for `key`.
-    fn record_failure(&self, key: &PlanKey) {
+    /// Records a solver panic (or stall) for `key`.
+    pub(crate) fn record_failure(&self, key: &PlanKey) {
         let mut entries = self.entries.lock().expect("quarantine mutex poisoned");
         let state = entries.entry(key.clone()).or_default();
         state.failures += 1;
@@ -407,12 +460,23 @@ impl Quarantine {
 
     /// Records a completed solve; returns `true` when the key had a
     /// quarantine entry to clear (a recovery).
-    fn record_success(&self, key: &PlanKey) -> bool {
+    pub(crate) fn record_success(&self, key: &PlanKey) -> bool {
         self.entries
             .lock()
             .expect("quarantine mutex poisoned")
             .remove(key)
             .is_some()
+    }
+
+    /// `(active, permanent)` occupancy: fingerprints currently held (in
+    /// backoff or banned), and the banned subset.
+    pub(crate) fn counts(&self) -> (usize, usize) {
+        let entries = self.entries.lock().expect("quarantine mutex poisoned");
+        let permanent = entries
+            .values()
+            .filter(|state| state.failures >= QUARANTINE_MAX_FAILURES)
+            .count();
+        (entries.len(), permanent)
     }
 }
 
@@ -533,6 +597,59 @@ impl PlanService {
         &self.store
     }
 
+    /// One public snapshot of the whole tier: request counters, store
+    /// counters, and quarantine occupancy (see [`ServeStats`]).
+    pub fn serve_stats(&self) -> ServeStats {
+        let (quarantine_active, quarantine_permanent) = self.quarantine.counts();
+        ServeStats {
+            service: self.stats(),
+            store: self.store.stats(),
+            quarantine_active,
+            quarantine_permanent,
+        }
+    }
+
+    /// The shared panic quarantine (the async front end gates through the
+    /// same state machine as the batch path).
+    pub(crate) fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Applies the installed fault hook to one request ordinal.
+    pub(crate) fn injected_fault(&self, ordinal: u64) -> Option<InjectedFault> {
+        self.fault_hook.as_ref().and_then(|hook| hook(ordinal))
+    }
+
+    /// Claims the next `n` arrival ordinals (and counts the requests).
+    pub(crate) fn next_ordinals(&self, n: u64) -> u64 {
+        self.requests.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// The retained evaluation cache for `canon`'s fingerprint, creating
+    /// it (and bounding the retention map) when absent.
+    pub(crate) fn retained_cache(&self, canon: &CanonicalApplication) -> Arc<EvalCache> {
+        let mut retained = self.caches.lock().expect("cache mutex poisoned");
+        if !retained.contains_key(&canon.fingerprint) {
+            if retained.len() >= self.cache_capacity {
+                retained.clear();
+            }
+            retained.insert(
+                canon.fingerprint.clone(),
+                Arc::new(EvalCache::new(&canon.app)),
+            );
+        }
+        retained[&canon.fingerprint].clone()
+    }
+
+    /// Drops the retained cache of a fingerprint whose solve panicked or
+    /// stalled (its internals may be poisoned mid-unwind).
+    pub(crate) fn drop_cache(&self, fingerprint: &AppFingerprint) {
+        self.caches
+            .lock()
+            .expect("cache mutex poisoned")
+            .remove(fingerprint);
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -578,17 +695,7 @@ impl PlanService {
         // 1. Canonicalise and key.
         let prepared: Vec<Prepared> = requests
             .iter()
-            .map(|r| {
-                let collapse =
-                    permutation_collapse_allowed(&r.app, r.model, r.objective, &self.budget);
-                let canon = CanonicalApplication::with_collapse(&r.app, collapse);
-                let key = PlanKey {
-                    fingerprint: canon.fingerprint.clone(),
-                    model: r.model,
-                    objective: r.objective,
-                };
-                Prepared { canon, key }
-            })
+            .map(|r| Prepared::of(r, &self.budget))
             .collect();
         // 2. + 3. + 4. Store lookups, quarantine + admission gates, and
         // in-flight dedup (leader per missing admitted key).  Same-batch
@@ -676,25 +783,10 @@ impl PlanService {
         // evicted the fingerprint — share the memoised ordering searches,
         // exactly like `solve_all`'s per-app sweep.  (`EvalCache` is `Sync`;
         // the workers only read their `Arc`s.)
-        let caches: Vec<Arc<EvalCache>> = {
-            let mut retained = self.caches.lock().expect("cache mutex poisoned");
-            leaders
-                .iter()
-                .map(|task| {
-                    let fingerprint = &prepared[task.idx].key.fingerprint;
-                    if !retained.contains_key(fingerprint) {
-                        if retained.len() >= self.cache_capacity {
-                            retained.clear();
-                        }
-                        retained.insert(
-                            fingerprint.clone(),
-                            Arc::new(EvalCache::new(&prepared[task.idx].canon.app)),
-                        );
-                    }
-                    retained[fingerprint].clone()
-                })
-                .collect()
-        };
+        let caches: Vec<Arc<EvalCache>> = leaders
+            .iter()
+            .map(|task| self.retained_cache(&prepared[task.idx].canon))
+            .collect();
         let solved: Vec<Result<StoredPlan, String>> =
             par_chunks(threads, &leaders, |base, chunk| {
                 chunk
@@ -747,15 +839,18 @@ impl PlanService {
                     }
                     if plan.exhaustive {
                         self.store.insert(key.clone(), plan.clone());
+                    } else {
+                        // A degraded attempt burnt real wall time but stores
+                        // nothing: remember the cost, so the eventual exact
+                        // re-solve's eviction weight reflects the *full*
+                        // recomputation price (degraded-then-exact upgrade).
+                        self.store.record_attempt_cost(key, plan.solve_micros);
                     }
                 }
                 Err(_) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
                     self.quarantine.record_failure(key);
-                    self.caches
-                        .lock()
-                        .expect("cache mutex poisoned")
-                        .remove(&key.fingerprint);
+                    self.drop_cache(&key.fingerprint);
                 }
             }
         }
@@ -850,7 +945,10 @@ impl PlanService {
             RejectReason::Quarantined { .. } => {
                 self.quarantine_rejects.fetch_add(1, Ordering::Relaxed);
             }
-            RejectReason::SolverPanic { .. } => {}
+            // Panic rejections are counted per failed leader (`panics`);
+            // the remaining reasons are produced by the async front end,
+            // which keeps its own counters.
+            _ => {}
         }
     }
 
@@ -907,7 +1005,7 @@ impl PlanService {
 }
 
 /// One cold solve over the canonical application, timed for the store.
-fn cold_solve(
+pub(crate) fn cold_solve(
     prep: &Prepared,
     model: CommModel,
     budget: &SearchBudget,
@@ -927,7 +1025,7 @@ fn cold_solve(
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_string()
     } else if let Some(message) = payload.downcast_ref::<String>() {

@@ -14,13 +14,25 @@
 //! *are* equal problems) plus communication model and objective.  Entries
 //! hold plans over **canonical labels**; the service relabels them per
 //! tenant on the way out.
+//!
+//! Since the async front end, the store is **sharded by fingerprint-digest
+//! prefix**: the hit path takes only a shared (read) lock on one shard and
+//! bumps recency through an atomic, so concurrent hits never serialise on
+//! each other and a writer stuck in one shard cannot stall lookups in the
+//! other fifteen.  Capacity and the eviction order remain *global*: the
+//! victim is the cheapest entry across all shards, exactly as before
+//! sharding, so the cache contents for a given operation sequence are
+//! unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use fsw_core::{AppFingerprint, CommModel, ExecutionGraph};
 use fsw_sched::orchestrator::Objective;
+
+/// Number of fingerprint-prefix shards (power of two).
+pub const STORE_SHARDS: usize = 16;
 
 /// The identity of a planning problem: *what* is solved for *whom*.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -50,8 +62,9 @@ pub struct StoredPlan {
 
 struct Entry {
     plan: StoredPlan,
-    /// Logical time of the last hit (eviction tie-break).
-    last_used: u64,
+    /// Logical time of the last hit (eviction tie-break); atomic so the
+    /// hit path can refresh it under a shared lock.
+    last_used: AtomicU64,
     /// Logical time of insertion (deterministic final tie-break).
     stamp: u64,
 }
@@ -69,12 +82,21 @@ pub struct StoreStats {
     pub len: usize,
 }
 
+type Shard = RwLock<HashMap<PlanKey, Entry>>;
+
 /// A bounded, concurrent, fingerprint-keyed plan cache (see the module
-/// docs for the eviction policy).
+/// docs for the eviction policy and sharding).
 pub struct PlanStore {
     capacity: usize,
-    inner: Mutex<HashMap<PlanKey, Entry>>,
+    shards: Vec<Shard>,
+    /// Unstored recomputation cost owed per key: wall micros burnt by
+    /// degraded (non-exhaustive) attempts that produced no cache entry.
+    /// Folded into the eviction weight when the exact re-solve finally
+    /// publishes — the weight stands for *what it costs to get this entry
+    /// back*, and that includes the failed attempts on the way.
+    attempt_debt: Mutex<HashMap<PlanKey, u64>>,
     clock: AtomicU64,
+    len: AtomicUsize,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -85,8 +107,12 @@ impl PlanStore {
     pub fn new(capacity: usize) -> Self {
         PlanStore {
             capacity: capacity.max(1),
-            inner: Mutex::new(HashMap::new()),
+            shards: (0..STORE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            attempt_debt: Mutex::new(HashMap::new()),
             clock: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -98,13 +124,34 @@ impl PlanStore {
         self.capacity
     }
 
-    /// Looks `key` up, refreshing its recency on a hit.
+    /// Which shard `key` lives in: the low bits of the fingerprint digest.
+    /// Public so the fault-injection layer can key "slow shard" faults the
+    /// same way the store routes lookups.
+    pub fn shard_index(key: &PlanKey) -> usize {
+        (key.fingerprint.digest() as usize) & (STORE_SHARDS - 1)
+    }
+
+    fn read_shard(&self, key: &PlanKey) -> RwLockReadGuard<'_, HashMap<PlanKey, Entry>> {
+        self.shards[Self::shard_index(key)]
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn write_shard(&self, idx: usize) -> RwLockWriteGuard<'_, HashMap<PlanKey, Entry>> {
+        self.shards[idx]
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.  Hit path: one
+    /// shared lock on the key's shard, recency bumped through an atomic —
+    /// concurrent hits (even on the same shard) never wait on each other.
     pub fn get(&self, key: &PlanKey) -> Option<StoredPlan> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().expect("plan store poisoned");
-        match map.get_mut(key) {
+        let shard = self.read_shard(key);
+        match shard.get(key) {
             Some(entry) => {
-                entry.last_used = now;
+                entry.last_used.store(now, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.plan.clone())
             }
@@ -115,6 +162,19 @@ impl PlanStore {
         }
     }
 
+    /// Records wall time burnt on `key` by an attempt that produced no
+    /// cache entry (a degraded, non-exhaustive solve).  The debt is folded
+    /// into the eviction weight when the exact re-solve finally
+    /// [`insert`](Self::insert)s: recomputing the entry from scratch means
+    /// paying for the failed attempts again too.
+    pub fn record_attempt_cost(&self, key: &PlanKey, micros: u64) {
+        let mut debts = self
+            .attempt_debt
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        *debts.entry(key.clone()).or_insert(0) += micros;
+    }
+
     /// Inserts (or refreshes) a plan, then evicts down to capacity:
     /// smallest `solve_micros` first, least recently used among equals,
     /// oldest insertion as the deterministic final tie-break.  The freshly
@@ -123,29 +183,82 @@ impl PlanStore {
     /// existing key keeps the **larger** of the old and new eviction
     /// weights: a warm re-plan that re-derives a fingerprint in a
     /// millisecond must not demote the 0.2 s cold solve whose recomputation
-    /// cost the weight stands for.
+    /// cost the weight stands for.  Any attempt debt recorded for the key
+    /// ([`record_attempt_cost`](Self::record_attempt_cost)) is added on
+    /// top before the comparison.
     pub fn insert(&self, key: PlanKey, mut plan: StoredPlan) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().expect("plan store poisoned");
-        if let Some(existing) = map.get(&key) {
-            plan.solve_micros = plan.solve_micros.max(existing.plan.solve_micros);
+        {
+            let mut debts = self
+                .attempt_debt
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            if let Some(debt) = debts.remove(&key) {
+                plan.solve_micros = plan.solve_micros.saturating_add(debt);
+            }
         }
-        map.insert(
-            key,
-            Entry {
-                plan,
-                last_used: now,
-                stamp: now,
-            },
-        );
-        while map.len() > self.capacity {
-            let victim = map
-                .iter()
-                .min_by_key(|(_, e)| (e.plan.solve_micros, e.last_used, e.stamp))
-                .map(|(k, _)| k.clone())
-                .expect("store over capacity implies non-empty");
-            map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        let idx = Self::shard_index(&key);
+        {
+            let mut shard = self.write_shard(idx);
+            if let Some(existing) = shard.get(&key) {
+                plan.solve_micros = plan.solve_micros.max(existing.plan.solve_micros);
+            } else {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.insert(
+                key,
+                Entry {
+                    plan,
+                    last_used: AtomicU64::new(now),
+                    stamp: now,
+                },
+            );
+        }
+        while self.len.load(Ordering::Relaxed) > self.capacity {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Removes the globally cheapest entry.  Scans shards under shared
+    /// locks for the victim, then re-validates under the victim shard's
+    /// write lock (the entry may have been refreshed meanwhile — if so,
+    /// rescan).  Deterministic for a serialised operation sequence: the
+    /// victim order is identical to the pre-sharding single-map scan.
+    fn evict_one(&self) -> bool {
+        loop {
+            let mut victim: Option<(u64, u64, u64, usize, PlanKey)> = None;
+            for (idx, lock) in self.shards.iter().enumerate() {
+                let shard = lock.read().unwrap_or_else(|poison| poison.into_inner());
+                for (key, entry) in shard.iter() {
+                    let rank = (
+                        entry.plan.solve_micros,
+                        entry.last_used.load(Ordering::Relaxed),
+                        entry.stamp,
+                    );
+                    let beats = match &victim {
+                        None => true,
+                        Some((w, u, s, _, _)) => rank < (*w, *u, *s),
+                    };
+                    if beats {
+                        victim = Some((rank.0, rank.1, rank.2, idx, key.clone()));
+                    }
+                }
+            }
+            let Some((_, _, stamp, idx, key)) = victim else {
+                return false;
+            };
+            let mut shard = self.write_shard(idx);
+            match shard.get(&key) {
+                Some(entry) if entry.stamp == stamp => {
+                    shard.remove(&key);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                _ => continue, // refreshed or gone since the scan — rescan
+            }
         }
     }
 
@@ -153,12 +266,16 @@ impl PlanStore {
     /// service's store-purity invariant says this is always zero (degraded
     /// plans are never cached); the fault-injection harness asserts it.
     pub fn non_exhaustive_len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("plan store poisoned")
-            .values()
-            .filter(|entry| !entry.plan.exhaustive)
-            .count()
+        self.shards
+            .iter()
+            .map(|lock| {
+                lock.read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .values()
+                    .filter(|entry| !entry.plan.exhaustive)
+                    .count()
+            })
+            .sum()
     }
 
     /// Lifetime counters plus the current size.
@@ -167,7 +284,7 @@ impl PlanStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.inner.lock().expect("plan store poisoned").len(),
+            len: self.len.load(Ordering::Relaxed),
         }
     }
 }
@@ -258,5 +375,72 @@ mod tests {
         assert!(store.get(&a).is_some());
         assert!(store.get(&b).is_none());
         assert!(store.get(&c).is_some());
+    }
+
+    #[test]
+    fn degraded_then_exact_upgrade_refreshes_eviction_weight() {
+        // Regression: a degraded attempt burns real wall time but stores
+        // nothing, so the eventual exact re-solve used to carry only its
+        // own (possibly small) solve time as the eviction weight — the
+        // wasted attempt was invisible to the policy and the entry was
+        // evicted as "cheap" even though recomputing it means paying for
+        // the failed attempt again.  The debt recorded via
+        // `record_attempt_cost` must be folded into the weight on insert.
+        let store = PlanStore::new(2);
+        let upgraded = key_of(&[(9.0, 0.9), (9.0, 0.9)]);
+        // Degraded attempt: 150 ms burnt, nothing stored.
+        store.record_attempt_cost(&upgraded, 150_000);
+        // Exact re-solve lands quickly (warm cache): 40 µs of its own.
+        store.insert(upgraded.clone(), plan(1.0, 40));
+        let weight = store.get(&upgraded).expect("inserted").solve_micros;
+        assert_eq!(weight, 150_040, "attempt debt folded into the weight");
+        // The upgraded entry must now survive a stream of mid-cost inserts
+        // that would have evicted a 40 µs entry immediately.
+        for i in 0..4u32 {
+            store.insert(key_of(&[(1.0 + f64::from(i), 0.5)]), plan(2.0, 5_000));
+        }
+        assert!(
+            store.get(&upgraded).is_some(),
+            "degraded-then-exact upgrade must carry the attempt cost"
+        );
+        // The debt is consumed by the first insert, not applied twice.
+        store.insert(upgraded.clone(), plan(1.0, 40));
+        assert_eq!(
+            store.get(&upgraded).expect("present").solve_micros,
+            150_040,
+            "debt applies once; refresh keeps the max as before"
+        );
+    }
+
+    #[test]
+    fn sharded_reads_do_not_block_each_other() {
+        // Smoke the concurrency story: many threads hammering `get` on a
+        // populated store while one inserts — no deadlock, no lost entries.
+        use std::sync::Arc;
+        let store = Arc::new(PlanStore::new(64));
+        let keys: Vec<PlanKey> = (0..16u32)
+            .map(|i| key_of(&[(1.0 + f64::from(i), 0.5), (2.0, 0.25)]))
+            .collect();
+        for key in &keys {
+            store.insert(key.clone(), plan(1.0, 1_000));
+        }
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let store = Arc::clone(&store);
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200usize {
+                    let key = &keys[(t * 7 + round) % keys.len()];
+                    assert!(store.get(key).is_some());
+                }
+            }));
+        }
+        for key in keys.iter().take(8) {
+            store.insert(key.clone(), plan(1.0, 2_000));
+        }
+        for handle in handles {
+            handle.join().expect("reader thread panicked");
+        }
+        assert_eq!(store.stats().len, 16);
     }
 }

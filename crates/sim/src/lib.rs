@@ -15,6 +15,11 @@
 //!   service-set mutations arriving over time) through the `fsw_serve`
 //!   planning service, with optional shadow cold solves cross-validating
 //!   every served value bit-for-bit.
+//! * [`replay_trace_async`] — the same timeline through the event-loop
+//!   front end (`fsw_serve::AsyncFrontend`): bounded ingress queues,
+//!   adaptive backpressure, deadline cancellation and stall watchdogs,
+//!   with ordinal-keyed async faults (worker stalls, slow shards, ingress
+//!   bursts) and a worker-count-independent decision digest.
 //!
 //! ```
 //! use fsw_core::{Application, CommModel, ExecutionGraph};
@@ -31,11 +36,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod frontend_replay;
 pub mod measure;
 pub mod oneport;
 pub mod replay;
 pub mod serve_replay;
 
+pub use frontend_replay::{
+    replay_trace_async, AsyncDisposition, AsyncRequestOutcome, FrontendReplayConfig, FrontendReport,
+};
 pub use measure::SimReport;
 pub use oneport::simulate_inorder;
 pub use replay::replay_oplist;

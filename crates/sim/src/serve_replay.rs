@@ -34,8 +34,8 @@ use fsw_core::{Application, CommModel, CoreError, CoreResult};
 use fsw_sched::engine::EvalCache;
 use fsw_sched::orchestrator::{solve_warm, Objective, Problem, SearchBudget};
 use fsw_serve::{
-    InjectedFault, PlanRequest, PlanService, ServeOutcome, ServeSource, ServiceStats, StoreStats,
-    TenantSession,
+    FrontendFault, InjectedFault, PlanRequest, PlanService, ServeOutcome, ServeSource,
+    ServiceStats, StoreStats, TenantSession,
 };
 use fsw_workloads::streaming::{ArrivalTrace, TraceEventKind};
 
@@ -236,12 +236,22 @@ impl TraceReport {
 /// A deterministic fault schedule for a replay: faults are keyed by the
 /// **request ordinal** at the service (arrival order across the replay),
 /// so the same plan replayed under any worker thread count injects the
-/// same faults into the same requests.  A fault fires when its request
-/// leads a cold solve; ordinals answered from the store, deduplicated, or
-/// rejected before the pool leave their fault unused.
+/// same faults into the same requests.  A solver fault fires when its
+/// request leads a cold solve; ordinals answered from the store,
+/// deduplicated, or rejected before the pool leave their fault unused.
+///
+/// Beyond the solver-level faults (panic / slow / deadline blowout), the
+/// plan carries **async-layer faults** for the event-loop front end
+/// ([`fsw_serve::AsyncFrontend`]): worker stalls and slow store shards
+/// ([`FrontendFault`], same ordinal keying), and **ingress bursts** — at
+/// the scheduled ordinal the replay driver injects that many extra
+/// synthetic requests, modelling an arrival spike.  All of them stay
+/// keyed by ordinal, so replay digests remain thread-count independent.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     faults: HashMap<u64, InjectedFault>,
+    frontend_faults: HashMap<u64, FrontendFault>,
+    bursts: HashMap<u64, usize>,
 }
 
 impl FaultPlan {
@@ -270,19 +280,57 @@ impl FaultPlan {
         self
     }
 
-    /// The fault scheduled at `ordinal`, if any.
+    /// Schedules a **worker stall** at `ordinal` (async front end): the
+    /// worker sleeps for `stall` before solving, and the loop's watchdog —
+    /// provided `stall` comfortably exceeds the configured
+    /// `stall_timeout` — times the solve out as a
+    /// [`fsw_serve::RejectReason::WorkerStall`].
+    pub fn stall_worker_at(mut self, ordinal: u64, stall: Duration) -> Self {
+        self.frontend_faults
+            .insert(ordinal, FrontendFault::StallWorker(stall));
+        self
+    }
+
+    /// Schedules a **slow store shard** at `ordinal` (async front end):
+    /// the dequeue path sleeps for `delay` before the store lookup.
+    /// Wall-clock only — decisions and digests are unaffected.
+    pub fn slow_shard_at(mut self, ordinal: u64, delay: Duration) -> Self {
+        self.frontend_faults
+            .insert(ordinal, FrontendFault::SlowShard(delay));
+        self
+    }
+
+    /// Schedules an **ingress burst** at `ordinal`: when the replay driver
+    /// submits that ordinal, it follows up with `extra` synthetic copies of
+    /// the same tenant's request in the same step.
+    pub fn burst_at(mut self, ordinal: u64, extra: usize) -> Self {
+        self.bursts.insert(ordinal, extra);
+        self
+    }
+
+    /// The solver fault scheduled at `ordinal`, if any.
     pub fn at(&self, ordinal: u64) -> Option<InjectedFault> {
         self.faults.get(&ordinal).copied()
     }
 
-    /// `true` when no fault is scheduled.
-    pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+    /// The async-layer fault scheduled at `ordinal`, if any.
+    pub fn frontend_at(&self, ordinal: u64) -> Option<FrontendFault> {
+        self.frontend_faults.get(&ordinal).copied()
     }
 
-    /// Number of scheduled faults.
+    /// The ingress burst scheduled at `ordinal`, if any.
+    pub fn burst_of(&self, ordinal: u64) -> Option<usize> {
+        self.bursts.get(&ordinal).copied()
+    }
+
+    /// `true` when no fault of any layer is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.frontend_faults.is_empty() && self.bursts.is_empty()
+    }
+
+    /// Number of scheduled faults across all layers.
     pub fn len(&self) -> usize {
-        self.faults.len()
+        self.faults.len() + self.frontend_faults.len() + self.bursts.len()
     }
 }
 

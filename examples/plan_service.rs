@@ -1,7 +1,7 @@
 //! The serving layer end to end: a fleet of tenants hits the multi-tenant
 //! planning service, and the console shows where every answer came from.
 //!
-//! Three acts:
+//! Five acts:
 //!
 //! 1. **Batch serving** — twelve tenants (four templates, deployed as
 //!    rotated permutations of each other) send one MINPERIOD request each
@@ -13,9 +13,16 @@
 //!    arrival, a reweight, a departure).  Each re-plan warm-starts from
 //!    the adapted previous plan and reports value, churn and how many
 //!    candidates the warm start skipped versus a cold solve.
+//! 4. **Overload** — a 24-service all-distinct tenant is priced at
+//!    admission and rejected without touching the solve pool.
+//! 5. **Async burst** — the fleet plus one misbehaving tenant hit the
+//!    non-blocking ticket API of the event-loop front end; the bounded
+//!    per-tenant queue sheds the excess at ingress and every ticket still
+//!    resolves.
 //!
 //! Run with: `cargo run --release --example plan_service`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -24,7 +31,10 @@ use rand::SeedableRng;
 use fsw::core::{Application, CommModel};
 use fsw::sched::engine::EvalCache;
 use fsw::sched::orchestrator::{solve_warm, Objective, Problem, SearchBudget};
-use fsw::serve::{PlanRequest, PlanService, ServeSource, TenantEvent, TenantSession};
+use fsw::serve::{
+    AsyncFrontend, FrontendConfig, PlanRequest, PlanService, ServeOutcome, ServeSource,
+    TenantEvent, TenantSession,
+};
 use fsw::workloads::streaming::{serving_trace, TraceConfig};
 
 fn source_tag(source: ServeSource) -> &'static str {
@@ -157,7 +167,7 @@ fn main() {
     let verdict = service.serve_one(&jumbo).expect("valid application");
     let reject_ms = started.elapsed().as_secs_f64() * 1e3;
     match verdict {
-        fsw::serve::ServeOutcome::Rejected(rejection) => {
+        ServeOutcome::Rejected(rejection) => {
             let estimate = rejection.estimate.expect("admission rejections price");
             println!(
                 "  => rejected in {reject_ms:.2} ms: {:.2e} candidate evaluations \
@@ -168,4 +178,49 @@ fn main() {
         }
         other => println!("  => unexpected outcome: {other:?}"),
     }
+
+    println!("\nact 5 — async burst: the fleet hits the non-blocking ticket API");
+    let frontend_service = Arc::new(PlanService::new(budget, 64));
+    let mut frontend = AsyncFrontend::new(
+        Arc::clone(&frontend_service),
+        FrontendConfig {
+            queue_capacity: 8,
+            dispatch_per_tick: 4,
+            ..FrontendConfig::default()
+        },
+    );
+    // Every tenant submits once, then tenant-00 misbehaves and floods its
+    // bounded ingress queue with 24 duplicates.  `submit` never blocks —
+    // each call returns a ticket immediately; the overflow is resolved as
+    // a QueueFull rejection instead of stalling the caller.
+    let started = Instant::now();
+    let mut tickets = Vec::new();
+    for (tenant, request) in batch.iter().cloned().enumerate() {
+        tickets.push(frontend.submit(tenant, request).expect("valid tenants"));
+    }
+    for _ in 0..24 {
+        tickets.push(frontend.submit(0, batch[0].clone()).expect("valid tenant"));
+    }
+    let submit_ms = started.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  {} tickets issued in {submit_ms:.2} ms without blocking",
+        tickets.len()
+    );
+    let completions = frontend.drain();
+    let served = completions
+        .iter()
+        .filter(|c| c.outcome.response().is_some())
+        .count();
+    let stats = frontend.stats();
+    println!(
+        "  => {} tickets resolved over {} ticks: {} served, {} shed at the \
+         full queue (per-tenant bound {}, peak occupancy {})",
+        completions.len(),
+        frontend.now(),
+        served,
+        stats.queue_full_sheds,
+        8,
+        stats.peak_tenant_queue,
+    );
+    assert_eq!(completions.len(), tickets.len(), "every ticket resolves");
 }

@@ -12,6 +12,7 @@
 //!   the public API (nobody hangs), quarantines the fingerprint with
 //!   exponential backoff, and recovers once the fault clears.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -19,7 +20,10 @@ use rand::SeedableRng;
 
 use fsw::core::CommModel;
 use fsw::sched::orchestrator::{solve, Objective, Problem, SearchBudget};
-use fsw::serve::{InjectedFault, PlanRequest, PlanService, RejectReason, ServeOutcome};
+use fsw::serve::{
+    AsyncFrontend, FrontendConfig, InjectedFault, PlanRequest, PlanService, RejectReason,
+    ServeOutcome,
+};
 use fsw::sim::{replay_trace, FaultPlan, ServeReplayConfig};
 use fsw::workloads::streaming::{serving_trace, TraceConfig};
 use fsw::workloads::{random_application, RandomAppConfig};
@@ -155,4 +159,147 @@ fn a_panicking_leader_rejects_its_followers_and_the_key_recovers() {
         service.serve_one(&request).unwrap(),
         ServeOutcome::Exact(_)
     ));
+}
+
+#[test]
+fn serve_stats_snapshot_exposes_quarantine_and_dedup_counters() {
+    let mut rng = StdRng::seed_from_u64(0x0b10);
+    let healthy = PlanRequest::new(
+        random_application(&RandomAppConfig::independent(5), &mut rng),
+        CommModel::Overlap,
+        Objective::MinPeriod,
+    );
+    let poisoned = PlanRequest::new(
+        random_application(&RandomAppConfig::independent(6), &mut rng),
+        CommModel::Overlap,
+        Objective::MinPeriod,
+    );
+    // Ordinals 0..4 are the healthy traffic; every later cold solve panics.
+    let service = PlanService::new(SearchBudget::default(), 8)
+        .with_fault_injection(|ordinal| (ordinal >= 4).then_some(InjectedFault::Panic));
+    // One cold leader plus two in-flight followers (ordinals 0-2)…
+    let batch = vec![healthy.clone(), healthy.clone(), healthy.clone()];
+    for outcome in service.serve_batch(&batch).unwrap() {
+        assert!(matches!(outcome, ServeOutcome::Exact(_)));
+    }
+    // …and a fourth identical request served from the store (ordinal 3).
+    assert!(matches!(
+        service.serve_one(&healthy).unwrap(),
+        ServeOutcome::Exact(_)
+    ));
+    // Nine poisoned requests: the panics at ordinals 4, 7 and 12 — with the
+    // exponential backoff windows (2 then 4 requests) between them — spend
+    // the fingerprint's failure budget and quarantine it permanently.
+    quietly(|| {
+        for _ in 0..9 {
+            let outcome = service.serve_one(&poisoned).unwrap();
+            assert!(
+                outcome.rejection().is_some(),
+                "the poisoned key never serves"
+            );
+        }
+    });
+    let stats = service.serve_stats();
+    assert_eq!(stats.service.requests, 13);
+    assert_eq!(
+        stats.service.dedup_hits, 2,
+        "followers joined the in-flight leader"
+    );
+    assert_eq!(
+        stats.service.store_hits, 1,
+        "the fourth request hit the store"
+    );
+    assert_eq!(
+        stats.service.panics, 3,
+        "three attempts spent the failure budget"
+    );
+    assert_eq!(
+        stats.service.quarantine_rejects, 6,
+        "backoff windows of 2 + 4"
+    );
+    assert_eq!(
+        stats.quarantine_active, 1,
+        "exactly the poisoned fingerprint"
+    );
+    assert_eq!(stats.quarantine_permanent, 1, "and it is permanent");
+    assert_eq!(stats.store.len, 1, "only the healthy plan is cached");
+    // The store is consulted before the quarantine gate, so every poisoned
+    // request counts one miss on top of the healthy cold miss.
+    assert_eq!(stats.store.misses, 10);
+}
+
+#[test]
+fn backpressure_decisions_are_identical_across_worker_counts() {
+    // 48 distinct-fingerprint n = 6 requests submitted in one burst to a
+    // deliberately narrow front end (2 dequeues/tick, backlog_high = 2):
+    // the standing backlog ratchets the shed level towards its ceiling, so
+    // late dequeues are shed by the scaled admission thresholds while early
+    // dequeues still solve exactly.  The admit/shed decision sequence is a
+    // pure function of the submission order — it must be identical for any
+    // worker-thread count.
+    let run = |workers: usize| {
+        let mut rng = StdRng::seed_from_u64(0x0b11);
+        let service = Arc::new(PlanService::new(SearchBudget::default(), 64));
+        let mut frontend = AsyncFrontend::new(
+            service,
+            FrontendConfig {
+                workers,
+                dispatch_per_tick: 2,
+                backlog_high: 2,
+                backlog_low: 1,
+                max_shed_level: 16,
+                ..FrontendConfig::default()
+            },
+        );
+        for tenant in 0..48 {
+            let app = random_application(&RandomAppConfig::independent(6), &mut rng);
+            frontend
+                .submit(
+                    tenant,
+                    PlanRequest::new(app, CommModel::Overlap, Objective::MinPeriod),
+                )
+                .unwrap();
+        }
+        let mut decisions: Vec<(u64, String)> = frontend
+            .drain()
+            .into_iter()
+            .map(|completion| {
+                let label = match &completion.outcome {
+                    ServeOutcome::Exact(r) => format!("exact:{:016x}", r.value.to_bits()),
+                    ServeOutcome::Degraded { response, .. } => {
+                        format!("degraded:{:016x}", response.value.to_bits())
+                    }
+                    ServeOutcome::Rejected(r) => format!("rejected:{:?}", r.reason),
+                };
+                (completion.ordinal, label)
+            })
+            .collect();
+        decisions.sort();
+        // Idle ticks after the drain walk the hysteresis back down.
+        for _ in 0..40 {
+            frontend.tick();
+        }
+        (decisions, frontend.stats())
+    };
+    let (reference, stats) = run(1);
+    assert_eq!(reference.len(), 48, "every ticket resolves");
+    assert!(
+        stats.backpressure_sheds > 0,
+        "the standing backlog must shed late dequeues"
+    );
+    assert!(
+        stats.peak_shed_level >= 12,
+        "hysteresis must climb into the shedding band, got {}",
+        stats.peak_shed_level
+    );
+    assert_eq!(stats.shed_level, 0, "and fall back once the backlog clears");
+    for workers in [2, 4] {
+        let (other, other_stats) = run(workers);
+        assert_eq!(
+            reference, other,
+            "x{workers}: the shed/admit decision digest must not depend on \
+             the worker count"
+        );
+        assert_eq!(stats, other_stats, "x{workers}: frontend counters");
+    }
 }
