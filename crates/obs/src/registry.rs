@@ -1,0 +1,330 @@
+//! The metrics registry: named counters, gauges, log-scale histograms and
+//! traffic sketches, with a sorted [`Snapshot`] serialising to text and
+//! JSON.
+//!
+//! Instruments are handed out as `Arc` handles from a get-or-create map:
+//! components look their instruments up **once** at construction and
+//! record through the cached handle afterwards, so the registry lock is
+//! never on a hot path — recording is a relaxed atomic operation on the
+//! instrument itself.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{HistogramSummary, LogHistogram};
+use crate::sketch::TrafficSketch;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(std::sync::atomic::AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments the counter by one and returns the *previous* value
+    /// (the zero-based ordinal of this increment) — the hook sampled
+    /// span timers use to pick every `2^k`-th call.
+    #[inline]
+    pub fn inc_ordinal(&self) -> u64 {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge with a high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: std::sync::atomic::AtomicU64,
+    peak: std::sync::atomic::AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge (and folds the high-water mark).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value
+            .store(value, std::sync::atomic::Ordering::Relaxed);
+        self.peak
+            .fetch_max(value, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The last value set.
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The largest value ever set.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// The unified registry of named instruments.
+///
+/// Lookup methods get-or-create and return shared handles; names are kept
+/// sorted (`BTreeMap`), so snapshots are deterministic in layout.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LogHistogram>>>,
+    sketches: Mutex<BTreeMap<String, Arc<TrafficSketch>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry mutex poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry mutex poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut map = self.histograms.lock().expect("registry mutex poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(LogHistogram::new()))
+            .clone()
+    }
+
+    /// The traffic sketch named `name`, created on first use with the
+    /// given shape (an existing sketch keeps its original shape).
+    pub fn sketch(&self, name: &str, depth: usize, width: usize) -> Arc<TrafficSketch> {
+        let mut map = self.sketches.lock().expect("registry mutex poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(TrafficSketch::new(depth, width)))
+            .clone()
+    }
+
+    /// A point-in-time snapshot of every instrument, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), (g.get(), g.peak())))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        let sketches = self
+            .sketches
+            .lock()
+            .expect("registry mutex poisoned")
+            .iter()
+            .map(|(name, s)| {
+                (
+                    name.clone(),
+                    SketchSummary {
+                        depth: s.depth(),
+                        width: s.width(),
+                        total: s.total(),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            sketches,
+        }
+    }
+}
+
+/// The exported shape of one sketch (counters live on the handle).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchSummary {
+    /// Rows.
+    pub depth: usize,
+    /// Counters per row.
+    pub width: usize,
+    /// Total amount recorded.
+    pub total: u64,
+}
+
+/// A point-in-time export of a [`MetricsRegistry`], sorted by instrument
+/// name, serialisable to a line-oriented text format and to JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, (value, peak))` for every gauge.
+    pub gauges: Vec<(String, (u64, u64))>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// `(name, summary)` for every sketch.
+    pub sketches: Vec<(String, SketchSummary)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The `(value, peak)` of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The summary of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Line-oriented text rendering (one instrument per line, sorted).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter   {name} = {value}\n"));
+        }
+        for (name, (value, peak)) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {value} (peak {peak})\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} sum={} p50={} p90={} p99={} max={}\n",
+                h.count, h.sum, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+        for (name, s) in &self.sketches {
+            out.push_str(&format!(
+                "sketch    {name} depth={} width={} total={}\n",
+                s.depth, s.width, s.total
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled — the crate has no dependencies; names
+    /// are escaped for quotes and backslashes).
+    pub fn to_json(&self) -> String {
+        fn esc(name: &str) -> String {
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("\"{}\":{}", esc(n), v))
+            .collect();
+        parts.push(format!("\"counters\":{{{}}}", counters.join(",")));
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(n, (v, p))| format!("\"{}\":{{\"value\":{},\"peak\":{}}}", esc(n), v, p))
+            .collect();
+        parts.push(format!("\"gauges\":{{{}}}", gauges.join(",")));
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                    esc(n),
+                    h.count,
+                    h.sum,
+                    h.p50,
+                    h.p90,
+                    h.p99,
+                    h.max
+                )
+            })
+            .collect();
+        parts.push(format!("\"histograms\":{{{}}}", histograms.join(",")));
+        let sketches: Vec<String> = self
+            .sketches
+            .iter()
+            .map(|(n, s)| {
+                format!(
+                    "\"{}\":{{\"depth\":{},\"width\":{},\"total\":{}}}",
+                    esc(n),
+                    s.depth,
+                    s.width,
+                    s.total
+                )
+            })
+            .collect();
+        parts.push(format!("\"sketches\":{{{}}}", sketches.join(",")));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshots_sorted() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("b.second");
+        let b = registry.counter("b.second");
+        a.inc();
+        b.add(2);
+        registry.counter("a.first").inc();
+        registry.histogram("lat").record(5);
+        registry.gauge("depth").set(3);
+        registry.sketch("tenants", 2, 8).record(7, 4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("b.second"), Some(3), "one shared instrument");
+        assert_eq!(
+            snap.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a.first", "b.second"]
+        );
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert_eq!(snap.gauge("depth"), Some((3, 3)));
+        let text = snap.to_text();
+        assert!(text.contains("counter   a.first = 1"));
+        assert!(text.contains("sketch    tenants depth=2 width=8 total=4"));
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.first\":1"));
+        assert!(json.contains("\"lat\":{\"count\":1"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Sketch-based per-tenant traffic accounting via **sparse graph
+//! counters** (counter sharing).
+//!
+//! Every tenant hashes to one counter per row (`depth` rows of `width`
+//! counters), so recording a request is `depth` relaxed atomic adds —
+//! O(1) memory per request, O(depth · width) total, independent of the
+//! tenant population.  Decoding exploits the *sparse incidence structure*
+//! between tenants and counters: a counter touched by exactly one
+//! still-unresolved tenant reveals that tenant's **exact** tally, which is
+//! then subtracted from its other counters, possibly exposing further
+//! singletons — the peeling decode of the sparse-graph-counters
+//! construction.  Tenants left in the unpeelable residue fall back to the
+//! count-min estimate (the minimum over their counters), which **never
+//! undercounts**: every counter is the tenant's exact tally plus a
+//! non-negative sum of colliding residual tenants.
+//!
+//! Determinism: the per-row hash is a fixed splitmix64 finalizer over
+//! `tenant ⊕ row seed` — no `RandomState`, no process entropy — so the
+//! incidence structure, the peeling order and every estimate are pure
+//! functions of the recorded multiset.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The splitmix64 finalizer: a deterministic 64-bit mixer.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// One per-tenant estimate decoded from the sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantEstimate {
+    /// The estimated tally.  Never below the exact tally.
+    pub estimate: u64,
+    /// `true` when the peeling decode resolved this tenant from a
+    /// singleton counter chain — the estimate is then **exact**.
+    pub exact: bool,
+}
+
+/// A counter-sharing sketch of per-tenant event tallies.
+#[derive(Debug)]
+pub struct TrafficSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl TrafficSketch {
+    /// A sketch of `depth` rows × `width` counters (both clamped to ≥ 1).
+    pub fn new(depth: usize, width: usize) -> Self {
+        let depth = depth.max(1);
+        let width = width.max(1);
+        TrafficSketch {
+            depth,
+            width,
+            rows: (0..depth * width).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Rows of the sketch.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total amount recorded across all tenants.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The counter cell of `tenant` in `row`.
+    #[inline]
+    fn cell(&self, row: usize, tenant: u64) -> usize {
+        let h = mix(tenant ^ mix(row as u64 + 1));
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Records `amount` events for `tenant`: `depth` relaxed atomic adds.
+    #[inline]
+    pub fn record(&self, tenant: u64, amount: u64) {
+        for row in 0..self.depth {
+            self.rows[self.cell(row, tenant)].fetch_add(amount, Ordering::Relaxed);
+        }
+        self.total.fetch_add(amount, Ordering::Relaxed);
+    }
+
+    /// The count-min estimate of `tenant`'s tally (no peeling): the
+    /// minimum over its counters.  Never undercounts.
+    pub fn estimate(&self, tenant: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[self.cell(row, tenant)].load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Decodes estimates for `tenants` (the known tenant population) by
+    /// **peeling** the sparse incidence structure: counters incident to
+    /// exactly one unresolved tenant yield that tenant's exact tally,
+    /// which is subtracted from its remaining counters; the process
+    /// repeats until no singleton is left, and residual tenants get the
+    /// count-min fallback over the peeled residue.
+    ///
+    /// Estimates never undercount; peeled tenants (flagged `exact`) match
+    /// the true tally precisely.  Duplicate tenant ids are collapsed.
+    pub fn decode(&self, tenants: &[u64]) -> BTreeMap<u64, TenantEstimate> {
+        // Residual counter values and the incidence lists (cell → tenants).
+        let mut residual: Vec<u64> = self
+            .rows
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let mut unresolved: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut incidence: Vec<Vec<u64>> = vec![Vec::new(); self.rows.len()];
+        for &tenant in tenants {
+            if unresolved.contains_key(&tenant) {
+                continue;
+            }
+            let cells: Vec<usize> = (0..self.depth).map(|row| self.cell(row, tenant)).collect();
+            for &cell in &cells {
+                incidence[cell].push(tenant);
+            }
+            unresolved.insert(tenant, cells);
+        }
+        let mut out: BTreeMap<u64, TenantEstimate> = BTreeMap::new();
+        // Peel: scan for singleton cells until a full pass finds none.
+        // (Cell order is fixed, so the decode is deterministic; peeling
+        // order cannot change a peeled value — each is the exact tally.)
+        loop {
+            let mut peeled_any = false;
+            for cell in 0..self.rows.len() {
+                if incidence[cell].len() != 1 {
+                    continue;
+                }
+                let tenant = incidence[cell][0];
+                let exact = residual[cell];
+                let cells = match unresolved.remove(&tenant) {
+                    Some(cells) => cells,
+                    None => continue,
+                };
+                for &c in &cells {
+                    residual[c] = residual[c].saturating_sub(exact);
+                    incidence[c].retain(|&t| t != tenant);
+                }
+                out.insert(
+                    tenant,
+                    TenantEstimate {
+                        estimate: exact,
+                        exact: true,
+                    },
+                );
+                peeled_any = true;
+            }
+            if !peeled_any {
+                break;
+            }
+        }
+        // Count-min fallback over the peeled residue for whatever is left.
+        for (tenant, cells) in unresolved {
+            let estimate = cells.iter().map(|&c| residual[c]).min().unwrap_or(0);
+            out.insert(
+                tenant,
+                TenantEstimate {
+                    estimate,
+                    exact: false,
+                },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic splitmix64 stream (test-local RNG).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            mix(self.0)
+        }
+    }
+
+    #[test]
+    fn estimates_never_undercount_and_peeled_tenants_are_exact() {
+        let sketch = TrafficSketch::new(4, 64);
+        let mut rng = Rng(0x0b5e_c0de);
+        let tenants: Vec<u64> = (0..32).map(|t| t * 7 + 3).collect();
+        let mut exact: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..10_000 {
+            let tenant = tenants[(rng.next() % 32) as usize];
+            let amount = rng.next() % 5;
+            sketch.record(tenant, amount);
+            *exact.entry(tenant).or_default() += amount;
+        }
+        let decoded = sketch.decode(&tenants);
+        assert_eq!(decoded.len(), tenants.len());
+        let mut peeled = 0;
+        for (&tenant, est) in &decoded {
+            let truth = exact.get(&tenant).copied().unwrap_or(0);
+            assert!(
+                est.estimate >= truth,
+                "tenant {tenant}: estimate {} under exact {truth}",
+                est.estimate
+            );
+            if est.exact {
+                assert_eq!(est.estimate, truth, "peeled tenant {tenant} must be exact");
+                peeled += 1;
+            }
+            // Count-min residue bound: the overshoot of any estimate is at
+            // most the total traffic of the colliding residue, itself at
+            // most the sketch total.
+            assert!(est.estimate - truth <= sketch.total());
+        }
+        assert!(
+            peeled >= tenants.len() / 2,
+            "a 4×64 sketch of 32 tenants must peel most of the population, got {peeled}"
+        );
+    }
+
+    #[test]
+    fn count_min_estimate_matches_single_tenant_traffic() {
+        let sketch = TrafficSketch::new(3, 16);
+        sketch.record(42, 7);
+        sketch.record(42, 3);
+        assert_eq!(sketch.estimate(42), 10);
+        assert_eq!(sketch.total(), 10);
+        let decoded = sketch.decode(&[42]);
+        assert_eq!(decoded[&42].estimate, 10);
+        assert!(decoded[&42].exact);
+    }
+
+    #[test]
+    fn decode_is_deterministic() {
+        let build = || {
+            let sketch = TrafficSketch::new(4, 32);
+            for t in 0..100u64 {
+                sketch.record(t % 17, 1 + t % 3);
+            }
+            sketch
+        };
+        let tenants: Vec<u64> = (0..17).collect();
+        assert_eq!(build().decode(&tenants), build().decode(&tenants));
+    }
+}

@@ -436,23 +436,84 @@ pub struct StreamStats {
     pub certified_shapes: usize,
 }
 
-/// A write-once sink for the [`StreamStats`] of the streamed walk buried
+/// A write-once sink for the [`StreamStats`] of the plan search buried
 /// inside a solve: the orchestrator threads one through its engine calls so
 /// telemetry surfaces in `SolveStats` without widening every search
-/// signature on the way down.
+/// signature on the way down.  Every `SearchStrategy` branch records —
+/// streamed, materialised depth-first, raw best-first and raw labelled
+/// walks alike.
+///
+/// A probe built with [`StreamProbe::with_metrics`] additionally publishes
+/// each recorded run into the registry (`engine.stream.*` histograms and
+/// the `engine.stream.peak_resident` gauge) and exposes the registry to
+/// the engine for stage spans ([`EngineMetrics`]).
 #[derive(Debug, Default)]
-pub struct StreamProbe(std::sync::Mutex<Option<StreamStats>>);
+pub struct StreamProbe {
+    stats: std::sync::Mutex<Option<StreamStats>>,
+    metrics: Option<std::sync::Arc<fsw_obs::MetricsRegistry>>,
+}
 
 impl StreamProbe {
-    /// Records the stats of a streamed run (the last run wins when a solve
-    /// performs several, e.g. a forest phase followed by a DAG phase).
-    pub fn record(&self, stats: StreamStats) {
-        *self.0.lock().expect("stream probe poisoned") = Some(stats);
+    /// A probe that also publishes recorded runs into `registry`.
+    pub fn with_metrics(registry: std::sync::Arc<fsw_obs::MetricsRegistry>) -> Self {
+        StreamProbe {
+            stats: std::sync::Mutex::new(None),
+            metrics: Some(registry),
+        }
     }
 
-    /// The recorded stats, if a streamed walk ran.
+    /// The registry this probe publishes to, if any.
+    pub fn metrics(&self) -> Option<&std::sync::Arc<fsw_obs::MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Records the stats of a plan search (the last run wins when a solve
+    /// performs several, e.g. a forest phase followed by a DAG phase).
+    pub fn record(&self, stats: StreamStats) {
+        if let Some(registry) = &self.metrics {
+            registry
+                .histogram("engine.stream.shapes")
+                .record(stats.shapes as u64);
+            registry
+                .histogram("engine.stream.expanded")
+                .record(stats.expanded);
+            registry
+                .histogram("engine.stream.certified_shapes")
+                .record(stats.certified_shapes as u64);
+            registry
+                .gauge("engine.stream.peak_resident")
+                .set(stats.peak_resident as u64);
+        }
+        *self.stats.lock().expect("stream probe poisoned") = Some(stats);
+    }
+
+    /// The recorded stats, if a plan search ran.
     pub fn snapshot(&self) -> Option<StreamStats> {
-        *self.0.lock().expect("stream probe poisoned")
+        *self.stats.lock().expect("stream probe poisoned")
+    }
+}
+
+/// Cached span timers of the engine's streamed-walk stages, resolved once
+/// per solve from the probe's registry: `engine.shape_stream` (bound-ordered
+/// shape-plan generation), `engine.expand` (one span per expansion batch)
+/// and `engine.certify` (the head bound-clearance certificate ending a
+/// search).  Span durations are wall-clock and observability-only — no
+/// digest-feeding value derives from them.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    shape_stream: fsw_obs::SpanTimer,
+    expand: fsw_obs::SpanTimer,
+    certify: fsw_obs::SpanTimer,
+}
+
+impl EngineMetrics {
+    /// Resolves the stage timers in `registry`.
+    pub fn new(registry: &fsw_obs::MetricsRegistry) -> Self {
+        EngineMetrics {
+            shape_stream: registry.span("engine.shape_stream"),
+            expand: registry.span("engine.expand"),
+            certify: registry.span("engine.certify"),
+        }
     }
 }
 
@@ -602,6 +663,37 @@ pub fn streamed_canonical_search<F>(
 where
     F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
 {
+    streamed_canonical_search_observed(
+        app,
+        classes,
+        exec,
+        prune,
+        frontier_cap,
+        incumbent_seed,
+        eval,
+        None,
+    )
+}
+
+/// [`streamed_canonical_search`] with optional per-stage tracing spans
+/// ([`EngineMetrics`]): shape-plan generation, expansion batches and the
+/// bound-clearance certificate each record a call count and a wall-duration
+/// histogram.  The walk itself is untouched — instrumented and plain runs
+/// return bit-identical outcomes and stats.
+#[allow(clippy::too_many_arguments)]
+pub fn streamed_canonical_search_observed<F>(
+    app: &Application,
+    classes: &WeightClasses,
+    exec: Exec,
+    prune: PartialPrune,
+    frontier_cap: usize,
+    incumbent_seed: f64,
+    eval: &F,
+    obs: Option<&EngineMetrics>,
+) -> (Option<SearchOutcome>, StreamStats)
+where
+    F: Fn(&ExecutionGraph, f64) -> f64 + Sync,
+{
     let mut stats = StreamStats::default();
     let objective = match prune {
         PartialPrune::Off => None,
@@ -616,6 +708,7 @@ where
     // the same strict-clearance rule every walker prunes with, so winners
     // are bit-identical either way.
     let cutoff = prune_threshold(incumbent_seed);
+    let shape_span = obs.map(|m| m.shape_stream.start());
     let plan = match bound_ordered_shape_plan(classes, bounder.as_ref(), cutoff, exec.deadline) {
         // Nothing evaluated yet: degrade to the fallback like any
         // interrupted search.
@@ -631,6 +724,7 @@ where
             shapes
         }
     };
+    drop(shape_span);
     let mut pool: Vec<Vec<ServiceId>> = vec![Vec::new(); classes.class_count()];
     for k in 0..classes.n() {
         pool[classes.class_of(k)].push(k);
@@ -650,9 +744,11 @@ where
         // Bound-ascending order: the head clearing the incumbent is the
         // certificate that every remaining shape is prunable.
         if plan[at].bound > prune_threshold(incumbent.get()) {
+            let _certify_span = obs.map(|m| m.certify.start());
             stats.certified_shapes += plan.len() - at;
             break;
         }
+        let expand_span = obs.map(|m| m.expand.start());
         let hi = (at + batch_len).min(plan.len());
         let batch = &plan[at..hi];
         let parts = par_chunks_weighted(threads, batch, weight_of, |_base, chunk| {
@@ -719,6 +815,7 @@ where
             }
             complete &= !part_interrupted;
         }
+        drop(expand_span);
         if !complete {
             break;
         }

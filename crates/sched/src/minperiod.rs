@@ -16,6 +16,7 @@
 //!   the one-port lower bound or an actual ordering search for the one-port
 //!   models.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use fsw_core::{
@@ -25,7 +26,8 @@ use fsw_core::{
 
 use crate::chain::{chain_graph, chain_minperiod_order};
 use crate::engine::frontier::{
-    best_first_forest_search, streamed_canonical_search, StreamProbe, DEFAULT_FRONTIER_CAP,
+    best_first_forest_search_stats, streamed_canonical_search_observed, EngineMetrics, StreamProbe,
+    StreamStats, DEFAULT_FRONTIER_CAP,
 };
 use crate::engine::{
     prune_threshold, tags, CanonicalRep, CanonicalSpace, EvalCache, ForestCursor, Incumbent,
@@ -296,6 +298,11 @@ where
     if n == 0 {
         return None;
     }
+    // Stage spans resolve once per solve, and only when the probe carries a
+    // registry — the plain path pays nothing.
+    let engine_obs = probe
+        .and_then(|p| p.metrics())
+        .map(|registry| EngineMetrics::new(registry));
     if symmetry != Symmetry::Full && CanonicalSpace::reducible(app) {
         if CanonicalSpace::forest_class_count(n) > cap as u128 {
             return None;
@@ -309,7 +316,7 @@ where
         // is bit-identical to the retired materialised scan — serial,
         // parallel, depth-first or best-first alike.
         let classes = WeightClasses::of(app);
-        let (outcome, stats) = streamed_canonical_search(
+        let (outcome, stats) = streamed_canonical_search_observed(
             app,
             &classes,
             exec,
@@ -317,6 +324,7 @@ where
             DEFAULT_FRONTIER_CAP,
             incumbent_seed,
             eval,
+            engine_obs.as_ref(),
         );
         if let Some(p) = probe {
             p.record(stats);
@@ -327,7 +335,32 @@ where
         if strategy == SearchStrategy::DepthFirst {
             match CanonicalSpace::classed_representatives_within(app, cap, exec.deadline) {
                 crate::engine::ClassedGeneration::Generated(reps) => {
-                    return canonical_forest_search(app, &reps, exec, prune, incumbent_seed, eval);
+                    // Telemetry attaches on every strategy (see
+                    // `SolveStats::stream`): the materialised walk reports
+                    // the whole representative list as resident — the
+                    // honest contrast with the streamed walk's bounded
+                    // residency — and the coloured-orbit total these
+                    // representatives stand for.
+                    let expanded = AtomicU64::new(0);
+                    let counted = |graph: &ExecutionGraph, incumbent: f64| {
+                        expanded.fetch_add(1, Ordering::Relaxed);
+                        eval(graph, incumbent)
+                    };
+                    let orbits = reps
+                        .iter()
+                        .try_fold(0u128, |acc, rep| acc.checked_add(rep.orbit));
+                    let outcome =
+                        canonical_forest_search(app, &reps, exec, prune, incumbent_seed, &counted);
+                    if let Some(p) = probe {
+                        p.record(StreamStats {
+                            shapes: reps.len(),
+                            orbits,
+                            expanded: expanded.load(Ordering::Relaxed),
+                            peak_resident: reps.len(),
+                            certified_shapes: 0,
+                        });
+                    }
+                    return outcome;
                 }
                 // Deadline passed before the space was even materialised: no
                 // candidate was examined, so degrade to the heuristic
@@ -346,7 +379,7 @@ where
             // coloured count dwarfs the cap stay exhaustively searchable.
             // Beyond the shape cap, fall through to the raw-space gates.
             let classes = WeightClasses::of(app);
-            let (outcome, stats) = streamed_canonical_search(
+            let (outcome, stats) = streamed_canonical_search_observed(
                 app,
                 &classes,
                 exec,
@@ -354,6 +387,7 @@ where
                 DEFAULT_FRONTIER_CAP,
                 incumbent_seed,
                 eval,
+                engine_obs.as_ref(),
             );
             if let Some(p) = probe {
                 p.record(stats);
@@ -363,18 +397,37 @@ where
             return outcome;
         }
     }
-    if forest_space_size(n)? > cap {
+    let space = forest_space_size(n)?;
+    if space > cap {
         return None;
     }
+    // Raw labelled walks carry telemetry too (`shapes` stays 0 — no shape
+    // plan exists on the labelled space — and `orbits` reports the labelled
+    // space size itself, every orbit being trivial).
+    let expanded = AtomicU64::new(0);
+    let counted = |graph: &ExecutionGraph, incumbent: f64| {
+        expanded.fetch_add(1, Ordering::Relaxed);
+        eval(graph, incumbent)
+    };
     if strategy == SearchStrategy::BestFirst {
-        return best_first_forest_search(
+        let (outcome, frontier) = best_first_forest_search_stats(
             app,
             exec,
             prune,
             DEFAULT_FRONTIER_CAP,
             incumbent_seed,
-            eval,
+            &counted,
         );
+        if let Some(p) = probe {
+            p.record(StreamStats {
+                shapes: 0,
+                orbits: Some(space as u128),
+                expanded: expanded.load(Ordering::Relaxed),
+                peak_resident: frontier.peak,
+                certified_shapes: 0,
+            });
+        }
+        return outcome;
     }
     let incumbent = Incumbent::seeded(incumbent_seed);
     let prefixes = forest_task_prefixes(n, exec.effective_split_levels());
@@ -392,7 +445,7 @@ where
                 &mut best,
                 &incumbent,
                 prune,
-                eval,
+                &counted,
                 exec.deadline,
             );
             for _ in prefix {
@@ -407,6 +460,15 @@ where
     });
     let complete = parts.iter().all(|(_, c)| *c);
     let best = fold_min(parts.into_iter().map(|(b, _)| b).collect());
+    if let Some(p) = probe {
+        p.record(StreamStats {
+            shapes: 0,
+            orbits: Some(space as u128),
+            expanded: expanded.load(Ordering::Relaxed),
+            peak_resident: exec.effective_threads(),
+            certified_shapes: 0,
+        });
+    }
     best.map(|(value, graph)| SearchOutcome {
         value,
         graph,

@@ -358,12 +358,16 @@ pub struct SolveStats {
     /// search (pruned candidates are not counted).  `0` for fixed-graph
     /// orchestration problems.
     pub evaluated: usize,
-    /// Telemetry of the lazy bound-ordered canonical walk, when the plan
-    /// search resolved to the streamed path (`None` for fixed-graph,
-    /// labelled-space or materialised depth-first solves): shape/orbit
-    /// counts, representatives actually expanded, the peak number of
-    /// concurrently resident representatives and the shapes discarded by the
-    /// final bound-clearance certificate.
+    /// Telemetry of the plan search, attached **uniformly across every
+    /// `SearchStrategy` branch**: streamed canonical walks report
+    /// shape/orbit counts, expansions, bounded peak residency and
+    /// certificate discards; materialised depth-first walks report the
+    /// representative list (fully resident) and its coloured-orbit total;
+    /// raw labelled walks report the labelled space size as `orbits`
+    /// (`shapes` stays 0 — no shape plan exists) with the frontier peak
+    /// (best-first) or worker count (depth-first) as residency.  `None`
+    /// only for fixed-graph orchestration problems and the non-enumerative
+    /// fallbacks (hill climbing, DAG phase), where no plan space is walked.
     pub stream: Option<crate::engine::frontier::StreamStats>,
     /// The warm-start upper bound the search's incumbent was seeded with
     /// (the previous plan's value on the current instance), when one was
@@ -390,6 +394,24 @@ pub fn solve_warm(
     cache: &EvalCache,
     warm: Option<&ExecutionGraph>,
 ) -> CoreResult<(Solution, SolveStats)> {
+    solve_warm_observed(problem, budget, cache, warm, None)
+}
+
+/// [`solve_warm`] with optional observability: when `metrics` is supplied
+/// the solve records tracing spans for its phases (`solve.search` — the
+/// plan search, `solve.orchestrate` — scheduling the winning graph, plus
+/// the engine-stage spans `engine.shape_stream` / `engine.expand` /
+/// `engine.certify` inside the streamed walk) and publishes the plan
+/// search's [`StreamStats`] into `engine.stream.*` instruments.  The
+/// solve itself is untouched — instrumented and plain runs return
+/// bit-identical solutions and stats.
+pub fn solve_warm_observed(
+    problem: &Problem<'_>,
+    budget: &SearchBudget,
+    cache: &EvalCache,
+    warm: Option<&ExecutionGraph>,
+    metrics: Option<&std::sync::Arc<fsw_obs::MetricsRegistry>>,
+) -> CoreResult<(Solution, SolveStats)> {
     // The cache key carries the weight-class *partition signature*, not the
     // weight bits themselves (two different applications with the same
     // partition pattern collide), so a cache built for another application
@@ -402,19 +424,29 @@ pub fn solve_warm(
     }
     let exec = budget.exec();
     let evals = AtomicUsize::new(0);
-    let probe = crate::engine::frontier::StreamProbe::default();
+    let probe = match metrics {
+        Some(registry) => crate::engine::frontier::StreamProbe::with_metrics(registry.clone()),
+        None => crate::engine::frontier::StreamProbe::default(),
+    };
+    let search_span = metrics.map(|r| r.span("solve.search"));
+    let orchestrate_span = metrics.map(|r| r.span("solve.orchestrate"));
+    let orchestrated = |f: &dyn Fn() -> CoreResult<Solution>| -> CoreResult<Solution> {
+        let _span = orchestrate_span.as_ref().map(|t| t.start());
+        f()
+    };
     let mut stats = SolveStats::default();
     let solution = match (problem.graph, problem.objective) {
         (Some(graph), Objective::MinPeriod) => {
-            orchestrate_period(problem.app, problem.model, graph, budget, exec)?
+            orchestrated(&|| orchestrate_period(problem.app, problem.model, graph, budget, exec))?
         }
         (Some(graph), Objective::MinLatency) => {
-            orchestrate_latency(problem.app, problem.model, graph, budget, exec)?
+            orchestrated(&|| orchestrate_latency(problem.app, problem.model, graph, budget, exec))?
         }
         (None, Objective::MinPeriod) => {
             let options = budget.minperiod_options(problem.model);
             let seed = warm_seed(problem, budget, warm);
             stats.warm_value = seed;
+            let searched = search_span.as_ref().map(|t| t.start());
             let result = minimize_period_engine_seeded(
                 problem.app,
                 &options,
@@ -424,8 +456,10 @@ pub fn solve_warm(
                 &evals,
                 Some(&probe),
             )?;
-            let mut solution =
-                orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)?;
+            drop(searched);
+            let mut solution = orchestrated(&|| {
+                orchestrate_period(problem.app, problem.model, &result.graph, budget, exec)
+            })?;
             // Report the search's own value (bit-identical to the legacy
             // `minimize_period`); the orchestrated schedule stays available
             // through `oplist`.
@@ -437,6 +471,7 @@ pub fn solve_warm(
             let options = budget.minlatency_options(problem.model);
             let seed = warm_seed(problem, budget, warm);
             stats.warm_value = seed;
+            let searched = search_span.as_ref().map(|t| t.start());
             let result = minimize_latency_engine_seeded(
                 problem.app,
                 &options,
@@ -446,8 +481,10 @@ pub fn solve_warm(
                 &evals,
                 Some(&probe),
             )?;
-            let mut solution =
-                orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)?;
+            drop(searched);
+            let mut solution = orchestrated(&|| {
+                orchestrate_latency(problem.app, problem.model, &result.graph, budget, exec)
+            })?;
             solution.value = result.latency;
             solution.exhaustive = result.exhaustive && solution.exhaustive;
             solution

@@ -60,12 +60,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fsw_core::{CommModel, CoreResult};
+use fsw_obs::{Counter, Gauge, LogHistogram, MetricsRegistry, SpanTimer, TrafficSketch};
 use fsw_sched::engine::EvalCache;
 use fsw_sched::orchestrator::SearchBudget;
 
 use crate::service::{
     cold_solve, panic_message, InjectedFault, PlanRequest, PlanResponse, PlanService, Prepared,
-    RejectReason, Rejection, ServeOutcome, ServeSource,
+    RejectReason, Rejection, ServeOutcome, ServeSource, ServeStats,
 };
 use crate::store::{PlanKey, StoredPlan};
 
@@ -75,6 +76,10 @@ const MAX_LATENCY_TICKS: u64 = 8;
 /// Replacement workers the pool may spawn over its lifetime when stalls
 /// consume the original ones.
 const MAX_REPLACEMENT_WORKERS: usize = 16;
+/// Rows of the per-tenant traffic sketches (`tenant.*`).
+const TENANT_SKETCH_DEPTH: usize = 4;
+/// Counters per row of the per-tenant traffic sketches.
+const TENANT_SKETCH_WIDTH: usize = 64;
 
 /// Tuning of one [`AsyncFrontend`] (all thresholds in logical units; see
 /// the module docs for how each feeds the loop).
@@ -209,6 +214,13 @@ pub struct FrontendStats {
     pub shed_level: u32,
     /// Highest shed level reached.
     pub peak_shed_level: u32,
+    /// Shed-level **raises**: ticks on which the backpressure controller
+    /// actually stepped the level up (a tick already at
+    /// [`max_shed_level`](FrontendConfig::max_shed_level) does not count).
+    pub shed_raises: usize,
+    /// Shed-level **lowers**: ticks on which the controller stepped the
+    /// level back down.
+    pub shed_lowers: usize,
     /// Largest backlog (total queued requests) observed at a tick end.
     pub peak_backlog: usize,
     /// Largest single-tenant queue depth observed (≤ the configured
@@ -254,6 +266,100 @@ struct WorkItem {
     budget: SearchBudget,
     cache: Arc<EvalCache>,
     fault: Option<InjectedFault>,
+    /// Observability registry for the solve (cold-solve span + engine
+    /// stages), when the front end has one attached.
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// Cached registry handles of one front end, resolved once at attachment
+/// ([`AsyncFrontend::with_metrics`]) and recorded through atomics on the
+/// hot paths.  The counters mirror [`FrontendStats`] one for one (same
+/// increment sites), so a snapshot is checkable against the exact stats.
+/// Wall-clock span durations are observability-only; the latency
+/// histogram records **logical ticks** — a pure function of the logical
+/// timeline, safe next to the replay digests.
+struct FrontendMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `frontend.tick` — one span per event-loop tick.
+    tick: SpanTimer,
+    /// `frontend.watchdog` — one span per blocking completion wait (the
+    /// stall watchdog's observation window).
+    watchdog: SpanTimer,
+    /// `admission.decide` — pricing span, same instruments as the sync
+    /// batch path when both are attached to one registry.  Duration
+    /// sampling ([`SpanTimer::start_sampled`]) keeps the per-request cost
+    /// to one atomic; the call count stays exact.
+    admission: SpanTimer,
+    ingress: Arc<Counter>,
+    completions: Arc<Counter>,
+    queue_full_sheds: Arc<Counter>,
+    backpressure_sheds: Arc<Counter>,
+    admission_rejects: Arc<Counter>,
+    quarantine_rejects: Arc<Counter>,
+    deadline_cancels: Arc<Counter>,
+    deadline_degrades: Arc<Counter>,
+    store_hits: Arc<Counter>,
+    dedup_joins: Arc<Counter>,
+    dispatches: Arc<Counter>,
+    degraded: Arc<Counter>,
+    panics: Arc<Counter>,
+    stalls: Arc<Counter>,
+    recovered: Arc<Counter>,
+    shed_raises: Arc<Counter>,
+    shed_lowers: Arc<Counter>,
+    /// `frontend.latency_ticks` — logical completion latency
+    /// (`completed_tick - submitted_tick`) of every resolved ticket.
+    latency_ticks: Arc<LogHistogram>,
+    backlog: Arc<Gauge>,
+    shed_level: Arc<Gauge>,
+    /// `tenant.requests` — per-tenant submission traffic (sketched).
+    tenant_requests: Arc<TrafficSketch>,
+    /// `tenant.sheds` — per-tenant shed traffic (queue-full + backpressure).
+    tenant_sheds: Arc<TrafficSketch>,
+    /// `tenant.degrades` — per-tenant degraded responses (sketched).
+    tenant_degrades: Arc<TrafficSketch>,
+}
+
+impl FrontendMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        FrontendMetrics {
+            tick: registry.span("frontend.tick"),
+            watchdog: registry.span("frontend.watchdog"),
+            admission: registry.span("admission.decide"),
+            ingress: registry.counter("frontend.ingress"),
+            completions: registry.counter("frontend.completions"),
+            queue_full_sheds: registry.counter("frontend.queue_full_sheds"),
+            backpressure_sheds: registry.counter("frontend.backpressure_sheds"),
+            admission_rejects: registry.counter("frontend.admission_rejects"),
+            quarantine_rejects: registry.counter("frontend.quarantine_rejects"),
+            deadline_cancels: registry.counter("frontend.deadline_cancels"),
+            deadline_degrades: registry.counter("frontend.deadline_degrades"),
+            store_hits: registry.counter("frontend.store_hits"),
+            dedup_joins: registry.counter("frontend.dedup_joins"),
+            dispatches: registry.counter("frontend.dispatches"),
+            degraded: registry.counter("frontend.degraded"),
+            panics: registry.counter("frontend.panics"),
+            stalls: registry.counter("frontend.stalls"),
+            recovered: registry.counter("frontend.recovered"),
+            shed_raises: registry.counter("frontend.shed_raises"),
+            shed_lowers: registry.counter("frontend.shed_lowers"),
+            latency_ticks: registry.histogram("frontend.latency_ticks"),
+            backlog: registry.gauge("frontend.backlog"),
+            shed_level: registry.gauge("frontend.shed_level"),
+            tenant_requests: registry.sketch(
+                "tenant.requests",
+                TENANT_SKETCH_DEPTH,
+                TENANT_SKETCH_WIDTH,
+            ),
+            tenant_sheds: registry.sketch("tenant.sheds", TENANT_SKETCH_DEPTH, TENANT_SKETCH_WIDTH),
+            tenant_degrades: registry.sketch(
+                "tenant.degrades",
+                TENANT_SKETCH_DEPTH,
+                TENANT_SKETCH_WIDTH,
+            ),
+            registry,
+        }
+    }
 }
 
 /// State shared between the loop and the workers.
@@ -325,7 +431,13 @@ impl WorkerPool {
                     Some(InjectedFault::Slow(stall)) => std::thread::sleep(stall),
                     _ => {}
                 }
-                cold_solve(&item.prep, item.model, &item.budget, &item.cache)
+                cold_solve(
+                    &item.prep,
+                    item.model,
+                    &item.budget,
+                    &item.cache,
+                    item.metrics.as_ref(),
+                )
             }))
             .map_err(panic_message);
             let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -439,6 +551,9 @@ pub struct AsyncFrontend {
     ready: Vec<Completion>,
     pool: WorkerPool,
     stats: FrontendStats,
+    /// Cached observability handles, when attached
+    /// ([`Self::with_metrics`]).
+    metrics: Option<FrontendMetrics>,
 }
 
 impl AsyncFrontend {
@@ -462,7 +577,28 @@ impl AsyncFrontend {
             abandoned: HashSet::new(),
             ready: Vec::new(),
             stats: FrontendStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches an observability registry to the whole request path: the
+    /// tick loop records `frontend.*` counters/spans/gauges (mirroring
+    /// [`FrontendStats`] one for one), the logical-tick latency histogram
+    /// (`frontend.latency_ticks`), per-tenant traffic sketches
+    /// (`tenant.requests` / `tenant.sheds` / `tenant.degrades`), the
+    /// admission-pricing span, the owning service's store counters
+    /// (`store.*`), and every dispatched cold solve threads the registry
+    /// down to the engine stages.  Instrumentation is pure observability:
+    /// no decision, outcome, or replay digest depends on it.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.service.store().attach_metrics(&registry);
+        self.metrics = Some(FrontendMetrics::new(registry));
+        self
+    }
+
+    /// The attached observability registry, if any.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Installs a deterministic async-layer fault hook keyed by request
@@ -486,6 +622,18 @@ impl AsyncFrontend {
     /// Lifetime counters.
     pub fn stats(&self) -> FrontendStats {
         self.stats
+    }
+
+    /// One tier-wide snapshot **through this front end**: the owning
+    /// service's [`ServeStats`] with the async-only fields filled in —
+    /// shed-level transition counts (`shed_raises` / `shed_lowers`) and
+    /// deadline-cancellation totals, which the service alone cannot see.
+    pub fn serve_stats(&self) -> ServeStats {
+        let mut stats = self.service.serve_stats();
+        stats.shed_raises = self.stats.shed_raises;
+        stats.shed_lowers = self.stats.shed_lowers;
+        stats.deadline_cancels = self.stats.deadline_cancels;
+        stats
     }
 
     /// Tickets not yet resolved (queued + in flight).
@@ -525,9 +673,19 @@ impl AsyncFrontend {
         self.next_ticket += 1;
         let ordinal = self.service.next_ordinals(1);
         self.stats.submitted += 1;
+        if let Some(m) = &self.metrics {
+            m.ingress.inc();
+            m.tenant_requests.record(tenant as u64, 1);
+        }
         let queue = self.queues.entry(tenant).or_default();
         if queue.len() >= self.config.queue_capacity {
             self.stats.queue_full_sheds += 1;
+            if let Some(m) = &self.metrics {
+                m.queue_full_sheds.inc();
+                m.completions.inc();
+                m.latency_ticks.record(0);
+                m.tenant_sheds.record(tenant as u64, 1);
+            }
             self.ready.push(Completion {
                 ticket,
                 tenant,
@@ -558,6 +716,7 @@ impl AsyncFrontend {
     /// up to `dispatch_per_tick` requests, updates the shed level, and
     /// returns every completion produced since the last call.
     pub fn tick(&mut self) -> Vec<Completion> {
+        let _tick_span = self.metrics.as_ref().map(|m| m.tick.start());
         self.tick += 1;
         self.apply_due_completions();
         self.dispatch_phase();
@@ -590,10 +749,17 @@ impl AsyncFrontend {
         {
             let job = self.pending.pop_front().expect("front checked");
             self.in_flight.remove(&job.key);
-            match self.pool.wait(job.job, self.config.stall_timeout) {
+            let waited = {
+                let _watchdog = self.metrics.as_ref().map(|m| m.watchdog.start());
+                self.pool.wait(job.job, self.config.stall_timeout)
+            };
+            match waited {
                 Ok(Ok(plan)) => {
                     if self.service.quarantine().record_success(&job.key) {
                         self.stats.recovered += 1;
+                        if let Some(m) = &self.metrics {
+                            m.recovered.inc();
+                        }
                     }
                     if plan.exhaustive {
                         self.service.store().insert(job.key.clone(), plan.clone());
@@ -606,6 +772,9 @@ impl AsyncFrontend {
                 }
                 Ok(Err(message)) => {
                     self.stats.panics += 1;
+                    if let Some(m) = &self.metrics {
+                        m.panics.inc();
+                    }
                     self.service.quarantine().record_failure(&job.key);
                     self.service.drop_cache(&job.key.fingerprint);
                     self.resolve_rejected(
@@ -617,6 +786,9 @@ impl AsyncFrontend {
                 }
                 Err(()) => {
                     self.stats.stalls += 1;
+                    if let Some(m) = &self.metrics {
+                        m.stalls.inc();
+                    }
                     self.abandoned.insert(job.job);
                     self.service.quarantine().record_failure(&job.key);
                     self.service.drop_cache(&job.key.fingerprint);
@@ -675,6 +847,10 @@ impl AsyncFrontend {
             ServeOutcome::Exact(response)
         } else {
             self.stats.degraded += 1;
+            if let Some(m) = &self.metrics {
+                m.degraded.inc();
+                m.tenant_degrades.record(info.tenant as u64, 1);
+            }
             let lower_bound = floor.unwrap_or(0.0);
             let gap = if lower_bound > 0.0 {
                 (response.value - lower_bound) / lower_bound
@@ -716,6 +892,10 @@ impl AsyncFrontend {
 
     fn complete(&mut self, info: TicketInfo, completed_tick: u64, outcome: ServeOutcome) {
         self.stats.completed += 1;
+        if let Some(m) = &self.metrics {
+            m.completions.inc();
+            m.latency_ticks.record(completed_tick - info.submitted_tick);
+        }
         self.ready.push(Completion {
             ticket: info.ticket,
             tenant: info.tenant,
@@ -776,6 +956,9 @@ impl AsyncFrontend {
         // 1. Cancellation: an expired deadline is not worth a lookup.
         if deadline_tick.is_some_and(|deadline| self.tick > deadline) {
             self.stats.deadline_cancels += 1;
+            if let Some(m) = &self.metrics {
+                m.deadline_cancels.inc();
+            }
             self.reject_now(
                 ticket,
                 tenant,
@@ -803,6 +986,9 @@ impl AsyncFrontend {
         // 3. Store hit: resolved this tick.
         if let Some(plan) = self.service.store().get(&info.prep.key) {
             self.stats.store_hits += 1;
+            if let Some(m) = &self.metrics {
+                m.store_hits.inc();
+            }
             let completed_tick = self.tick;
             self.emit_response(info, &plan, ServeSource::Store, None, completed_tick);
             return;
@@ -810,6 +996,9 @@ impl AsyncFrontend {
         // 4. Dedup join: ride the in-flight solve of the same key.
         if let Some(&job) = self.in_flight.get(&info.prep.key) {
             self.stats.dedup_joins += 1;
+            if let Some(m) = &self.metrics {
+                m.dedup_joins.inc();
+            }
             if let Some(pending) = self.pending.iter_mut().find(|p| p.job == job) {
                 pending.followers.push(info);
             }
@@ -818,6 +1007,9 @@ impl AsyncFrontend {
         // 5. Quarantine gate.
         if let Err(permanent) = self.service.quarantine().admit(&info.prep.key) {
             self.stats.quarantine_rejects += 1;
+            if let Some(m) = &self.metrics {
+                m.quarantine_rejects.inc();
+            }
             let TicketInfo {
                 ticket,
                 tenant,
@@ -842,12 +1034,18 @@ impl AsyncFrontend {
         let mut floor: Option<f64> = None;
         let mut latency: u64 = 1;
         if !policy.is_open() {
-            let estimate = policy.estimate(
-                &info.request.app,
-                info.request.model,
-                info.request.objective,
-                service.budget(),
-            );
+            let estimate = {
+                let _pricing = self
+                    .metrics
+                    .as_ref()
+                    .and_then(|m| m.admission.start_sampled());
+                policy.estimate(
+                    &info.request.app,
+                    info.request.model,
+                    info.request.objective,
+                    service.budget(),
+                )
+            };
             let level = self.shed_level.min(127);
             let effective_admit = policy.admit_cost >> level;
             let effective_reject = policy.reject_cost >> level;
@@ -857,9 +1055,16 @@ impl AsyncFrontend {
             if estimate.cost > effective_reject {
                 let (reason, estimate) = if estimate.cost > policy.reject_cost {
                     self.stats.admission_rejects += 1;
+                    if let Some(m) = &self.metrics {
+                        m.admission_rejects.inc();
+                    }
                     (RejectReason::AdmissionCost, Some(estimate))
                 } else {
                     self.stats.backpressure_sheds += 1;
+                    if let Some(m) = &self.metrics {
+                        m.backpressure_sheds.inc();
+                        m.tenant_sheds.record(info.tenant as u64, 1);
+                    }
                     (RejectReason::Shed { level }, Some(estimate))
                 };
                 let TicketInfo {
@@ -887,6 +1092,9 @@ impl AsyncFrontend {
         if let Some(deadline) = deadline_tick {
             if time_limit.is_none() && self.tick + latency > deadline {
                 self.stats.deadline_degrades += 1;
+                if let Some(m) = &self.metrics {
+                    m.deadline_degrades.inc();
+                }
                 time_limit = Some(policy.degrade_time_limit);
             }
         }
@@ -908,6 +1116,9 @@ impl AsyncFrontend {
         let job = self.next_job;
         self.next_job += 1;
         self.stats.dispatches += 1;
+        if let Some(m) = &self.metrics {
+            m.dispatches.inc();
+        }
         let mut budget = SearchBudget {
             threads: 1,
             ..*self.service.budget()
@@ -939,6 +1150,7 @@ impl AsyncFrontend {
             budget,
             cache,
             fault,
+            metrics: self.metrics.as_ref().map(|m| Arc::clone(&m.registry)),
         });
         self.in_flight.insert(info.prep.key.clone(), job);
         self.pending.push_back(PendingJob {
@@ -962,6 +1174,10 @@ impl AsyncFrontend {
         estimate: Option<crate::admission::CostEstimate>,
     ) {
         self.stats.completed += 1;
+        if let Some(m) = &self.metrics {
+            m.completions.inc();
+            m.latency_ticks.record(self.tick - submitted_tick);
+        }
         self.ready.push(Completion {
             ticket,
             tenant,
@@ -978,9 +1194,24 @@ impl AsyncFrontend {
         let backlog: usize = self.queues.values().map(VecDeque::len).sum();
         self.stats.peak_backlog = self.stats.peak_backlog.max(backlog);
         if backlog >= self.config.backlog_high {
-            self.shed_level = (self.shed_level + 1).min(self.config.max_shed_level);
+            let raised = (self.shed_level + 1).min(self.config.max_shed_level);
+            if raised != self.shed_level {
+                self.shed_level = raised;
+                self.stats.shed_raises += 1;
+                if let Some(m) = &self.metrics {
+                    m.shed_raises.inc();
+                }
+            }
         } else if backlog <= self.config.backlog_low && self.shed_level > 0 {
             self.shed_level -= 1;
+            self.stats.shed_lowers += 1;
+            if let Some(m) = &self.metrics {
+                m.shed_lowers.inc();
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.backlog.set(backlog as u64);
+            m.shed_level.set(u64::from(self.shed_level));
         }
         self.stats.shed_level = self.shed_level;
         self.stats.peak_shed_level = self.stats.peak_shed_level.max(self.shed_level);

@@ -53,7 +53,7 @@ use fsw_core::{
     AppFingerprint, Application, CanonicalApplication, CommModel, CoreResult, ExecutionGraph,
 };
 use fsw_sched::engine::EvalCache;
-use fsw_sched::orchestrator::{solve_with_cache, Objective, Problem, SearchBudget};
+use fsw_sched::orchestrator::{solve_warm_observed, Objective, Problem, SearchBudget};
 use fsw_sched::par::par_chunks;
 
 use crate::admission::{AdmissionDecision, AdmissionPolicy, CostEstimate};
@@ -287,6 +287,17 @@ pub struct ServeStats {
     pub quarantine_active: usize,
     /// Fingerprints whose quarantine is permanent (failure budget spent).
     pub quarantine_permanent: usize,
+    /// Shed-level **raises** over the tier's lifetime (each +1 step of the
+    /// async front end's backpressure controller).  `0` on the synchronous
+    /// batch path, which has no shed controller.
+    pub shed_raises: usize,
+    /// Shed-level **lowers** (each −1 recovery step of the controller).
+    /// `0` on the synchronous batch path.
+    pub shed_lowers: usize,
+    /// Requests cancelled because their deadline expired before dispatch
+    /// (async front end).  `0` on the synchronous batch path, which never
+    /// queues.
+    pub deadline_cancels: usize,
 }
 
 /// A deterministic fault injected into one cold solve (robustness
@@ -402,6 +413,16 @@ struct LeaderTask {
     floor: Option<f64>,
 }
 
+/// The service's cached observability handles: the shared registry plus
+/// the span timers the hot paths record through (resolved once at
+/// attachment, so serving never takes the registry lock).
+pub(crate) struct ServiceMetrics {
+    pub(crate) registry: Arc<fsw_obs::MetricsRegistry>,
+    /// `admission.decide` — exact count of pricing decisions, durations
+    /// sampled 1-in-[`fsw_obs::span::SAMPLE_EVERY`] (per-request path).
+    pub(crate) admission: fsw_obs::SpanTimer,
+}
+
 /// How many solver panics a fingerprint may accumulate before its
 /// quarantine becomes permanent.
 const QUARANTINE_MAX_FAILURES: u32 = 3;
@@ -501,6 +522,9 @@ pub struct PlanService {
     /// recomputation, never correctness).
     cache_capacity: usize,
     quarantine: Quarantine,
+    /// Observability registry plus pre-resolved span timers, when attached
+    /// ([`Self::with_metrics`]).
+    metrics: Option<ServiceMetrics>,
     /// Deterministic fault hook keyed by request ordinal (tests/harness).
     fault_hook: Option<Box<dyn Fn(u64) -> Option<InjectedFault> + Send + Sync>>,
     /// Requests received; doubles as the arrival-ordinal counter.
@@ -529,6 +553,7 @@ impl PlanService {
             caches: Mutex::new(HashMap::new()),
             cache_capacity: store_capacity.max(1),
             quarantine: Quarantine::new(),
+            metrics: None,
             fault_hook: None,
             requests: AtomicU64::new(0),
             cold: AtomicUsize::new(0),
@@ -548,6 +573,26 @@ impl PlanService {
     pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
         self.admission = policy;
         self
+    }
+
+    /// Attaches an observability registry: admission pricing records an
+    /// `admission.decide` span, the plan store mirrors its hit/miss/evict
+    /// counters (`store.*`), every cold solve records a `serve.cold_solve`
+    /// span and threads the registry down the solve pipeline (engine
+    /// stream/expand/certify stages).  All instruments are pure
+    /// observability — no served value or decision depends on them.
+    pub fn with_metrics(mut self, registry: Arc<fsw_obs::MetricsRegistry>) -> Self {
+        self.store.attach_metrics(&registry);
+        self.metrics = Some(ServiceMetrics {
+            admission: registry.span("admission.decide"),
+            registry,
+        });
+        self
+    }
+
+    /// The attached observability registry, if any.
+    pub fn metrics_registry(&self) -> Option<&Arc<fsw_obs::MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Installs a deterministic fault hook: before each cold solve the
@@ -606,6 +651,12 @@ impl PlanService {
             store: self.store.stats(),
             quarantine_active,
             quarantine_permanent,
+            // The batch path has no shed controller and never queues, so
+            // the async-only counters are structurally zero here; the
+            // async front end's `serve_stats` fills them in.
+            shed_raises: 0,
+            shed_lowers: 0,
+            deadline_cancels: 0,
         }
     }
 
@@ -732,12 +783,15 @@ impl PlanService {
                 continue;
             }
             let request = &requests[idx];
-            let (time_limit, floor) = match self.admission.decide(
-                &request.app,
-                request.model,
-                request.objective,
-                &self.budget,
-            ) {
+            let decision = {
+                let _pricing = self
+                    .metrics
+                    .as_ref()
+                    .and_then(|m| m.admission.start_sampled());
+                self.admission
+                    .decide(&request.app, request.model, request.objective, &self.budget)
+            };
+            let (time_limit, floor) = match decision {
                 AdmissionDecision::Admit => (None, None),
                 AdmissionDecision::AdmitWithDeadline {
                     time_limit,
@@ -817,7 +871,13 @@ impl PlanService {
                                 Some(InjectedFault::Slow(stall)) => std::thread::sleep(stall),
                                 _ => {}
                             }
-                            cold_solve(&prepared[task.idx], requests[task.idx].model, &inner, cache)
+                            cold_solve(
+                                &prepared[task.idx],
+                                requests[task.idx].model,
+                                &inner,
+                                cache,
+                                self.metrics_registry(),
+                            )
                         }))
                         .map_err(panic_message)
                     })
@@ -1005,16 +1065,24 @@ impl PlanService {
 }
 
 /// One cold solve over the canonical application, timed for the store.
+/// When a registry is attached it records a `serve.cold_solve` span and is
+/// threaded down the solve pipeline (`solve.search`/`solve.orchestrate`
+/// spans, engine stream/expand/certify stages).
 pub(crate) fn cold_solve(
     prep: &Prepared,
     model: CommModel,
     budget: &SearchBudget,
     cache: &EvalCache,
+    metrics: Option<&Arc<fsw_obs::MetricsRegistry>>,
 ) -> StoredPlan {
     let problem = Problem::new(&prep.canon.app, model, prep.key.objective);
     let started = Instant::now();
-    let solution = solve_with_cache(&problem, budget, cache)
+    let span = metrics.map(|r| r.span("serve.cold_solve"));
+    let guard = span.as_ref().map(|t| t.start());
+    let solution = solve_warm_observed(&problem, budget, cache, None, metrics)
+        .map(|(solution, _)| solution)
         .expect("serving requests are validated applications");
+    drop(guard);
     let solve_micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     StoredPlan {
         value: solution.value,

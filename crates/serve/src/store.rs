@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use fsw_core::{AppFingerprint, CommModel, ExecutionGraph};
 use fsw_sched::orchestrator::Objective;
@@ -84,6 +84,14 @@ pub struct StoreStats {
 
 type Shard = RwLock<HashMap<PlanKey, Entry>>;
 
+/// Registry-backed mirrors of the store counters (`store.hits`,
+/// `store.misses`, `store.evictions`), attached at most once per store.
+struct StoreMetrics {
+    hits: std::sync::Arc<fsw_obs::Counter>,
+    misses: std::sync::Arc<fsw_obs::Counter>,
+    evictions: std::sync::Arc<fsw_obs::Counter>,
+}
+
 /// A bounded, concurrent, fingerprint-keyed plan cache (see the module
 /// docs for the eviction policy and sharding).
 pub struct PlanStore {
@@ -100,6 +108,7 @@ pub struct PlanStore {
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
+    metrics: OnceLock<StoreMetrics>,
 }
 
 impl PlanStore {
@@ -116,12 +125,25 @@ impl PlanStore {
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            metrics: OnceLock::new(),
         }
     }
 
     /// Maximum number of plans the store holds.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Mirrors the store counters into `registry` as `store.hits`,
+    /// `store.misses` and `store.evictions`.  Idempotent: the first
+    /// attachment wins; later calls are no-ops (the store outlives any one
+    /// observer and the counters are monotone either way).
+    pub fn attach_metrics(&self, registry: &fsw_obs::MetricsRegistry) {
+        let _ = self.metrics.set(StoreMetrics {
+            hits: registry.counter("store.hits"),
+            misses: registry.counter("store.misses"),
+            evictions: registry.counter("store.evictions"),
+        });
     }
 
     /// Which shard `key` lives in: the low bits of the fingerprint digest.
@@ -153,10 +175,16 @@ impl PlanStore {
             Some(entry) => {
                 entry.last_used.store(now, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.hits.inc();
+                }
                 Some(entry.plan.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -255,6 +283,9 @@ impl PlanStore {
                     shard.remove(&key);
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.evictions.inc();
+                    }
                     return true;
                 }
                 _ => continue, // refreshed or gone since the scan — rescan

@@ -8,6 +8,9 @@
 //!
 //! * [`core`] — services, applications, execution graphs, operation lists,
 //!   communication models and the Appendix-A validator (`fsw-core`);
+//! * [`obs`] — the unified observability layer: metrics registry,
+//!   log₂-scale histograms, tracing spans and sketch-based per-tenant
+//!   traffic accounting (`fsw-obs`);
 //! * [`eventgraph`] — timed event graphs and maximum cycle ratios
 //!   (`fsw-eventgraph`);
 //! * [`sched`] — the paper's algorithms: orchestration and plan optimisation
@@ -33,6 +36,7 @@
 
 pub use fsw_core as core;
 pub use fsw_eventgraph as eventgraph;
+pub use fsw_obs as obs;
 pub use fsw_rn3dm as rn3dm;
 pub use fsw_sched as sched;
 pub use fsw_serve as serve;

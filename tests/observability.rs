@@ -1,0 +1,183 @@
+//! Correctness tests of the `fsw_obs` histogram substrate (PR-10
+//! acceptance criteria):
+//!
+//! * bucket boundaries — exact-region values are lossless, power-of-two
+//!   decade edges land in distinct buckets;
+//! * merging — element-wise bucket addition is associative and
+//!   commutative, so serial recording and any sharded-then-merged order
+//!   produce **bit-for-bit identical** state;
+//! * quantiles — nearest-rank queries match a sorted-vector oracle
+//!   exactly in the exact region, and within the documented `2^-7`
+//!   relative bound in the log region, on deterministic RNG samples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fsw::obs::histogram::{EXACT_LIMIT, SUB_BUCKETS};
+use fsw::obs::LogHistogram;
+
+/// The classic sorted-vector nearest-rank percentile the histogram's
+/// quantile rule is documented to reproduce: index
+/// `round(p/100 · (n−1))` of the ascending sample vector.
+fn oracle(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+#[test]
+fn exact_region_values_are_recorded_losslessly() {
+    // One sample per value 0..EXACT_LIMIT: every value owns its own
+    // bucket, so every nearest-rank quantile is the exact sample.
+    let h = LogHistogram::new();
+    for v in 0..EXACT_LIMIT {
+        h.record(v);
+    }
+    assert_eq!(h.count(), EXACT_LIMIT);
+    assert_eq!(h.sum(), EXACT_LIMIT * (EXACT_LIMIT - 1) / 2);
+    assert_eq!(h.max(), EXACT_LIMIT - 1);
+    let (_, _, _, buckets) = h.state();
+    let occupied = buckets.iter().filter(|&&c| c != 0).count();
+    assert_eq!(occupied, EXACT_LIMIT as usize, "one bucket per exact value");
+    let sorted: Vec<u64> = (0..EXACT_LIMIT).collect();
+    for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+        assert_eq!(h.quantile(p), oracle(&sorted, p), "p{p}");
+    }
+}
+
+#[test]
+fn decade_boundaries_map_into_distinct_buckets() {
+    // For every power-of-two decade edge above the exact region, `2^k - 1`
+    // and `2^k` must land in different buckets (the decade boundary is a
+    // bucket boundary), and each recorded value's reported p100 stays
+    // within the bucket's documented relative width of the true value.
+    for k in 10..63 {
+        let edge = 1u64 << k;
+        let h = LogHistogram::new();
+        h.record(edge - 1);
+        h.record(edge);
+        let (_, _, _, buckets) = h.state();
+        let occupied = buckets.iter().filter(|&&c| c != 0).count();
+        assert_eq!(occupied, 2, "2^{k}-1 and 2^{k} must not share a bucket");
+        // The max sample is reported exactly (upper edge capped at max).
+        assert_eq!(h.quantile(100.0), edge);
+    }
+    // Sub-bucket boundaries inside one decade are boundaries too: the
+    // first sub-bucket of the first log decade is [1024, 1024 + 8).
+    let width = EXACT_LIMIT / SUB_BUCKETS;
+    let h = LogHistogram::new();
+    h.record(EXACT_LIMIT);
+    h.record(EXACT_LIMIT + width - 1);
+    h.record(EXACT_LIMIT + width);
+    let (_, _, _, buckets) = h.state();
+    let occupied: Vec<usize> = (0..buckets.len()).filter(|&i| buckets[i] != 0).collect();
+    assert_eq!(occupied.len(), 2, "first sub-bucket holds exactly its span");
+    assert_eq!(
+        buckets[occupied[0]], 2,
+        "1024 and 1031 share the sub-bucket"
+    );
+    assert_eq!(buckets[occupied[1]], 1, "1032 starts the next sub-bucket");
+}
+
+#[test]
+fn merge_is_associative_and_commutative_bit_for_bit() {
+    // 4000 deterministic samples spanning the exact region and several
+    // log decades, sharded four ways round-robin.  Serial recording and
+    // every merge tree/order over the shards must agree on the *entire*
+    // state tuple (count, sum, max, every bucket count) — not just on
+    // derived quantiles.
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0b5e);
+    let samples: Vec<u64> = (0..4000)
+        .map(|_| {
+            let magnitude = rng.gen_range(0u32..24);
+            rng.gen_range(0..=(1u64 << magnitude))
+        })
+        .collect();
+
+    let serial = LogHistogram::new();
+    for &v in &samples {
+        serial.record(v);
+    }
+
+    let shard = |lane: usize| {
+        let h = LogHistogram::new();
+        for (at, &v) in samples.iter().enumerate() {
+            if at % 4 == lane {
+                h.record(v);
+            }
+        }
+        h
+    };
+    let shards: Vec<LogHistogram> = (0..4).map(shard).collect();
+
+    // Left fold: ((s0 + s1) + s2) + s3.
+    let left = LogHistogram::new();
+    for s in &shards {
+        left.merge(s);
+    }
+    // Reversed fold: ((s3 + s2) + s1) + s0 (commutativity).
+    let reversed = LogHistogram::new();
+    for s in shards.iter().rev() {
+        reversed.merge(s);
+    }
+    // Balanced tree: (s0 + s1) + (s2 + s3) (associativity).
+    let pair_a = LogHistogram::new();
+    pair_a.merge(&shards[0]);
+    pair_a.merge(&shards[1]);
+    let pair_b = LogHistogram::new();
+    pair_b.merge(&shards[2]);
+    pair_b.merge(&shards[3]);
+    let tree = LogHistogram::new();
+    tree.merge(&pair_b);
+    tree.merge(&pair_a);
+
+    let want = serial.state();
+    assert_eq!(left.state(), want, "left fold == serial, bit-for-bit");
+    assert_eq!(reversed.state(), want, "reversed fold == serial");
+    assert_eq!(tree.state(), want, "balanced tree == serial");
+}
+
+#[test]
+fn quantiles_match_the_sorted_vector_oracle() {
+    let percentiles = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+
+    // Exact region: registry histograms must reproduce the sorted-vector
+    // nearest-rank scan *exactly* — this is the property that lets them
+    // replace the replay percentile code without moving a single row.
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0001);
+    let mut small: Vec<u64> = (0..2500).map(|_| rng.gen_range(0..EXACT_LIMIT)).collect();
+    let h = LogHistogram::new();
+    for &v in &small {
+        h.record(v);
+    }
+    small.sort_unstable();
+    for p in percentiles {
+        assert_eq!(h.quantile(p), oracle(&small, p), "exact region, p{p}");
+    }
+
+    // Log region: the reported value is the containing bucket's upper
+    // edge (capped at max), so it never undershoots the oracle and
+    // overshoots by at most one bucket width — `< 2^-7` of the value.
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0002);
+    let mut big: Vec<u64> = (0..2500)
+        .map(|_| {
+            let magnitude = rng.gen_range(10u32..40);
+            rng.gen_range((1u64 << magnitude)..(1u64 << (magnitude + 1)))
+        })
+        .collect();
+    let h = LogHistogram::new();
+    for &v in &big {
+        h.record(v);
+    }
+    big.sort_unstable();
+    for p in percentiles {
+        let want = oracle(&big, p);
+        let got = h.quantile(p);
+        assert!(got >= want, "p{p}: {got} undershoots the oracle {want}");
+        assert!(
+            got - want <= want / (SUB_BUCKETS - 1),
+            "p{p}: {got} overshoots the oracle {want} by more than 2^-7"
+        );
+    }
+    assert_eq!(h.quantile(100.0), *big.last().unwrap(), "max is exact");
+}

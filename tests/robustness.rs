@@ -279,9 +279,10 @@ fn backpressure_decisions_are_identical_across_worker_counts() {
         for _ in 0..40 {
             frontend.tick();
         }
-        (decisions, frontend.stats())
+        let serve = frontend.serve_stats();
+        (decisions, frontend.stats(), serve)
     };
-    let (reference, stats) = run(1);
+    let (reference, stats, serve) = run(1);
     assert_eq!(reference.len(), 48, "every ticket resolves");
     assert!(
         stats.backpressure_sheds > 0,
@@ -293,13 +294,82 @@ fn backpressure_decisions_are_identical_across_worker_counts() {
         stats.peak_shed_level
     );
     assert_eq!(stats.shed_level, 0, "and fall back once the backlog clears");
+    // The shed-level transitions surface through the ServeStats snapshot:
+    // the climb to the peak and the full walk back down are both counted.
+    assert!(
+        serve.shed_raises >= 12,
+        "every level of the climb is a counted raise, got {}",
+        serve.shed_raises
+    );
+    assert_eq!(
+        serve.shed_raises, serve.shed_lowers,
+        "the hysteresis ends at level 0, so raises and lowers balance"
+    );
+    assert_eq!(serve.shed_raises, stats.shed_raises);
+    assert_eq!(serve.shed_lowers, stats.shed_lowers);
+    assert_eq!(serve.deadline_cancels, 0, "no deadlines were configured");
     for workers in [2, 4] {
-        let (other, other_stats) = run(workers);
+        let (other, other_stats, other_serve) = run(workers);
         assert_eq!(
             reference, other,
             "x{workers}: the shed/admit decision digest must not depend on \
              the worker count"
         );
         assert_eq!(stats, other_stats, "x{workers}: frontend counters");
+        assert_eq!(
+            (serve.shed_raises, serve.shed_lowers, serve.deadline_cancels),
+            (
+                other_serve.shed_raises,
+                other_serve.shed_lowers,
+                other_serve.deadline_cancels
+            ),
+            "x{workers}: snapshot shed/deadline totals"
+        );
     }
+}
+
+#[test]
+fn deadline_cancellations_surface_through_the_serve_stats_snapshot() {
+    // A one-dequeue-per-tick front end with 1-tick deadlines: the burst's
+    // tail is still queued when its deadlines lapse, so late dequeues are
+    // cancelled instead of solved — and the totals must be visible through
+    // the [`ServeStats`] snapshot, not only the frontend counters.
+    let mut rng = StdRng::seed_from_u64(0x0b12);
+    let service = Arc::new(PlanService::new(SearchBudget::default(), 64));
+    let mut frontend = AsyncFrontend::new(
+        service,
+        FrontendConfig {
+            workers: 1,
+            dispatch_per_tick: 1,
+            ..FrontendConfig::default()
+        },
+    );
+    for tenant in 0..8 {
+        let app = random_application(&RandomAppConfig::independent(5), &mut rng);
+        frontend
+            .submit_with_deadline(
+                tenant,
+                PlanRequest::new(app, CommModel::Overlap, Objective::MinPeriod),
+                1,
+            )
+            .unwrap();
+    }
+    let completions = frontend.drain();
+    assert_eq!(completions.len(), 8, "every ticket resolves");
+    let cancelled = completions
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.outcome.rejection().map(|r| &r.reason),
+                Some(RejectReason::DeadlineExpired)
+            )
+        })
+        .count();
+    assert!(cancelled >= 1, "the burst's tail outlives its deadlines");
+    let serve = frontend.serve_stats();
+    assert_eq!(
+        serve.deadline_cancels, cancelled,
+        "the snapshot carries the cancellation total"
+    );
+    assert_eq!(serve.deadline_cancels, frontend.stats().deadline_cancels);
 }
